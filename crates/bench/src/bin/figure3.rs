@@ -1,0 +1,51 @@
+//! Figure 3: coverage transition over 48 virtual hours for
+//! nested-virtualization-specific code — NecoFuzz vs Syzkaller, with
+//! IRIS's termination coverage as the reference line; (a) Intel, (b) AMD.
+
+use nf_bench::*;
+use nf_fuzz::Mode;
+use nf_x86::CpuVendor;
+
+fn main() {
+    for vendor in [CpuVendor::Intel, CpuVendor::Amd] {
+        hr(&format!("Figure 3 — coverage over time ({vendor})"));
+        let neco = necofuzz_runs(
+            vkvm_factory,
+            vendor,
+            HOURS_LONG,
+            Mode::Unguided,
+            necofuzz::ComponentMask::ALL,
+        );
+        let syz: Vec<_> = (0..RUNS)
+            .map(|seed| {
+                nf_baselines::syzkaller(vkvm_factory(), vendor, HOURS_LONG, EXECS_PER_HOUR, seed)
+            })
+            .collect();
+        let iris_cov = if vendor == CpuVendor::Intel {
+            Some(nf_baselines::iris(vkvm_factory(), 0).final_coverage)
+        } else {
+            None
+        };
+
+        println!(
+            "{:>5} {:>10} {:>10} {:>10}",
+            "hour", "NecoFuzz", "Syzkaller", "IRIS"
+        );
+        for h in 0..HOURS_LONG as usize {
+            let n_med = nf_stats::median(
+                &neco
+                    .iter()
+                    .map(|r| r.hourly[h].coverage)
+                    .collect::<Vec<_>>(),
+            );
+            let s_med = nf_stats::median(&syz.iter().map(|r| r.hourly[h]).collect::<Vec<_>>());
+            println!(
+                "{:>5} {:>10} {:>10} {:>10}",
+                h + 1,
+                pct(n_med),
+                pct(s_med),
+                iris_cov.map(pct).unwrap_or_else(|| "-".into())
+            );
+        }
+    }
+}

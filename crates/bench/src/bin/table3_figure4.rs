@@ -1,0 +1,73 @@
+//! Table 3 + Figure 4: contribution of each VM-generator component.
+//!
+//! NecoFuzz with each component selectively disabled, 24 virtual hours,
+//! median of five runs: coverage at the end (Table 3) and the hourly
+//! progression (Figure 4), on Intel and AMD.
+
+use necofuzz::ComponentMask;
+use nf_bench::*;
+use nf_fuzz::Mode;
+use nf_x86::CpuVendor;
+
+fn main() {
+    let variants: [(&str, ComponentMask); 5] = [
+        ("with ALL", ComponentMask::ALL),
+        (
+            "w/o VM execution harness",
+            ComponentMask {
+                harness: false,
+                ..ComponentMask::ALL
+            },
+        ),
+        (
+            "w/o VM state validator",
+            ComponentMask {
+                validator: false,
+                ..ComponentMask::ALL
+            },
+        ),
+        (
+            "w/o vCPU configurator",
+            ComponentMask {
+                configurator: false,
+                ..ComponentMask::ALL
+            },
+        ),
+        ("w/o ALL", ComponentMask::NONE),
+    ];
+    for vendor in [CpuVendor::Intel, CpuVendor::Amd] {
+        hr(&format!("Table 3 — component ablation at 24 h ({vendor})"));
+        let mut curves = Vec::new();
+        for (name, mask) in variants {
+            let runs = necofuzz_runs(vkvm_factory, vendor, HOURS_SHORT, Mode::Unguided, mask);
+            let med = median_coverage(&runs);
+            println!("{:<28} {}", name, pct(med));
+            let curve: Vec<f64> = (0..HOURS_SHORT as usize)
+                .map(|h| {
+                    nf_stats::median(
+                        &runs
+                            .iter()
+                            .map(|r| r.hourly[h].coverage)
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            curves.push((name, curve));
+        }
+        hr(&format!(
+            "Figure 4 — ablation coverage over time ({vendor})"
+        ));
+        print!("{:>5}", "hour");
+        for (name, _) in &curves {
+            print!(" {:>26}", name);
+        }
+        println!();
+        for h in 0..HOURS_SHORT as usize {
+            print!("{:>5}", h + 1);
+            for (_, curve) in &curves {
+                print!(" {:>26}", pct(curve[h]));
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Table 5: the effect of coverage guidance in NecoFuzz.
+//!
+//! 48 virtual hours on KVM, Intel and AMD, guided vs unguided. The
+//! paper's counter-intuitive finding: guidance does *not* help (and
+//! slightly hurts), because rounding collapses coverage-guided
+//! micro-variations into equivalent post-rounding states (§5.4, §5.6).
+
+use nf_bench::*;
+use nf_fuzz::Mode;
+use nf_x86::CpuVendor;
+
+fn main() {
+    hr("Table 5 — effect of coverage guidance (KVM, 48 h)");
+    println!("{:<26} {:>10} {:>10}", "", "Intel", "AMD");
+    for (name, mode) in [
+        ("w/o coverage guidance", Mode::Unguided),
+        ("with coverage guidance", Mode::Guided),
+    ] {
+        let mut cells = Vec::new();
+        for vendor in [CpuVendor::Intel, CpuVendor::Amd] {
+            let runs = necofuzz_runs(
+                vkvm_factory,
+                vendor,
+                HOURS_LONG,
+                mode,
+                necofuzz::ComponentMask::ALL,
+            );
+            cells.push(pct(median_coverage(&runs)));
+        }
+        println!("{:<26} {:>10} {:>10}", name, cells[0], cells[1]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Table 6: newly discovered vulnerabilities across hypervisors.
+//!
+//! Runs NecoFuzz campaigns against the three hypervisor models (KVM on
+//! Intel and AMD, Xen on Intel and AMD, VirtualBox on Intel) and reports
+//! every Table 6 bug with its detector, matching the paper's six finds.
+
+use nf_bench::*;
+use nf_fuzz::Mode;
+use nf_x86::CpuVendor;
+
+fn main() {
+    hr("Table 6 — vulnerability discovery");
+    println!(
+        "{:<4} {:<12} {:<7} {:<28} {:<18} {}",
+        "No", "Hypervisor", "CPU", "Bug id", "Detector", "found at exec"
+    );
+    let mut no = 0;
+    let targets: [(&str, fn() -> Factory, CpuVendor, u32); 5] = [
+        ("vkvm", vkvm_factory, CpuVendor::Intel, HOURS_LONG),
+        ("vkvm", vkvm_factory, CpuVendor::Amd, HOURS_LONG),
+        ("vxen", vxen_factory, CpuVendor::Intel, HOURS_SHORT),
+        ("vxen", vxen_factory, CpuVendor::Amd, HOURS_SHORT),
+        ("vvbox", vvbox_factory, CpuVendor::Intel, HOURS_SHORT),
+    ];
+    let mut all_found = std::collections::BTreeSet::new();
+    for (name, factory, vendor, hours) in targets {
+        // vGIF is an optional feature the configurator must enable; the
+        // Xen/AMD campaign explores it via the feature bit-array.
+        let mut finds = Vec::new();
+        for seed in 0..RUNS {
+            let cfg = necofuzz::CampaignConfig {
+                vendor,
+                hours,
+                execs_per_hour: EXECS_PER_HOUR,
+                seed,
+                mode: Mode::Unguided,
+                mask: necofuzz::ComponentMask::ALL,
+            };
+            let result = necofuzz::run_campaign(factory(), &cfg);
+            for f in result.finds {
+                if !finds
+                    .iter()
+                    .any(|(id, _, _): &(String, _, _)| *id == f.bug_id)
+                {
+                    finds.push((f.bug_id.clone(), f.kind, f.exec));
+                }
+            }
+        }
+        for (id, kind, exec) in finds {
+            no += 1;
+            all_found.insert(id.clone());
+            println!(
+                "{:<4} {:<12} {:<7} {:<28} {:<18} {}",
+                no,
+                name,
+                format!("{vendor}"),
+                id,
+                format!("{kind}"),
+                exec
+            );
+        }
+    }
+    println!("\nUnique bugs found: {}", all_found.len());
+    for expected in [
+        "CVE-2023-30456",
+        "CVE-2024-21106",
+        "kvm-spurious-triple-fault",
+        "xen-wait-for-sipi",
+        "xen-avic-noaccel",
+        "xen-vgif-assert",
+    ] {
+        println!(
+            "  [{}] {}",
+            if all_found.contains(expected) {
+                "found"
+            } else {
+                "  -  "
+            },
+            expected
+        );
+    }
+}

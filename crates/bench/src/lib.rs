@@ -1,0 +1,104 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` prints the rows/series of one table or
+//! figure; the Criterion benches in `benches/` wrap the same drivers.
+//! Absolute numbers differ from the paper (the substrate is a simulator,
+//! not the authors' testbed); the *shape* — who wins, by what factor,
+//! where curves saturate — is the reproduced quantity (see
+//! `EXPERIMENTS.md`).
+
+use necofuzz::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use necofuzz::ComponentMask;
+use nf_coverage::LineSet;
+use nf_fuzz::Mode;
+use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
+use nf_x86::CpuVendor;
+
+/// Number of repeated runs per configuration (Klees et al.; paper §5.1).
+pub const RUNS: u64 = 5;
+
+/// Scaled virtual campaign lengths: the paper's 48 h / 24 h compress to
+/// the same execution budget shape at bench-friendly wall-clock cost.
+pub const HOURS_LONG: u32 = 48;
+/// Ablation/Xen campaigns run 24 virtual hours.
+pub const HOURS_SHORT: u32 = 24;
+/// Executions per virtual hour for the experiment drivers.
+pub const EXECS_PER_HOUR: u32 = 120;
+
+/// A hypervisor factory.
+pub type Factory = Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>;
+
+/// Factory for the KVM model.
+pub fn vkvm_factory() -> Factory {
+    Box::new(|cfg| Box::new(Vkvm::new(cfg)))
+}
+
+/// Factory for the Xen model.
+pub fn vxen_factory() -> Factory {
+    Box::new(|cfg| Box::new(Vxen::new(cfg)))
+}
+
+/// Factory for the VirtualBox model (Intel only).
+pub fn vvbox_factory() -> Factory {
+    Box::new(|cfg| Box::new(Vvbox::new(cfg)))
+}
+
+/// Runs NecoFuzz `RUNS` times and returns the per-run results.
+pub fn necofuzz_runs(
+    factory: fn() -> Factory,
+    vendor: CpuVendor,
+    hours: u32,
+    mode: Mode,
+    mask: ComponentMask,
+) -> Vec<CampaignResult> {
+    (0..RUNS)
+        .map(|seed| {
+            let cfg = CampaignConfig {
+                vendor,
+                hours,
+                execs_per_hour: EXECS_PER_HOUR,
+                seed,
+                mode,
+                mask,
+            };
+            run_campaign(factory(), &cfg)
+        })
+        .collect()
+}
+
+/// Median final coverage of a run set.
+pub fn median_coverage(results: &[CampaignResult]) -> f64 {
+    nf_stats::median(&results.iter().map(|r| r.final_coverage).collect::<Vec<_>>())
+}
+
+/// The run whose final coverage is the median (for set algebra on a
+/// representative line set).
+pub fn median_run(results: &[CampaignResult]) -> &CampaignResult {
+    let med = median_coverage(results);
+    results
+        .iter()
+        .min_by(|a, b| {
+            (a.final_coverage - med)
+                .abs()
+                .partial_cmp(&(b.final_coverage - med).abs())
+                .expect("no NaNs")
+        })
+        .expect("non-empty")
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a `cov% / #line` pair for a line set restricted to `file`.
+pub fn cov_row(lines: &LineSet, map: &nf_coverage::CovMap, file: nf_coverage::FileId) -> String {
+    let covered = lines.count_in(map, file);
+    let total = map.file_lines(file);
+    format!("{:>6}  {:>6}", pct(covered as f64 / total as f64), covered)
+}
+
+/// Prints a Markdown-ish separator line.
+pub fn hr(title: &str) {
+    println!("\n================ {title} ================");
+}

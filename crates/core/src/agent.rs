@@ -1,0 +1,388 @@
+//! The agent program (paper §4.5): the central coordinator between the
+//! fuzzer, the fuzz-harness VM, and the target L0 hypervisor.
+//!
+//! Per test case the agent: applies the vCPU configuration (relaunching
+//! the host when it changed), embeds the fuzzing input into the executor,
+//! runs the two harness phases, collects coverage into the AFL bitmap,
+//! monitors the sanitizers/kernel log for anomalies, saves crashing
+//! inputs, and restarts the host through the watchdog when it died.
+
+use nf_coverage::LineSet;
+use nf_fuzz::{ExecFeedback, FuzzInput, MAP_SIZE};
+use nf_hv::{CrashKind, HvConfig, L0Hypervisor};
+use nf_vmx::VmxCapabilities;
+use nf_x86::CpuVendor;
+
+use crate::configurator::VcpuConfigurator;
+use crate::harness::ExecutionHarness;
+use crate::input::InputView;
+use crate::validator::VmStateValidator;
+
+/// Component toggles for the ablation study (paper §5.3, Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentMask {
+    /// VM execution harness: template order/argument/repetition mutation.
+    pub harness: bool,
+    /// VM state validator: round + oracle + selective invalidation.
+    pub validator: bool,
+    /// vCPU configurator: feature bit-array mutation.
+    pub configurator: bool,
+}
+
+impl ComponentMask {
+    /// Everything on ("with ALL").
+    pub const ALL: ComponentMask = ComponentMask {
+        harness: true,
+        validator: true,
+        configurator: true,
+    };
+    /// Everything off ("w/o ALL").
+    pub const NONE: ComponentMask = ComponentMask {
+        harness: false,
+        validator: false,
+        configurator: false,
+    };
+}
+
+/// A vulnerability discovery record (the saved, timestamped report of
+/// §4.5 — virtual time stands in for the timestamp).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugFind {
+    /// Stable bug identifier (matches the Table 6 seeds).
+    pub bug_id: String,
+    /// Detector that fired.
+    pub kind: CrashKind,
+    /// Diagnostic message.
+    pub message: String,
+    /// Execution index at which the bug was first seen.
+    pub exec: u64,
+    /// The input that triggered it (saved for reproduction).
+    pub input: FuzzInput,
+}
+
+/// Result of one fuzzing iteration.
+#[derive(Debug)]
+pub struct IterationResult {
+    /// AFL bitmap of the execution.
+    pub bitmap: Vec<u8>,
+    /// Feedback for the engine.
+    pub feedback: ExecFeedback,
+}
+
+/// The agent: owns the hypervisor instance and the per-campaign state.
+pub struct Agent {
+    factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
+    hv: Box<dyn L0Hypervisor>,
+    vendor: CpuVendor,
+    harness: ExecutionHarness,
+    validator: VmStateValidator,
+    configurator: VcpuConfigurator,
+    mask: ComponentMask,
+    execs: u64,
+    restarts: u64,
+    /// Cumulative covered lines (across reboots and reconfigurations).
+    pub cumulative: LineSet,
+    /// Saved vulnerability reports, deduplicated by bug id.
+    pub finds: Vec<BugFind>,
+}
+
+impl Agent {
+    /// Creates an agent fuzzing the hypervisor produced by `factory`.
+    pub fn new(
+        factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
+        vendor: CpuVendor,
+        mask: ComponentMask,
+    ) -> Self {
+        let configurator = VcpuConfigurator::new(vendor);
+        let (features, nested) = configurator.default_config();
+        let config = HvConfig {
+            vendor,
+            features,
+            nested,
+        };
+        let hv = factory(config);
+        let caps = VmxCapabilities::from_features(
+            nf_x86::FeatureSet::default_for(vendor).sanitized(vendor),
+        );
+        let cumulative = LineSet::for_map(hv.coverage_map());
+        Agent {
+            factory,
+            hv,
+            vendor,
+            harness: ExecutionHarness::new(vendor),
+            validator: VmStateValidator::new(caps),
+            configurator,
+            mask,
+            execs: 0,
+            restarts: 0,
+            cumulative,
+            finds: Vec::new(),
+        }
+    }
+
+    /// The hypervisor under test (for inspection in tests/benches).
+    pub fn hv(&self) -> &dyn L0Hypervisor {
+        self.hv.as_ref()
+    }
+
+    /// The validator (exposes the oracle-correction state).
+    pub fn validator(&self) -> &VmStateValidator {
+        &self.validator
+    }
+
+    /// Number of executions performed.
+    pub fn execs(&self) -> u64 {
+        self.execs
+    }
+
+    /// Number of watchdog restarts.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Coverage fraction of the vendor-matching nested file.
+    pub fn coverage_fraction(&self) -> f64 {
+        let map = self.hv.coverage_map();
+        let file = match self.vendor {
+            CpuVendor::Intel => self.hv.intel_file(),
+            CpuVendor::Amd => match self.hv.amd_file() {
+                Some(f) => f,
+                None => self.hv.intel_file(),
+            },
+        };
+        self.cumulative.fraction_of(map, file)
+    }
+
+    /// Runs one fuzzing iteration with `input`.
+    pub fn run_iteration(&mut self, input: &FuzzInput) -> IterationResult {
+        self.execs += 1;
+        let view = InputView::new(input);
+
+        // 1. Watchdog: a dead host is restarted before the next test
+        // case, whatever else this iteration changes (paper §3.2).
+        if self.hv.health().dead {
+            self.hv.reboot_host();
+            self.restarts += 1;
+        }
+
+        // 2. vCPU configuration (adapter reload when it changed).
+        let (features, nested) = if self.mask.configurator {
+            self.configurator.generate(view.vcpu_cfg())
+        } else {
+            self.configurator.default_config()
+        };
+        let config = HvConfig {
+            vendor: self.vendor,
+            features,
+            nested,
+        };
+        if *self.hv.config() != config {
+            self.hv = (self.factory)(config.clone());
+            self.validator = VmStateValidator::with_corrections_of(
+                VmxCapabilities::from_features(features),
+                &self.validator,
+            );
+        }
+
+        self.hv.reset_guest();
+
+        // 3. Generate the fuzz-harness VM content.
+        let revision = VmxCapabilities::REVISION;
+        let (vmcs12, msr_area, vmcb12) = if self.mask.validator {
+            let (vmcs, area) = self.validator.generate(
+                view.vmcs_seed(),
+                view.mutate_bytes(),
+                view.msr_area_bytes(),
+            );
+            let vmcb = self
+                .validator
+                .generate_vmcb(view.vmcs_seed(), view.mutate_bytes());
+            (vmcs, area, vmcb)
+        } else {
+            // Ablation: the golden template with a few raw overwrites
+            // from the input (harness argument mutation only).
+            let caps = VmxCapabilities::from_features(features);
+            let mut vmcs = nf_silicon::golden_vmcs(&caps);
+            let seed = view.vmcs_seed();
+            for i in 0..4usize {
+                let idx =
+                    seed.get(i * 3).copied().unwrap_or(0) as usize % nf_vmx::VmcsField::ALL.len();
+                let field = nf_vmx::VmcsField::ALL[idx];
+                let value = u64::from_le_bytes([
+                    seed.get(i * 3 + 1).copied().unwrap_or(0),
+                    seed.get(i * 3 + 2).copied().unwrap_or(0),
+                    0,
+                    0,
+                    0,
+                    0,
+                    0,
+                    0,
+                ]);
+                vmcs.write(field, value);
+            }
+            let area = VmStateValidator::raw_msr_area(view.msr_area_bytes(), 1);
+            let mut vmcb = nf_silicon::golden_vmcb();
+            if let Some(&b) = seed.first() {
+                vmcb.save.cr0 ^= (b as u64) << 28;
+            }
+            (vmcs, area, vmcb)
+        };
+
+        // 4. Initialization phase.
+        let plan = if self.mask.harness {
+            self.harness.mutated_plan(revision, view.init_bytes())
+        } else {
+            self.harness.canonical_plan(revision)
+        };
+        let init = self
+            .harness
+            .run_init(self.hv.as_mut(), &plan, &vmcs12, &vmcb12, &msr_area);
+
+        // 5. Runtime phase.
+        if !init.host_dead {
+            if self.mask.harness {
+                self.harness
+                    .run_runtime(self.hv.as_mut(), view.runtime_bytes(), init.l2_live);
+            } else {
+                // Fixed runtime template: a deterministic exit mix.
+                let fixed: Vec<u8> = [0u8, 1, 2, 4, 13, 14]
+                    .iter()
+                    .flat_map(|&s| [s, 0, 0, 0])
+                    .collect();
+                self.harness
+                    .run_runtime(self.hv.as_mut(), &fixed, init.l2_live);
+            }
+        }
+
+        // 6. Coverage collection.
+        let trace = self.hv.take_trace();
+        self.cumulative.add_trace(self.hv.coverage_map(), &trace);
+        let mut bitmap = vec![0u8; MAP_SIZE];
+        trace.fill_afl_bitmap(&mut bitmap);
+
+        // 7. Anomaly detection: drain sanitizer/log reports, dedup by id.
+        let mut crashed = false;
+        let reports: Vec<_> = self.hv.health_mut().reports.drain(..).collect();
+        for report in reports {
+            crashed = true;
+            if !self.finds.iter().any(|f| f.bug_id == report.bug_id) {
+                self.finds.push(BugFind {
+                    bug_id: report.bug_id.to_string(),
+                    kind: report.kind,
+                    message: report.message,
+                    exec: self.execs,
+                    input: input.clone(),
+                });
+            }
+        }
+
+        IterationResult {
+            bitmap,
+            feedback: ExecFeedback { crashed },
+        }
+    }
+}
+
+impl VmStateValidator {
+    /// Rebuilds a validator for new capabilities while *keeping* the
+    /// corrections already learned from the oracle (the model, not the
+    /// configuration, is what was corrected).
+    pub fn with_corrections_of(caps: VmxCapabilities, previous: &VmStateValidator) -> Self {
+        let mut v = VmStateValidator::new(caps);
+        for c in &previous.corrections {
+            match c.rule {
+                "cr4_pae_quirk" => v.apply_known_quirk(),
+                "guest.ss_rpl" => v.apply_ss_rpl_fix(),
+                "tr_type_legacy" => v.apply_tr_type_fix(),
+                _ => {}
+            }
+        }
+        v.corrections = previous.corrections.clone();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_hv::Vkvm;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn agent(vendor: CpuVendor, mask: ComponentMask) -> Agent {
+        Agent::new(Box::new(|cfg| Box::new(Vkvm::new(cfg))), vendor, mask)
+    }
+
+    #[test]
+    fn iteration_produces_coverage() {
+        let mut a = agent(CpuVendor::Intel, ComponentMask::ALL);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let input = FuzzInput::random(&mut rng);
+        let result = a.run_iteration(&input);
+        assert!(
+            result.bitmap.iter().any(|&b| b != 0),
+            "trace must project to the bitmap"
+        );
+        assert!(a.coverage_fraction() > 0.0);
+    }
+
+    #[test]
+    fn coverage_accumulates_monotonically() {
+        let mut a = agent(CpuVendor::Intel, ComponentMask::ALL);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut last = 0.0;
+        for _ in 0..50 {
+            a.run_iteration(&FuzzInput::random(&mut rng));
+            let now = a.coverage_fraction();
+            assert!(now >= last, "cumulative coverage cannot drop");
+            last = now;
+        }
+        assert!(
+            last > 0.3,
+            "50 boundary-state iterations should cover >30%, got {last}"
+        );
+    }
+
+    #[test]
+    fn ablated_agent_covers_less() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let inputs: Vec<FuzzInput> = (0..60).map(|_| FuzzInput::random(&mut rng)).collect();
+        let mut full = agent(CpuVendor::Intel, ComponentMask::ALL);
+        let mut none = agent(CpuVendor::Intel, ComponentMask::NONE);
+        for input in &inputs {
+            full.run_iteration(input);
+            none.run_iteration(input);
+        }
+        assert!(
+            full.coverage_fraction() > none.coverage_fraction(),
+            "with ALL {:.3} must beat w/o ALL {:.3}",
+            full.coverage_fraction(),
+            none.coverage_fraction()
+        );
+    }
+
+    #[test]
+    fn finds_are_deduplicated() {
+        // Drive vkvm's CVE directly: EPT off via configurator bytes is
+        // fiddly, so use many random inputs and rely on dedup semantics.
+        let mut a = agent(CpuVendor::Intel, ComponentMask::ALL);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..300 {
+            a.run_iteration(&FuzzInput::random(&mut rng));
+        }
+        let mut ids: Vec<&str> = a.finds.iter().map(|f| f.bug_id.as_str()).collect();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "find list must be id-unique");
+    }
+
+    #[test]
+    fn amd_agent_runs() {
+        let mut a = agent(CpuVendor::Amd, ComponentMask::ALL);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..40 {
+            a.run_iteration(&FuzzInput::random(&mut rng));
+        }
+        assert!(a.coverage_fraction() > 0.2, "got {}", a.coverage_fraction());
+    }
+}

@@ -1,0 +1,126 @@
+//! The `necofuzz` command-line fuzzer.
+//!
+//! ```text
+//! necofuzz [--target vkvm|vxen|vvbox] [--vendor intel|amd]
+//!          [--hours N] [--execs-per-hour N] [--seed N] [--guided]
+//!          [--no-harness] [--no-validator] [--no-configurator]
+//!          [--out DIR]
+//! ```
+//!
+//! Runs one campaign against the chosen hypervisor model and, like the
+//! paper's agent (§4.5), saves every unique crashing input to a
+//! timestamped file under `--out` for later reproduction.
+
+use std::io::Write as _;
+
+use necofuzz::campaign::{run_campaign, CampaignConfig};
+use necofuzz::ComponentMask;
+use nf_fuzz::Mode;
+use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
+use nf_x86::CpuVendor;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: necofuzz [--target vkvm|vxen|vvbox] [--vendor intel|amd] [--hours N]\n\
+         \x20               [--execs-per-hour N] [--seed N] [--guided] [--no-harness]\n\
+         \x20               [--no-validator] [--no-configurator] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut target = "vkvm".to_string();
+    let mut vendor = CpuVendor::Intel;
+    let mut hours = 24u32;
+    let mut execs_per_hour = 250u32;
+    let mut seed = 0u64;
+    let mut mode = Mode::Unguided;
+    let mut mask = ComponentMask::ALL;
+    let mut out: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--target" => target = value(),
+            "--vendor" => {
+                vendor = match value().as_str() {
+                    "intel" => CpuVendor::Intel,
+                    "amd" => CpuVendor::Amd,
+                    _ => usage(),
+                }
+            }
+            "--hours" => hours = value().parse().unwrap_or_else(|_| usage()),
+            "--execs-per-hour" => execs_per_hour = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--guided" => mode = Mode::Guided,
+            "--no-harness" => mask.harness = false,
+            "--no-validator" => mask.validator = false,
+            "--no-configurator" => mask.configurator = false,
+            "--out" => out = Some(value()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>> = match target.as_str() {
+        "vkvm" => Box::new(|c| Box::new(Vkvm::new(c))),
+        "vxen" => Box::new(|c| Box::new(Vxen::new(c))),
+        "vvbox" => {
+            if vendor != CpuVendor::Intel {
+                eprintln!("vvbox supports only --vendor intel");
+                std::process::exit(2);
+            }
+            Box::new(|c| Box::new(Vvbox::new(c)))
+        }
+        _ => usage(),
+    };
+
+    println!(
+        "necofuzz: target={target} vendor={vendor} hours={hours} execs/h={execs_per_hour} \
+         seed={seed} mode={mode:?} components[harness={} validator={} configurator={}]",
+        mask.harness, mask.validator, mask.configurator
+    );
+
+    let cfg = CampaignConfig { vendor, hours, execs_per_hour, seed, mode, mask };
+    let result = run_campaign(factory, &cfg);
+
+    println!(
+        "\ncoverage {:.1}% ({}/{} lines of {}), {} execs, {} watchdog restarts",
+        result.final_coverage * 100.0,
+        result.lines.count_in(&result.map, result.file),
+        result.map.file_lines(result.file),
+        result.map.file_name(result.file),
+        result.execs,
+        result.restarts,
+    );
+
+    if result.finds.is_empty() {
+        println!("no anomalies detected");
+    } else {
+        println!("{} unique anomalies:", result.finds.len());
+        for f in &result.finds {
+            println!("  [{:<17}] {} at exec {}: {}", format!("{}", f.kind), f.bug_id, f.exec, f.message);
+        }
+    }
+
+    // Save crashing inputs for reproduction (§4.5: "saves the current
+    // fuzzing input to a timestamped file within a designated directory").
+    if let Some(dir) = out {
+        std::fs::create_dir_all(&dir).expect("create output directory");
+        for f in &result.finds {
+            let path = format!("{dir}/crash-exec{:06}-{}.bin", f.exec, f.bug_id);
+            let mut file = std::fs::File::create(&path).expect("create crash file");
+            file.write_all(&f.input.bytes).expect("write crash input");
+            let meta = format!("{dir}/crash-exec{:06}-{}.txt", f.exec, f.bug_id);
+            std::fs::write(&meta, format!("{} via {}\n{}\n", f.bug_id, f.kind, f.message))
+                .expect("write crash metadata");
+            println!("saved {path}");
+        }
+    }
+
+    if !result.finds.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,227 @@
+//! The vCPU configurator (paper §3.5, §4.4).
+//!
+//! The configuration is "a bit array, where each bit indicates whether a
+//! specific CPU feature is enabled or disabled", mutated from fuzzing
+//! input. A hypervisor-independent core generates the [`FeatureSet`];
+//! small per-hypervisor *adapters* translate it into the interface each
+//! L0 actually exposes (KVM module parameters + QEMU options, Xen
+//! `xl.cfg` keys, `VBoxManage` flags) and produce the [`HvConfig`] used
+//! to boot the modeled host.
+
+use nf_hv::HvConfig;
+use nf_x86::{CpuFeature, CpuVendor, FeatureSet};
+
+/// The hypervisor-independent configuration generator.
+#[derive(Debug, Clone, Copy)]
+pub struct VcpuConfigurator {
+    /// Vendor the host CPU reports.
+    pub vendor: CpuVendor,
+}
+
+impl VcpuConfigurator {
+    /// Creates a configurator for `vendor`.
+    pub fn new(vendor: CpuVendor) -> Self {
+        VcpuConfigurator { vendor }
+    }
+
+    /// Derives a feature set + nested flag from the configuration word.
+    ///
+    /// The raw bits map directly onto [`CpuFeature`] bits and are then
+    /// sanitized for the vendor. The base virtualization feature is kept
+    /// on for 7 of 8 inputs and nesting for 15 of 16 — disabled-nested
+    /// configurations still exercise the "not enabled" error arms but
+    /// would otherwise waste most of the iteration budget.
+    pub fn generate(&self, cfg_word: u64) -> (FeatureSet, bool) {
+        let mut features = FeatureSet((cfg_word & 0x3f_ffff) as u32);
+        let keep_base = (cfg_word >> 32) & 0x7 != 0;
+        if keep_base {
+            match self.vendor {
+                CpuVendor::Intel => features.insert(CpuFeature::Vmx),
+                CpuVendor::Amd => features.insert(CpuFeature::Svm),
+            }
+        }
+        let nested = (cfg_word >> 36) & 0xf != 0;
+        (features.sanitized(self.vendor), nested)
+    }
+
+    /// The default (un-fuzzed) configuration.
+    pub fn default_config(&self) -> (FeatureSet, bool) {
+        (FeatureSet::default_for(self.vendor), true)
+    }
+}
+
+/// A per-hypervisor configuration adapter.
+pub trait HvAdapter {
+    /// Translates the generated configuration into a bootable
+    /// [`HvConfig`] plus the host-side command line a real deployment
+    /// would run (module reload + VM launch).
+    fn apply(&self, features: FeatureSet, nested: bool) -> (HvConfig, String);
+}
+
+/// KVM adapter: kernel-module parameters + QEMU command line (§4.4).
+#[derive(Debug, Clone, Copy)]
+pub struct KvmAdapter {
+    /// Vendor selects `kvm-intel.ko` vs `kvm-amd.ko`.
+    pub vendor: CpuVendor,
+}
+
+impl HvAdapter for KvmAdapter {
+    fn apply(&self, features: FeatureSet, nested: bool) -> (HvConfig, String) {
+        let module = match self.vendor {
+            CpuVendor::Intel => "kvm-intel",
+            CpuVendor::Amd => "kvm-amd",
+        };
+        let mut params = vec![format!("nested={}", nested as u8)];
+        for f in CpuFeature::ALL {
+            if f.available_on(self.vendor) && !matches!(f, CpuFeature::Vmx | CpuFeature::Svm) {
+                params.push(format!("{}={}", f.param_name(), features.contains(f) as u8));
+            }
+        }
+        let cpu_flag = match self.vendor {
+            CpuVendor::Intel => {
+                if features.contains(CpuFeature::Vmx) {
+                    "+vmx"
+                } else {
+                    "-vmx"
+                }
+            }
+            CpuVendor::Amd => {
+                if features.contains(CpuFeature::Svm) {
+                    "+svm"
+                } else {
+                    "-svm"
+                }
+            }
+        };
+        let cmdline = format!(
+            "modprobe -r {module} && modprobe {module} {} && qemu-kvm -cpu host,{cpu_flag} \
+             -enable-kvm -m 512 -bios executor.fd",
+            params.join(" ")
+        );
+        (
+            HvConfig {
+                vendor: self.vendor,
+                features,
+                nested,
+            },
+            cmdline,
+        )
+    }
+}
+
+/// Xen adapter: `xl.cfg` guest configuration keys.
+#[derive(Debug, Clone, Copy)]
+pub struct XenAdapter {
+    /// Host CPU vendor.
+    pub vendor: CpuVendor,
+}
+
+impl HvAdapter for XenAdapter {
+    fn apply(&self, features: FeatureSet, nested: bool) -> (HvConfig, String) {
+        let cmdline = format!(
+            "xl create executor.cfg 'nestedhvm={}' 'hap={}' 'cpuid=host,{}'",
+            nested as u8,
+            (features.contains(CpuFeature::Ept) || features.contains(CpuFeature::NestedPaging))
+                as u8,
+            if self.vendor == CpuVendor::Intel {
+                "vmx"
+            } else {
+                "svm"
+            },
+        );
+        (
+            HvConfig {
+                vendor: self.vendor,
+                features,
+                nested,
+            },
+            cmdline,
+        )
+    }
+}
+
+/// VirtualBox adapter: `VBoxManage modifyvm` flags (Intel only).
+#[derive(Debug, Clone, Copy)]
+pub struct VboxAdapter;
+
+impl HvAdapter for VboxAdapter {
+    fn apply(&self, features: FeatureSet, nested: bool) -> (HvConfig, String) {
+        let cmdline = format!(
+            "VBoxManage modifyvm executor --nested-hw-virt {} --hwvirtex on && \
+             VBoxManage startvm executor --type headless",
+            if nested { "on" } else { "off" },
+        );
+        (
+            HvConfig {
+                vendor: CpuVendor::Intel,
+                features,
+                nested,
+            },
+            cmdline,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_sanitized() {
+        let c = VcpuConfigurator::new(CpuVendor::Intel);
+        // All feature bits set: AMD-only features must be dropped.
+        let (f, _) = c.generate(u64::MAX);
+        assert!(f.contains(CpuFeature::Vmx));
+        assert!(!f.contains(CpuFeature::Avic));
+        assert!(!f.contains(CpuFeature::NestedPaging));
+    }
+
+    #[test]
+    fn base_feature_forced_by_high_bits() {
+        let c = VcpuConfigurator::new(CpuVendor::Intel);
+        let (f, nested) = c.generate(0x7u64 << 32 | 0xfu64 << 36);
+        assert!(f.contains(CpuFeature::Vmx));
+        assert!(nested);
+        let (f0, nested0) = c.generate(0);
+        assert!(!f0.contains(CpuFeature::Vmx));
+        assert!(!nested0);
+    }
+
+    #[test]
+    fn kvm_adapter_emits_module_params() {
+        let (cfg, cmd) = KvmAdapter {
+            vendor: CpuVendor::Intel,
+        }
+        .apply(FeatureSet::default_for(CpuVendor::Intel), true);
+        assert!(cfg.nested);
+        assert!(cmd.contains("modprobe kvm-intel"), "{cmd}");
+        assert!(cmd.contains("nested=1"), "{cmd}");
+        assert!(cmd.contains("ept=1"), "{cmd}");
+        assert!(cmd.contains("+vmx"), "{cmd}");
+    }
+
+    #[test]
+    fn amd_adapter_uses_kvm_amd() {
+        let (cfg, cmd) = KvmAdapter {
+            vendor: CpuVendor::Amd,
+        }
+        .apply(FeatureSet::default_for(CpuVendor::Amd), true);
+        assert_eq!(cfg.vendor, CpuVendor::Amd);
+        assert!(cmd.contains("kvm-amd"), "{cmd}");
+        assert!(cmd.contains("npt=1"), "{cmd}");
+    }
+
+    #[test]
+    fn xen_and_vbox_adapters() {
+        let (cfg, cmd) = XenAdapter {
+            vendor: CpuVendor::Intel,
+        }
+        .apply(FeatureSet::default_for(CpuVendor::Intel), true);
+        assert!(cmd.contains("nestedhvm=1"), "{cmd}");
+        assert_eq!(cfg.vendor, CpuVendor::Intel);
+
+        let (cfg, cmd) = VboxAdapter.apply(FeatureSet::default_for(CpuVendor::Intel), false);
+        assert!(cmd.contains("--nested-hw-virt off"), "{cmd}");
+        assert!(!cfg.nested);
+    }
+}

@@ -1,0 +1,474 @@
+//! The VM execution harness (paper §3.3, §4.2).
+//!
+//! The harness is the part of the fuzz-harness VM that executes
+//! instructions. It operates in two phases:
+//!
+//! - **Initialization phase**: a domain-specific template of the VMX/SVM
+//!   setup sequence (`vmxon` → `vmclear` → `vmptrld` → `vmwrite`* →
+//!   `vmlaunch`). Fuzzing input mutates instruction *ordering*,
+//!   *argument values*, and *repetition counts* while preserving enough
+//!   structure to avoid immediate termination.
+//! - **Runtime phase**: a library of exit-triggering instruction
+//!   templates (Table 1) executed in L2 and, on reflected exits, in the
+//!   L1 handler context, with operands derived from fuzzing input.
+
+use nf_hv::{L0Hypervisor, L1Result, L2Result};
+use nf_silicon::{CrIndex, GuestInstr};
+use nf_vmx::{MsrArea, Vmcb, Vmcs, VmcsField};
+use nf_x86::msr::ALL_MSRS;
+use nf_x86::{CpuVendor, Cr0, Cr4, Efer};
+
+use crate::validator::MSR_AREA_GPA;
+
+/// Guest-physical addresses the harness uses for its regions.
+pub const VMXON_GPA: u64 = 0x1000;
+/// VMCS12 region address.
+pub const VMCS12_GPA: u64 = 0x2000;
+/// VMCB12 region address.
+pub const VMCB12_GPA: u64 = 0x5000;
+
+/// One step of the initialization template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitStep {
+    /// Set `CR4.VMXE` (+ the other `vmxon` preconditions).
+    EnableVmx,
+    /// Set `CR4.VMXE` but leave CR0 in a state `vmxon` rejects with #GP.
+    EnableVmxBadCr0,
+    /// Set `EFER.SVME`.
+    EnableSvm,
+    /// `vmxon` with an address.
+    Vmxon(u64),
+    /// `vmclear` with an address.
+    Vmclear(u64),
+    /// Write the VMCS region revision header.
+    StageRevision(u32),
+    /// `vmptrld` with an address.
+    Vmptrld(u64),
+    /// Write the generated VMCS12 through `vmwrite`s.
+    WriteVmcs,
+    /// Stage the MSR-load area in guest memory.
+    StageMsrArea,
+    /// `vmlaunch`.
+    Launch,
+    /// Stage the generated VMCB12 in guest memory.
+    StageVmcb,
+    /// `vmrun` with an address.
+    Vmrun(u64),
+}
+
+/// The executable initialization plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitPlan {
+    /// Steps in execution order.
+    pub steps: Vec<InitStep>,
+}
+
+/// Outcome of running the initialization phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InitOutcome {
+    /// A nested guest is live (entry succeeded and it can run).
+    pub l2_live: bool,
+    /// The host died during initialization (watchdog territory).
+    pub host_dead: bool,
+}
+
+/// The VM execution harness.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionHarness {
+    /// Vendor of the virtual CPU the harness runs on.
+    pub vendor: CpuVendor,
+}
+
+impl ExecutionHarness {
+    /// Creates a harness for `vendor`.
+    pub fn new(vendor: CpuVendor) -> Self {
+        ExecutionHarness { vendor }
+    }
+
+    /// The canonical (unmutated) initialization template.
+    pub fn canonical_plan(&self, revision: u32) -> InitPlan {
+        let steps = match self.vendor {
+            CpuVendor::Intel => vec![
+                InitStep::EnableVmx,
+                InitStep::Vmxon(VMXON_GPA),
+                InitStep::Vmclear(VMCS12_GPA),
+                InitStep::StageRevision(revision),
+                InitStep::Vmptrld(VMCS12_GPA),
+                InitStep::WriteVmcs,
+                InitStep::StageMsrArea,
+                InitStep::Launch,
+            ],
+            CpuVendor::Amd => vec![
+                InitStep::EnableSvm,
+                InitStep::StageVmcb,
+                InitStep::Vmrun(VMCB12_GPA),
+            ],
+        };
+        InitPlan { steps }
+    }
+
+    /// Builds a mutated initialization plan from the init-section bytes:
+    /// byte pairs drive step swaps, duplications, skips, and argument
+    /// corruption, preserving overall structure (paper §4.2).
+    pub fn mutated_plan(&self, revision: u32, init_bytes: &[u8]) -> InitPlan {
+        let mut plan = self.canonical_plan(revision);
+        let b = |i: usize| init_bytes.get(i).copied().unwrap_or(0);
+
+        // Argument corruption: low-probability, targeted.
+        for (i, step) in plan.steps.iter_mut().enumerate() {
+            let ctrl = b(i * 2);
+            let arg = b(i * 2 + 1);
+            match step {
+                InitStep::Vmxon(addr) if ctrl & 0xf0 == 0x10 => {
+                    *addr = VMXON_GPA + arg as u64; // misalignment arm
+                }
+                InitStep::EnableVmx if ctrl & 0xf0 == 0x50 => {
+                    *step = InitStep::EnableVmxBadCr0;
+                }
+                InitStep::Vmclear(addr) | InitStep::Vmptrld(addr) => {
+                    if ctrl & 0xf0 == 0x20 {
+                        *addr = VMXON_GPA; // the vmxon-pointer arm
+                    } else if ctrl & 0xf0 == 0x30 {
+                        *addr = VMCS12_GPA + ((arg as u64) << 12); // other region
+                    } else if ctrl & 0xf0 == 0x50 {
+                        *addr = VMCS12_GPA | (arg as u64 | 1); // misaligned
+                    }
+                }
+                InitStep::StageRevision(rev) if ctrl & 0xf0 == 0x40 => {
+                    *rev = revision ^ (arg as u32 + 1); // bad-revision arm
+                }
+                InitStep::Vmrun(addr) if ctrl & 0xf0 == 0x10 => {
+                    *addr = VMCB12_GPA + ((arg as u64 + 1) << 12); // unstaged VMCB
+                }
+                _ => {}
+            }
+        }
+        // Order mutation: swap adjacent steps.
+        let swaps = (b(24) % 3) as usize;
+        for s in 0..swaps {
+            let i = b(25 + s) as usize % plan.steps.len().saturating_sub(1).max(1);
+            plan.steps.swap(i, i + 1);
+        }
+        // Repetition: duplicate one step.
+        if b(30) & 0x3 == 0x3 {
+            let i = b(31) as usize % plan.steps.len();
+            let step = plan.steps[i];
+            plan.steps.insert(i, step);
+        }
+        // Skip: drop one step (never the final launch).
+        if b(32) & 0x7 == 0x7 && plan.steps.len() > 2 {
+            let i = b(33) as usize % (plan.steps.len() - 1);
+            plan.steps.remove(i);
+        }
+        plan
+    }
+
+    /// Executes an initialization plan against the L0 hypervisor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_init(
+        &self,
+        hv: &mut dyn L0Hypervisor,
+        plan: &InitPlan,
+        vmcs12: &Vmcs,
+        vmcb12: &Vmcb,
+        msr_area: &MsrArea,
+    ) -> InitOutcome {
+        let mut l2_live = false;
+        for step in &plan.steps {
+            let result = match *step {
+                InitStep::EnableVmx => {
+                    hv.l1_exec(GuestInstr::MovToCr(CrIndex::Cr4, Cr4::VMXE | Cr4::PAE));
+                    hv.l1_exec(GuestInstr::MovToCr(
+                        CrIndex::Cr0,
+                        Cr0::PE | Cr0::PG | Cr0::NE,
+                    ))
+                }
+                InitStep::EnableVmxBadCr0 => {
+                    hv.l1_exec(GuestInstr::MovToCr(CrIndex::Cr4, Cr4::VMXE | Cr4::PAE));
+                    // CR0.NE clear: vmxon must #GP.
+                    hv.l1_exec(GuestInstr::MovToCr(CrIndex::Cr0, Cr0::PE | Cr0::PG))
+                }
+                InitStep::EnableSvm => hv.l1_exec(GuestInstr::Wrmsr(
+                    nf_x86::Msr::Efer.index(),
+                    Efer::LME | Efer::LMA | Efer::SVME,
+                )),
+                InitStep::Vmxon(addr) => hv.l1_exec(GuestInstr::Vmxon(addr)),
+                InitStep::Vmclear(addr) => hv.l1_exec(GuestInstr::Vmclear(addr)),
+                InitStep::StageRevision(rev) => {
+                    hv.l1_stage_vmcs_region(VMCS12_GPA, rev);
+                    L1Result::Ok(0)
+                }
+                InitStep::Vmptrld(addr) => hv.l1_exec(GuestInstr::Vmptrld(addr)),
+                InitStep::WriteVmcs => {
+                    let mut last = L1Result::Ok(0);
+                    for &f in VmcsField::ALL {
+                        if f.writable() {
+                            last = hv.l1_exec(GuestInstr::Vmwrite(f.encoding(), vmcs12.read(f)));
+                        }
+                    }
+                    last
+                }
+                InitStep::StageMsrArea => {
+                    hv.l1_stage_msr_area(MSR_AREA_GPA, msr_area.clone());
+                    L1Result::Ok(0)
+                }
+                InitStep::Launch => hv.l1_exec(GuestInstr::Vmlaunch),
+                InitStep::StageVmcb => {
+                    hv.l1_stage_vmcb(VMCB12_GPA, *vmcb12);
+                    L1Result::Ok(0)
+                }
+                InitStep::Vmrun(addr) => hv.l1_exec(GuestInstr::Vmrun(addr)),
+            };
+            match result {
+                L1Result::L2Entered { runnable } => l2_live = runnable,
+                L1Result::HostDead => {
+                    return InitOutcome {
+                        l2_live: false,
+                        host_dead: true,
+                    }
+                }
+                _ => {}
+            }
+        }
+        InitOutcome {
+            l2_live,
+            host_dead: false,
+        }
+    }
+
+    /// Decodes one L2 instruction template from a 4-byte step record
+    /// (selector, two argument bytes, context byte).
+    pub fn decode_l2_instr(&self, step: &[u8]) -> GuestInstr {
+        let sel = step.first().copied().unwrap_or(0);
+        let a = step.get(1).copied().unwrap_or(0);
+        let b = step.get(2).copied().unwrap_or(0);
+        let arg16 = u16::from_le_bytes([a, b]);
+        let arg64 = ((a as u64) << 8 | b as u64) << ((sel as u64 % 8) * 8);
+        match sel % 28 {
+            0 => GuestInstr::Cpuid(a as u32),
+            1 => GuestInstr::Hlt,
+            2 => GuestInstr::In(arg16),
+            3 => GuestInstr::Out(arg16, b as u32),
+            4 => GuestInstr::Rdmsr(ALL_MSRS[a as usize % ALL_MSRS.len()].index()),
+            5 => GuestInstr::Wrmsr(ALL_MSRS[a as usize % ALL_MSRS.len()].index(), arg64),
+            6 => GuestInstr::Rdmsr(arg16 as u32), // raw index: unknown-MSR arms
+            7 => GuestInstr::MovToCr(CrIndex::Cr0, arg64 | Cr0::PE),
+            8 => GuestInstr::MovToCr(CrIndex::Cr3, arg64),
+            9 => GuestInstr::MovToCr(CrIndex::Cr4, arg64),
+            10 => GuestInstr::MovToCr(CrIndex::Cr8, (a & 0xf) as u64),
+            11 => GuestInstr::MovFromCr(CrIndex::Cr3),
+            12 => GuestInstr::MovToDr(a % 8, arg64),
+            13 => GuestInstr::Rdtsc,
+            14 => GuestInstr::Pause,
+            15 => GuestInstr::Rdrand,
+            16 => GuestInstr::Invlpg(arg64),
+            17 => GuestInstr::Wbinvd,
+            18 => GuestInstr::Xsetbv(arg64 & 0x7),
+            19 => GuestInstr::Mwait,
+            20 => GuestInstr::Monitor,
+            21 => GuestInstr::Rdpmc,
+            22 => GuestInstr::Rdseed,
+            23 => GuestInstr::Vmcall,
+            // Nested-nested attempts: VMX/SVM instructions from L2.
+            24 => match self.vendor {
+                CpuVendor::Intel => GuestInstr::Vmxon(arg64 & !0xfff),
+                CpuVendor::Amd => GuestInstr::Vmrun(arg64 & !0xfff),
+            },
+            // Foreign-vendor instruction: #UD -> exception/shutdown exits.
+            25 => match self.vendor {
+                CpuVendor::Intel => GuestInstr::Vmrun(arg64 & !0xfff),
+                CpuVendor::Amd => GuestInstr::Vmxon(arg64 & !0xfff),
+            },
+            // Memory access: EPT-violation / #GP / triple-fault paths.
+            26 => GuestInstr::TouchMemory(arg64),
+            _ => GuestInstr::Nop,
+        }
+    }
+
+    /// Decodes one L1 exit-handler action.
+    pub fn decode_l1_action(&self, step: &[u8]) -> GuestInstr {
+        let sel = step.first().copied().unwrap_or(0);
+        let a = step.get(1).copied().unwrap_or(0);
+        let b = step.get(2).copied().unwrap_or(0);
+        let value = u16::from_le_bytes([a, b]) as u64;
+        let arg64 = || ((a as u64) << 8 | b as u64) << ((sel as u64 % 8) * 8);
+        let resume = || match self.vendor {
+            CpuVendor::Intel => GuestInstr::Vmresume,
+            CpuVendor::Amd => GuestInstr::Vmrun(VMCB12_GPA),
+        };
+        match sel % 16 {
+            0 | 1 | 2 | 3 | 4 => resume(),
+            5 => GuestInstr::Vmread(VmcsField::ALL[a as usize % VmcsField::ALL.len()].encoding()),
+            6 => GuestInstr::Vmwrite(
+                VmcsField::ALL[a as usize % VmcsField::ALL.len()].encoding(),
+                value << (b % 48),
+            ),
+            7 => match self.vendor {
+                CpuVendor::Intel => GuestInstr::Vmlaunch,
+                CpuVendor::Amd => GuestInstr::Vmrun(VMCB12_GPA),
+            },
+            8 => GuestInstr::Rdmsr(ALL_MSRS[a as usize % ALL_MSRS.len()].index()),
+            9 => match self.vendor {
+                // Writes to the VMX capability MSRs #GP from a guest.
+                CpuVendor::Intel => GuestInstr::Wrmsr(0x480 + (a as u32 % 18), value),
+                CpuVendor::Amd => GuestInstr::Vmload(VMCB12_GPA),
+            },
+            10 => match self.vendor {
+                // Raw invept/invvpid types: > 3 exercises the bad-type arms.
+                CpuVendor::Intel => GuestInstr::Invept((a % 6) as u64),
+                CpuVendor::Amd => GuestInstr::Vmsave(VMCB12_GPA),
+            },
+            11 => match self.vendor {
+                CpuVendor::Intel => GuestInstr::Invvpid((a % 6) as u64),
+                CpuVendor::Amd => GuestInstr::Stgi,
+            },
+            12 => match self.vendor {
+                CpuVendor::Intel => GuestInstr::Vmptrst,
+                CpuVendor::Amd => GuestInstr::Clgi,
+            },
+            13 => match self.vendor {
+                // Load a different (zero-initialized) VMCS region, or
+                // tear VMX down entirely.
+                CpuVendor::Intel => {
+                    if a & 1 == 0 {
+                        GuestInstr::Vmptrld(VMCS12_GPA + 0x1000)
+                    } else {
+                        GuestInstr::Vmxoff
+                    }
+                }
+                CpuVendor::Amd => GuestInstr::Vmmcall,
+            },
+            14 => match self.vendor {
+                // Raw (frequently invalid) field encodings.
+                CpuVendor::Intel => {
+                    if a & 1 == 0 {
+                        GuestInstr::Vmread(value as u32)
+                    } else {
+                        GuestInstr::Vmwrite(value as u32, arg64())
+                    }
+                }
+                CpuVendor::Amd => resume(),
+            },
+            _ => GuestInstr::Vmcall,
+        }
+    }
+
+    /// Runs the runtime phase: the tight L2/L1 loop of §4.2. Returns the
+    /// number of VM exits the loop triggered.
+    pub fn run_runtime(
+        &self,
+        hv: &mut dyn L0Hypervisor,
+        runtime_bytes: &[u8],
+        mut l2_live: bool,
+    ) -> u32 {
+        let mut exits = 0;
+        for step in runtime_bytes.chunks(4) {
+            if l2_live {
+                let instr = self.decode_l2_instr(step);
+                match hv.l2_exec(instr) {
+                    L2Result::NoExit => {}
+                    L2Result::HandledByL0 => exits += 1,
+                    L2Result::ReflectedToL1(_) => {
+                        exits += 1;
+                        l2_live = false;
+                    }
+                    L2Result::NoGuest => l2_live = false,
+                    L2Result::HostDead => break,
+                }
+            } else {
+                let action = self.decode_l1_action(step);
+                match hv.l1_exec(action) {
+                    L1Result::L2Entered { runnable } => l2_live = runnable,
+                    L1Result::HostDead => break,
+                    _ => {}
+                }
+            }
+        }
+        exits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_hv::{HvConfig, Vkvm};
+    use nf_silicon::{golden_vmcb, golden_vmcs};
+    use nf_vmx::VmxCapabilities;
+    use nf_x86::FeatureSet;
+
+    fn intel_setup() -> (Vkvm, ExecutionHarness, Vmcs) {
+        let kvm = Vkvm::new(HvConfig::default_for(CpuVendor::Intel));
+        let harness = ExecutionHarness::new(CpuVendor::Intel);
+        let caps = VmxCapabilities::from_features(FeatureSet::default_for(CpuVendor::Intel));
+        let vmcs = golden_vmcs(&caps);
+        (kvm, harness, vmcs)
+    }
+
+    #[test]
+    fn canonical_plan_boots_l2_on_vkvm() {
+        let (mut kvm, harness, vmcs) = intel_setup();
+        let plan = harness.canonical_plan(VmxCapabilities::REVISION);
+        let out = harness.run_init(&mut kvm, &plan, &vmcs, &golden_vmcb(), &MsrArea::new());
+        assert!(out.l2_live, "golden state must reach L2");
+        assert!(!out.host_dead);
+    }
+
+    #[test]
+    fn canonical_amd_plan_boots_l2() {
+        let mut kvm = Vkvm::new(HvConfig::default_for(CpuVendor::Amd));
+        let harness = ExecutionHarness::new(CpuVendor::Amd);
+        let caps = VmxCapabilities::from_features(FeatureSet::default_for(CpuVendor::Intel));
+        let plan = harness.canonical_plan(VmxCapabilities::REVISION);
+        let out = harness.run_init(
+            &mut kvm,
+            &plan,
+            &golden_vmcs(&caps),
+            &golden_vmcb(),
+            &MsrArea::new(),
+        );
+        assert!(out.l2_live);
+    }
+
+    #[test]
+    fn mutated_plans_preserve_structure() {
+        let harness = ExecutionHarness::new(CpuVendor::Intel);
+        let plan = harness.mutated_plan(7, &[0u8; 64]);
+        assert_eq!(plan, harness.canonical_plan(7), "zero bytes = canonical");
+        let mutated = harness.mutated_plan(7, &[0xff; 64]);
+        assert!(!mutated.steps.is_empty());
+        assert!(mutated.steps.len() <= harness.canonical_plan(7).steps.len() + 1);
+    }
+
+    #[test]
+    fn runtime_loop_triggers_exits() {
+        let (mut kvm, harness, vmcs) = intel_setup();
+        let plan = harness.canonical_plan(VmxCapabilities::REVISION);
+        let out = harness.run_init(&mut kvm, &plan, &vmcs, &golden_vmcb(), &MsrArea::new());
+        assert!(out.l2_live);
+        // Step records selecting cpuid (always exits, always reflected).
+        let steps = [0u8, 1, 0, 0, 0, 2, 0, 0];
+        let exits = harness.run_runtime(&mut kvm, &steps, true);
+        assert!(exits >= 1, "cpuid from L2 must exit");
+    }
+
+    #[test]
+    fn l2_decoder_covers_table1_classes() {
+        use nf_silicon::InstrClass;
+        let harness = ExecutionHarness::new(CpuVendor::Intel);
+        let mut classes = std::collections::BTreeSet::new();
+        for sel in 0..=255u8 {
+            let instr = harness.decode_l2_instr(&[sel, 1, 2, 3]);
+            classes.insert(format!("{:?}", instr.class()));
+        }
+        for want in [
+            "VmxInstruction",
+            "PrivilegedRegister",
+            "IoMsr",
+            "Misc",
+            "Plain",
+        ] {
+            assert!(classes.contains(want), "missing class {want}");
+        }
+        let _ = InstrClass::Misc;
+    }
+}

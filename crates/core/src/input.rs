@@ -1,0 +1,128 @@
+//! Partitioning of the 2 KiB fuzz input across the VM generator.
+//!
+//! The agent "partitions and dispatches" the AFL++ input to the three
+//! components (paper §3.2): the VM execution harness mutates execution
+//! order and parameters, the VM state validator consumes the raw VMCS
+//! seed plus mutation directives, and the vCPU configurator consumes the
+//! feature bit-array.
+
+use nf_fuzz::FuzzInput;
+
+/// Byte offsets of the input sections.
+pub mod sections {
+    /// Meta bytes: phase gates, iteration limits.
+    pub const META: usize = 0;
+    /// Meta length.
+    pub const META_LEN: usize = 8;
+    /// Init-phase template mutations (order/argument/repetition).
+    pub const INIT: usize = 8;
+    /// Init section length.
+    pub const INIT_LEN: usize = 64;
+    /// Runtime-phase instruction selection and arguments.
+    pub const RUNTIME: usize = 72;
+    /// Runtime section length (4 bytes per step).
+    pub const RUNTIME_LEN: usize = 320;
+    /// Raw VMCS seed (1000 bytes = the full 8000-bit layout).
+    pub const VMCS_SEED: usize = 392;
+    /// VMCS seed length.
+    pub const VMCS_SEED_LEN: usize = 1000;
+    /// Post-rounding mutation directives (field/bit selection).
+    pub const MUTATE: usize = 1392;
+    /// Mutation directive length.
+    pub const MUTATE_LEN: usize = 28;
+    /// vCPU configuration bit-array.
+    pub const VCPU_CFG: usize = 1420;
+    /// vCPU configuration length.
+    pub const VCPU_CFG_LEN: usize = 8;
+    /// MSR-load-area entries (8 × 12 bytes).
+    pub const MSR_AREA: usize = 1428;
+    /// MSR-area section length.
+    pub const MSR_AREA_LEN: usize = 96;
+}
+
+/// A parsed view of one fuzz input.
+#[derive(Debug, Clone, Copy)]
+pub struct InputView<'a> {
+    input: &'a FuzzInput,
+}
+
+impl<'a> InputView<'a> {
+    /// Wraps a fuzz input.
+    pub fn new(input: &'a FuzzInput) -> Self {
+        InputView { input }
+    }
+
+    /// Meta byte `i`.
+    pub fn meta(&self, i: usize) -> u8 {
+        debug_assert!(i < sections::META_LEN);
+        self.input.bytes[sections::META + i]
+    }
+
+    /// The init-phase mutation bytes.
+    pub fn init_bytes(&self) -> &'a [u8] {
+        self.input.slice(sections::INIT, sections::INIT_LEN)
+    }
+
+    /// The runtime-phase selection bytes.
+    pub fn runtime_bytes(&self) -> &'a [u8] {
+        self.input.slice(sections::RUNTIME, sections::RUNTIME_LEN)
+    }
+
+    /// The raw VMCS seed (also reused as the VMCB seed on AMD).
+    pub fn vmcs_seed(&self) -> &'a [u8] {
+        self.input
+            .slice(sections::VMCS_SEED, sections::VMCS_SEED_LEN)
+    }
+
+    /// The mutation directive bytes.
+    pub fn mutate_bytes(&self) -> &'a [u8] {
+        self.input.slice(sections::MUTATE, sections::MUTATE_LEN)
+    }
+
+    /// The vCPU configuration word.
+    pub fn vcpu_cfg(&self) -> u64 {
+        self.input.u64_at(sections::VCPU_CFG)
+    }
+
+    /// The MSR-area section bytes.
+    pub fn msr_area_bytes(&self) -> &'a [u8] {
+        self.input.slice(sections::MSR_AREA, sections::MSR_AREA_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_fuzz::INPUT_LEN;
+
+    #[test]
+    fn sections_fit_and_do_not_overlap() {
+        use sections::*;
+        let spans = [
+            (META, META_LEN),
+            (INIT, INIT_LEN),
+            (RUNTIME, RUNTIME_LEN),
+            (VMCS_SEED, VMCS_SEED_LEN),
+            (MUTATE, MUTATE_LEN),
+            (VCPU_CFG, VCPU_CFG_LEN),
+            (MSR_AREA, MSR_AREA_LEN),
+        ];
+        for w in spans.windows(2) {
+            assert_eq!(w[0].0 + w[0].1, w[1].0, "sections must be contiguous");
+        }
+        let (last, len) = spans[spans.len() - 1];
+        assert!(last + len <= INPUT_LEN);
+    }
+
+    #[test]
+    fn view_extracts_sections() {
+        let mut input = FuzzInput::zeroed();
+        input.bytes[sections::VMCS_SEED] = 0xaa;
+        input.bytes[sections::VCPU_CFG] = 0x55;
+        let view = InputView::new(&input);
+        assert_eq!(view.vmcs_seed()[0], 0xaa);
+        assert_eq!(view.vcpu_cfg(), 0x55);
+        assert_eq!(view.vmcs_seed().len(), sections::VMCS_SEED_LEN);
+        assert_eq!(view.runtime_bytes().len(), sections::RUNTIME_LEN);
+    }
+}

@@ -1,0 +1,52 @@
+//! NecoFuzz — fuzzing nested virtualization via fuzz-harness VMs.
+//!
+//! This crate is the paper's primary contribution (Ishii, Fukai,
+//! Shinagawa — EuroSys 2026): a fuzzing framework that synthesizes
+//! complete **fuzz-harness VMs** whose internal states sit near the
+//! boundary between valid and invalid, to exercise the nested
+//! virtualization logic of L0 hypervisors.
+//!
+//! The VM generator has three components (paper §3.2):
+//!
+//! - [`harness::ExecutionHarness`] — template-driven initialization and
+//!   exit-triggering runtime phases;
+//! - [`validator::VmStateValidator`] — Bochs-derived rounding to valid
+//!   states, physical-CPU-oracle self-correction, and selective bit
+//!   invalidation;
+//! - [`configurator::VcpuConfigurator`] — vCPU feature bit-array
+//!   exploration through per-hypervisor adapters.
+//!
+//! An [`agent::Agent`] coordinates the AFL++-style engine (`nf-fuzz`),
+//! the harness VM, and the target hypervisor (`nf-hv`), and
+//! [`campaign::run_campaign`] reproduces the paper's virtual-time
+//! experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use necofuzz::campaign::{run_campaign, CampaignConfig};
+//! use nf_hv::Vkvm;
+//! use nf_x86::CpuVendor;
+//!
+//! let cfg = CampaignConfig {
+//!     hours: 1,
+//!     execs_per_hour: 50,
+//!     ..CampaignConfig::necofuzz(CpuVendor::Intel, 1, 0)
+//! };
+//! let result = run_campaign(Box::new(|c| Box::new(Vkvm::new(c))), &cfg);
+//! assert!(result.final_coverage > 0.2);
+//! ```
+
+pub mod agent;
+pub mod campaign;
+pub mod configurator;
+pub mod harness;
+pub mod input;
+pub mod validator;
+
+pub use agent::{Agent, BugFind, ComponentMask};
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult, HourSample, EXECS_PER_HOUR};
+pub use configurator::{HvAdapter, KvmAdapter, VboxAdapter, VcpuConfigurator, XenAdapter};
+pub use harness::{ExecutionHarness, InitPlan, InitStep};
+pub use input::InputView;
+pub use validator::{Correction, OracleVerdict, VmStateValidator};

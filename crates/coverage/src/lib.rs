@@ -1,0 +1,370 @@
+//! Coverage collection for the NecoFuzz reproduction.
+//!
+//! Models the paper's measurement pipeline (§4.1, §5.1): KCOV-style
+//! basic-block traces, mapped to source lines (`addr2line`), restricted
+//! to the nested-virtualization source files, with an AFL++-compatible
+//! bitmap projection for the fuzzer's feedback loop.
+//!
+//! A *block* is a basic block of hypervisor code; each block statically
+//! declares how many `nested.c` source lines it stands for. Line
+//! coverage is span-weighted: `covered lines / total lines`, exactly the
+//! quantity Table 2 reports. Cross-tool set algebra (`A∩B`, `A−B`)
+//! operates on line sets.
+
+use std::collections::BTreeMap;
+
+/// Identifies one instrumented source file (e.g. `vmx/nested.c`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u16);
+
+/// Identifies one instrumented basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// Static description of an instrumented block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDef {
+    /// The block's id (dense, assigned by the map).
+    pub id: BlockId,
+    /// File the block lives in.
+    pub file: FileId,
+    /// First line of the block in the *global* line index space.
+    pub line_start: u32,
+    /// Number of source lines the block spans.
+    pub line_count: u32,
+    /// Human-readable label (function/branch), for reports.
+    pub label: &'static str,
+}
+
+/// The instrumentation registry of one hypervisor build: every file and
+/// block, with the line geometry used by all coverage accounting.
+#[derive(Debug, Default, Clone)]
+pub struct CovMap {
+    files: Vec<(String, u32)>, // (name, total lines)
+    blocks: Vec<BlockDef>,
+    next_line: u32,
+}
+
+impl CovMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        CovMap::default()
+    }
+
+    /// Registers an instrumented source file.
+    pub fn add_file(&mut self, name: impl Into<String>) -> FileId {
+        let id = FileId(self.files.len() as u16);
+        self.files.push((name.into(), 0));
+        id
+    }
+
+    /// Registers a block spanning `line_count` lines of `file`.
+    pub fn add_block(&mut self, file: FileId, line_count: u32, label: &'static str) -> BlockId {
+        assert!(line_count > 0, "a block must span at least one line");
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BlockDef {
+            id,
+            file,
+            line_start: self.next_line,
+            line_count,
+            label,
+        });
+        self.next_line += line_count;
+        self.files[file.0 as usize].1 += line_count;
+        id
+    }
+
+    /// Total instrumented lines in `file`.
+    pub fn file_lines(&self, file: FileId) -> u32 {
+        self.files[file.0 as usize].1
+    }
+
+    /// Name of `file`.
+    pub fn file_name(&self, file: FileId) -> &str {
+        &self.files[file.0 as usize].0
+    }
+
+    /// Total lines across all files.
+    pub fn total_lines(&self) -> u32 {
+        self.next_line
+    }
+
+    /// Number of registered blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Looks up a block definition.
+    pub fn block(&self, id: BlockId) -> &BlockDef {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Iterates all block definitions.
+    pub fn blocks(&self) -> impl Iterator<Item = &BlockDef> {
+        self.blocks.iter()
+    }
+}
+
+/// The basic-block trace of a single execution (one fuzzing iteration).
+///
+/// Hit order is preserved for the AFL edge projection; hit sets feed the
+/// cumulative line accounting.
+#[derive(Debug, Default, Clone)]
+pub struct ExecTrace {
+    order: Vec<BlockId>,
+    seen: BTreeMap<u32, u32>, // block -> hit count
+}
+
+impl ExecTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        ExecTrace::default()
+    }
+
+    /// Records a block hit.
+    pub fn hit(&mut self, id: BlockId) {
+        self.order.push(id);
+        *self.seen.entry(id.0).or_insert(0) += 1;
+    }
+
+    /// Unique blocks hit.
+    pub fn unique_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.seen.keys().map(|&b| BlockId(b))
+    }
+
+    /// Number of hits (including repeats).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if nothing was hit.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Clears the trace for reuse.
+    pub fn clear(&mut self) {
+        self.order.clear();
+        self.seen.clear();
+    }
+
+    /// Projects the trace onto an AFL++-style edge bitmap: each
+    /// (previous, current) block pair hashes to a bitmap byte, which
+    /// saturating-increments — the shared-memory interface the agent
+    /// exposes to the fuzzer (§4.1).
+    pub fn fill_afl_bitmap(&self, bitmap: &mut [u8]) {
+        let size = bitmap.len();
+        if size == 0 {
+            return;
+        }
+        let mut prev: u32 = 0;
+        for &BlockId(cur) in &self.order {
+            let edge =
+                ((prev.wrapping_mul(0x9e37_79b9)) ^ cur.wrapping_mul(0x85eb_ca6b)) as usize % size;
+            bitmap[edge] = bitmap[edge].saturating_add(1);
+            prev = cur.wrapping_shr(1).wrapping_add(cur << 7);
+        }
+    }
+}
+
+/// A set of covered source lines in the global line index space.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LineSet {
+    bits: Vec<u64>,
+}
+
+impl LineSet {
+    /// Creates an empty set sized for `map`.
+    pub fn for_map(map: &CovMap) -> Self {
+        LineSet {
+            bits: vec![0; (map.total_lines() as usize).div_ceil(64)],
+        }
+    }
+
+    fn grow(&mut self, line: u32) {
+        let word = line as usize / 64;
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+    }
+
+    /// Marks every line of `block` covered.
+    pub fn add_block(&mut self, block: &BlockDef) {
+        for line in block.line_start..block.line_start + block.line_count {
+            self.grow(line);
+            self.bits[line as usize / 64] |= 1 << (line % 64);
+        }
+    }
+
+    /// Adds every block of an execution trace.
+    pub fn add_trace(&mut self, map: &CovMap, trace: &ExecTrace) {
+        for id in trace.unique_blocks() {
+            self.add_block(map.block(id));
+        }
+    }
+
+    /// Returns `true` if `line` is covered.
+    pub fn contains(&self, line: u32) -> bool {
+        self.bits
+            .get(line as usize / 64)
+            .is_some_and(|w| w & (1 << (line % 64)) != 0)
+    }
+
+    /// Number of covered lines.
+    pub fn count(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of covered lines belonging to `file`.
+    pub fn count_in(&self, map: &CovMap, file: FileId) -> u32 {
+        map.blocks()
+            .filter(|b| b.file == file)
+            .map(|b| {
+                (b.line_start..b.line_start + b.line_count)
+                    .filter(|&l| self.contains(l))
+                    .count() as u32
+            })
+            .sum()
+    }
+
+    /// Union (`A ∪ B`), in place.
+    pub fn union_with(&mut self, other: &LineSet) {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        for (i, w) in other.bits.iter().enumerate() {
+            self.bits[i] |= w;
+        }
+    }
+
+    /// Intersection (`A ∩ B`), the Table 2 `A∩B` rows.
+    pub fn intersect(&self, other: &LineSet) -> LineSet {
+        let n = self.bits.len().min(other.bits.len());
+        LineSet {
+            bits: (0..n).map(|i| self.bits[i] & other.bits[i]).collect(),
+        }
+    }
+
+    /// Difference (`A − B`), the Table 2 `A-B` rows.
+    pub fn minus(&self, other: &LineSet) -> LineSet {
+        LineSet {
+            bits: self
+                .bits
+                .iter()
+                .enumerate()
+                .map(|(i, w)| w & !other.bits.get(i).copied().unwrap_or(0))
+                .collect(),
+        }
+    }
+
+    /// Coverage fraction over the lines of `file` (0.0..=1.0).
+    pub fn fraction_of(&self, map: &CovMap, file: FileId) -> f64 {
+        let total = map.file_lines(file);
+        if total == 0 {
+            return 0.0;
+        }
+        self.count_in(map, file) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_map() -> (CovMap, FileId, Vec<BlockId>) {
+        let mut map = CovMap::new();
+        let f = map.add_file("vmx/nested.c");
+        let ids = vec![
+            map.add_block(f, 10, "check_a"),
+            map.add_block(f, 5, "check_b"),
+            map.add_block(f, 20, "commit"),
+        ];
+        (map, f, ids)
+    }
+
+    #[test]
+    fn line_geometry() {
+        let (map, f, _) = small_map();
+        assert_eq!(map.total_lines(), 35);
+        assert_eq!(map.file_lines(f), 35);
+        assert_eq!(map.block(BlockId(1)).line_start, 10);
+        assert_eq!(map.block_count(), 3);
+    }
+
+    #[test]
+    fn trace_to_lineset() {
+        let (map, f, ids) = small_map();
+        let mut trace = ExecTrace::new();
+        trace.hit(ids[0]);
+        trace.hit(ids[0]); // repeat hits count once for lines
+        trace.hit(ids[2]);
+        let mut set = LineSet::for_map(&map);
+        set.add_trace(&map, &trace);
+        assert_eq!(set.count(), 30);
+        assert_eq!(set.count_in(&map, f), 30);
+        assert!((set.fraction_of(&map, f) - 30.0 / 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let (map, _, ids) = small_map();
+        let mut a = LineSet::for_map(&map);
+        a.add_block(map.block(ids[0]));
+        a.add_block(map.block(ids[1]));
+        let mut b = LineSet::for_map(&map);
+        b.add_block(map.block(ids[1]));
+        b.add_block(map.block(ids[2]));
+
+        assert_eq!(a.intersect(&b).count(), 5);
+        assert_eq!(a.minus(&b).count(), 10);
+        assert_eq!(b.minus(&a).count(), 20);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 35);
+    }
+
+    #[test]
+    fn multi_file_restriction() {
+        let mut map = CovMap::new();
+        let intel = map.add_file("vmx/nested.c");
+        let amd = map.add_file("svm/nested.c");
+        let bi = map.add_block(intel, 7, "intel_blk");
+        let ba = map.add_block(amd, 3, "amd_blk");
+        let mut set = LineSet::for_map(&map);
+        set.add_block(map.block(bi));
+        set.add_block(map.block(ba));
+        assert_eq!(set.count_in(&map, intel), 7);
+        assert_eq!(set.count_in(&map, amd), 3);
+        assert_eq!(map.file_name(amd), "svm/nested.c");
+    }
+
+    #[test]
+    fn afl_bitmap_projection_deterministic_and_order_sensitive() {
+        let (_, _, ids) = small_map();
+        let mut t1 = ExecTrace::new();
+        t1.hit(ids[0]);
+        t1.hit(ids[1]);
+        let mut t2 = ExecTrace::new();
+        t2.hit(ids[1]);
+        t2.hit(ids[0]);
+
+        let mut b1 = vec![0u8; 1 << 16];
+        let mut b1b = vec![0u8; 1 << 16];
+        let mut b2 = vec![0u8; 1 << 16];
+        t1.fill_afl_bitmap(&mut b1);
+        t1.fill_afl_bitmap(&mut b1b);
+        t2.fill_afl_bitmap(&mut b2);
+        assert_eq!(b1, b1b, "projection must be deterministic");
+        assert_ne!(b1, b2, "edge projection must be order sensitive");
+    }
+
+    #[test]
+    fn empty_trace_clears() {
+        let mut t = ExecTrace::new();
+        assert!(t.is_empty());
+        t.hit(BlockId(0));
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,378 @@
+//! An AFL++-style coverage-guided fuzzing engine.
+//!
+//! The paper extends AFL++ to drive fuzz-harness VMs (§4.1): the fuzzer
+//! produces 2 KiB binary inputs, the agent maps hypervisor coverage onto
+//! a shared-memory bitmap, and new bitmap bytes promote inputs into the
+//! queue. This crate reproduces that loop:
+//!
+//! - [`FuzzInput`] — the 2 KiB input buffer;
+//! - deterministic + havoc mutators (bit flips, arithmetic, block copy,
+//!   splice);
+//! - a queue with energy assignment and a virgin-bitmap novelty test;
+//! - two modes: [`Mode::Guided`] (classic AFL feedback) and
+//!   [`Mode::Unguided`] (black-box breadth-first), the comparison of the
+//!   paper's Table 5.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Size of one fuzzing input (paper §4.1: "2KiB of binary data").
+pub const INPUT_LEN: usize = 2048;
+
+/// Size of the coverage bitmap shared between agent and fuzzer.
+pub const MAP_SIZE: usize = 1 << 16;
+
+/// One fuzzing input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzInput {
+    /// The raw bytes handed to the VM generator.
+    pub bytes: Vec<u8>,
+}
+
+impl FuzzInput {
+    /// An all-zero input.
+    pub fn zeroed() -> Self {
+        FuzzInput {
+            bytes: vec![0; INPUT_LEN],
+        }
+    }
+
+    /// A uniformly random input.
+    pub fn random(rng: &mut SmallRng) -> Self {
+        let mut bytes = vec![0u8; INPUT_LEN];
+        rng.fill(&mut bytes[..]);
+        FuzzInput { bytes }
+    }
+
+    /// Reads a little-endian `u16` at `off` (zero beyond the end).
+    pub fn u16_at(&self, off: usize) -> u16 {
+        let lo = self.bytes.get(off).copied().unwrap_or(0) as u16;
+        let hi = self.bytes.get(off + 1).copied().unwrap_or(0) as u16;
+        lo | (hi << 8)
+    }
+
+    /// Reads a little-endian `u32` at `off`.
+    pub fn u32_at(&self, off: usize) -> u32 {
+        self.u16_at(off) as u32 | ((self.u16_at(off + 2) as u32) << 16)
+    }
+
+    /// Reads a little-endian `u64` at `off`.
+    pub fn u64_at(&self, off: usize) -> u64 {
+        self.u32_at(off) as u64 | ((self.u32_at(off + 4) as u64) << 32)
+    }
+
+    /// Borrows `len` bytes at `off` (clamped to the buffer).
+    pub fn slice(&self, off: usize, len: usize) -> &[u8] {
+        let start = off.min(self.bytes.len());
+        let end = (off + len).min(self.bytes.len());
+        &self.bytes[start..end]
+    }
+}
+
+/// Feedback mode (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Coverage-guided: queue + havoc on interesting inputs.
+    Guided,
+    /// Black-box breadth-first: fresh random inputs every iteration —
+    /// the mode the paper found slightly *better* for this target.
+    Unguided,
+}
+
+/// A queue entry with its energy (number of havoc children per cycle).
+#[derive(Debug, Clone)]
+struct QueueEntry {
+    input: FuzzInput,
+    energy: u32,
+    fuzzed: u32,
+}
+
+/// Execution feedback the agent reports back to the fuzzer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecFeedback {
+    /// The execution produced a crash/anomaly report.
+    pub crashed: bool,
+}
+
+/// The fuzzing engine.
+pub struct Fuzzer {
+    rng: SmallRng,
+    mode: Mode,
+    queue: Vec<QueueEntry>,
+    cursor: usize,
+    virgin: Vec<u8>,
+    execs: u64,
+    crashes: u64,
+    queue_adds: u64,
+}
+
+impl Fuzzer {
+    /// Creates an engine with a deterministic seed.
+    pub fn new(seed: u64, mode: Mode) -> Self {
+        let mut f = Fuzzer {
+            rng: SmallRng::seed_from_u64(seed),
+            mode,
+            queue: Vec::new(),
+            cursor: 0,
+            virgin: vec![0xff; MAP_SIZE],
+            execs: 0,
+            crashes: 0,
+            queue_adds: 0,
+        };
+        // Seed corpus: one zero input and a few random ones.
+        f.queue.push(QueueEntry {
+            input: FuzzInput::zeroed(),
+            energy: 8,
+            fuzzed: 0,
+        });
+        for _ in 0..4 {
+            let input = FuzzInput::random(&mut f.rng);
+            f.queue.push(QueueEntry {
+                input,
+                energy: 8,
+                fuzzed: 0,
+            });
+        }
+        f
+    }
+
+    /// The mode this engine runs in.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Total executions reported so far.
+    pub fn execs(&self) -> u64 {
+        self.execs
+    }
+
+    /// Total crashing executions reported so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Number of inputs promoted into the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Produces the next input to execute.
+    pub fn next_input(&mut self) -> FuzzInput {
+        match self.mode {
+            Mode::Unguided => FuzzInput::random(&mut self.rng),
+            Mode::Guided => {
+                let idx = self.cursor % self.queue.len();
+                let parent = self.queue[idx].input.clone();
+                self.queue[idx].fuzzed += 1;
+                if self.queue[idx].fuzzed >= self.queue[idx].energy {
+                    self.queue[idx].fuzzed = 0;
+                    self.cursor += 1;
+                }
+                self.havoc(parent)
+            }
+        }
+    }
+
+    /// AFL havoc stage: a stack of random small mutations.
+    fn havoc(&mut self, mut input: FuzzInput) -> FuzzInput {
+        let stacking = 1 << self.rng.gen_range(1..6); // 2..32 mutations
+        for _ in 0..stacking {
+            match self.rng.gen_range(0..7) {
+                0 => {
+                    // Single bit flip.
+                    let bit = self.rng.gen_range(0..INPUT_LEN * 8);
+                    input.bytes[bit / 8] ^= 1 << (bit % 8);
+                }
+                1 => {
+                    // Random byte set.
+                    let off = self.rng.gen_range(0..INPUT_LEN);
+                    input.bytes[off] = self.rng.gen();
+                }
+                2 => {
+                    // Interesting value.
+                    let off = self.rng.gen_range(0..INPUT_LEN);
+                    const INTERESTING: [u8; 9] = [0, 1, 2, 3, 0x7f, 0x80, 0xff, 0x40, 0x20];
+                    input.bytes[off] = INTERESTING[self.rng.gen_range(0..INTERESTING.len())];
+                }
+                3 => {
+                    // Arithmetic +-.
+                    let off = self.rng.gen_range(0..INPUT_LEN);
+                    let delta = self.rng.gen_range(1..=35u8);
+                    if self.rng.gen() {
+                        input.bytes[off] = input.bytes[off].wrapping_add(delta);
+                    } else {
+                        input.bytes[off] = input.bytes[off].wrapping_sub(delta);
+                    }
+                }
+                4 => {
+                    // Block copy within the input.
+                    let len = self.rng.gen_range(1..64usize);
+                    let src = self.rng.gen_range(0..INPUT_LEN - len);
+                    let dst = self.rng.gen_range(0..INPUT_LEN - len);
+                    let tmp: Vec<u8> = input.bytes[src..src + len].to_vec();
+                    input.bytes[dst..dst + len].copy_from_slice(&tmp);
+                }
+                5 => {
+                    // Word overwrite with random value.
+                    let off = self.rng.gen_range(0..INPUT_LEN - 8);
+                    let v: u64 = self.rng.gen();
+                    input.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                _ => {
+                    // Splice: copy a block from another queue entry.
+                    if !self.queue.is_empty() {
+                        let other = self.rng.gen_range(0..self.queue.len());
+                        let len = self.rng.gen_range(16..256usize);
+                        let off = self.rng.gen_range(0..INPUT_LEN - len);
+                        let donor: Vec<u8> = self.queue[other].input.bytes[off..off + len].to_vec();
+                        input.bytes[off..off + len].copy_from_slice(&donor);
+                    }
+                }
+            }
+        }
+        input
+    }
+
+    /// Classifies hit counts into AFL buckets.
+    fn bucket(count: u8) -> u8 {
+        match count {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 => 4,
+            4..=7 => 8,
+            8..=15 => 16,
+            16..=31 => 32,
+            32..=127 => 64,
+            _ => 128,
+        }
+    }
+
+    /// Reports an execution's bitmap. Returns `true` when the input
+    /// produced new coverage (and, in guided mode, was queued).
+    pub fn report(&mut self, input: &FuzzInput, bitmap: &[u8], feedback: ExecFeedback) -> bool {
+        self.execs += 1;
+        if feedback.crashed {
+            self.crashes += 1;
+        }
+        let mut new_bits = false;
+        for (i, &b) in bitmap.iter().enumerate().take(MAP_SIZE) {
+            let bucketed = Self::bucket(b);
+            if bucketed & self.virgin[i] != 0 {
+                self.virgin[i] &= !bucketed;
+                new_bits = true;
+            }
+        }
+        if new_bits && self.mode == Mode::Guided {
+            self.queue_adds += 1;
+            self.queue.push(QueueEntry {
+                input: input.clone(),
+                energy: 8,
+                fuzzed: 0,
+            });
+            // Bound queue growth like AFL's culling.
+            if self.queue.len() > 512 {
+                self.queue.drain(0..128);
+                self.cursor = 0;
+            }
+        }
+        new_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Fuzzer::new(7, Mode::Guided);
+        let mut b = Fuzzer::new(7, Mode::Guided);
+        for _ in 0..10 {
+            assert_eq!(a.next_input(), b.next_input());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Fuzzer::new(1, Mode::Unguided);
+        let mut b = Fuzzer::new(2, Mode::Unguided);
+        assert_ne!(a.next_input(), b.next_input());
+    }
+
+    #[test]
+    fn inputs_are_full_length() {
+        let mut f = Fuzzer::new(0, Mode::Guided);
+        for _ in 0..5 {
+            assert_eq!(f.next_input().bytes.len(), INPUT_LEN);
+        }
+    }
+
+    #[test]
+    fn novelty_detection_and_queueing() {
+        let mut f = Fuzzer::new(0, Mode::Guided);
+        let before = f.queue_len();
+        let input = FuzzInput::zeroed();
+        let mut bitmap = vec![0u8; MAP_SIZE];
+        bitmap[42] = 1;
+        assert!(f.report(&input, &bitmap, ExecFeedback::default()));
+        assert_eq!(f.queue_len(), before + 1);
+        // Same bitmap again: no novelty.
+        assert!(!f.report(&input, &bitmap, ExecFeedback::default()));
+        assert_eq!(f.queue_len(), before + 1);
+        // Higher hit bucket on the same edge: novelty again.
+        bitmap[42] = 16;
+        assert!(f.report(&input, &bitmap, ExecFeedback::default()));
+    }
+
+    #[test]
+    fn unguided_mode_never_queues() {
+        let mut f = Fuzzer::new(0, Mode::Unguided);
+        let before = f.queue_len();
+        let mut bitmap = vec![0u8; MAP_SIZE];
+        bitmap[1] = 1;
+        assert!(f.report(&FuzzInput::zeroed(), &bitmap, ExecFeedback::default()));
+        assert_eq!(f.queue_len(), before);
+    }
+
+    #[test]
+    fn crash_accounting() {
+        let mut f = Fuzzer::new(0, Mode::Guided);
+        let bitmap = vec![0u8; MAP_SIZE];
+        f.report(
+            &FuzzInput::zeroed(),
+            &bitmap,
+            ExecFeedback { crashed: true },
+        );
+        f.report(
+            &FuzzInput::zeroed(),
+            &bitmap,
+            ExecFeedback { crashed: false },
+        );
+        assert_eq!(f.crashes(), 1);
+        assert_eq!(f.execs(), 2);
+    }
+
+    #[test]
+    fn accessors_read_little_endian() {
+        let mut input = FuzzInput::zeroed();
+        input.bytes[10..18].copy_from_slice(&0x1122_3344_5566_7788u64.to_le_bytes());
+        assert_eq!(input.u16_at(10), 0x7788);
+        assert_eq!(input.u32_at(10), 0x5566_7788);
+        assert_eq!(input.u64_at(10), 0x1122_3344_5566_7788);
+        // Out-of-range reads return zero.
+        assert_eq!(
+            input.u64_at(INPUT_LEN - 2),
+            input.u16_at(INPUT_LEN - 2) as u64
+        );
+    }
+
+    #[test]
+    fn havoc_preserves_length_and_changes_content() {
+        let mut f = Fuzzer::new(3, Mode::Guided);
+        let base = FuzzInput::zeroed();
+        let child = f.havoc(base.clone());
+        assert_eq!(child.bytes.len(), INPUT_LEN);
+        assert_ne!(child, base, "havoc should change something");
+    }
+}

@@ -1,0 +1,175 @@
+//! The hypervisor-facing API: what a fuzz-harness VM can do to an L0
+//! hypervisor, and what comes back.
+//!
+//! The harness plays both L1 hypervisor and L2 guest (paper §3.3). Every
+//! interaction goes through two calls:
+//!
+//! - [`L0Hypervisor::l1_exec`] — L1 executes an instruction. Sensitive
+//!   instructions trap to L0, which emulates them (this is the nested
+//!   virtualization interface: `vmxon`, `vmwrite`, `vmlaunch`, `vmrun`…).
+//! - [`L0Hypervisor::l2_exec`] — once a nested guest is live, drive it
+//!   with one instruction; silicon decides the exit against VMCS02/VMCB02
+//!   and L0 decides whether to reflect it to L1.
+
+use nf_coverage::{CovMap, ExecTrace, FileId};
+use nf_silicon::{GuestInstr, VmInstrError};
+use nf_x86::{CpuVendor, FeatureSet};
+
+use crate::sanitizer::HostHealth;
+
+/// A vCPU/host configuration produced by the vCPU configurator through a
+/// per-hypervisor adapter (paper §3.5, §4.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HvConfig {
+    /// Which vendor's virtualization the host CPU provides.
+    pub vendor: CpuVendor,
+    /// Enabled hardware-assisted virtualization features (module
+    /// parameters such as `ept=`, `npt=`, `avic=` …).
+    pub features: FeatureSet,
+    /// Whether nested virtualization is exposed to guests at all
+    /// (`kvm-intel.nested=1` analog).
+    pub nested: bool,
+}
+
+impl HvConfig {
+    /// The out-of-the-box configuration for `vendor` with nesting on.
+    pub fn default_for(vendor: CpuVendor) -> Self {
+        HvConfig {
+            vendor,
+            features: FeatureSet::default_for(vendor),
+            nested: true,
+        }
+    }
+}
+
+/// Result of L1 executing one instruction under L0 emulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L1Result {
+    /// Completed; `rflags`-style success, with an optional read value.
+    Ok(u64),
+    /// The emulated VMX instruction failed (`VMfailValid`/`VMfailInvalid`).
+    VmFail(VmInstrError),
+    /// L0 injected a fault into L1 (`#GP`, `#UD`, …).
+    Fault(&'static str),
+    /// A nested VM entry succeeded; L2 is live.
+    L2Entered {
+        /// `false` when the entered L2 cannot make progress (stalled
+        /// activity state) — the host must still stay responsive.
+        runnable: bool,
+    },
+    /// The nested entry failed with a VM-entry-failure exit delivered to
+    /// L1 (Intel reason 33/34, AMD `VMEXIT_INVALID`).
+    L2EntryFailed {
+        /// Raw exit reason / exit code delivered to L1.
+        reason: u32,
+    },
+    /// The host became unable to continue (crash or hang); the agent's
+    /// watchdog will restart it.
+    HostDead,
+}
+
+/// Result of driving the live L2 guest with one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Result {
+    /// No exit: the instruction ran natively inside L2.
+    NoExit,
+    /// L0 handled the exit itself and resumed L2.
+    HandledByL0,
+    /// L0 reflected the exit to L1 (raw reason / exit code); the harness
+    /// is now executing its L1 exit handler.
+    ReflectedToL1(u32),
+    /// There is no live L2 (entry failed or never attempted).
+    NoGuest,
+    /// The host became unable to continue.
+    HostDead,
+}
+
+/// Host-side ioctl-style operations — the interface Syzkaller fuzzes and
+/// the paper's threat model excludes for NecoFuzz (§3.1, §5.2). Blocks
+/// reachable only through these calls form the coverage residue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoctlOp {
+    /// `KVM_GET_NESTED_STATE` analog (live migration save).
+    GetNestedState,
+    /// `KVM_SET_NESTED_STATE` analog (live migration restore).
+    SetNestedState,
+    /// vCPU teardown / nested state free.
+    FreeNestedState,
+    /// Module load-time hardware setup.
+    HardwareSetup,
+    /// Module unload-time cleanup.
+    HardwareUnsetup,
+}
+
+/// The L0 hypervisor under test.
+pub trait L0Hypervisor {
+    /// Short name, e.g. `"vkvm"`.
+    fn name(&self) -> &'static str;
+
+    /// CPU vendor this instance was booted on.
+    fn vendor(&self) -> CpuVendor;
+
+    /// The active configuration.
+    fn config(&self) -> &HvConfig;
+
+    /// Resets guest-visible state for a fresh fuzz-harness VM boot,
+    /// keeping cumulative coverage. Models the agent relaunching the
+    /// UEFI executor (§4.5).
+    fn reset_guest(&mut self);
+
+    /// Fully reboots the host (watchdog path): clears health state too.
+    fn reboot_host(&mut self);
+
+    /// L1 executes `instr`; L0 traps and emulates if it is sensitive.
+    fn l1_exec(&mut self, instr: GuestInstr) -> L1Result;
+
+    /// Models L1 writing a VMCS region header (revision id) into its own
+    /// memory before `vmptrld` — a plain store, invisible to L0.
+    fn l1_stage_vmcs_region(&mut self, addr: u64, revision: u32);
+
+    /// Models L1 building a VMCB in its own memory before `vmrun`.
+    fn l1_stage_vmcb(&mut self, addr: u64, vmcb: nf_vmx::Vmcb);
+
+    /// Models L1 building an MSR-load/store area in its own memory.
+    fn l1_stage_msr_area(&mut self, addr: u64, area: nf_vmx::MsrArea);
+
+    /// Drives the live L2 guest with `instr`.
+    fn l2_exec(&mut self, instr: GuestInstr) -> L2Result;
+
+    /// Host-side ioctl interface (outside the NecoFuzz threat model).
+    fn host_ioctl(&mut self, op: IoctlOp);
+
+    /// The instrumentation registry.
+    fn coverage_map(&self) -> &CovMap;
+
+    /// Takes (and clears) the block trace of the current execution.
+    fn take_trace(&mut self) -> ExecTrace;
+
+    /// The instrumented file holding Intel nested-virtualization code.
+    fn intel_file(&self) -> FileId;
+
+    /// The instrumented file holding AMD nested-virtualization code,
+    /// if the hypervisor has one.
+    fn amd_file(&self) -> Option<FileId>;
+
+    /// Sanitizer / log / watchdog state.
+    fn health(&self) -> &HostHealth;
+
+    /// Mutable health access for the agent (to drain reports).
+    fn health_mut(&mut self) -> &mut HostHealth;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_vendor() {
+        let c = HvConfig::default_for(CpuVendor::Intel);
+        assert!(c.nested);
+        assert_eq!(c.vendor, CpuVendor::Intel);
+        assert!(c.features.contains(nf_x86::CpuFeature::Vmx));
+        let a = HvConfig::default_for(CpuVendor::Amd);
+        assert!(a.features.contains(nf_x86::CpuFeature::Svm));
+    }
+}

@@ -1,0 +1,79 @@
+//! The L0 hypervisors under test.
+//!
+//! NecoFuzz is evaluated against KVM, Xen, and VirtualBox (paper §5).
+//! This crate provides faithful *models* of the three: from-scratch L0
+//! hypervisors with full nested-virtualization emulation running on the
+//! `nf-silicon` CPU model, instrumented with kcov-style line coverage
+//! restricted to their nested-virtualization source files, and seeded
+//! with the six vulnerabilities of Table 6 (each individually togglable
+//! so regression tests can verify both the vulnerable and fixed
+//! behaviour).
+//!
+//! | Model | Stands in for | Nested files |
+//! |---|---|---|
+//! | [`Vkvm`] | KVM, Linux 6.5 | `vmx/nested.c`, `svm/nested.c` |
+//! | [`Vxen`] | Xen 4.18 | `vmx/vvmx.c`, `svm/nestedsvm.c` |
+//! | [`Vvbox`] | VirtualBox 7.0.12 | `VMXAllTemplate.cpp` (nested part) |
+
+pub mod api;
+pub mod sanitizer;
+pub mod vkvm;
+pub mod vvbox;
+pub mod vxen;
+
+pub use api::{HvConfig, IoctlOp, L0Hypervisor, L1Result, L2Result};
+pub use sanitizer::{CrashKind, CrashReport, HostHealth, LogLine};
+pub use vkvm::Vkvm;
+pub use vvbox::Vvbox;
+pub use vxen::Vxen;
+
+/// Declares an instrumented-block enum: each variant is one basic block
+/// of hypervisor code with a static source-line span.
+///
+/// The generated type offers [`ALL`](#), `idx`, `name`, `total_lines`,
+/// and `register` (which adds every block to a [`nf_coverage::CovMap`]
+/// in declaration order, returning the assigned ids).
+#[macro_export]
+macro_rules! hv_blocks {
+    ($(#[$meta:meta])* $vis:vis enum $name:ident { $($blk:ident = $lines:expr,)+ }) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        $vis enum $name { $($blk),+ }
+
+        impl $name {
+            /// Every block with its line span, in declaration order.
+            $vis const ALL: &'static [($name, u32)] = &[$(($name::$blk, $lines)),+];
+
+            /// Dense index of the block.
+            $vis const fn idx(self) -> usize {
+                self as usize
+            }
+
+            /// Block label, used in coverage reports.
+            $vis const fn name(self) -> &'static str {
+                match self { $($name::$blk => stringify!($blk)),+ }
+            }
+
+            /// Sum of the line spans of all blocks.
+            $vis const fn total_lines() -> u32 {
+                let mut total = 0;
+                let mut i = 0;
+                while i < Self::ALL.len() {
+                    total += Self::ALL[i].1;
+                    i += 1;
+                }
+                total
+            }
+
+            /// Registers every block into `map` under `file`; the result
+            /// is indexed by [`Self::idx`].
+            $vis fn register(
+                map: &mut nf_coverage::CovMap,
+                file: nf_coverage::FileId,
+            ) -> Vec<nf_coverage::BlockId> {
+                Self::ALL.iter().map(|(b, l)| map.add_block(file, *l, b.name())).collect()
+            }
+        }
+    };
+}

@@ -1,0 +1,218 @@
+//! Bug-detection surface of a modeled host kernel.
+//!
+//! The paper's agent detects anomalies through "hypervisor-specific bug
+//! detection mechanisms" (§4.5): KASAN/UBSAN sanitizer reports, kernel
+//! log monitoring for assertion failures and warnings, and a hardware
+//! watchdog for full-host hangs. This module is that surface.
+
+use std::fmt;
+
+/// Kind of anomaly a detector produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// The host kernel crashed (oops/panic/#GP in host context).
+    HostCrash,
+    /// The host stopped making progress; only the watchdog sees this.
+    HostHang,
+    /// Undefined Behaviour Sanitizer report (e.g. array index OOB).
+    Ubsan,
+    /// Kernel Address Sanitizer report (OOB access / use-after-free).
+    Kasan,
+    /// An internal assertion (`BUG()`, `ASSERT()`) fired.
+    AssertFail,
+    /// A kernel warning that the log monitor flags as anomalous.
+    Warning,
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CrashKind::HostCrash => "host crash",
+            CrashKind::HostHang => "host hang",
+            CrashKind::Ubsan => "UBSAN",
+            CrashKind::Kasan => "KASAN",
+            CrashKind::AssertFail => "assertion failure",
+            CrashKind::Warning => "kernel warning",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected anomaly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashReport {
+    /// What detected it.
+    pub kind: CrashKind,
+    /// Stable identifier of the underlying bug (used to deduplicate and
+    /// to match reports against the Table 6 ground truth).
+    pub bug_id: &'static str,
+    /// Free-form diagnostic, mirroring a dmesg excerpt.
+    pub message: String,
+}
+
+/// A line in the modeled kernel log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogLine {
+    /// Severity (0 = emerg .. 7 = debug, Linux convention).
+    pub level: u8,
+    /// Message text.
+    pub text: String,
+}
+
+/// The sanitizer + log + watchdog state of one host kernel instance.
+#[derive(Debug, Default, Clone)]
+pub struct HostHealth {
+    /// Anomalies detected this boot, in order.
+    pub reports: Vec<CrashReport>,
+    /// Kernel log since boot.
+    pub log: Vec<LogLine>,
+    /// Set when the host can no longer run guests (crash or hang).
+    pub dead: bool,
+}
+
+impl HostHealth {
+    /// Creates a healthy host.
+    pub fn new() -> Self {
+        HostHealth::default()
+    }
+
+    /// Records a kernel log line.
+    pub fn printk(&mut self, level: u8, text: impl Into<String>) {
+        self.log.push(LogLine {
+            level,
+            text: text.into(),
+        });
+    }
+
+    /// UBSAN: array-index-out-of-bounds check. Returns `true` (and files
+    /// a report) when `index >= len` — the detector that caught
+    /// CVE-2023-30456.
+    pub fn ubsan_index(&mut self, bug_id: &'static str, index: usize, len: usize) -> bool {
+        if index < len {
+            return false;
+        }
+        let message = format!(
+            "UBSAN: array-index-out-of-bounds: index {index} is out of range for length {len}"
+        );
+        self.printk(2, message.clone());
+        self.reports.push(CrashReport {
+            kind: CrashKind::Ubsan,
+            bug_id,
+            message,
+        });
+        true
+    }
+
+    /// KASAN: flags an out-of-bounds byte access.
+    pub fn kasan_oob(&mut self, bug_id: &'static str, addr: u64, size: usize) {
+        let message = format!("KASAN: slab-out-of-bounds write of size {size} at {addr:#x}");
+        self.printk(2, message.clone());
+        self.reports.push(CrashReport {
+            kind: CrashKind::Kasan,
+            bug_id,
+            message,
+        });
+    }
+
+    /// `BUG_ON`/`ASSERT`-style check: files a report when `cond` is false.
+    /// Returns `true` when the assertion failed.
+    pub fn assert_that(&mut self, bug_id: &'static str, cond: bool, what: &str) -> bool {
+        if cond {
+            return false;
+        }
+        let message = format!("Assertion '{what}' failed");
+        self.printk(1, message.clone());
+        self.reports.push(CrashReport {
+            kind: CrashKind::AssertFail,
+            bug_id,
+            message,
+        });
+        true
+    }
+
+    /// The host took an unrecoverable fault (e.g. #GP on a non-canonical
+    /// MSR value in host context).
+    pub fn host_crash(&mut self, bug_id: &'static str, message: impl Into<String>) {
+        let message = message.into();
+        self.printk(0, message.clone());
+        self.reports.push(CrashReport {
+            kind: CrashKind::HostCrash,
+            bug_id,
+            message,
+        });
+        self.dead = true;
+    }
+
+    /// The watchdog declared the host hung (paper §3.2: hardware watchdog
+    /// plus an in-hypervisor agent).
+    pub fn watchdog_hang(&mut self, bug_id: &'static str, message: impl Into<String>) {
+        let message = message.into();
+        self.printk(0, message.clone());
+        self.reports.push(CrashReport {
+            kind: CrashKind::HostHang,
+            bug_id,
+            message,
+        });
+        self.dead = true;
+    }
+
+    /// A WARN-level anomaly the log monitor picks up.
+    pub fn warn_anomaly(&mut self, bug_id: &'static str, message: impl Into<String>) {
+        let message = message.into();
+        self.printk(4, message.clone());
+        self.reports.push(CrashReport {
+            kind: CrashKind::Warning,
+            bug_id,
+            message,
+        });
+    }
+
+    /// Returns `true` if any anomaly has been detected.
+    pub fn anomalous(&self) -> bool {
+        !self.reports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ubsan_fires_only_out_of_range() {
+        let mut h = HostHealth::new();
+        assert!(!h.ubsan_index("bug-x", 3, 4));
+        assert!(!h.anomalous());
+        assert!(h.ubsan_index("bug-x", 4, 4));
+        assert!(h.anomalous());
+        assert_eq!(h.reports[0].kind, CrashKind::Ubsan);
+        assert!(!h.dead, "UBSAN reports do not kill the host");
+    }
+
+    #[test]
+    fn assertions_and_crashes() {
+        let mut h = HostHealth::new();
+        assert!(!h.assert_that("bug-y", true, "vgif set"));
+        assert!(h.assert_that("bug-y", false, "vgif set"));
+        assert_eq!(h.reports[0].kind, CrashKind::AssertFail);
+
+        h.host_crash("bug-z", "general protection fault");
+        assert!(h.dead);
+    }
+
+    #[test]
+    fn watchdog_marks_host_dead() {
+        let mut h = HostHealth::new();
+        h.watchdog_hang("bug-w", "no forward progress");
+        assert!(h.dead);
+        assert_eq!(h.reports[0].kind, CrashKind::HostHang);
+    }
+
+    #[test]
+    fn log_accumulates() {
+        let mut h = HostHealth::new();
+        h.printk(6, "kvm: nested vmxon");
+        h.kasan_oob("bug-k", 0xdead, 8);
+        assert_eq!(h.log.len(), 2);
+        assert_eq!(h.reports.len(), 1);
+    }
+}

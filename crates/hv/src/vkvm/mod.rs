@@ -1,0 +1,476 @@
+//! vkvm — the KVM (Linux 6.5) model.
+//!
+//! A from-scratch L0 hypervisor with full nested VMX and nested SVM
+//! emulation, mirroring the structure of
+//! `arch/x86/kvm/{vmx,svm}/nested.c`: VMX-instruction emulation for L1,
+//! the three-group consistency checks on VMCS12, `prepare_vmcs02`-style
+//! merging, nested VM-exit reflection, and the host-only ioctl surface.
+//!
+//! Two of the paper's six bugs are seeded here (Table 6 rows 1 and 3):
+//!
+//! - **CVE-2023-30456** — missing IA-32e/`CR4.PAE` consistency check on
+//!   VMCS12 combined with a literal interpretation of `CR4.PAE` in the
+//!   shadow-paging path; triggers a UBSAN array-index-out-of-bounds when
+//!   EPT is disabled by module parameter.
+//! - **Spurious triple fault** — an invalid-but-well-formed EPTP/nCR3
+//!   root fails `mmu_check_root()` and vkvm wrongly synthesizes a
+//!   triple-fault exit to L1 although L2 never ran (fixed upstream by
+//!   loading a dummy root backed by the zero page).
+
+mod blocks;
+mod svm_nested;
+mod vmx_nested;
+
+pub use blocks::{ABlk, IBlk};
+
+use std::collections::BTreeMap;
+
+use nf_coverage::{BlockId, CovMap, ExecTrace, FileId};
+use nf_silicon::GuestInstr;
+use nf_vmx::{MsrArea, Vmcb, Vmcs, VmxCapabilities};
+use nf_x86::{CpuVendor, Efer, FeatureSet, Msr};
+
+use crate::api::{HvConfig, IoctlOp, L0Hypervisor, L1Result, L2Result};
+use crate::sanitizer::HostHealth;
+
+/// Guest-physical memory size of the L1 VM; roots beyond this limit fail
+/// `mmu_check_root()`.
+pub const GUEST_MEM_LIMIT: u64 = 0x2000_0000;
+
+/// Seeded-bug switches; `false` means the vulnerable (as-evaluated) code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VkvmBugs {
+    /// Apply the CVE-2023-30456 fix (commit 112e660: add the missing
+    /// CR0/CR4 consistency checks).
+    pub cve_2023_30456_fixed: bool,
+    /// Apply the dummy-root fix (commit 0e3223d8d).
+    pub dummy_root_fixed: bool,
+}
+
+/// The KVM model.
+pub struct Vkvm {
+    config: HvConfig,
+    /// Capabilities exposed to L1 (module-parameter filtered).
+    pub(crate) exposed_caps: VmxCapabilities,
+    /// Capabilities of the physical CPU underneath.
+    pub(crate) hw_caps: VmxCapabilities,
+    /// Bug switches.
+    pub bugs: VkvmBugs,
+
+    map: CovMap,
+    intel_file: FileId,
+    amd_file: FileId,
+    pub(crate) ib: Vec<BlockId>,
+    pub(crate) ab: Vec<BlockId>,
+    pub(crate) trace: ExecTrace,
+    pub(crate) health: HostHealth,
+
+    // --- L1 vCPU state (the guest-visible registers L0 tracks).
+    pub(crate) l1_cr0: u64,
+    pub(crate) l1_cr4: u64,
+    pub(crate) l1_efer: u64,
+
+    // --- Nested VMX state.
+    pub(crate) vmxon_region: Option<u64>,
+    pub(crate) vmcs12_mem: BTreeMap<u64, Vmcs>,
+    pub(crate) current_vmptr: Option<u64>,
+    pub(crate) msr_area_mem: BTreeMap<u64, MsrArea>,
+    pub(crate) vmcs02: Option<Vmcs>,
+    pub(crate) in_l2: bool,
+
+    // --- Nested SVM state.
+    pub(crate) gif: bool,
+    pub(crate) vmcb12_mem: BTreeMap<u64, Vmcb>,
+    pub(crate) current_vmcb: Option<u64>,
+    pub(crate) vmcb02: Option<Vmcb>,
+
+    // --- Fault injection (tests only): next allocation fails.
+    pub(crate) fail_next_alloc: bool,
+}
+
+impl Vkvm {
+    /// Boots a vkvm host with `config`.
+    pub fn new(config: HvConfig) -> Self {
+        let mut map = CovMap::new();
+        let intel_file = map.add_file("arch/x86/kvm/vmx/nested.c");
+        let amd_file = map.add_file("arch/x86/kvm/svm/nested.c");
+        let ib = IBlk::register(&mut map, intel_file);
+        let ab = ABlk::register(&mut map, amd_file);
+        let exposed = config.features.sanitized(config.vendor);
+        Vkvm {
+            exposed_caps: VmxCapabilities::from_features(exposed),
+            hw_caps: VmxCapabilities::from_features(FeatureSet::full(config.vendor)),
+            bugs: VkvmBugs::default(),
+            map,
+            intel_file,
+            amd_file,
+            ib,
+            ab,
+            trace: ExecTrace::new(),
+            health: HostHealth::new(),
+            l1_cr0: nf_x86::Cr0::PE | nf_x86::Cr0::PG | nf_x86::Cr0::NE,
+            l1_cr4: nf_x86::Cr4::PAE,
+            l1_efer: Efer::LME | Efer::LMA,
+            vmxon_region: None,
+            vmcs12_mem: BTreeMap::new(),
+            current_vmptr: None,
+            msr_area_mem: BTreeMap::new(),
+            vmcs02: None,
+            in_l2: false,
+            gif: true,
+            vmcb12_mem: BTreeMap::new(),
+            current_vmcb: None,
+            vmcb02: None,
+            config,
+            fail_next_alloc: false,
+        }
+    }
+
+    /// Hits an Intel nested.c block.
+    pub(crate) fn cov_i(&mut self, b: IBlk) {
+        self.trace.hit(self.ib[b.idx()]);
+    }
+
+    /// Hits an AMD nested.c block.
+    pub(crate) fn cov_a(&mut self, b: ABlk) {
+        self.trace.hit(self.ab[b.idx()]);
+    }
+
+    /// Whether nested virtualization is exposed at all (module param).
+    pub(crate) fn nested_on(&self) -> bool {
+        self.config.nested
+            && match self.config.vendor {
+                CpuVendor::Intel => self.config.features.contains(nf_x86::CpuFeature::Vmx),
+                CpuVendor::Amd => self.config.features.contains(nf_x86::CpuFeature::Svm),
+            }
+    }
+
+    /// Fault injection: the next nested-state allocation fails, covering
+    /// the allocation-failure arm (rare-path testing, §5.2).
+    pub fn inject_alloc_failure(&mut self) {
+        self.fail_next_alloc = true;
+    }
+
+    /// The capability surface exposed to L1 (module-parameter filtered).
+    pub fn exposed_capabilities(&self) -> &VmxCapabilities {
+        &self.exposed_caps
+    }
+
+    /// Emulates an L1 `rdmsr` of the nested capability MSRs
+    /// (`vmx_get_vmx_msr` analog). Non-VMX MSRs live outside nested.c.
+    fn nested_vmx_msr_read(&mut self, index: u32) -> L1Result {
+        self.cov_i(IBlk::NestedVmxMsrRead);
+        let caps = &self.exposed_caps;
+        let value = match index {
+            x if x == Msr::VmxBasic.index() => caps.revision_id as u64,
+            x if x == Msr::VmxPinbasedCtls.index() || x == Msr::VmxTruePinbasedCtls.index() => {
+                let (a0, a1) = caps.allowed(nf_vmx::CtrlKind::PinBased);
+                (a0 as u64) | ((a1 as u64) << 32)
+            }
+            x if x == Msr::VmxProcbasedCtls.index() || x == Msr::VmxTrueProcbasedCtls.index() => {
+                let (a0, a1) = caps.allowed(nf_vmx::CtrlKind::ProcBased);
+                (a0 as u64) | ((a1 as u64) << 32)
+            }
+            x if x == Msr::VmxProcbasedCtls2.index() => {
+                let (a0, a1) = caps.allowed(nf_vmx::CtrlKind::ProcBased2);
+                (a0 as u64) | ((a1 as u64) << 32)
+            }
+            x if x == Msr::VmxExitCtls.index() || x == Msr::VmxTrueExitCtls.index() => {
+                let (a0, a1) = caps.allowed(nf_vmx::CtrlKind::Exit);
+                (a0 as u64) | ((a1 as u64) << 32)
+            }
+            x if x == Msr::VmxEntryCtls.index() || x == Msr::VmxTrueEntryCtls.index() => {
+                let (a0, a1) = caps.allowed(nf_vmx::CtrlKind::Entry);
+                (a0 as u64) | ((a1 as u64) << 32)
+            }
+            x if x == Msr::VmxCr0Fixed0.index() => caps.cr0_fixed0(false),
+            x if x == Msr::VmxCr0Fixed1.index() => caps.cr0_fixed1(),
+            x if x == Msr::VmxCr4Fixed0.index() => caps.cr4_fixed0(),
+            x if x == Msr::VmxCr4Fixed1.index() => caps.cr4_fixed1(),
+            _ => 0,
+        };
+        L1Result::Ok(value)
+    }
+}
+
+impl L0Hypervisor for Vkvm {
+    fn name(&self) -> &'static str {
+        "vkvm"
+    }
+
+    fn vendor(&self) -> CpuVendor {
+        self.config.vendor
+    }
+
+    fn config(&self) -> &HvConfig {
+        &self.config
+    }
+
+    fn reset_guest(&mut self) {
+        self.l1_cr0 = nf_x86::Cr0::PE | nf_x86::Cr0::PG | nf_x86::Cr0::NE;
+        self.l1_cr4 = nf_x86::Cr4::PAE;
+        self.l1_efer = Efer::LME | Efer::LMA;
+        self.vmxon_region = None;
+        self.vmcs12_mem.clear();
+        self.current_vmptr = None;
+        self.msr_area_mem.clear();
+        self.vmcs02 = None;
+        self.in_l2 = false;
+        self.gif = true;
+        self.vmcb12_mem.clear();
+        self.current_vmcb = None;
+        self.vmcb02 = None;
+    }
+
+    fn reboot_host(&mut self) {
+        self.reset_guest();
+        self.health = HostHealth::new();
+    }
+
+    fn l1_exec(&mut self, instr: GuestInstr) -> L1Result {
+        if self.health.dead {
+            return L1Result::HostDead;
+        }
+        use GuestInstr::*;
+        match (self.config.vendor, instr) {
+            // --- Intel VMX emulation (vmx/nested.c).
+            (CpuVendor::Intel, Vmxon(addr)) => self.handle_vmxon(addr),
+            (CpuVendor::Intel, Vmxoff) => self.handle_vmxoff(),
+            (CpuVendor::Intel, Vmclear(addr)) => self.handle_vmclear(addr),
+            (CpuVendor::Intel, Vmptrld(addr)) => self.handle_vmptrld(addr),
+            (CpuVendor::Intel, Vmptrst) => {
+                self.cov_i(IBlk::HandleVmptrst);
+                L1Result::Ok(self.current_vmptr.unwrap_or(u64::MAX))
+            }
+            (CpuVendor::Intel, Vmread(enc)) => self.handle_vmread(enc),
+            (CpuVendor::Intel, Vmwrite(enc, val)) => self.handle_vmwrite(enc, val),
+            (CpuVendor::Intel, Vmlaunch) => self.nested_vmx_run(true),
+            (CpuVendor::Intel, Vmresume) => self.nested_vmx_run(false),
+            (CpuVendor::Intel, Vmcall) => {
+                self.cov_i(IBlk::HandleVmcallL1);
+                L1Result::Ok(0)
+            }
+            (CpuVendor::Intel, Invept(t)) => self.handle_invept(t),
+            (CpuVendor::Intel, Invvpid(t)) => self.handle_invvpid(t),
+            (CpuVendor::Intel, Rdmsr(idx))
+                if (Msr::VmxBasic.index()..=Msr::VmxVmfunc.index()).contains(&idx) =>
+            {
+                self.nested_vmx_msr_read(idx)
+            }
+            (CpuVendor::Intel, Wrmsr(idx, _))
+                if (Msr::VmxBasic.index()..=Msr::VmxVmfunc.index()).contains(&idx) =>
+            {
+                self.cov_i(IBlk::NestedVmxMsrWrite);
+                L1Result::Fault("#GP")
+            }
+            // SVM instructions on Intel hardware are undefined opcodes.
+            (CpuVendor::Intel, Vmrun(_) | Vmload(_) | Vmsave(_) | Stgi | Clgi | Skinit) => {
+                L1Result::Fault("#UD")
+            }
+
+            // --- AMD SVM emulation (svm/nested.c).
+            (CpuVendor::Amd, Vmrun(addr)) => self.nested_svm_run(addr),
+            (CpuVendor::Amd, Vmload(addr)) => self.handle_vmload(addr),
+            (CpuVendor::Amd, Vmsave(addr)) => self.handle_vmsave(addr),
+            (CpuVendor::Amd, Stgi) => {
+                self.cov_a(ABlk::HandleStgiClgi);
+                self.gif = true;
+                L1Result::Ok(0)
+            }
+            (CpuVendor::Amd, Clgi) => {
+                self.cov_a(ABlk::HandleStgiClgi);
+                self.gif = false;
+                L1Result::Ok(0)
+            }
+            (CpuVendor::Amd, Vmmcall) => {
+                self.cov_a(ABlk::HandleVmmcall);
+                L1Result::Ok(0)
+            }
+            (CpuVendor::Amd, Skinit) => L1Result::Fault("#UD"),
+            // VMX instructions on AMD hardware are undefined opcodes.
+            (
+                CpuVendor::Amd,
+                Vmxon(_) | Vmxoff | Vmclear(_) | Vmptrld(_) | Vmptrst | Vmread(_) | Vmwrite(..)
+                | Vmlaunch | Vmresume | Invept(_) | Invvpid(_),
+            ) => L1Result::Fault("#UD"),
+
+            // --- Vendor-neutral L1 state updates (handled in vmx.c/svm.c,
+            // outside the instrumented nested files).
+            (_, MovToCr(nf_silicon::CrIndex::Cr0, v)) => {
+                self.l1_cr0 = v;
+                L1Result::Ok(0)
+            }
+            (_, MovToCr(nf_silicon::CrIndex::Cr4, v)) => {
+                self.l1_cr4 = v;
+                L1Result::Ok(0)
+            }
+            (_, MovFromCr(nf_silicon::CrIndex::Cr0)) => L1Result::Ok(self.l1_cr0),
+            (_, MovFromCr(nf_silicon::CrIndex::Cr4)) => L1Result::Ok(self.l1_cr4),
+            (_, Wrmsr(idx, v)) if idx == Msr::Efer.index() => {
+                if Efer::new(v).check_reserved().is_err() {
+                    return L1Result::Fault("#GP");
+                }
+                self.l1_efer = v;
+                L1Result::Ok(0)
+            }
+            (_, Rdmsr(idx)) if idx == Msr::Efer.index() => L1Result::Ok(self.l1_efer),
+            // Everything else executes without touching nested code.
+            _ => L1Result::Ok(0),
+        }
+    }
+
+    fn l2_exec(&mut self, instr: GuestInstr) -> L2Result {
+        if self.health.dead {
+            return L2Result::HostDead;
+        }
+        if !self.in_l2 {
+            return L2Result::NoGuest;
+        }
+        match self.config.vendor {
+            CpuVendor::Intel => self.l2_exec_vmx(instr),
+            CpuVendor::Amd => self.l2_exec_svm(instr),
+        }
+    }
+
+    fn l1_stage_vmcs_region(&mut self, addr: u64, revision: u32) {
+        let vmcs = self.vmcs12_mem.entry(addr).or_insert_with(Vmcs::new);
+        vmcs.revision_id = revision;
+    }
+
+    fn l1_stage_vmcb(&mut self, addr: u64, vmcb: Vmcb) {
+        self.vmcb12_mem.insert(addr, vmcb);
+    }
+
+    fn l1_stage_msr_area(&mut self, addr: u64, area: MsrArea) {
+        self.msr_area_mem.insert(addr, area);
+    }
+
+    fn host_ioctl(&mut self, op: IoctlOp) {
+        match (self.config.vendor, op) {
+            (CpuVendor::Intel, IoctlOp::GetNestedState) => self.cov_i(IBlk::IoctlGetNested),
+            (CpuVendor::Intel, IoctlOp::SetNestedState) => self.cov_i(IBlk::IoctlSetNested),
+            (CpuVendor::Intel, IoctlOp::FreeNestedState) => self.cov_i(IBlk::IoctlFreeNested),
+            (CpuVendor::Intel, IoctlOp::HardwareSetup) => self.cov_i(IBlk::HwSetup),
+            (CpuVendor::Intel, IoctlOp::HardwareUnsetup) => self.cov_i(IBlk::HwUnsetup),
+            (CpuVendor::Amd, IoctlOp::GetNestedState | IoctlOp::SetNestedState) => {
+                self.cov_a(ABlk::IoctlNestedAmd)
+            }
+            (CpuVendor::Amd, IoctlOp::HardwareSetup | IoctlOp::HardwareUnsetup) => {
+                self.cov_a(ABlk::HwSetupAmd)
+            }
+            (CpuVendor::Amd, IoctlOp::FreeNestedState) => self.cov_a(ABlk::IoctlNestedAmd),
+        }
+    }
+
+    fn coverage_map(&self) -> &CovMap {
+        &self.map
+    }
+
+    fn take_trace(&mut self) -> ExecTrace {
+        std::mem::take(&mut self.trace)
+    }
+
+    fn intel_file(&self) -> FileId {
+        self.intel_file
+    }
+
+    fn amd_file(&self) -> Option<FileId> {
+        Some(self.amd_file)
+    }
+
+    fn health(&self) -> &HostHealth {
+        &self.health
+    }
+
+    fn health_mut(&mut self) -> &mut HostHealth {
+        &mut self.health
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_silicon::{golden_vmcs, VmInstrError};
+
+    fn intel_kvm() -> Vkvm {
+        Vkvm::new(HvConfig::default_for(CpuVendor::Intel))
+    }
+
+    #[test]
+    fn vmxon_requires_cr4_vmxe() {
+        let mut kvm = intel_kvm();
+        kvm.l1_cr4 = nf_x86::Cr4::PAE; // VMXE clear
+        assert_eq!(
+            kvm.l1_exec(GuestInstr::Vmxon(0x1000)),
+            L1Result::Fault("#UD")
+        );
+        kvm.l1_cr4 |= nf_x86::Cr4::VMXE;
+        assert_eq!(kvm.l1_exec(GuestInstr::Vmxon(0x1000)), L1Result::Ok(0));
+    }
+
+    #[test]
+    fn nested_disabled_blocks_vmxon() {
+        let mut cfg = HvConfig::default_for(CpuVendor::Intel);
+        cfg.nested = false;
+        let mut kvm = Vkvm::new(cfg);
+        kvm.l1_cr4 |= nf_x86::Cr4::VMXE;
+        assert_eq!(
+            kvm.l1_exec(GuestInstr::Vmxon(0x1000)),
+            L1Result::Fault("#UD")
+        );
+    }
+
+    #[test]
+    fn full_init_sequence_reaches_l2() {
+        let mut kvm = intel_kvm();
+        kvm.l1_cr4 |= nf_x86::Cr4::VMXE;
+        assert_eq!(kvm.l1_exec(GuestInstr::Vmxon(0x1000)), L1Result::Ok(0));
+        assert_eq!(kvm.l1_exec(GuestInstr::Vmclear(0x2000)), L1Result::Ok(0));
+        kvm.l1_stage_vmcs_region(0x2000, kvm.exposed_caps.revision_id);
+        assert_eq!(kvm.l1_exec(GuestInstr::Vmptrld(0x2000)), L1Result::Ok(0));
+        // Write a golden VMCS12 field by field, as the harness does.
+        let golden = golden_vmcs(&kvm.exposed_caps);
+        for &f in nf_vmx::VmcsField::ALL {
+            if f.writable() {
+                let r = kvm.l1_exec(GuestInstr::Vmwrite(f.encoding(), golden.read(f)));
+                assert_eq!(r, L1Result::Ok(0), "{}", f.name());
+            }
+        }
+        match kvm.l1_exec(GuestInstr::Vmlaunch) {
+            L1Result::L2Entered { runnable } => assert!(runnable),
+            other => panic!("expected L2 entry, got {other:?}"),
+        }
+        assert!(kvm.in_l2);
+    }
+
+    #[test]
+    fn vmlaunch_without_vmptrld_vmfails() {
+        let mut kvm = intel_kvm();
+        kvm.l1_cr4 |= nf_x86::Cr4::VMXE;
+        assert_eq!(kvm.l1_exec(GuestInstr::Vmxon(0x1000)), L1Result::Ok(0));
+        assert_eq!(
+            kvm.l1_exec(GuestInstr::Vmlaunch),
+            L1Result::VmFail(VmInstrError::FailInvalid)
+        );
+    }
+
+    #[test]
+    fn vmx_capability_msr_reads_hit_nested_code() {
+        let mut kvm = intel_kvm();
+        let r = kvm.l1_exec(GuestInstr::Rdmsr(Msr::VmxBasic.index()));
+        assert_eq!(r, L1Result::Ok(VmxCapabilities::REVISION as u64));
+        let trace = kvm.take_trace();
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn ioctl_surface_covers_host_only_blocks() {
+        let mut kvm = intel_kvm();
+        kvm.host_ioctl(IoctlOp::GetNestedState);
+        kvm.host_ioctl(IoctlOp::SetNestedState);
+        let trace = kvm.take_trace();
+        let mut set = nf_coverage::LineSet::for_map(kvm.coverage_map());
+        set.add_trace(kvm.coverage_map(), &trace);
+        assert_eq!(set.count(), 48 + 60);
+    }
+}

@@ -1,0 +1,306 @@
+//! Exit decision: does an instruction executed in non-root mode cause a
+//! VM exit, and with which reason?
+//!
+//! This is the hardware half of Table 1. The L0 hypervisor consults it to
+//! learn which exits its L2 guest produces (against VMCS02) and which
+//! exits must be *reflected* to L1 (against VMCS12's controls) — the
+//! dispatch decision at the heart of `nested.c`.
+
+use crate::instr::{CrIndex, GuestInstr};
+use nf_vmx::controls::{proc, proc2};
+use nf_vmx::vmcb::intercept;
+use nf_vmx::{ExitReason, SvmExitCode, Vmcb, Vmcs, VmcsField};
+use nf_x86::Msr;
+
+/// Effective secondary controls of a VMCS.
+fn secondary(vmcs: &Vmcs) -> u32 {
+    if vmcs.read(VmcsField::CpuBasedVmExecControl) as u32 & proc::SECONDARY_CONTROLS != 0 {
+        vmcs.read(VmcsField::SecondaryVmExecControl) as u32
+    } else {
+        0
+    }
+}
+
+/// MSRs that hypervisors conventionally pass through when MSR bitmaps
+/// are active (the typical KVM/Xen bitmap configuration).
+fn msr_passthrough(index: u32) -> bool {
+    matches!(index, i if i == Msr::FsBase.index() || i == Msr::GsBase.index() || i == Msr::Tsc.index())
+}
+
+/// Decides the VM exit an instruction causes under Intel VT-x, given the
+/// controlling VMCS. `None` means the instruction executes natively.
+pub fn vmx_exit_for(instr: GuestInstr, vmcs: &Vmcs) -> Option<ExitReason> {
+    use GuestInstr::*;
+    let procv = vmcs.read(VmcsField::CpuBasedVmExecControl) as u32;
+    let proc2v = secondary(vmcs);
+    let pinv = vmcs.read(VmcsField::PinBasedVmExecControl) as u32;
+    let on = |bit: u32| procv & bit != 0;
+    let on2 = |bit: u32| proc2v & bit != 0;
+    // An expired preemption timer fires before the next instruction.
+    if pinv & nf_vmx::controls::pin::PREEMPTION_TIMER != 0
+        && vmcs.read(VmcsField::VmxPreemptionTimerValue) == 0
+    {
+        return Some(ExitReason::PreemptionTimer);
+    }
+    match instr {
+        // All VMX instructions unconditionally exit in non-root mode.
+        Vmxon(_) => Some(ExitReason::Vmxon),
+        Vmxoff => Some(ExitReason::Vmxoff),
+        Vmclear(_) => Some(ExitReason::Vmclear),
+        Vmptrld(_) => Some(ExitReason::Vmptrld),
+        Vmptrst => Some(ExitReason::Vmptrst),
+        Vmread(_) => Some(ExitReason::Vmread),
+        Vmwrite(..) => Some(ExitReason::Vmwrite),
+        Vmlaunch => Some(ExitReason::Vmlaunch),
+        Vmresume => Some(ExitReason::Vmresume),
+        Vmcall | Vmmcall => Some(ExitReason::Vmcall),
+        Invept(_) => Some(ExitReason::Invept),
+        Invvpid(_) => Some(ExitReason::Invvpid),
+        // SVM instructions on an Intel part raise #UD → exception exit.
+        Vmrun(_) | Vmload(_) | Vmsave(_) | Stgi | Clgi | Skinit => Some(ExitReason::ExceptionNmi),
+
+        MovToCr(CrIndex::Cr0, value) => {
+            let mask = vmcs.read(VmcsField::Cr0GuestHostMask);
+            let shadow = vmcs.read(VmcsField::Cr0ReadShadow);
+            ((value ^ shadow) & mask != 0).then_some(ExitReason::CrAccess)
+        }
+        MovToCr(CrIndex::Cr4, value) => {
+            let mask = vmcs.read(VmcsField::Cr4GuestHostMask);
+            let shadow = vmcs.read(VmcsField::Cr4ReadShadow);
+            ((value ^ shadow) & mask != 0).then_some(ExitReason::CrAccess)
+        }
+        MovToCr(CrIndex::Cr3, value) => {
+            if !on(proc::CR3_LOAD_EXITING) {
+                return None;
+            }
+            // CR3-target values suppress the exit (SDM 25.1.3).
+            let count = vmcs.read(VmcsField::Cr3TargetCount).min(4) as usize;
+            let targets = [
+                VmcsField::Cr3TargetValue0,
+                VmcsField::Cr3TargetValue1,
+                VmcsField::Cr3TargetValue2,
+                VmcsField::Cr3TargetValue3,
+            ];
+            let matched = targets.iter().take(count).any(|&t| vmcs.read(t) == value);
+            (!matched).then_some(ExitReason::CrAccess)
+        }
+        MovToCr(CrIndex::Cr8, _) => on(proc::CR8_LOAD_EXITING).then_some(ExitReason::CrAccess),
+        MovFromCr(CrIndex::Cr3) => on(proc::CR3_STORE_EXITING).then_some(ExitReason::CrAccess),
+        MovFromCr(CrIndex::Cr8) => on(proc::CR8_STORE_EXITING).then_some(ExitReason::CrAccess),
+        MovFromCr(_) => None,
+        MovToDr(..) | MovFromDr(_) => on(proc::MOV_DR_EXITING).then_some(ExitReason::DrAccess),
+
+        In(_) | Out(..) => {
+            // Modeled bitmap contents: all-ones (every port exits), the
+            // configuration every modeled hypervisor programs.
+            (on(proc::UNCOND_IO_EXITING) || on(proc::USE_IO_BITMAPS))
+                .then_some(ExitReason::IoInstruction)
+        }
+        Rdmsr(index) => {
+            if on(proc::USE_MSR_BITMAPS) && msr_passthrough(index) {
+                None
+            } else {
+                Some(ExitReason::Rdmsr)
+            }
+        }
+        Wrmsr(index, _) => {
+            if on(proc::USE_MSR_BITMAPS) && msr_passthrough(index) {
+                None
+            } else {
+                Some(ExitReason::Wrmsr)
+            }
+        }
+
+        Cpuid(_) => Some(ExitReason::Cpuid),
+        Hlt => on(proc::HLT_EXITING).then_some(ExitReason::Hlt),
+        Rdtsc => on(proc::RDTSC_EXITING).then_some(ExitReason::Rdtsc),
+        Rdtscp => on(proc::RDTSC_EXITING).then_some(ExitReason::Rdtscp),
+        Pause => on(proc::PAUSE_EXITING).then_some(ExitReason::Pause),
+        Rdrand => on2(proc2::RDRAND_EXITING).then_some(ExitReason::Rdrand),
+        Rdseed => on2(proc2::RDSEED_EXITING).then_some(ExitReason::Rdseed),
+        Rdpmc => on(proc::RDPMC_EXITING).then_some(ExitReason::Rdpmc),
+        Invlpg(_) => on(proc::INVLPG_EXITING).then_some(ExitReason::Invlpg),
+        Invpcid(_) => on(proc::INVLPG_EXITING).then_some(ExitReason::Invpcid),
+        Wbinvd => on2(proc2::WBINVD_EXITING).then_some(ExitReason::Wbinvd),
+        Monitor => on(proc::MONITOR_EXITING).then_some(ExitReason::Monitor),
+        Mwait => on(proc::MWAIT_EXITING).then_some(ExitReason::Mwait),
+        Xsetbv(_) => Some(ExitReason::Xsetbv),
+        TouchMemory(addr) => {
+            if !nf_x86::addr::VirtAddr(addr).is_canonical() {
+                // #GP on the access: intercepted when the exception
+                // bitmap has the GP bit, otherwise it escalates to a
+                // triple fault in the modeled bare-bones guest.
+                let bitmap = vmcs.read(VmcsField::ExceptionBitmap) as u32;
+                if bitmap & (1 << 13) != 0 {
+                    Some(ExitReason::ExceptionNmi)
+                } else {
+                    Some(ExitReason::TripleFault)
+                }
+            } else if on2(proc2::ENABLE_EPT) && addr >= 0x2000_0000 {
+                Some(ExitReason::EptViolation)
+            } else {
+                None
+            }
+        }
+        Nop => None,
+    }
+}
+
+/// Decides the #VMEXIT an instruction causes under AMD-V, given the
+/// controlling VMCB. `None` means the instruction executes natively.
+pub fn svm_exit_for(instr: GuestInstr, vmcb: &Vmcb) -> Option<SvmExitCode> {
+    use GuestInstr::*;
+    let ic = vmcb.control.intercepts;
+    let on = |bit: u64| ic & bit != 0;
+    match instr {
+        // SVM instructions exit when intercepted; VMRUN must always be.
+        Vmrun(_) => Some(SvmExitCode::Vmrun),
+        Vmmcall | Vmcall => on(intercept::VMMCALL).then_some(SvmExitCode::Vmmcall),
+        Vmload(_) => on(intercept::VMLOAD).then_some(SvmExitCode::Vmload),
+        Vmsave(_) => on(intercept::VMSAVE).then_some(SvmExitCode::Vmsave),
+        Stgi => on(intercept::STGI).then_some(SvmExitCode::Stgi),
+        Clgi => on(intercept::CLGI).then_some(SvmExitCode::Clgi),
+        Skinit => on(intercept::SKINIT).then_some(SvmExitCode::Skinit),
+        // VMX instructions on an AMD part raise #UD → shutdown-free exit.
+        Vmxon(_) | Vmxoff | Vmclear(_) | Vmptrld(_) | Vmptrst | Vmread(_) | Vmwrite(..)
+        | Vmlaunch | Vmresume | Invept(_) | Invvpid(_) => Some(SvmExitCode::Shutdown),
+
+        MovToCr(CrIndex::Cr0, _) => on(intercept::CR0_WRITE).then_some(SvmExitCode::Cr0Write),
+        MovToCr(CrIndex::Cr3, _) => on(intercept::CR3_WRITE).then_some(SvmExitCode::Cr3Write),
+        MovToCr(CrIndex::Cr4, _) => on(intercept::CR4_WRITE).then_some(SvmExitCode::Cr4Write),
+        MovToCr(CrIndex::Cr8, _) => None,
+        MovFromCr(CrIndex::Cr0) => on(intercept::CR0_WRITE).then_some(SvmExitCode::Cr0Read),
+        MovFromCr(_) => None,
+        MovToDr(..) | MovFromDr(_) => None,
+
+        In(_) | Out(..) => on(intercept::IOIO_PROT).then_some(SvmExitCode::Ioio),
+        Rdmsr(index) | Wrmsr(index, _) => {
+            if on(intercept::MSR_PROT) && !msr_passthrough(index) {
+                Some(SvmExitCode::Msr)
+            } else {
+                None
+            }
+        }
+
+        Cpuid(_) => on(intercept::CPUID).then_some(SvmExitCode::Cpuid),
+        Hlt => on(intercept::HLT).then_some(SvmExitCode::Hlt),
+        Invlpg(_) | Invpcid(_) => on(intercept::INVLPG).then_some(SvmExitCode::Invlpg),
+        Rdtsc => on(intercept::RDTSC).then_some(SvmExitCode::Rdtscp),
+        Rdtscp => on(intercept::RDTSC).then_some(SvmExitCode::Rdtscp),
+        Rdpmc => on(intercept::RDPMC).then_some(SvmExitCode::Rdtscp),
+        Pause => on(intercept::PAUSE).then_some(SvmExitCode::Pause),
+        Rdrand | Rdseed | Wbinvd | Monitor | Mwait | Xsetbv(_) | TouchMemory(_) | Nop => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::{golden_vmcb, golden_vmcs};
+    use nf_vmx::VmxCapabilities;
+    use nf_x86::{CpuVendor, FeatureSet};
+
+    fn vmcs() -> Vmcs {
+        golden_vmcs(&VmxCapabilities::from_features(FeatureSet::default_for(
+            CpuVendor::Intel,
+        )))
+    }
+
+    #[test]
+    fn vmx_instructions_always_exit() {
+        let v = vmcs();
+        for instr in [
+            GuestInstr::Vmxon(0x1000),
+            GuestInstr::Vmclear(0x2000),
+            GuestInstr::Vmlaunch,
+            GuestInstr::Vmread(0x6800),
+            GuestInstr::Vmcall,
+        ] {
+            assert!(vmx_exit_for(instr, &v).is_some(), "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn cpuid_always_exits_hlt_conditionally() {
+        let mut v = vmcs();
+        assert_eq!(
+            vmx_exit_for(GuestInstr::Cpuid(0), &v),
+            Some(ExitReason::Cpuid)
+        );
+        assert_eq!(vmx_exit_for(GuestInstr::Hlt, &v), Some(ExitReason::Hlt));
+        let procv = v.read(VmcsField::CpuBasedVmExecControl) & !(proc::HLT_EXITING as u64);
+        v.write(VmcsField::CpuBasedVmExecControl, procv);
+        assert_eq!(vmx_exit_for(GuestInstr::Hlt, &v), None);
+    }
+
+    #[test]
+    fn cr0_exit_depends_on_mask_and_shadow() {
+        let mut v = vmcs();
+        v.write(VmcsField::Cr0GuestHostMask, 0x1); // PE owned by host
+        v.write(VmcsField::Cr0ReadShadow, 0x1);
+        // Writing PE=1 matches the shadow: no exit.
+        assert_eq!(
+            vmx_exit_for(GuestInstr::MovToCr(CrIndex::Cr0, 0x1), &v),
+            None
+        );
+        // Clearing PE differs from the shadow: exit.
+        assert_eq!(
+            vmx_exit_for(GuestInstr::MovToCr(CrIndex::Cr0, 0x0), &v),
+            Some(ExitReason::CrAccess)
+        );
+    }
+
+    #[test]
+    fn cr3_target_values_suppress_exit() {
+        let mut v = vmcs();
+        let procv = v.read(VmcsField::CpuBasedVmExecControl) | proc::CR3_LOAD_EXITING as u64;
+        v.write(VmcsField::CpuBasedVmExecControl, procv);
+        v.write(VmcsField::Cr3TargetCount, 1);
+        v.write(VmcsField::Cr3TargetValue0, 0xabc000);
+        assert_eq!(
+            vmx_exit_for(GuestInstr::MovToCr(CrIndex::Cr3, 0xabc000), &v),
+            None
+        );
+        assert_eq!(
+            vmx_exit_for(GuestInstr::MovToCr(CrIndex::Cr3, 0xdef000), &v),
+            Some(ExitReason::CrAccess)
+        );
+    }
+
+    #[test]
+    fn msr_bitmap_passthrough() {
+        let mut v = vmcs();
+        let procv = v.read(VmcsField::CpuBasedVmExecControl) | proc::USE_MSR_BITMAPS as u64;
+        v.write(VmcsField::CpuBasedVmExecControl, procv);
+        assert_eq!(
+            vmx_exit_for(GuestInstr::Rdmsr(Msr::FsBase.index()), &v),
+            None
+        );
+        assert_eq!(
+            vmx_exit_for(GuestInstr::Rdmsr(Msr::Efer.index()), &v),
+            Some(ExitReason::Rdmsr)
+        );
+    }
+
+    #[test]
+    fn svm_intercept_driven_exits() {
+        let vmcb = golden_vmcb();
+        assert_eq!(
+            svm_exit_for(GuestInstr::Vmrun(0), &vmcb),
+            Some(SvmExitCode::Vmrun)
+        );
+        assert_eq!(
+            svm_exit_for(GuestInstr::Cpuid(0), &vmcb),
+            Some(SvmExitCode::Cpuid)
+        );
+        assert_eq!(svm_exit_for(GuestInstr::Hlt, &vmcb), Some(SvmExitCode::Hlt));
+        assert_eq!(
+            svm_exit_for(GuestInstr::In(0x60), &vmcb),
+            Some(SvmExitCode::Ioio)
+        );
+        assert_eq!(svm_exit_for(GuestInstr::Nop, &vmcb), None);
+        let mut quiet = vmcb;
+        quiet.control.intercepts = intercept::VMRUN;
+        assert_eq!(svm_exit_for(GuestInstr::Cpuid(0), &quiet), None);
+    }
+}

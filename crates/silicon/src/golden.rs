@@ -1,0 +1,196 @@
+//! Golden (known-valid) VM states.
+//!
+//! The golden VMCS/VMCB is the structurally correct 64-bit guest state a
+//! well-behaved hypervisor would construct. The fuzz-harness VM's
+//! templates start from these states, and the validator's rounding pass
+//! falls back to golden values where a field has a single legal shape.
+
+use nf_vmx::controls::{entry as ec, exit as xc, proc, proc2};
+use nf_vmx::vmcb::{intercept, Vmcb};
+use nf_vmx::{CtrlKind, Vmcs, VmcsField, VmxCapabilities};
+use nf_x86::segment::Segment;
+use nf_x86::{Cr0, Cr4, Efer, RFlags, SegReg};
+
+/// A canonical EPT pointer: WB memory type, 4-level walk, page at 16 MiB.
+pub const GOLDEN_EPTP: u64 = 0x0100_0000 | 6 | (3 << 3);
+
+/// Builds a fully valid VMCS for a 64-bit guest under `caps`.
+///
+/// Every field group passes the silicon checks with zero adjustments, so
+/// the state is strictly *inside* the validity boundary — the seeds from
+/// which boundary exploration starts.
+pub fn golden_vmcs(caps: &VmxCapabilities) -> Vmcs {
+    let mut v = Vmcs::new();
+    v.revision_id = caps.revision_id;
+
+    // --- Control fields.
+    v.write(
+        VmcsField::PinBasedVmExecControl,
+        caps.round_control(CtrlKind::PinBased, 0) as u64,
+    );
+    let mut procv = caps.round_control(
+        CtrlKind::ProcBased,
+        proc::HLT_EXITING
+            | proc::USE_MSR_BITMAPS
+            | proc::USE_IO_BITMAPS
+            | proc::MOV_DR_EXITING
+            | proc::MWAIT_EXITING
+            | proc::MONITOR_EXITING
+            | proc::RDPMC_EXITING,
+    );
+    let proc2v = caps.round_control(CtrlKind::ProcBased2, proc2::ENABLE_EPT);
+    if proc2v != 0 {
+        procv = caps.round_control(CtrlKind::ProcBased, procv | proc::SECONDARY_CONTROLS);
+    }
+    v.write(VmcsField::CpuBasedVmExecControl, procv as u64);
+    v.write(VmcsField::SecondaryVmExecControl, proc2v as u64);
+    if proc2v & proc2::ENABLE_EPT != 0 {
+        v.write(VmcsField::EptPointer, GOLDEN_EPTP);
+    }
+    v.write(
+        VmcsField::VmExitControls,
+        caps.round_control(
+            CtrlKind::Exit,
+            xc::HOST_ADDR_SPACE_SIZE | xc::LOAD_EFER | xc::SAVE_EFER | xc::LOAD_PAT | xc::SAVE_PAT,
+        ) as u64,
+    );
+    v.write(
+        VmcsField::VmEntryControls,
+        caps.round_control(
+            CtrlKind::Entry,
+            ec::IA32E_MODE_GUEST | ec::LOAD_EFER | ec::LOAD_PAT,
+        ) as u64,
+    );
+    v.write(VmcsField::VmcsLinkPointer, u64::MAX);
+    v.write(VmcsField::IoBitmapA, 0x0001_0000);
+    v.write(VmcsField::IoBitmapB, 0x0001_1000);
+    v.write(VmcsField::MsrBitmap, 0x0001_2000);
+    // CR bits the hypervisor owns (KVM-style guest/host masks).
+    v.write(VmcsField::Cr0GuestHostMask, Cr0::PE | Cr0::PG | Cr0::NE);
+    v.write(VmcsField::Cr0ReadShadow, Cr0::PE | Cr0::PG | Cr0::NE);
+    v.write(VmcsField::Cr4GuestHostMask, Cr4::VMXE);
+    v.write(VmcsField::Cr4ReadShadow, 0);
+
+    // --- Guest state: flat 64-bit protected mode.
+    v.write(
+        VmcsField::GuestCr0,
+        caps.round_cr0(Cr0::PE | Cr0::PG | Cr0::NE, false),
+    );
+    v.write(VmcsField::GuestCr4, caps.round_cr4(Cr4::PAE));
+    v.write(VmcsField::GuestCr3, 0x0000_3000);
+    v.write(VmcsField::GuestIa32Efer, Efer::LME | Efer::LMA);
+    v.write(VmcsField::GuestIa32Pat, 0x0007_0406_0007_0406);
+    v.write(VmcsField::GuestRflags, RFlags::RESERVED_ONE);
+    v.write(VmcsField::GuestRip, 0x0010_0000);
+    v.write(VmcsField::GuestRsp, 0x0020_0000);
+    v.write(VmcsField::GuestDr7, 0x400);
+    v.set_guest_segment(SegReg::Cs, Segment::flat_code64());
+    for reg in [SegReg::Ss, SegReg::Ds, SegReg::Es, SegReg::Fs, SegReg::Gs] {
+        v.set_guest_segment(reg, Segment::flat_data());
+    }
+    v.set_guest_segment(SegReg::Tr, Segment::busy_tss64());
+    v.set_guest_segment(SegReg::Ldtr, Segment::unusable());
+    v.write(VmcsField::GuestGdtrBase, 0x0000_4000);
+    v.write(VmcsField::GuestGdtrLimit, 0xff);
+    v.write(VmcsField::GuestIdtrBase, 0x0000_5000);
+    v.write(VmcsField::GuestIdtrLimit, 0xfff);
+
+    // --- Host state: the L1 hypervisor's own 64-bit context.
+    v.write(
+        VmcsField::HostCr0,
+        caps.round_cr0(Cr0::PE | Cr0::PG | Cr0::NE | Cr0::WP, false),
+    );
+    v.write(VmcsField::HostCr4, caps.round_cr4(Cr4::PAE));
+    v.write(VmcsField::HostCr3, 0x0000_2000);
+    v.write(VmcsField::HostIa32Efer, Efer::LME | Efer::LMA | Efer::SCE);
+    v.write(VmcsField::HostIa32Pat, 0x0007_0406_0007_0406);
+    v.write(VmcsField::HostCsSelector, 0x08);
+    v.write(VmcsField::HostSsSelector, 0x10);
+    for f in [
+        VmcsField::HostDsSelector,
+        VmcsField::HostEsSelector,
+        VmcsField::HostFsSelector,
+        VmcsField::HostGsSelector,
+    ] {
+        v.write(f, 0x10);
+    }
+    v.write(VmcsField::HostTrSelector, 0x40);
+    v.write(VmcsField::HostRip, 0xffff_8000_0010_0000);
+    v.write(VmcsField::HostRsp, 0xffff_8000_0020_0000);
+    v.write(VmcsField::HostGdtrBase, 0xffff_8000_0000_4000);
+    v.write(VmcsField::HostIdtrBase, 0xffff_8000_0000_5000);
+    v.write(VmcsField::HostTrBase, 0xffff_8000_0000_6000);
+    v
+}
+
+/// Builds a fully valid VMCB for a 64-bit L2 guest.
+pub fn golden_vmcb() -> Vmcb {
+    let mut v = Vmcb::default();
+    v.control.intercepts = intercept::VMRUN
+        | intercept::CPUID
+        | intercept::HLT
+        | intercept::MSR_PROT
+        | intercept::IOIO_PROT
+        | intercept::SHUTDOWN
+        | intercept::VMMCALL;
+    v.control.guest_asid = 1;
+    v.control.np_enable = 1;
+    v.control.ncr3 = 0x0100_0000;
+    v.control.iopm_base_pa = 0x0020_0000;
+    v.control.msrpm_base_pa = 0x0020_3000;
+    v.save.efer = Efer::SVME | Efer::LME | Efer::LMA;
+    v.save.cr0 = Cr0::PE | Cr0::PG | Cr0::NE | Cr0::ET;
+    v.save.cr4 = Cr4::PAE;
+    v.save.cr3 = 0x0000_3000;
+    v.save.rflags = RFlags::RESERVED_ONE;
+    v.save.rip = 0x0010_0000;
+    v.save.rsp = 0x0020_0000;
+    v.save.dr6 = 0xffff_0ff0;
+    v.save.dr7 = 0x400;
+    v.save.g_pat = 0x0007_0406_0007_0406;
+    v.save.cs = Segment::flat_code64();
+    for seg in [
+        &mut v.save.ss,
+        &mut v.save.ds,
+        &mut v.save.es,
+        &mut v.save.fs,
+        &mut v.save.gs,
+    ] {
+        *seg = Segment::flat_data();
+    }
+    v.save.tr = Segment::busy_tss64();
+    v.save.ldtr = Segment::unusable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_x86::{CpuVendor, FeatureSet};
+
+    #[test]
+    fn golden_eptp_is_valid() {
+        assert!(crate::vmentry::eptp_valid(GOLDEN_EPTP));
+    }
+
+    #[test]
+    fn golden_vmcs_without_ept_has_no_secondary_ept() {
+        let mut f = FeatureSet::default_for(CpuVendor::Intel);
+        f.remove(nf_x86::CpuFeature::Ept);
+        f.remove(nf_x86::CpuFeature::UnrestrictedGuest);
+        let caps = VmxCapabilities::from_features(f.sanitized(CpuVendor::Intel));
+        let v = golden_vmcs(&caps);
+        assert_eq!(
+            v.read(VmcsField::SecondaryVmExecControl) as u32 & proc2::ENABLE_EPT,
+            0
+        );
+    }
+
+    #[test]
+    fn golden_vmcb_shape() {
+        let v = golden_vmcb();
+        assert_ne!(v.control.intercepts & intercept::VMRUN, 0);
+        assert_ne!(v.control.guest_asid, 0);
+        assert_ne!(v.save.efer & Efer::SVME, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The guest-instruction model.
+//!
+//! These are the instruction templates of the paper's Table 1: the
+//! exit-triggering instructions the VM execution harness selects and
+//! parameterizes from fuzzing input, wrapped with minimal setup logic.
+//! Both the silicon model (to decide exits) and the hypervisors (to
+//! emulate L1 execution) consume this type.
+
+/// A control register targeted by `mov cr*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrIndex {
+    /// `CR0`.
+    Cr0,
+    /// `CR3`.
+    Cr3,
+    /// `CR4`.
+    Cr4,
+    /// `CR8` (TPR).
+    Cr8,
+}
+
+/// One guest instruction, possibly with operands derived from fuzz input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuestInstr {
+    // --- VMX instructions (Table 1, class "VMX Instructions").
+    /// `vmxon` with the VMXON-region physical address.
+    Vmxon(u64),
+    /// `vmxoff`.
+    Vmxoff,
+    /// `vmclear` with a VMCS physical address.
+    Vmclear(u64),
+    /// `vmptrld` with a VMCS physical address.
+    Vmptrld(u64),
+    /// `vmptrst`.
+    Vmptrst,
+    /// `vmread` of a field encoding.
+    Vmread(u32),
+    /// `vmwrite` of a field encoding with a value.
+    Vmwrite(u32, u64),
+    /// `vmlaunch`.
+    Vmlaunch,
+    /// `vmresume`.
+    Vmresume,
+    /// `vmcall`.
+    Vmcall,
+    /// `invept` with type operand.
+    Invept(u64),
+    /// `invvpid` with type operand.
+    Invvpid(u64),
+    // --- SVM instructions (AMD side of the same class).
+    /// `vmrun` with the VMCB physical address in `rax`.
+    Vmrun(u64),
+    /// `vmload` with the VMCB physical address.
+    Vmload(u64),
+    /// `vmsave` with the VMCB physical address.
+    Vmsave(u64),
+    /// `stgi`.
+    Stgi,
+    /// `clgi`.
+    Clgi,
+    /// `vmmcall`.
+    Vmmcall,
+    /// `skinit`.
+    Skinit,
+    // --- Privileged register access (Table 1, class "Privileged Registers").
+    /// `mov cr, reg` — write `value` into the control register.
+    MovToCr(CrIndex, u64),
+    /// `mov reg, cr` — read a control register.
+    MovFromCr(CrIndex),
+    /// `mov dr, reg` — write a debug register (index 0..=7).
+    MovToDr(u8, u64),
+    /// `mov reg, dr` — read a debug register.
+    MovFromDr(u8),
+    // --- I/O and MSR operations (Table 1, class "I/O and MSR Operations").
+    /// `in` from a port.
+    In(u16),
+    /// `out` to a port with a value.
+    Out(u16, u32),
+    /// `rdmsr` of an MSR index.
+    Rdmsr(u32),
+    /// `wrmsr` of an MSR index with a value.
+    Wrmsr(u32, u64),
+    // --- Miscellaneous intercepted instructions (Table 1, class "Misc").
+    /// `cpuid` with a leaf.
+    Cpuid(u32),
+    /// `hlt`.
+    Hlt,
+    /// `rdtsc`.
+    Rdtsc,
+    /// `rdtscp`.
+    Rdtscp,
+    /// `pause`.
+    Pause,
+    /// `rdrand`.
+    Rdrand,
+    /// `rdseed`.
+    Rdseed,
+    /// `rdpmc`.
+    Rdpmc,
+    /// `invlpg` of a linear address.
+    Invlpg(u64),
+    /// `invpcid` with a type operand.
+    Invpcid(u64),
+    /// `wbinvd`.
+    Wbinvd,
+    /// `monitor`.
+    Monitor,
+    /// `mwait`.
+    Mwait,
+    /// `xsetbv` with a value for `XCR0`.
+    Xsetbv(u64),
+    /// A guest memory access at a linear address (drives EPT-violation,
+    /// #GP, and triple-fault paths).
+    TouchMemory(u64),
+    /// A plain ALU instruction that never exits (noise in the stream).
+    Nop,
+}
+
+/// Instruction classes of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// VMX/SVM instructions, emulated by the L0 hypervisor.
+    VmxInstruction,
+    /// Privileged register access, commonly intercepted.
+    PrivilegedRegister,
+    /// I/O and MSR operations, selectively intercepted via bitmaps.
+    IoMsr,
+    /// Miscellaneous commonly intercepted instructions.
+    Misc,
+    /// Instructions that execute natively without exiting.
+    Plain,
+}
+
+impl GuestInstr {
+    /// Returns the Table 1 class of the instruction.
+    pub const fn class(self) -> InstrClass {
+        use GuestInstr::*;
+        match self {
+            Vmxon(_) | Vmxoff | Vmclear(_) | Vmptrld(_) | Vmptrst | Vmread(_) | Vmwrite(..)
+            | Vmlaunch | Vmresume | Vmcall | Invept(_) | Invvpid(_) | Vmrun(_) | Vmload(_)
+            | Vmsave(_) | Stgi | Clgi | Vmmcall | Skinit => InstrClass::VmxInstruction,
+            MovToCr(..) | MovFromCr(_) | MovToDr(..) | MovFromDr(_) => {
+                InstrClass::PrivilegedRegister
+            }
+            In(_) | Out(..) | Rdmsr(_) | Wrmsr(..) => InstrClass::IoMsr,
+            Cpuid(_) | Hlt | Rdtsc | Rdtscp | Pause | Rdrand | Rdseed | Rdpmc | Invlpg(_)
+            | Invpcid(_) | Wbinvd | Monitor | Mwait | Xsetbv(_) => InstrClass::Misc,
+            TouchMemory(_) | Nop => InstrClass::Plain,
+        }
+    }
+
+    /// Returns `true` if the instruction requires CPL 0.
+    pub const fn privileged(self) -> bool {
+        !matches!(
+            self,
+            GuestInstr::Cpuid(_)
+                | GuestInstr::Pause
+                | GuestInstr::Rdrand
+                | GuestInstr::Rdseed
+                | GuestInstr::Rdtsc
+                | GuestInstr::Nop
+                | GuestInstr::TouchMemory(_)
+                | GuestInstr::Vmcall
+                | GuestInstr::Vmmcall
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_classification() {
+        assert_eq!(GuestInstr::Vmlaunch.class(), InstrClass::VmxInstruction);
+        assert_eq!(GuestInstr::Vmrun(0).class(), InstrClass::VmxInstruction);
+        assert_eq!(
+            GuestInstr::MovToCr(CrIndex::Cr0, 0).class(),
+            InstrClass::PrivilegedRegister
+        );
+        assert_eq!(GuestInstr::In(0x60).class(), InstrClass::IoMsr);
+        assert_eq!(GuestInstr::Rdmsr(0x10).class(), InstrClass::IoMsr);
+        assert_eq!(GuestInstr::Cpuid(0).class(), InstrClass::Misc);
+        assert_eq!(GuestInstr::Nop.class(), InstrClass::Plain);
+    }
+
+    #[test]
+    fn privilege_model() {
+        assert!(GuestInstr::Vmxon(0).privileged());
+        assert!(GuestInstr::Hlt.privileged());
+        assert!(GuestInstr::Wrmsr(0x10, 0).privileged());
+        assert!(!GuestInstr::Cpuid(0).privileged());
+        assert!(!GuestInstr::Pause.privileged());
+    }
+}

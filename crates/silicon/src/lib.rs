@@ -1,0 +1,32 @@
+//! The physical-CPU model ("silicon") for the NecoFuzz reproduction.
+//!
+//! NecoFuzz uses the physical CPU as an **oracle**: generated VM states
+//! are set on the real CPU, a VM entry is attempted, and the result is
+//! compared with the validator's prediction (paper §3.4). This crate is
+//! that CPU: an architectural model of Intel VT-x VM entry (with the
+//! silent-rounding quirks documentation omits), AMD-V `VMRUN`
+//! canonicalization, the per-instruction exit decision of Table 1, and
+//! the root-mode VMX instruction rules.
+//!
+//! The hypervisor models in `nf-hv` run *on top of* this crate — the
+//! exits they receive and the entries they perform are all decided here.
+
+pub mod exit_decide;
+pub mod golden;
+pub mod instr;
+pub mod svm;
+pub mod vmentry;
+pub mod vmx_ops;
+
+pub use exit_decide::{svm_exit_for, vmx_exit_for};
+pub use golden::{golden_vmcb, golden_vmcs, GOLDEN_EPTP};
+pub use instr::{CrIndex, GuestInstr, InstrClass};
+pub use svm::{check_vmrun, VmrunFailure, VmrunOutcome};
+pub use vmentry::{
+    check_guest_state, check_host_state, check_msr_load, check_vm_controls, eptp_valid,
+    try_vmentry, Adjustment, EntryFailure, EntryOutcome,
+};
+pub use vmx_ops::{
+    launch_state_check, vmclear_check, vmptrld_check, vmread_check, vmwrite_check, vmxon_check,
+    VmInstrError,
+};

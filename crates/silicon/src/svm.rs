@@ -1,0 +1,237 @@
+//! The physical CPU's `VMRUN` checks (AMD APM Vol. 2, §15.5).
+//!
+//! AMD reports every illegal VMCB state with a single exit code,
+//! `VMEXIT_INVALID`, rather than Intel's per-group error numbers — which
+//! is why the paper's AMD-side validator matters even more: software gets
+//! no hint which field was wrong.
+//!
+//! One architectural *ambiguity* is modeled deliberately: a VMCB with
+//! `EFER.LMA = 1` while `CR0.PG = 0` is **accepted** by the silicon, as
+//! the APM does not specify a consistency check for it (the paper's Xen
+//! bugs #5/#6 live exactly in this gap).
+
+use nf_vmx::vmcb::{intercept, Vmcb};
+use nf_x86::addr::phys_in_width;
+use nf_x86::msr::pat_valid;
+use nf_x86::{ArchError, Cr0, Cr4, Efer};
+
+/// Why a `vmrun` rejected its VMCB (all map to `VMEXIT_INVALID`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmrunFailure(pub ArchError);
+
+/// Outcome of a successful `vmrun`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VmrunOutcome {
+    /// Whether the guest can make forward progress.
+    pub runnable: bool,
+}
+
+fn fail(rule: &'static str, detail: String) -> VmrunFailure {
+    VmrunFailure(ArchError::new(rule, detail))
+}
+
+/// The canonicalization checks `vmrun` performs before entering the
+/// guest (APM 15.5.1 "Canonicalization and Consistency Checks").
+pub fn check_vmrun(vmcb: &Vmcb, host_efer_svme: bool) -> Result<VmrunOutcome, VmrunFailure> {
+    if !host_efer_svme {
+        return Err(fail("svm.host_svme", "EFER.SVME clear in host".into()));
+    }
+
+    let c = &vmcb.control;
+    let s = &vmcb.save;
+
+    if c.intercepts & intercept::VMRUN == 0 {
+        return Err(fail(
+            "svm.vmrun_intercept",
+            "VMRUN intercept bit clear".into(),
+        ));
+    }
+    if c.guest_asid == 0 {
+        return Err(fail(
+            "svm.asid_zero",
+            "guest ASID 0 is reserved for the host".into(),
+        ));
+    }
+
+    let efer = Efer::new(s.efer);
+    if let Err(e) = efer.check_reserved() {
+        return Err(fail("svm.efer_reserved", e.detail));
+    }
+    if !efer.has(Efer::SVME) {
+        return Err(fail(
+            "svm.guest_svme",
+            "EFER.SVME must be set in the VMCB".into(),
+        ));
+    }
+
+    // CR0 checks: upper 32 bits MBZ, CD=0 with NW=1 illegal.
+    if s.cr0 >> 32 != 0 {
+        return Err(fail(
+            "svm.cr0_upper",
+            format!("CR0 {:#x} bits 63:32 set", s.cr0),
+        ));
+    }
+    let cr0 = Cr0::new(s.cr0);
+    if cr0.has(Cr0::NW) && !cr0.has(Cr0::CD) {
+        return Err(fail("svm.cr0_nw_cd", "CR0.NW=1 with CR0.CD=0".into()));
+    }
+
+    // CR3 MBZ bits.
+    if !phys_in_width(s.cr3) {
+        return Err(fail(
+            "svm.cr3_mbz",
+            format!("CR3 {:#x} exceeds physical width", s.cr3),
+        ));
+    }
+
+    // CR4 reserved bits.
+    let cr4 = Cr4::new(s.cr4);
+    if cr4.reserved_set() != 0 {
+        return Err(fail(
+            "svm.cr4_reserved",
+            format!("CR4 {:#x} reserved bits {:#x}", s.cr4, cr4.reserved_set()),
+        ));
+    }
+
+    // DR6/DR7 upper 32 bits MBZ.
+    if s.dr6 >> 32 != 0 || s.dr7 >> 32 != 0 {
+        return Err(fail("svm.dr_upper", "DR6/DR7 bits 63:32 set".into()));
+    }
+
+    // Long-mode consistency (APM 15.5.1): LME && PG requires PAE; with a
+    // long-mode CS, CS.L && CS.D is illegal.
+    if efer.has(Efer::LME) && cr0.has(Cr0::PG) {
+        if !cr4.has(Cr4::PAE) {
+            return Err(fail(
+                "svm.lme_pg_pae",
+                "EFER.LME && CR0.PG with CR4.PAE=0".into(),
+            ));
+        }
+        if !cr0.has(Cr0::PE) {
+            return Err(fail(
+                "svm.lme_pg_pe",
+                "EFER.LME && CR0.PG with CR0.PE=0".into(),
+            ));
+        }
+        if s.cs.ar.long() && s.cs.ar.db() {
+            return Err(fail(
+                "svm.cs_l_d",
+                "CS.L and CS.D both set in long mode".into(),
+            ));
+        }
+    }
+    // NOTE: EFER.LMA=1 with CR0.PG=0 is *not* rejected — the APM leaves
+    // this combination unspecified, and real parts accept it. Hypervisors
+    // that assume it cannot happen (Xen issues #215/#216) corrupt state.
+
+    // Nested paging: nCR3 must fit the physical width when enabled.
+    if c.np_enable & 1 != 0 && !phys_in_width(c.ncr3) {
+        return Err(fail(
+            "svm.ncr3",
+            format!("nCR3 {:#x} exceeds physical width", c.ncr3),
+        ));
+    }
+
+    // Permission-map physical addresses.
+    if !phys_in_width(c.iopm_base_pa) || !phys_in_width(c.msrpm_base_pa) {
+        return Err(fail(
+            "svm.pm_base",
+            "IOPM/MSRPM base exceeds physical width".into(),
+        ));
+    }
+
+    // PAT validity when nested paging is on (the guest PAT is used).
+    if c.np_enable & 1 != 0 && !pat_valid(s.g_pat) {
+        return Err(fail("svm.g_pat", format!("G_PAT {:#x} invalid", s.g_pat)));
+    }
+
+    let shutdown = Efer::new(s.efer).has(Efer::LMA) && !cr0.has(Cr0::PG);
+    Ok(VmrunOutcome {
+        // The ambiguous LMA&&!PG state enters but the guest is in a mode
+        // hardware never architecturally defines; it stalls rather than
+        // executing (observed behaviour the paper's bug #5 relies on).
+        runnable: !shutdown,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::golden_vmcb;
+
+    #[test]
+    fn golden_vmcb_runs() {
+        let out = check_vmrun(&golden_vmcb(), true).expect("golden VMCB must run");
+        assert!(out.runnable);
+    }
+
+    #[test]
+    fn svme_required_on_both_sides() {
+        let vmcb = golden_vmcb();
+        assert_eq!(
+            check_vmrun(&vmcb, false).unwrap_err().0.rule,
+            "svm.host_svme"
+        );
+        let mut v = vmcb;
+        v.save.efer &= !Efer::SVME;
+        assert_eq!(check_vmrun(&v, true).unwrap_err().0.rule, "svm.guest_svme");
+    }
+
+    #[test]
+    fn vmrun_intercept_mandatory() {
+        let mut v = golden_vmcb();
+        v.control.intercepts &= !intercept::VMRUN;
+        assert_eq!(
+            check_vmrun(&v, true).unwrap_err().0.rule,
+            "svm.vmrun_intercept"
+        );
+    }
+
+    #[test]
+    fn asid_zero_rejected() {
+        let mut v = golden_vmcb();
+        v.control.guest_asid = 0;
+        assert_eq!(check_vmrun(&v, true).unwrap_err().0.rule, "svm.asid_zero");
+    }
+
+    #[test]
+    fn long_mode_without_pae_rejected() {
+        let mut v = golden_vmcb();
+        v.save.cr4 = 0;
+        assert_eq!(check_vmrun(&v, true).unwrap_err().0.rule, "svm.lme_pg_pae");
+    }
+
+    #[test]
+    fn ambiguous_lma_without_pg_accepted_but_stalls() {
+        // The APM gap behind Xen issues #215/#216: hardware accepts it.
+        let mut v = golden_vmcb();
+        v.save.cr0 &= !Cr0::PG;
+        // Keep LMA set in EFER (stale from a previous 64-bit run).
+        let out = check_vmrun(&v, true).expect("ambiguous state is accepted");
+        assert!(!out.runnable, "LMA && !PG guest stalls");
+    }
+
+    #[test]
+    fn cr0_upper_bits_rejected() {
+        let mut v = golden_vmcb();
+        v.save.cr0 |= 1 << 40;
+        assert_eq!(check_vmrun(&v, true).unwrap_err().0.rule, "svm.cr0_upper");
+    }
+
+    #[test]
+    fn cs_l_and_d_rejected_in_long_mode() {
+        let mut v = golden_vmcb();
+        v.save.cs.ar.0 |= (1 << 13) | (1 << 14);
+        assert_eq!(check_vmrun(&v, true).unwrap_err().0.rule, "svm.cs_l_d");
+    }
+
+    #[test]
+    fn invalid_gpat_rejected_with_np() {
+        let mut v = golden_vmcb();
+        v.save.g_pat = 2;
+        assert_eq!(check_vmrun(&v, true).unwrap_err().0.rule, "svm.g_pat");
+        // Without nested paging G_PAT is ignored.
+        v.control.np_enable = 0;
+        assert!(check_vmrun(&v, true).is_ok());
+    }
+}

@@ -1,0 +1,1039 @@
+//! The physical CPU's VM-entry checks (Intel SDM Vol. 3 ch. 26).
+//!
+//! This module is the **hardware oracle** of the paper's §3.4: the ground
+//! truth against which the Bochs-derived VM state validator corrects
+//! itself. It implements the three check groups in architectural order —
+//! VM-execution controls, host state, guest state — plus the *silent
+//! rounding* quirks that documentation does not fully capture:
+//!
+//! - IA-32e mode guest with `CR4.PAE = 0`: the SDM demands `PAE = 1`, but
+//!   the CPU silently assumes it and lets the entry proceed. KVM's
+//!   literal interpretation of the bit is CVE-2023-30456.
+//! - `DR7` bit 10 and `DR6`-style reserved-one patterns are forced rather
+//!   than faulted when debug controls are loaded.
+//! - The RTM bit of pending debug exceptions is cleared on parts without
+//!   RTM instead of failing the entry.
+//!
+//! Checks deliberately *stop at the first failure* within each group —
+//! matching hardware, which reports only a single error — because the
+//! fuzzer's boundary exploration relies on which check fires first.
+
+use nf_vmx::caps::CtrlKind;
+use nf_vmx::controls::{entry as ec, exit as xc, pin, proc, proc2};
+use nf_vmx::{MsrArea, Vmcs, VmcsField, VmxCapabilities};
+use nf_x86::addr::{page_aligned, phys_in_width, VirtAddr};
+use nf_x86::msr::{debugctl_valid, pat_valid};
+use nf_x86::segment::SegmentKind;
+use nf_x86::{
+    ActivityState, ArchError, Cr0, Cr3, Cr4, Efer, EventInjection, Interruptibility, Msr, Pdpte,
+    RFlags, SegReg,
+};
+
+/// Which class of failure a VM entry produced (SDM 26.8 / 30.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryFailure {
+    /// `VMfailValid` with VM-instruction error 7: invalid control fields.
+    InvalidControls(ArchError),
+    /// `VMfailValid` with VM-instruction error 8: invalid host state.
+    InvalidHostState(ArchError),
+    /// VM-entry failure exit (reason 33): invalid guest state.
+    InvalidGuestState(ArchError),
+    /// VM-entry failure exit (reason 34): MSR loading failed at `index`.
+    MsrLoad(u32, ArchError),
+}
+
+impl EntryFailure {
+    /// The architectural rule identifier that fired.
+    pub fn rule(&self) -> &'static str {
+        match self {
+            EntryFailure::InvalidControls(e)
+            | EntryFailure::InvalidHostState(e)
+            | EntryFailure::InvalidGuestState(e) => e.rule,
+            EntryFailure::MsrLoad(_, e) => e.rule,
+        }
+    }
+}
+
+/// A silent correction the hardware applied instead of failing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adjustment {
+    /// The VMCS field whose *effective* value differs from the stored one.
+    pub field: VmcsField,
+    /// Stored value.
+    pub from: u64,
+    /// Effective value the CPU operates with.
+    pub to: u64,
+    /// Name of the quirk, e.g. `"cr4_pae_assumed"`.
+    pub quirk: &'static str,
+}
+
+/// Result of a successful VM entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EntryOutcome {
+    /// Silent corrections applied by the CPU.
+    pub adjustments: Vec<Adjustment>,
+    /// Whether the entered guest can make forward progress (`false` for
+    /// the Shutdown / Wait-for-SIPI activity states, which stall the
+    /// vCPU until an event that never arrives in a nested setting).
+    pub runnable: bool,
+}
+
+/// Effective secondary controls: zero unless activated by the primary
+/// controls (SDM 24.6.2).
+fn secondary(vmcs: &Vmcs) -> u32 {
+    if vmcs.read(VmcsField::CpuBasedVmExecControl) as u32 & proc::SECONDARY_CONTROLS != 0 {
+        vmcs.read(VmcsField::SecondaryVmExecControl) as u32
+    } else {
+        0
+    }
+}
+
+fn fail_ctrl(rule: &'static str, detail: String) -> EntryFailure {
+    EntryFailure::InvalidControls(ArchError::new(rule, detail))
+}
+
+fn fail_host(rule: &'static str, detail: String) -> EntryFailure {
+    EntryFailure::InvalidHostState(ArchError::new(rule, detail))
+}
+
+fn fail_guest(rule: &'static str, detail: String) -> EntryFailure {
+    EntryFailure::InvalidGuestState(ArchError::new(rule, detail))
+}
+
+/// Checks an EPT pointer (SDM 24.6.11): memory type UC or WB, page-walk
+/// length 4, reserved bits clear, address within the physical width.
+pub fn eptp_valid(eptp: u64) -> bool {
+    let memtype = eptp & 0x7;
+    if memtype != 0 && memtype != 6 {
+        return false;
+    }
+    if (eptp >> 3) & 0x7 != 3 {
+        return false;
+    }
+    // Bits 11:7 reserved (bit 6 is the accessed/dirty enable).
+    if eptp & 0xf80 != 0 {
+        return false;
+    }
+    phys_in_width(eptp & !0xfffu64)
+}
+
+/// Group 1: checks on VM-execution, VM-entry, and VM-exit control fields
+/// (SDM 26.2.1).
+pub fn check_vm_controls(vmcs: &Vmcs, caps: &VmxCapabilities) -> Result<(), EntryFailure> {
+    let pinv = vmcs.read(VmcsField::PinBasedVmExecControl) as u32;
+    let procv = vmcs.read(VmcsField::CpuBasedVmExecControl) as u32;
+    let proc2v = secondary(vmcs);
+    let exitv = vmcs.read(VmcsField::VmExitControls) as u32;
+    let entryv = vmcs.read(VmcsField::VmEntryControls) as u32;
+
+    for (kind, value, name) in [
+        (CtrlKind::PinBased, pinv, "pin-based"),
+        (CtrlKind::ProcBased, procv, "proc-based"),
+        (CtrlKind::Exit, exitv, "exit"),
+        (CtrlKind::Entry, entryv, "entry"),
+    ] {
+        if !caps.control_ok(kind, value) {
+            return Err(fail_ctrl(
+                "ctrl.capability",
+                format!("{name} controls {value:#x} violate IA32_VMX capability MSRs"),
+            ));
+        }
+    }
+    if procv & proc::SECONDARY_CONTROLS != 0 && !caps.control_ok(CtrlKind::ProcBased2, proc2v) {
+        return Err(fail_ctrl(
+            "ctrl.capability2",
+            format!("secondary controls {proc2v:#x} violate IA32_VMX_PROCBASED_CTLS2"),
+        ));
+    }
+
+    if vmcs.read(VmcsField::Cr3TargetCount) > 4 {
+        return Err(fail_ctrl(
+            "ctrl.cr3_target_count",
+            format!(
+                "CR3-target count {} exceeds 4",
+                vmcs.read(VmcsField::Cr3TargetCount)
+            ),
+        ));
+    }
+
+    if procv & proc::USE_IO_BITMAPS != 0 {
+        for f in [VmcsField::IoBitmapA, VmcsField::IoBitmapB] {
+            let addr = vmcs.read(f);
+            if !page_aligned(addr) || !phys_in_width(addr) {
+                return Err(fail_ctrl(
+                    "ctrl.io_bitmap_addr",
+                    format!("{} address {addr:#x} invalid", f.name()),
+                ));
+            }
+        }
+    }
+    if procv & proc::USE_MSR_BITMAPS != 0 {
+        let addr = vmcs.read(VmcsField::MsrBitmap);
+        if !page_aligned(addr) || !phys_in_width(addr) {
+            return Err(fail_ctrl(
+                "ctrl.msr_bitmap_addr",
+                format!("MSR bitmap {addr:#x} invalid"),
+            ));
+        }
+    }
+
+    if procv & proc::USE_TPR_SHADOW != 0 {
+        let apic = vmcs.read(VmcsField::VirtualApicPageAddr);
+        if !page_aligned(apic) || !phys_in_width(apic) {
+            return Err(fail_ctrl(
+                "ctrl.vapic_addr",
+                format!("virtual-APIC page {apic:#x} invalid"),
+            ));
+        }
+        if proc2v & proc2::VIRT_INTR_DELIVERY == 0 {
+            let thr = vmcs.read(VmcsField::TprThreshold) as u32;
+            if thr & !0xf != 0 {
+                return Err(fail_ctrl(
+                    "ctrl.tpr_threshold",
+                    format!("TPR threshold {thr:#x} has bits 31:4 set"),
+                ));
+            }
+        }
+    } else if proc2v & (proc2::VIRT_X2APIC | proc2::APIC_REGISTER_VIRT | proc2::VIRT_INTR_DELIVERY)
+        != 0
+    {
+        return Err(fail_ctrl(
+            "ctrl.apicv_requires_tpr_shadow",
+            "APIC virtualization controls require the TPR shadow".into(),
+        ));
+    }
+
+    if proc2v & proc2::ENABLE_EPT != 0 {
+        let eptp = vmcs.read(VmcsField::EptPointer);
+        if !eptp_valid(eptp) {
+            return Err(fail_ctrl(
+                "ctrl.eptp",
+                format!("EPT pointer {eptp:#x} invalid"),
+            ));
+        }
+    }
+    if proc2v & proc2::UNRESTRICTED_GUEST != 0 && proc2v & proc2::ENABLE_EPT == 0 {
+        return Err(fail_ctrl(
+            "ctrl.ug_requires_ept",
+            "unrestricted guest requires EPT".into(),
+        ));
+    }
+    if proc2v & proc2::ENABLE_VPID != 0 && vmcs.read(VmcsField::Vpid) == 0 {
+        return Err(fail_ctrl(
+            "ctrl.vpid_zero",
+            "VPID enabled but VPID field is 0".into(),
+        ));
+    }
+    if proc2v & proc2::VMCS_SHADOWING != 0 {
+        for f in [VmcsField::VmreadBitmap, VmcsField::VmwriteBitmap] {
+            let addr = vmcs.read(f);
+            if !page_aligned(addr) || !phys_in_width(addr) {
+                return Err(fail_ctrl(
+                    "ctrl.shadow_bitmap",
+                    format!("{} address {addr:#x} invalid", f.name()),
+                ));
+            }
+        }
+    }
+
+    if pinv & pin::POSTED_INTR != 0 {
+        if proc2v & proc2::VIRT_INTR_DELIVERY == 0 || exitv & xc::ACK_INTR_ON_EXIT == 0 {
+            return Err(fail_ctrl(
+                "ctrl.posted_intr_deps",
+                "posted interrupts require virtual-interrupt delivery and ack-on-exit".into(),
+            ));
+        }
+        if vmcs.read(VmcsField::PostedIntrNv) & !0xff != 0 {
+            return Err(fail_ctrl(
+                "ctrl.posted_intr_nv",
+                "posted-interrupt notification vector has bits 15:8 set".into(),
+            ));
+        }
+        let desc = vmcs.read(VmcsField::PostedIntrDescAddr);
+        if desc & 0x3f != 0 || !phys_in_width(desc) {
+            return Err(fail_ctrl(
+                "ctrl.posted_intr_desc",
+                format!("posted-interrupt descriptor {desc:#x} invalid"),
+            ));
+        }
+    }
+
+    // MSR-load/store area addresses (SDM 26.2.2).
+    for (count_f, addr_f) in [
+        (
+            VmcsField::VmExitMsrStoreCount,
+            VmcsField::VmExitMsrStoreAddr,
+        ),
+        (VmcsField::VmExitMsrLoadCount, VmcsField::VmExitMsrLoadAddr),
+        (
+            VmcsField::VmEntryMsrLoadCount,
+            VmcsField::VmEntryMsrLoadAddr,
+        ),
+    ] {
+        if vmcs.read(count_f) != 0 {
+            let addr = vmcs.read(addr_f);
+            if addr & 0xf != 0 || !phys_in_width(addr) {
+                return Err(fail_ctrl(
+                    "ctrl.msr_area_addr",
+                    format!("{} address {addr:#x} invalid", addr_f.name()),
+                ));
+            }
+        }
+    }
+
+    // Event injection (SDM 26.2.1.3).
+    let inj = EventInjection(vmcs.read(VmcsField::VmEntryIntrInfoField) as u32);
+    if let Err(e) = inj.check() {
+        return Err(EntryFailure::InvalidControls(e));
+    }
+
+    // SMM controls outside SMM (SDM 26.2.1.1, modeled: never in SMM).
+    if entryv & ec::ENTRY_TO_SMM != 0 || entryv & ec::DEACT_DUAL_MONITOR != 0 {
+        return Err(fail_ctrl(
+            "ctrl.smm_outside_smm",
+            "entry-to-SMM / deactivate-dual-monitor outside SMM".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Group 2: checks on the host-state area (SDM 26.2.2–26.2.3).
+pub fn check_host_state(vmcs: &Vmcs, caps: &VmxCapabilities) -> Result<(), EntryFailure> {
+    let exitv = vmcs.read(VmcsField::VmExitControls) as u32;
+    let host_cr0 = vmcs.read(VmcsField::HostCr0);
+    let host_cr4 = vmcs.read(VmcsField::HostCr4);
+
+    if !caps.cr0_ok(host_cr0, false) {
+        return Err(fail_host(
+            "host.cr0_fixed",
+            format!("host CR0 {host_cr0:#x} violates fixed bits"),
+        ));
+    }
+    if !caps.cr4_ok(host_cr4) {
+        return Err(fail_host(
+            "host.cr4_fixed",
+            format!("host CR4 {host_cr4:#x} violates fixed bits"),
+        ));
+    }
+    if let Err(e) = Cr3::new(vmcs.read(VmcsField::HostCr3)).check_width() {
+        return Err(fail_host("host.cr3_width", e.detail));
+    }
+
+    let host_64 = exitv & xc::HOST_ADDR_SPACE_SIZE != 0;
+    // The modeled L0 runs in IA-32e mode, where hardware rejects entries
+    // that would return to a 32-bit host.
+    if !host_64 {
+        return Err(fail_host(
+            "host.addr_space_size",
+            "host address-space size must be 1 on a 64-bit host".into(),
+        ));
+    }
+    if host_64 && host_cr4 & Cr4::PAE == 0 {
+        return Err(fail_host(
+            "host.cr4_pae",
+            "64-bit host requires CR4.PAE".into(),
+        ));
+    }
+
+    // Selector checks (SDM 26.2.3): TI and RPL zero everywhere; CS and TR
+    // must not be null.
+    for (f, name) in [
+        (VmcsField::HostEsSelector, "ES"),
+        (VmcsField::HostCsSelector, "CS"),
+        (VmcsField::HostSsSelector, "SS"),
+        (VmcsField::HostDsSelector, "DS"),
+        (VmcsField::HostFsSelector, "FS"),
+        (VmcsField::HostGsSelector, "GS"),
+        (VmcsField::HostTrSelector, "TR"),
+    ] {
+        if vmcs.read(f) & 0x7 != 0 {
+            return Err(fail_host(
+                "host.selector_rpl_ti",
+                format!("host {name} selector has TI/RPL bits set"),
+            ));
+        }
+    }
+    if vmcs.read(VmcsField::HostCsSelector) == 0 {
+        return Err(fail_host("host.cs_null", "host CS selector is null".into()));
+    }
+    if vmcs.read(VmcsField::HostTrSelector) == 0 {
+        return Err(fail_host("host.tr_null", "host TR selector is null".into()));
+    }
+
+    for (f, name) in [
+        (VmcsField::HostFsBase, "FS base"),
+        (VmcsField::HostGsBase, "GS base"),
+        (VmcsField::HostTrBase, "TR base"),
+        (VmcsField::HostGdtrBase, "GDTR base"),
+        (VmcsField::HostIdtrBase, "IDTR base"),
+        (VmcsField::HostIa32SysenterEsp, "SYSENTER_ESP"),
+        (VmcsField::HostIa32SysenterEip, "SYSENTER_EIP"),
+        (VmcsField::HostRip, "RIP"),
+        (VmcsField::HostRsp, "RSP"),
+    ] {
+        if !VirtAddr(vmcs.read(f)).is_canonical() {
+            return Err(fail_host(
+                "host.canonical",
+                format!("host {name} {:#x} non-canonical", vmcs.read(f)),
+            ));
+        }
+    }
+
+    if exitv & xc::LOAD_PAT != 0 && !pat_valid(vmcs.read(VmcsField::HostIa32Pat)) {
+        return Err(fail_host(
+            "host.pat",
+            format!("host PAT {:#x} invalid", vmcs.read(VmcsField::HostIa32Pat)),
+        ));
+    }
+    if exitv & xc::LOAD_EFER != 0 {
+        let efer = Efer::new(vmcs.read(VmcsField::HostIa32Efer));
+        if let Err(e) = efer.check_reserved() {
+            return Err(fail_host("host.efer_reserved", e.detail));
+        }
+        let lma = efer.has(Efer::LMA);
+        let lme = efer.has(Efer::LME);
+        if lma != host_64 || lme != host_64 {
+            return Err(fail_host(
+                "host.efer_lma_lme",
+                "host EFER.LMA/LME must equal the host address-space size".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Returns the guest segment-register check result (SDM 26.3.1.2).
+fn check_guest_segments(
+    vmcs: &Vmcs,
+    unrestricted: bool,
+    v86: bool,
+    ia32e: bool,
+) -> Result<(), EntryFailure> {
+    let cs = vmcs.guest_segment(SegReg::Cs);
+    let ss = vmcs.guest_segment(SegReg::Ss);
+    let tr = vmcs.guest_segment(SegReg::Tr);
+    let ldtr = vmcs.guest_segment(SegReg::Ldtr);
+
+    // TR and, when usable, LDTR selectors must reference the GDT.
+    if tr.selector.ti() {
+        return Err(fail_guest(
+            "guest.tr_ti",
+            "guest TR selector TI bit set".into(),
+        ));
+    }
+    if !ldtr.ar.unusable() && ldtr.selector.ti() {
+        return Err(fail_guest(
+            "guest.ldtr_ti",
+            "guest LDTR selector TI bit set".into(),
+        ));
+    }
+    // SS.RPL must equal CS.RPL outside unrestricted/V86 operation.
+    if !v86 && !unrestricted && ss.selector.rpl() != cs.selector.rpl() {
+        return Err(fail_guest("guest.ss_rpl", "SS.RPL != CS.RPL".into()));
+    }
+
+    if v86 {
+        // Virtual-8086 mode pins base/limit/AR of every segment.
+        for reg in SegReg::ALL {
+            let seg = vmcs.guest_segment(reg);
+            if matches!(reg, SegReg::Ldtr | SegReg::Tr) {
+                continue;
+            }
+            if seg.base != (seg.selector.0 as u64) << 4 {
+                return Err(fail_guest(
+                    "guest.v86_base",
+                    format!(
+                        "{} base {:#x} != selector<<4 in V86 mode",
+                        reg.name(),
+                        seg.base
+                    ),
+                ));
+            }
+            if seg.limit != 0xffff {
+                return Err(fail_guest(
+                    "guest.v86_limit",
+                    format!(
+                        "{} limit {:#x} != 0xffff in V86 mode",
+                        reg.name(),
+                        seg.limit
+                    ),
+                ));
+            }
+            if seg.ar.0 != 0xf3 {
+                return Err(fail_guest(
+                    "guest.v86_ar",
+                    format!("{} AR {:#x} != 0xf3 in V86 mode", reg.name(), seg.ar.0),
+                ));
+            }
+        }
+        return Ok(());
+    }
+
+    // CS: always usable; type rules depend on unrestricted guest.
+    if cs.ar.unusable() {
+        return Err(fail_guest("guest.cs_unusable", "CS must be usable".into()));
+    }
+    let cs_type = cs.ar.typ();
+    let cs_ok = matches!(cs_type, 9 | 11 | 13 | 15) || (unrestricted && cs_type == 3);
+    if !cs_ok || cs.ar.kind() != SegmentKind::CodeOrData {
+        return Err(fail_guest(
+            "guest.cs_type",
+            format!("CS type {cs_type} invalid"),
+        ));
+    }
+    if !cs.ar.present() {
+        return Err(fail_guest("guest.cs_present", "CS not present".into()));
+    }
+    if let Err(e) = cs.ar.check_reserved() {
+        return Err(fail_guest("guest.cs_ar_reserved", e.detail));
+    }
+    if let Err(e) = cs.check_granularity() {
+        return Err(fail_guest("guest.cs_granularity", e.detail));
+    }
+    if ia32e && cs.ar.long() && cs.ar.db() {
+        return Err(fail_guest(
+            "guest.cs_l_db",
+            "CS.L and CS.D/B both set in IA-32e".into(),
+        ));
+    }
+
+    // SS, DS, ES, FS, GS: rules apply only when usable.
+    for reg in [SegReg::Ss, SegReg::Ds, SegReg::Es, SegReg::Fs, SegReg::Gs] {
+        let seg = vmcs.guest_segment(reg);
+        if seg.ar.unusable() {
+            continue;
+        }
+        if seg.ar.kind() != SegmentKind::CodeOrData {
+            return Err(fail_guest(
+                "guest.seg_s_bit",
+                format!("{} is a system segment", reg.name()),
+            ));
+        }
+        let t = seg.ar.typ();
+        if reg == SegReg::Ss {
+            if !unrestricted && t != 3 && t != 7 {
+                return Err(fail_guest("guest.ss_type", format!("SS type {t} invalid")));
+            }
+        } else {
+            // Data segments must be accessed; code segments readable.
+            if t & 1 == 0 {
+                return Err(fail_guest(
+                    "guest.seg_accessed",
+                    format!("{} type {t} not accessed", reg.name()),
+                ));
+            }
+            if t & 8 != 0 && t & 2 == 0 {
+                return Err(fail_guest(
+                    "guest.seg_code_readable",
+                    format!("{} is unreadable code", reg.name()),
+                ));
+            }
+        }
+        if !seg.ar.present() {
+            return Err(fail_guest(
+                "guest.seg_present",
+                format!("{} usable but not present", reg.name()),
+            ));
+        }
+        if let Err(e) = seg.ar.check_reserved() {
+            return Err(fail_guest("guest.seg_ar_reserved", e.detail));
+        }
+        if let Err(e) = seg.check_granularity() {
+            return Err(fail_guest("guest.seg_granularity", e.detail));
+        }
+    }
+
+    // FS/GS bases must be canonical.
+    for reg in [SegReg::Fs, SegReg::Gs] {
+        if let Err(e) = vmcs.guest_segment(reg).check_base_canonical(reg) {
+            return Err(fail_guest("guest.seg_base_canonical", e.detail));
+        }
+    }
+
+    // TR: usable system segment, busy TSS, canonical base.
+    if tr.ar.unusable() {
+        return Err(fail_guest("guest.tr_unusable", "TR must be usable".into()));
+    }
+    let tr_type = tr.ar.typ();
+    let tr_ok = if ia32e {
+        tr_type == 11
+    } else {
+        tr_type == 3 || tr_type == 11
+    };
+    if !tr_ok || tr.ar.kind() != SegmentKind::System {
+        return Err(fail_guest(
+            "guest.tr_type",
+            format!("TR type {tr_type} invalid"),
+        ));
+    }
+    if !tr.ar.present() {
+        return Err(fail_guest("guest.tr_present", "TR not present".into()));
+    }
+    if let Err(e) = tr.check_granularity() {
+        return Err(fail_guest("guest.tr_granularity", e.detail));
+    }
+    if let Err(e) = tr.check_base_canonical(SegReg::Tr) {
+        return Err(fail_guest("guest.tr_base_canonical", e.detail));
+    }
+
+    // LDTR, when usable: LDT type, present, canonical base.
+    if !ldtr.ar.unusable() {
+        if ldtr.ar.typ() != 2 || ldtr.ar.kind() != SegmentKind::System {
+            return Err(fail_guest(
+                "guest.ldtr_type",
+                format!("LDTR type {} invalid", ldtr.ar.typ()),
+            ));
+        }
+        if !ldtr.ar.present() {
+            return Err(fail_guest("guest.ldtr_present", "LDTR not present".into()));
+        }
+        if let Err(e) = ldtr.check_base_canonical(SegReg::Ldtr) {
+            return Err(fail_guest("guest.ldtr_base_canonical", e.detail));
+        }
+    }
+    Ok(())
+}
+
+/// Group 3: checks on the guest-state area (SDM 26.3.1), applying the
+/// silent-rounding quirks instead of failing where real CPUs do so.
+pub fn check_guest_state(
+    vmcs: &Vmcs,
+    caps: &VmxCapabilities,
+) -> Result<EntryOutcome, EntryFailure> {
+    let mut outcome = EntryOutcome {
+        adjustments: Vec::new(),
+        runnable: true,
+    };
+    let entryv = vmcs.read(VmcsField::VmEntryControls) as u32;
+    let proc2v = secondary(vmcs);
+    let unrestricted = proc2v & proc2::UNRESTRICTED_GUEST != 0;
+    let ia32e = entryv & ec::IA32E_MODE_GUEST != 0;
+
+    let cr0 = vmcs.read(VmcsField::GuestCr0);
+    let cr4 = vmcs.read(VmcsField::GuestCr4);
+
+    if !caps.cr0_ok(cr0, unrestricted) {
+        return Err(fail_guest(
+            "guest.cr0_fixed",
+            format!("guest CR0 {cr0:#x} violates fixed bits"),
+        ));
+    }
+    if !caps.cr4_ok(cr4) {
+        return Err(fail_guest(
+            "guest.cr4_fixed",
+            format!("guest CR4 {cr4:#x} violates fixed bits"),
+        ));
+    }
+    if let Err(e) = Cr3::new(vmcs.read(VmcsField::GuestCr3)).check_width() {
+        return Err(fail_guest("guest.cr3_width", e.detail));
+    }
+
+    let cr0v = Cr0::new(cr0);
+    let cr4v = Cr4::new(cr4);
+
+    if ia32e {
+        if !cr0v.has(Cr0::PG) {
+            return Err(fail_guest(
+                "guest.ia32e_pg",
+                "IA-32e mode guest requires CR0.PG".into(),
+            ));
+        }
+        if !cr4v.has(Cr4::PAE) {
+            // QUIRK: the SDM says entry must fail; silicon silently
+            // behaves as if CR4.PAE were set (CVE-2023-30456 surface).
+            outcome.adjustments.push(Adjustment {
+                field: VmcsField::GuestCr4,
+                from: cr4,
+                to: cr4 | Cr4::PAE,
+                quirk: "cr4_pae_assumed",
+            });
+        }
+    } else {
+        if cr4v.has(Cr4::PCIDE) {
+            return Err(fail_guest(
+                "guest.pcide_requires_ia32e",
+                "CR4.PCIDE set outside IA-32e mode".into(),
+            ));
+        }
+    }
+
+    // Debug state when the entry loads debug controls.
+    if entryv & ec::LOAD_DEBUG_CONTROLS != 0 {
+        let dbgctl = vmcs.read(VmcsField::GuestIa32Debugctl);
+        if !debugctl_valid(dbgctl) {
+            return Err(fail_guest(
+                "guest.debugctl_reserved",
+                format!("guest DEBUGCTL {dbgctl:#x} has reserved bits"),
+            ));
+        }
+        let dr7 = vmcs.read(VmcsField::GuestDr7);
+        if dr7 >> 32 != 0 {
+            return Err(fail_guest(
+                "guest.dr7_upper",
+                format!("guest DR7 {dr7:#x} bits 63:32 set"),
+            ));
+        }
+        if dr7 & (1 << 10) == 0 {
+            // QUIRK: bit 10 of DR7 always reads as 1; the CPU forces it.
+            outcome.adjustments.push(Adjustment {
+                field: VmcsField::GuestDr7,
+                from: dr7,
+                to: dr7 | (1 << 10),
+                quirk: "dr7_bit10_forced",
+            });
+        }
+    }
+
+    // EFER consistency (SDM 26.3.1.1) when the entry loads EFER.
+    if entryv & ec::LOAD_EFER != 0 {
+        let efer = Efer::new(vmcs.read(VmcsField::GuestIa32Efer));
+        if let Err(e) = efer.check_reserved() {
+            return Err(fail_guest("guest.efer_reserved", e.detail));
+        }
+        if efer.has(Efer::LMA) != ia32e {
+            return Err(fail_guest(
+                "guest.efer_lma_entry_ctl",
+                "guest EFER.LMA must equal the IA-32e-mode-guest control".into(),
+            ));
+        }
+        if cr0v.has(Cr0::PG) && efer.has(Efer::LMA) != efer.has(Efer::LME) {
+            return Err(fail_guest(
+                "guest.efer_lma_lme",
+                "EFER.LMA != EFER.LME with paging enabled".into(),
+            ));
+        }
+    }
+
+    let rflags = RFlags::new(vmcs.read(VmcsField::GuestRflags));
+    if let Err(e) = rflags.check_vmx() {
+        return Err(fail_guest("guest.rflags", e.detail));
+    }
+    let v86 = rflags.has(RFlags::VM);
+    if v86 && (ia32e || !unrestricted && !cr0v.has(Cr0::PE)) {
+        return Err(fail_guest(
+            "guest.vm86_mode",
+            "RFLAGS.VM incompatible with IA-32e / protected-mode rules".into(),
+        ));
+    }
+
+    check_guest_segments(vmcs, unrestricted, v86, ia32e)?;
+
+    for (f, name) in [
+        (VmcsField::GuestGdtrBase, "GDTR"),
+        (VmcsField::GuestIdtrBase, "IDTR"),
+    ] {
+        if !VirtAddr(vmcs.read(f)).is_canonical() {
+            return Err(fail_guest(
+                "guest.dtable_base",
+                format!("guest {name} base {:#x} non-canonical", vmcs.read(f)),
+            ));
+        }
+    }
+    for (f, name) in [
+        (VmcsField::GuestGdtrLimit, "GDTR"),
+        (VmcsField::GuestIdtrLimit, "IDTR"),
+    ] {
+        if vmcs.read(f) >> 16 != 0 {
+            return Err(fail_guest(
+                "guest.dtable_limit",
+                format!("guest {name} limit has bits 31:16 set"),
+            ));
+        }
+    }
+
+    // RIP (SDM 26.3.1.4).
+    let rip = vmcs.read(VmcsField::GuestRip);
+    let cs = vmcs.guest_segment(SegReg::Cs);
+    if (!ia32e || !cs.ar.long()) && rip >> 32 != 0 {
+        return Err(fail_guest(
+            "guest.rip_upper",
+            format!("RIP {rip:#x} bits 63:32 set"),
+        ));
+    }
+    if ia32e && cs.ar.long() && !VirtAddr(rip).is_canonical() {
+        return Err(fail_guest(
+            "guest.rip_canonical",
+            format!("RIP {rip:#x} non-canonical"),
+        ));
+    }
+
+    // Activity and interruptibility state (SDM 26.3.1.5).
+    let act_raw = vmcs.read(VmcsField::GuestActivityState);
+    let activity = match ActivityState::from_raw(act_raw) {
+        Ok(a) => a,
+        Err(e) => return Err(fail_guest("guest.activity_reserved", e.detail)),
+    };
+    if !matches!(activity, ActivityState::Active) {
+        // HLT keeps the vCPU runnable (interrupts resume it); Shutdown
+        // and Wait-for-SIPI stall it — hardware enters anyway, which is
+        // exactly why L0 hypervisors must sanitize VMCS12 activity state.
+        outcome.runnable = matches!(activity, ActivityState::Hlt);
+    }
+    let intr = Interruptibility(vmcs.read(VmcsField::GuestInterruptibilityInfo) as u32);
+    if let Err(e) = intr.check(rflags) {
+        return Err(fail_guest("guest.interruptibility", e.detail));
+    }
+    if matches!(activity, ActivityState::Hlt)
+        && intr.0 & (Interruptibility::STI | Interruptibility::MOV_SS) != 0
+    {
+        return Err(fail_guest(
+            "guest.hlt_blocking",
+            "HLT activity with STI/MOV-SS blocking".into(),
+        ));
+    }
+
+    // Pending debug exceptions (SDM 26.3.1.5): reserved bits.
+    let pend = vmcs.read(VmcsField::GuestPendingDbgExceptions);
+    const PEND_DEFINED: u64 = 0xf | (1 << 12) | (1 << 14) | (1 << 16);
+    if pend & !PEND_DEFINED != 0 {
+        return Err(fail_guest(
+            "guest.pending_dbg_reserved",
+            format!("pending debug exceptions {pend:#x} reserved bits"),
+        ));
+    }
+    if pend & (1 << 16) != 0 {
+        // QUIRK: RTM bit cleared on parts without RTM instead of failing.
+        outcome.adjustments.push(Adjustment {
+            field: VmcsField::GuestPendingDbgExceptions,
+            from: pend,
+            to: pend & !(1 << 16),
+            quirk: "pending_dbg_rtm_cleared",
+        });
+    }
+
+    // VMCS link pointer (SDM 26.3.1.5).
+    let link = vmcs.read(VmcsField::VmcsLinkPointer);
+    if link != u64::MAX {
+        let shadowing = proc2v & proc2::VMCS_SHADOWING != 0;
+        if !shadowing || !page_aligned(link) || !phys_in_width(link) {
+            return Err(fail_guest(
+                "guest.vmcs_link",
+                format!("VMCS link pointer {link:#x} invalid"),
+            ));
+        }
+    }
+
+    // PDPTEs for PAE paging without EPT handled by the MMU at entry
+    // (SDM 26.3.1.6): checked only when EPT is on (otherwise loaded from
+    // memory, modeled as valid).
+    if !ia32e && cr0v.has(Cr0::PG) && cr4v.has(Cr4::PAE) && proc2v & proc2::ENABLE_EPT != 0 {
+        for f in [
+            VmcsField::GuestPdpte0,
+            VmcsField::GuestPdpte1,
+            VmcsField::GuestPdpte2,
+            VmcsField::GuestPdpte3,
+        ] {
+            if let Err(e) = Pdpte(vmcs.read(f)).check() {
+                return Err(fail_guest("guest.pdpte", e.detail));
+            }
+        }
+    }
+
+    // PAT/PERF_GLOBAL_CTRL loads.
+    if entryv & ec::LOAD_PAT != 0 && !pat_valid(vmcs.read(VmcsField::GuestIa32Pat)) {
+        return Err(fail_guest(
+            "guest.pat",
+            format!(
+                "guest PAT {:#x} invalid",
+                vmcs.read(VmcsField::GuestIa32Pat)
+            ),
+        ));
+    }
+    if entryv & ec::LOAD_PERF_GLOBAL_CTRL != 0 {
+        let v = vmcs.read(VmcsField::GuestIa32PerfGlobalCtrl);
+        if v & !0x7_0000_000f != 0 {
+            return Err(fail_guest(
+                "guest.perf_global",
+                format!("guest PERF_GLOBAL_CTRL {v:#x} reserved bits"),
+            ));
+        }
+    }
+    Ok(outcome)
+}
+
+/// Processes the VM-entry MSR-load list (SDM 26.4): each value must be
+/// legal for its MSR, enforced with full `wrmsr` semantics.
+pub fn check_msr_load(area: &MsrArea) -> Result<(), EntryFailure> {
+    for (i, e) in area.entries.iter().enumerate() {
+        let Some(msr) = Msr::from_index(e.index) else {
+            return Err(EntryFailure::MsrLoad(
+                e.index,
+                ArchError::new(
+                    "msrload.unknown",
+                    format!("entry {i}: unknown MSR {:#x}", e.index),
+                ),
+            ));
+        };
+        if msr.requires_canonical() && !VirtAddr(e.value).is_canonical() {
+            return Err(EntryFailure::MsrLoad(
+                e.index,
+                ArchError::new(
+                    "msrload.non_canonical",
+                    format!(
+                        "entry {i}: MSR {:#x} value {:#x} non-canonical",
+                        e.index, e.value
+                    ),
+                ),
+            ));
+        }
+        if msr == Msr::Pat && !pat_valid(e.value) {
+            return Err(EntryFailure::MsrLoad(
+                e.index,
+                ArchError::new(
+                    "msrload.pat",
+                    format!("entry {i}: invalid PAT {:#x}", e.value),
+                ),
+            ));
+        }
+        if msr == Msr::Efer {
+            if let Err(err) = Efer::new(e.value).check_reserved() {
+                return Err(EntryFailure::MsrLoad(e.index, err));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The full VM-entry decision: the three check groups in architectural
+/// order, then MSR loading. This is the oracle the validator consults.
+pub fn try_vmentry(
+    vmcs: &Vmcs,
+    caps: &VmxCapabilities,
+    entry_msr_load: &MsrArea,
+) -> Result<EntryOutcome, EntryFailure> {
+    check_vm_controls(vmcs, caps)?;
+    check_host_state(vmcs, caps)?;
+    let outcome = check_guest_state(vmcs, caps)?;
+    check_msr_load(entry_msr_load)?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::golden_vmcs;
+    use nf_x86::{CpuVendor, FeatureSet};
+
+    fn caps() -> VmxCapabilities {
+        VmxCapabilities::from_features(FeatureSet::default_for(CpuVendor::Intel))
+    }
+
+    #[test]
+    fn golden_vmcs_enters_cleanly() {
+        let caps = caps();
+        let vmcs = golden_vmcs(&caps);
+        let outcome = try_vmentry(&vmcs, &caps, &MsrArea::new()).expect("golden state must enter");
+        assert!(outcome.adjustments.is_empty(), "{:?}", outcome.adjustments);
+        assert!(outcome.runnable);
+    }
+
+    #[test]
+    fn zeroed_vmcs_fails_controls_first() {
+        let caps = caps();
+        let vmcs = Vmcs::new();
+        match try_vmentry(&vmcs, &caps, &MsrArea::new()) {
+            Err(EntryFailure::InvalidControls(_)) => {}
+            other => panic!("expected control failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cr4_pae_quirk_applies_in_ia32e() {
+        let caps = caps();
+        let mut vmcs = golden_vmcs(&caps);
+        let cr4 = vmcs.read(VmcsField::GuestCr4) & !Cr4::PAE;
+        vmcs.write(VmcsField::GuestCr4, cr4);
+        let outcome = try_vmentry(&vmcs, &caps, &MsrArea::new()).expect("quirk permits entry");
+        assert!(outcome
+            .adjustments
+            .iter()
+            .any(|a| a.quirk == "cr4_pae_assumed"));
+    }
+
+    #[test]
+    fn bad_host_cr3_fails_host_group() {
+        let caps = caps();
+        let mut vmcs = golden_vmcs(&caps);
+        vmcs.write(VmcsField::HostCr3, u64::MAX);
+        match try_vmentry(&vmcs, &caps, &MsrArea::new()) {
+            Err(EntryFailure::InvalidHostState(e)) => assert_eq!(e.rule, "host.cr3_width"),
+            other => panic!("expected host failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_for_sipi_enters_but_stalls() {
+        let caps = caps();
+        let mut vmcs = golden_vmcs(&caps);
+        vmcs.write(
+            VmcsField::GuestActivityState,
+            ActivityState::WaitForSipi as u64,
+        );
+        let outcome = try_vmentry(&vmcs, &caps, &MsrArea::new()).expect("WFS entry is legal");
+        assert!(!outcome.runnable, "wait-for-SIPI guest must stall");
+    }
+
+    #[test]
+    fn reserved_activity_state_fails() {
+        let caps = caps();
+        let mut vmcs = golden_vmcs(&caps);
+        vmcs.write(VmcsField::GuestActivityState, 7);
+        let err = try_vmentry(&vmcs, &caps, &MsrArea::new()).unwrap_err();
+        assert_eq!(err.rule(), "guest.activity_reserved");
+    }
+
+    #[test]
+    fn non_canonical_msr_load_fails_reason_34() {
+        let caps = caps();
+        let vmcs = golden_vmcs(&caps);
+        let area = MsrArea {
+            entries: vec![nf_vmx::MsrAreaEntry {
+                index: Msr::KernelGsBase.index(),
+                value: 0x8000_0000_0000_0000,
+            }],
+        };
+        match try_vmentry(&vmcs, &caps, &area) {
+            Err(EntryFailure::MsrLoad(idx, _)) => assert_eq!(idx, Msr::KernelGsBase.index()),
+            other => panic!("expected MSR-load failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vpid_zero_rejected_when_enabled() {
+        let caps = VmxCapabilities::from_features({
+            let mut f = FeatureSet::default_for(CpuVendor::Intel);
+            f.insert(nf_x86::CpuFeature::Vpid);
+            f
+        });
+        let mut vmcs = golden_vmcs(&caps);
+        let p2 = vmcs.read(VmcsField::SecondaryVmExecControl) | proc2::ENABLE_VPID as u64;
+        vmcs.write(VmcsField::SecondaryVmExecControl, p2);
+        vmcs.write(VmcsField::Vpid, 0);
+        let err = try_vmentry(&vmcs, &caps, &MsrArea::new()).unwrap_err();
+        assert_eq!(err.rule(), "ctrl.vpid_zero");
+    }
+
+    #[test]
+    fn eptp_validity() {
+        assert!(eptp_valid(0x1000 | 6 | (3 << 3)));
+        assert!(eptp_valid(0x1000 | (3 << 3))); // UC
+        assert!(!eptp_valid(0x1000 | 1 | (3 << 3))); // bad memtype
+        assert!(!eptp_valid(0x1000 | 6)); // walk length 1
+        assert!(!eptp_valid(0x1000 | 6 | (3 << 3) | (1 << 7))); // reserved
+        assert!(!eptp_valid((1 << 50) | 6 | (3 << 3))); // beyond MAXPHYADDR
+    }
+
+    #[test]
+    fn checks_stop_at_first_failure() {
+        // A VMCS with both a control error and a guest error reports the
+        // control error, matching hardware's check order.
+        let caps = caps();
+        let mut vmcs = golden_vmcs(&caps);
+        vmcs.write(VmcsField::Cr3TargetCount, 100);
+        vmcs.write(VmcsField::GuestRflags, 0); // also invalid
+        match try_vmentry(&vmcs, &caps, &MsrArea::new()) {
+            Err(EntryFailure::InvalidControls(e)) => assert_eq!(e.rule, "ctrl.cr3_target_count"),
+            other => panic!("expected control failure, got {other:?}"),
+        }
+    }
+}

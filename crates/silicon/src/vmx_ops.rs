@@ -1,0 +1,196 @@
+//! Hardware rules for the individual VMX instructions (SDM ch. 30).
+//!
+//! These are the checks the physical CPU performs when a hypervisor
+//! executes `vmxon`/`vmclear`/`vmptrld`/`vmwrite`/... in root mode.
+//! An L0 hypervisor that emulates nested virtualization must replicate
+//! them for its L1 guests; the helpers live here so that the faithful
+//! parts of each hypervisor can share one definition while their seeded
+//! deviations remain local to the hypervisor.
+
+use nf_vmx::{VmcsField, VmcsState};
+use nf_x86::addr::{page_aligned, phys_in_width};
+use nf_x86::{ArchError, ArchResult, Cr0, Cr4, Efer};
+
+/// VM-instruction error numbers (SDM 30.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum VmInstrError {
+    /// `VMfailInvalid`: no current VMCS (reported via `RFLAGS.CF`).
+    FailInvalid = 0,
+    /// VMCALL executed in VMX root operation.
+    VmcallInRoot = 1,
+    /// VMCLEAR with invalid physical address.
+    VmclearBadAddress = 2,
+    /// VMCLEAR with the VMXON pointer.
+    VmclearVmxonPointer = 3,
+    /// VMLAUNCH with non-clear VMCS.
+    VmlaunchNonClear = 4,
+    /// VMRESUME with non-launched VMCS.
+    VmresumeNonLaunched = 5,
+    /// VM entry with invalid control fields.
+    EntryInvalidControls = 7,
+    /// VM entry with invalid host state.
+    EntryInvalidHostState = 8,
+    /// VMPTRLD with invalid physical address.
+    VmptrldBadAddress = 9,
+    /// VMPTRLD with the VMXON pointer.
+    VmptrldVmxonPointer = 10,
+    /// VMPTRLD with incorrect VMCS revision identifier.
+    VmptrldBadRevision = 11,
+    /// VMREAD/VMWRITE to unsupported field.
+    BadField = 12,
+    /// VMWRITE to a read-only field.
+    VmwriteReadOnly = 13,
+    /// VMXON executed in VMX root operation.
+    VmxonInRoot = 15,
+}
+
+/// Checks the preconditions of `vmxon` (SDM 30.3 "VMXON").
+pub fn vmxon_check(cr0: Cr0, cr4: Cr4, efer: Efer, region: u64) -> ArchResult {
+    if !cr4.has(Cr4::VMXE) {
+        return Err(ArchError::new(
+            "vmxon.vmxe",
+            "CR4.VMXE must be set before vmxon",
+        ));
+    }
+    if !cr0.has(Cr0::PE) || !cr0.has(Cr0::NE) || !cr0.has(Cr0::PG) {
+        return Err(ArchError::new(
+            "vmxon.cr0",
+            "vmxon requires CR0.PE, CR0.NE and CR0.PG",
+        ));
+    }
+    // Long-mode consistency is a #GP source, not a VMfail.
+    let _ = efer;
+    if !page_aligned(region) || !phys_in_width(region) {
+        return Err(ArchError::new(
+            "vmxon.region",
+            format!("VMXON region {region:#x} misaligned or out of range"),
+        ));
+    }
+    Ok(())
+}
+
+/// Checks a `vmclear` operand (SDM 30.3 "VMCLEAR").
+pub fn vmclear_check(addr: u64, vmxon_region: u64) -> Result<(), VmInstrError> {
+    if !page_aligned(addr) || !phys_in_width(addr) {
+        return Err(VmInstrError::VmclearBadAddress);
+    }
+    if addr == vmxon_region {
+        return Err(VmInstrError::VmclearVmxonPointer);
+    }
+    Ok(())
+}
+
+/// Checks a `vmptrld` operand (SDM 30.3 "VMPTRLD").
+pub fn vmptrld_check(
+    addr: u64,
+    vmxon_region: u64,
+    region_revision: u32,
+    cpu_revision: u32,
+) -> Result<(), VmInstrError> {
+    if !page_aligned(addr) || !phys_in_width(addr) {
+        return Err(VmInstrError::VmptrldBadAddress);
+    }
+    if addr == vmxon_region {
+        return Err(VmInstrError::VmptrldVmxonPointer);
+    }
+    if region_revision != cpu_revision {
+        return Err(VmInstrError::VmptrldBadRevision);
+    }
+    Ok(())
+}
+
+/// Checks a `vmwrite` target field (SDM 30.3 "VMWRITE").
+pub fn vmwrite_check(encoding: u32) -> Result<VmcsField, VmInstrError> {
+    let field = VmcsField::from_encoding(encoding).ok_or(VmInstrError::BadField)?;
+    if !field.writable() {
+        return Err(VmInstrError::VmwriteReadOnly);
+    }
+    Ok(field)
+}
+
+/// Checks a `vmread` source field.
+pub fn vmread_check(encoding: u32) -> Result<VmcsField, VmInstrError> {
+    VmcsField::from_encoding(encoding).ok_or(VmInstrError::BadField)
+}
+
+/// Checks the launch-state rule of `vmlaunch`/`vmresume` (SDM 26.1).
+pub fn launch_state_check(state: VmcsState, is_resume: bool) -> Result<(), VmInstrError> {
+    match (is_resume, state) {
+        (false, VmcsState::Clear | VmcsState::Loaded) => Ok(()),
+        (false, VmcsState::Launched) => Err(VmInstrError::VmlaunchNonClear),
+        (true, VmcsState::Launched) => Ok(()),
+        (true, _) => Err(VmInstrError::VmresumeNonLaunched),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vmx_regs() -> (Cr0, Cr4, Efer) {
+        (
+            Cr0::new(Cr0::PE | Cr0::PG | Cr0::NE),
+            Cr4::new(Cr4::VMXE | Cr4::PAE),
+            Efer::new(Efer::LME | Efer::LMA),
+        )
+    }
+
+    #[test]
+    fn vmxon_requires_vmxe_and_cr0_bits() {
+        let (cr0, cr4, efer) = vmx_regs();
+        assert!(vmxon_check(cr0, cr4, efer, 0x1000).is_ok());
+        assert!(vmxon_check(cr0, Cr4::new(Cr4::PAE), efer, 0x1000).is_err());
+        assert!(vmxon_check(Cr0::new(Cr0::PE), cr4, efer, 0x1000).is_err());
+        assert!(vmxon_check(cr0, cr4, efer, 0x1001).is_err());
+    }
+
+    #[test]
+    fn vmclear_vmptrld_pointer_rules() {
+        assert_eq!(
+            vmclear_check(0x3000, 0x3000),
+            Err(VmInstrError::VmclearVmxonPointer)
+        );
+        assert_eq!(
+            vmclear_check(0x123, 0x3000),
+            Err(VmInstrError::VmclearBadAddress)
+        );
+        assert!(vmclear_check(0x4000, 0x3000).is_ok());
+
+        assert_eq!(
+            vmptrld_check(0x3000, 0x3000, 0, 0),
+            Err(VmInstrError::VmptrldVmxonPointer)
+        );
+        assert_eq!(
+            vmptrld_check(0x4000, 0x3000, 1, 2),
+            Err(VmInstrError::VmptrldBadRevision)
+        );
+        assert!(vmptrld_check(0x4000, 0x3000, 7, 7).is_ok());
+    }
+
+    #[test]
+    fn vmwrite_rejects_read_only_and_unknown_fields() {
+        assert!(vmwrite_check(VmcsField::GuestCr0.encoding()).is_ok());
+        assert_eq!(
+            vmwrite_check(VmcsField::VmExitReason.encoding()),
+            Err(VmInstrError::VmwriteReadOnly)
+        );
+        assert_eq!(vmwrite_check(0xdead_0000), Err(VmInstrError::BadField));
+        assert!(vmread_check(VmcsField::VmExitReason.encoding()).is_ok());
+    }
+
+    #[test]
+    fn launch_state_machine() {
+        assert!(launch_state_check(VmcsState::Clear, false).is_ok());
+        assert!(launch_state_check(VmcsState::Loaded, false).is_ok());
+        assert_eq!(
+            launch_state_check(VmcsState::Launched, false),
+            Err(VmInstrError::VmlaunchNonClear)
+        );
+        assert!(launch_state_check(VmcsState::Launched, true).is_ok());
+        assert_eq!(
+            launch_state_check(VmcsState::Clear, true),
+            Err(VmInstrError::VmresumeNonLaunched)
+        );
+    }
+}

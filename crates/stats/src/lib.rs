@@ -1,0 +1,266 @@
+//! Statistics for the evaluation (paper §5.1, following Klees et al.):
+//! medians over repeated runs, nonparametric confidence intervals, exact
+//! two-sided Mann-Whitney U tests, Cohen's d effect sizes, and the
+//! Hamming-distance summaries of Figure 5.
+
+/// Median of a sample (mean of the two central order statistics for even
+/// sizes).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty sample");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator; 0 for n < 2).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Nonparametric confidence interval for the median: the (lo, hi) order
+/// statistics bracketing it. For n = 5 the (min, max) pair gives ≈ 93.75%
+/// coverage — the closest achievable to the paper's 95% CI at five runs.
+pub fn median_ci(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty());
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    (v[0], v[v.len() - 1])
+}
+
+/// Exact two-sided Mann-Whitney U test for small samples.
+///
+/// Computes the exact permutation distribution of U (feasible for the
+/// paper's n = m = 5), returning `(u_statistic, p_value)`.
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let n = xs.len();
+    let m = ys.len();
+    assert!(n > 0 && m > 0, "both samples must be non-empty");
+    // U statistic with tie correction (0.5 per tie).
+    let mut u = 0.0;
+    for &x in xs {
+        for &y in ys {
+            if x > y {
+                u += 1.0;
+            } else if (x - y).abs() < f64::EPSILON {
+                u += 0.5;
+            }
+        }
+    }
+    // Exact null distribution: enumerate all C(n+m, n) group assignments
+    // of the pooled ranks.
+    let mut pooled: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+    pooled.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let total = n + m;
+    let mut count_extreme = 0u64;
+    let mut count_total = 0u64;
+    let mean_u = (n * m) as f64 / 2.0;
+    let observed_dev = (u - mean_u).abs();
+    // Iterate subsets of size n via combination indices.
+    let mut idx: Vec<usize> = (0..n).collect();
+    loop {
+        // U for this assignment.
+        let in_x: Vec<bool> = {
+            let mut v = vec![false; total];
+            for &i in &idx {
+                v[i] = true;
+            }
+            v
+        };
+        let mut u_perm = 0.0;
+        for i in 0..total {
+            if !in_x[i] {
+                continue;
+            }
+            for j in 0..total {
+                if in_x[j] {
+                    continue;
+                }
+                if pooled[i] > pooled[j] {
+                    u_perm += 1.0;
+                } else if (pooled[i] - pooled[j]).abs() < f64::EPSILON {
+                    u_perm += 0.5;
+                }
+            }
+        }
+        count_total += 1;
+        if (u_perm - mean_u).abs() >= observed_dev - 1e-12 {
+            count_extreme += 1;
+        }
+        // Next combination.
+        let mut i = n;
+        loop {
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+            if idx[i] != i + total - n {
+                idx[i] += 1;
+                for j in i + 1..n {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+            if i == 0 {
+                return (u, count_extreme as f64 / count_total as f64);
+            }
+        }
+        if idx[0] > total - n {
+            break;
+        }
+    }
+    (u, count_extreme as f64 / count_total as f64)
+}
+
+/// Cohen's d with pooled standard deviation.
+pub fn cohens_d(xs: &[f64], ys: &[f64]) -> f64 {
+    let (n1, n2) = (xs.len() as f64, ys.len() as f64);
+    let (s1, s2) = (std_dev(xs), std_dev(ys));
+    let pooled = (((n1 - 1.0) * s1 * s1 + (n2 - 1.0) * s2 * s2) / (n1 + n2 - 2.0)).sqrt();
+    if pooled == 0.0 {
+        if (mean(xs) - mean(ys)).abs() < f64::EPSILON {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (mean(xs) - mean(ys)) / pooled
+    }
+}
+
+/// Summary of a distance distribution (the annotations of Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistSummary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarizes a set of distances.
+pub fn summarize(xs: &[f64]) -> DistSummary {
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    DistSummary {
+        mean: mean(xs),
+        std: std_dev(xs),
+        min,
+        max,
+    }
+}
+
+/// A coarse text histogram (violin-plot stand-in) over `bins` buckets.
+pub fn ascii_violin(xs: &[f64], bins: usize, width: usize) -> Vec<String> {
+    if xs.is_empty() || bins == 0 {
+        return Vec::new();
+    }
+    let s = summarize(xs);
+    let span = (s.max - s.min).max(1e-9);
+    let mut counts = vec![0usize; bins];
+    for &x in xs {
+        let b = (((x - s.min) / span) * bins as f64) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let lo = s.min + span * i as f64 / bins as f64;
+            let bar = "#".repeat((c * width).div_ceil(peak));
+            format!("{lo:8.1} | {bar}")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ci_brackets_median() {
+        let xs = [0.84, 0.85, 0.847, 0.842, 0.852];
+        let (lo, hi) = median_ci(&xs);
+        let m = median(&xs);
+        assert!(lo <= m && m <= hi);
+        assert_eq!(lo, 0.84);
+        assert_eq!(hi, 0.852);
+    }
+
+    #[test]
+    fn mann_whitney_separated_samples() {
+        // Fully separated n=m=5: the most extreme assignment; exact
+        // two-sided p = 2/C(10,5) = 2/252 ≈ 0.0079.
+        let xs = [10.0, 11.0, 12.0, 13.0, 14.0];
+        let ys = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let (u, p) = mann_whitney_u(&xs, &ys);
+        assert_eq!(u, 25.0);
+        assert!((p - 2.0 / 252.0).abs() < 1e-9, "p={p}");
+    }
+
+    #[test]
+    fn mann_whitney_identical_samples() {
+        let xs = [1.0, 2.0, 3.0];
+        let (u, p) = mann_whitney_u(&xs, &xs);
+        assert_eq!(u, 4.5);
+        assert!(p > 0.99, "identical samples cannot be significant: {p}");
+    }
+
+    #[test]
+    fn cohens_d_signs_and_magnitude() {
+        let a = [10.0, 10.5, 11.0, 10.2, 10.8];
+        let b = [5.0, 5.5, 6.0, 5.2, 5.8];
+        let d = cohens_d(&a, &b);
+        assert!(d > 5.0, "large effect expected, got {d}");
+        assert!(cohens_d(&b, &a) < -5.0);
+        assert_eq!(cohens_d(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn summary_and_violin() {
+        let xs: Vec<f64> = (0..100).map(|i| 400.0 + (i % 10) as f64 * 10.0).collect();
+        let s = summarize(&xs);
+        assert!(s.min >= 400.0 && s.max <= 500.0);
+        let rows = ascii_violin(&xs, 5, 40);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().any(|r| r.contains('#')));
+    }
+}

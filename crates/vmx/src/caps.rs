@@ -1,0 +1,289 @@
+//! VMX capability MSRs derived from the vCPU configuration.
+//!
+//! `IA32_VMX_*` MSR pairs tell software which control bits *must* be 1
+//! (allowed-0 word) and which *may* be 1 (allowed-1 word). The vCPU
+//! configurator changes the [`FeatureSet`]; this module turns a feature
+//! set into the capability surface both the silicon model and the
+//! hypervisors consult — which is how configuration choices propagate
+//! into VM-entry validity, exactly the interaction the paper's
+//! configurator exploits (§3.5).
+
+use crate::controls::{entry, exit, pin, proc, proc2};
+use nf_x86::{CpuFeature, Cr0, Cr4, FeatureSet};
+
+/// Which VMCS control word a capability query refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlKind {
+    /// Pin-based VM-execution controls.
+    PinBased,
+    /// Primary processor-based VM-execution controls.
+    ProcBased,
+    /// Secondary processor-based VM-execution controls.
+    ProcBased2,
+    /// VM-exit controls.
+    Exit,
+    /// VM-entry controls.
+    Entry,
+}
+
+impl CtrlKind {
+    /// All control words, in check order.
+    pub const ALL: [CtrlKind; 5] = [
+        CtrlKind::PinBased,
+        CtrlKind::ProcBased,
+        CtrlKind::ProcBased2,
+        CtrlKind::Exit,
+        CtrlKind::Entry,
+    ];
+}
+
+/// The VMX capability surface of a configured virtual CPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmxCapabilities {
+    /// The feature set the capabilities were derived from.
+    pub features: FeatureSet,
+    /// VMCS revision identifier (IA32_VMX_BASIC bits 30:0).
+    pub revision_id: u32,
+}
+
+impl VmxCapabilities {
+    /// Revision identifier used by the modeled processor.
+    pub const REVISION: u32 = 0x0000_4e65; // "Ne"
+
+    /// Derives the capability surface from a sanitized feature set.
+    pub fn from_features(features: FeatureSet) -> Self {
+        VmxCapabilities {
+            features,
+            revision_id: Self::REVISION,
+        }
+    }
+
+    /// Returns the `(allowed0, allowed1)` pair for a control word:
+    /// `allowed0` bits must be 1, and only `allowed1` bits may be 1.
+    pub fn allowed(&self, kind: CtrlKind) -> (u32, u32) {
+        match kind {
+            CtrlKind::PinBased => {
+                let mut a1 = pin::DEFINED | pin::DEFAULT1;
+                if !self.features.contains(CpuFeature::VirtualNmi) {
+                    a1 &= !pin::VIRTUAL_NMIS;
+                }
+                if !self.features.contains(CpuFeature::PostedInterrupts) {
+                    a1 &= !pin::POSTED_INTR;
+                }
+                (pin::DEFAULT1, a1)
+            }
+            CtrlKind::ProcBased => {
+                let a1 = proc::DEFINED | proc::DEFAULT1;
+                (proc::DEFAULT1, a1)
+            }
+            CtrlKind::ProcBased2 => {
+                let mut a1 = proc2::DEFINED;
+                let f = &self.features;
+                if !f.contains(CpuFeature::Ept) {
+                    a1 &= !(proc2::ENABLE_EPT | proc2::ENABLE_PML | proc2::EPT_VIOLATION_VE);
+                }
+                if !f.contains(CpuFeature::UnrestrictedGuest) {
+                    a1 &= !proc2::UNRESTRICTED_GUEST;
+                }
+                if !f.contains(CpuFeature::Vpid) {
+                    a1 &= !proc2::ENABLE_VPID;
+                }
+                if !f.contains(CpuFeature::VmcsShadowing) {
+                    a1 &= !proc2::VMCS_SHADOWING;
+                }
+                if !f.contains(CpuFeature::Apicv) {
+                    a1 &= !(proc2::APIC_REGISTER_VIRT
+                        | proc2::VIRT_INTR_DELIVERY
+                        | proc2::VIRT_X2APIC);
+                }
+                if !f.contains(CpuFeature::Sgx) {
+                    a1 &= !proc2::ENCLS_EXITING;
+                }
+                if !f.contains(CpuFeature::IntelPt) {
+                    a1 &= !(proc2::PT_CONCEAL_VMX | proc2::PT_USE_GPA);
+                }
+                if !f.contains(CpuFeature::TscScaling) {
+                    a1 &= !proc2::TSC_SCALING;
+                }
+                (0, a1)
+            }
+            CtrlKind::Exit => {
+                let a1 = exit::DEFINED | exit::DEFAULT1;
+                (exit::DEFAULT1, a1)
+            }
+            CtrlKind::Entry => {
+                let a1 = entry::DEFINED | entry::DEFAULT1;
+                (entry::DEFAULT1, a1)
+            }
+        }
+    }
+
+    /// Checks a control-word value against the capability pair.
+    pub fn control_ok(&self, kind: CtrlKind, value: u32) -> bool {
+        let (a0, a1) = self.allowed(kind);
+        value & a0 == a0 && value & !a1 == 0
+    }
+
+    /// Rounds a control word to the nearest legal value: forces allowed-0
+    /// bits on and clears not-allowed-1 bits — the same adjustment the
+    /// validator's rounding pass applies.
+    pub fn round_control(&self, kind: CtrlKind, value: u32) -> u32 {
+        let (a0, a1) = self.allowed(kind);
+        (value | a0) & a1
+    }
+
+    /// `IA32_VMX_CR0_FIXED0`: CR0 bits that must be 1 in VMX operation.
+    /// With unrestricted guest enabled, `PE` and `PG` may be 0.
+    pub fn cr0_fixed0(&self, unrestricted_active: bool) -> u64 {
+        let mut fixed = Cr0::NE;
+        if !unrestricted_active {
+            fixed |= Cr0::PE | Cr0::PG;
+        }
+        fixed
+    }
+
+    /// `IA32_VMX_CR0_FIXED1`: CR0 bits that may be 1 (everything defined).
+    pub fn cr0_fixed1(&self) -> u64 {
+        Cr0::DEFINED
+    }
+
+    /// `IA32_VMX_CR4_FIXED0`: CR4 bits that must be 1 (VMXE).
+    pub fn cr4_fixed0(&self) -> u64 {
+        Cr4::VMXE
+    }
+
+    /// `IA32_VMX_CR4_FIXED1`: CR4 bits that may be 1.
+    pub fn cr4_fixed1(&self) -> u64 {
+        let mut allowed = Cr4::DEFINED;
+        if !self.features.contains(CpuFeature::Sgx) {
+            allowed &= !Cr4::SMXE;
+        }
+        allowed
+    }
+
+    /// Checks a guest/host CR0 against the fixed-bit words.
+    pub fn cr0_ok(&self, cr0: u64, unrestricted_active: bool) -> bool {
+        let f0 = self.cr0_fixed0(unrestricted_active);
+        let f1 = self.cr0_fixed1();
+        // Special case (SDM A.7): if PE=0 (allowed only with unrestricted
+        // guest), PG must also be 0.
+        if unrestricted_active && cr0 & Cr0::PG != 0 && cr0 & Cr0::PE == 0 {
+            return false;
+        }
+        cr0 & f0 == f0 && cr0 & !f1 == 0
+    }
+
+    /// Checks a guest/host CR4 against the fixed-bit words.
+    pub fn cr4_ok(&self, cr4: u64) -> bool {
+        let f0 = self.cr4_fixed0();
+        let f1 = self.cr4_fixed1();
+        cr4 & f0 == f0 && cr4 & !f1 == 0
+    }
+
+    /// Rounds CR0 to satisfy the fixed-bit words.
+    pub fn round_cr0(&self, cr0: u64, unrestricted_active: bool) -> u64 {
+        let mut v = (cr0 | self.cr0_fixed0(unrestricted_active)) & self.cr0_fixed1();
+        if v & Cr0::PG != 0 && v & Cr0::PE == 0 {
+            v |= Cr0::PE;
+        }
+        v
+    }
+
+    /// Rounds CR4 to satisfy the fixed-bit words.
+    pub fn round_cr4(&self, cr4: u64) -> u64 {
+        (cr4 | self.cr4_fixed0()) & self.cr4_fixed1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_x86::CpuVendor;
+
+    fn caps(features: FeatureSet) -> VmxCapabilities {
+        VmxCapabilities::from_features(features.sanitized(CpuVendor::Intel))
+    }
+
+    #[test]
+    fn default_feature_caps_allow_ept() {
+        let c = caps(FeatureSet::default_for(CpuVendor::Intel));
+        let (_, a1) = c.allowed(CtrlKind::ProcBased2);
+        assert_ne!(a1 & proc2::ENABLE_EPT, 0);
+        assert_ne!(a1 & proc2::UNRESTRICTED_GUEST, 0);
+    }
+
+    #[test]
+    fn disabling_ept_removes_dependents() {
+        let mut f = FeatureSet::default_for(CpuVendor::Intel);
+        f.remove(CpuFeature::Ept);
+        let c = caps(f);
+        let (_, a1) = c.allowed(CtrlKind::ProcBased2);
+        assert_eq!(a1 & proc2::ENABLE_EPT, 0);
+        assert_eq!(a1 & proc2::UNRESTRICTED_GUEST, 0, "UG requires EPT");
+        assert_eq!(a1 & proc2::ENABLE_PML, 0, "PML requires EPT");
+    }
+
+    #[test]
+    fn control_check_and_round_agree() {
+        let c = caps(FeatureSet::default_for(CpuVendor::Intel));
+        for kind in CtrlKind::ALL {
+            for raw in [0u32, u32::MAX, 0x1234_5678, proc::SECONDARY_CONTROLS] {
+                let rounded = c.round_control(kind, raw);
+                assert!(c.control_ok(kind, rounded), "{kind:?} raw={raw:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_is_idempotent() {
+        let c = caps(FeatureSet::default_for(CpuVendor::Intel));
+        for kind in CtrlKind::ALL {
+            let once = c.round_control(kind, 0xdead_beef);
+            assert_eq!(c.round_control(kind, once), once);
+        }
+    }
+
+    #[test]
+    fn cr0_fixed_bits_depend_on_unrestricted_guest() {
+        let c = caps(FeatureSet::default_for(CpuVendor::Intel));
+        // Without unrestricted guest: PE and PG forced.
+        assert!(!c.cr0_ok(Cr0::NE, false));
+        assert!(c.cr0_ok(Cr0::NE | Cr0::PE | Cr0::PG, false));
+        // With unrestricted guest: real mode allowed.
+        assert!(c.cr0_ok(Cr0::NE, true));
+        // But PG without PE is never allowed.
+        assert!(!c.cr0_ok(Cr0::NE | Cr0::PG, true));
+    }
+
+    #[test]
+    fn cr4_vmxe_forced() {
+        let c = caps(FeatureSet::default_for(CpuVendor::Intel));
+        assert!(!c.cr4_ok(0));
+        assert!(c.cr4_ok(Cr4::VMXE));
+        assert!(c.cr4_ok(Cr4::VMXE | Cr4::PAE));
+    }
+
+    #[test]
+    fn cr_rounding_fixes_arbitrary_values() {
+        let c = caps(FeatureSet::default_for(CpuVendor::Intel));
+        for raw in [0u64, u64::MAX, Cr0::PG, 0xffff_0000] {
+            assert!(c.cr0_ok(c.round_cr0(raw, false), false), "raw={raw:#x}");
+            assert!(c.cr0_ok(c.round_cr0(raw, true), true), "raw={raw:#x}");
+            assert!(c.cr4_ok(c.round_cr4(raw)), "raw={raw:#x}");
+        }
+    }
+
+    #[test]
+    fn posted_interrupts_gated_by_apicv() {
+        let mut f = FeatureSet::default_for(CpuVendor::Intel);
+        f.insert(CpuFeature::Apicv);
+        f.insert(CpuFeature::PostedInterrupts);
+        let c = caps(f);
+        let (_, a1) = c.allowed(CtrlKind::PinBased);
+        assert_ne!(a1 & pin::POSTED_INTR, 0);
+
+        let c2 = caps(FeatureSet::default_for(CpuVendor::Intel));
+        let (_, a1) = c2.allowed(CtrlKind::PinBased);
+        assert_eq!(a1 & pin::POSTED_INTR, 0);
+    }
+}

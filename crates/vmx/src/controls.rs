@@ -1,0 +1,278 @@
+//! Bit definitions for the VMCS control fields.
+//!
+//! Names mirror the Intel SDM / KVM definitions so that the hypervisor
+//! models read like the code they stand in for.
+
+/// Pin-based VM-execution controls (SDM 24.6.1).
+pub mod pin {
+    /// External-interrupt exiting.
+    pub const EXT_INTR_EXITING: u32 = 1 << 0;
+    /// NMI exiting.
+    pub const NMI_EXITING: u32 = 1 << 3;
+    /// Virtual NMIs.
+    pub const VIRTUAL_NMIS: u32 = 1 << 5;
+    /// Activate VMX-preemption timer.
+    pub const PREEMPTION_TIMER: u32 = 1 << 6;
+    /// Process posted interrupts.
+    pub const POSTED_INTR: u32 = 1 << 7;
+    /// Bits the architecture defines; default1 class bits are handled via
+    /// the capability MSRs.
+    pub const DEFINED: u32 =
+        EXT_INTR_EXITING | NMI_EXITING | VIRTUAL_NMIS | PREEMPTION_TIMER | POSTED_INTR;
+    /// Reserved bits that read as 1 in `IA32_VMX_PINBASED_CTLS` allowed-0.
+    pub const DEFAULT1: u32 = 0x16;
+}
+
+/// Primary processor-based VM-execution controls (SDM 24.6.2).
+pub mod proc {
+    /// Interrupt-window exiting.
+    pub const INTR_WINDOW_EXITING: u32 = 1 << 2;
+    /// Use TSC offsetting.
+    pub const USE_TSC_OFFSETTING: u32 = 1 << 3;
+    /// HLT exiting.
+    pub const HLT_EXITING: u32 = 1 << 7;
+    /// INVLPG exiting.
+    pub const INVLPG_EXITING: u32 = 1 << 9;
+    /// MWAIT exiting.
+    pub const MWAIT_EXITING: u32 = 1 << 10;
+    /// RDPMC exiting.
+    pub const RDPMC_EXITING: u32 = 1 << 11;
+    /// RDTSC exiting.
+    pub const RDTSC_EXITING: u32 = 1 << 12;
+    /// CR3-load exiting.
+    pub const CR3_LOAD_EXITING: u32 = 1 << 15;
+    /// CR3-store exiting.
+    pub const CR3_STORE_EXITING: u32 = 1 << 16;
+    /// CR8-load exiting.
+    pub const CR8_LOAD_EXITING: u32 = 1 << 19;
+    /// CR8-store exiting.
+    pub const CR8_STORE_EXITING: u32 = 1 << 20;
+    /// Use TPR shadow.
+    pub const USE_TPR_SHADOW: u32 = 1 << 21;
+    /// NMI-window exiting.
+    pub const NMI_WINDOW_EXITING: u32 = 1 << 22;
+    /// MOV-DR exiting.
+    pub const MOV_DR_EXITING: u32 = 1 << 23;
+    /// Unconditional I/O exiting.
+    pub const UNCOND_IO_EXITING: u32 = 1 << 24;
+    /// Use I/O bitmaps.
+    pub const USE_IO_BITMAPS: u32 = 1 << 25;
+    /// Monitor trap flag.
+    pub const MONITOR_TRAP_FLAG: u32 = 1 << 27;
+    /// Use MSR bitmaps.
+    pub const USE_MSR_BITMAPS: u32 = 1 << 28;
+    /// MONITOR exiting.
+    pub const MONITOR_EXITING: u32 = 1 << 29;
+    /// PAUSE exiting.
+    pub const PAUSE_EXITING: u32 = 1 << 30;
+    /// Activate secondary controls.
+    pub const SECONDARY_CONTROLS: u32 = 1 << 31;
+    /// Bits the architecture defines.
+    pub const DEFINED: u32 = INTR_WINDOW_EXITING
+        | USE_TSC_OFFSETTING
+        | HLT_EXITING
+        | INVLPG_EXITING
+        | MWAIT_EXITING
+        | RDPMC_EXITING
+        | RDTSC_EXITING
+        | CR3_LOAD_EXITING
+        | CR3_STORE_EXITING
+        | CR8_LOAD_EXITING
+        | CR8_STORE_EXITING
+        | USE_TPR_SHADOW
+        | NMI_WINDOW_EXITING
+        | MOV_DR_EXITING
+        | UNCOND_IO_EXITING
+        | USE_IO_BITMAPS
+        | MONITOR_TRAP_FLAG
+        | USE_MSR_BITMAPS
+        | MONITOR_EXITING
+        | PAUSE_EXITING
+        | SECONDARY_CONTROLS;
+    /// Reserved bits that read as 1 in the allowed-0 capability word.
+    pub const DEFAULT1: u32 = 0x0401_e172;
+}
+
+/// Secondary processor-based VM-execution controls (SDM 24.6.2).
+pub mod proc2 {
+    /// Virtualize APIC accesses.
+    pub const VIRT_APIC_ACCESSES: u32 = 1 << 0;
+    /// Enable EPT.
+    pub const ENABLE_EPT: u32 = 1 << 1;
+    /// Descriptor-table exiting.
+    pub const DESC_TABLE_EXITING: u32 = 1 << 2;
+    /// Enable RDTSCP.
+    pub const ENABLE_RDTSCP: u32 = 1 << 3;
+    /// Virtualize x2APIC mode.
+    pub const VIRT_X2APIC: u32 = 1 << 4;
+    /// Enable VPID.
+    pub const ENABLE_VPID: u32 = 1 << 5;
+    /// WBINVD exiting.
+    pub const WBINVD_EXITING: u32 = 1 << 6;
+    /// Unrestricted guest.
+    pub const UNRESTRICTED_GUEST: u32 = 1 << 7;
+    /// APIC-register virtualization.
+    pub const APIC_REGISTER_VIRT: u32 = 1 << 8;
+    /// Virtual-interrupt delivery.
+    pub const VIRT_INTR_DELIVERY: u32 = 1 << 9;
+    /// PAUSE-loop exiting.
+    pub const PAUSE_LOOP_EXITING: u32 = 1 << 10;
+    /// RDRAND exiting.
+    pub const RDRAND_EXITING: u32 = 1 << 11;
+    /// Enable INVPCID.
+    pub const ENABLE_INVPCID: u32 = 1 << 12;
+    /// Enable VM functions.
+    pub const ENABLE_VMFUNC: u32 = 1 << 13;
+    /// VMCS shadowing.
+    pub const VMCS_SHADOWING: u32 = 1 << 14;
+    /// Enable ENCLS exiting.
+    pub const ENCLS_EXITING: u32 = 1 << 15;
+    /// RDSEED exiting.
+    pub const RDSEED_EXITING: u32 = 1 << 16;
+    /// Enable PML.
+    pub const ENABLE_PML: u32 = 1 << 17;
+    /// EPT-violation #VE.
+    pub const EPT_VIOLATION_VE: u32 = 1 << 18;
+    /// Conceal VMX from PT.
+    pub const PT_CONCEAL_VMX: u32 = 1 << 19;
+    /// Enable XSAVES/XRSTORS.
+    pub const ENABLE_XSAVES: u32 = 1 << 20;
+    /// Mode-based execute control for EPT.
+    pub const MODE_BASED_EPT_EXEC: u32 = 1 << 22;
+    /// Sub-page write permissions for EPT.
+    pub const SPP_EPT: u32 = 1 << 23;
+    /// Intel PT uses guest physical addresses.
+    pub const PT_USE_GPA: u32 = 1 << 24;
+    /// Use TSC scaling.
+    pub const TSC_SCALING: u32 = 1 << 25;
+    /// Enable user-level wait and pause.
+    pub const USER_WAIT_PAUSE: u32 = 1 << 26;
+    /// Bits the architecture defines.
+    pub const DEFINED: u32 = VIRT_APIC_ACCESSES
+        | ENABLE_EPT
+        | DESC_TABLE_EXITING
+        | ENABLE_RDTSCP
+        | VIRT_X2APIC
+        | ENABLE_VPID
+        | WBINVD_EXITING
+        | UNRESTRICTED_GUEST
+        | APIC_REGISTER_VIRT
+        | VIRT_INTR_DELIVERY
+        | PAUSE_LOOP_EXITING
+        | RDRAND_EXITING
+        | ENABLE_INVPCID
+        | ENABLE_VMFUNC
+        | VMCS_SHADOWING
+        | ENCLS_EXITING
+        | RDSEED_EXITING
+        | ENABLE_PML
+        | EPT_VIOLATION_VE
+        | PT_CONCEAL_VMX
+        | ENABLE_XSAVES
+        | MODE_BASED_EPT_EXEC
+        | SPP_EPT
+        | PT_USE_GPA
+        | TSC_SCALING
+        | USER_WAIT_PAUSE;
+}
+
+/// VM-exit controls (SDM 24.7.1).
+pub mod exit {
+    /// Save debug controls.
+    pub const SAVE_DEBUG_CONTROLS: u32 = 1 << 2;
+    /// Host address-space size (must be 1 on 64-bit hosts).
+    pub const HOST_ADDR_SPACE_SIZE: u32 = 1 << 9;
+    /// Load IA32_PERF_GLOBAL_CTRL.
+    pub const LOAD_PERF_GLOBAL_CTRL: u32 = 1 << 12;
+    /// Acknowledge interrupt on exit.
+    pub const ACK_INTR_ON_EXIT: u32 = 1 << 15;
+    /// Save IA32_PAT.
+    pub const SAVE_PAT: u32 = 1 << 18;
+    /// Load IA32_PAT.
+    pub const LOAD_PAT: u32 = 1 << 19;
+    /// Save IA32_EFER.
+    pub const SAVE_EFER: u32 = 1 << 20;
+    /// Load IA32_EFER.
+    pub const LOAD_EFER: u32 = 1 << 21;
+    /// Save VMX-preemption timer value.
+    pub const SAVE_PREEMPTION_TIMER: u32 = 1 << 22;
+    /// Clear IA32_BNDCFGS.
+    pub const CLEAR_BNDCFGS: u32 = 1 << 23;
+    /// Bits the architecture defines.
+    pub const DEFINED: u32 = SAVE_DEBUG_CONTROLS
+        | HOST_ADDR_SPACE_SIZE
+        | LOAD_PERF_GLOBAL_CTRL
+        | ACK_INTR_ON_EXIT
+        | SAVE_PAT
+        | LOAD_PAT
+        | SAVE_EFER
+        | LOAD_EFER
+        | SAVE_PREEMPTION_TIMER
+        | CLEAR_BNDCFGS;
+    /// Reserved bits that read as 1 in the allowed-0 capability word.
+    pub const DEFAULT1: u32 = 0x0003_6dff;
+}
+
+/// VM-entry controls (SDM 24.8.1).
+pub mod entry {
+    /// Load debug controls.
+    pub const LOAD_DEBUG_CONTROLS: u32 = 1 << 2;
+    /// IA-32e mode guest — the control at the heart of CVE-2023-30456.
+    pub const IA32E_MODE_GUEST: u32 = 1 << 9;
+    /// Entry to SMM.
+    pub const ENTRY_TO_SMM: u32 = 1 << 10;
+    /// Deactivate dual-monitor treatment.
+    pub const DEACT_DUAL_MONITOR: u32 = 1 << 11;
+    /// Load IA32_PERF_GLOBAL_CTRL.
+    pub const LOAD_PERF_GLOBAL_CTRL: u32 = 1 << 13;
+    /// Load IA32_PAT.
+    pub const LOAD_PAT: u32 = 1 << 14;
+    /// Load IA32_EFER.
+    pub const LOAD_EFER: u32 = 1 << 15;
+    /// Load IA32_BNDCFGS.
+    pub const LOAD_BNDCFGS: u32 = 1 << 16;
+    /// Bits the architecture defines.
+    pub const DEFINED: u32 = LOAD_DEBUG_CONTROLS
+        | IA32E_MODE_GUEST
+        | ENTRY_TO_SMM
+        | DEACT_DUAL_MONITOR
+        | LOAD_PERF_GLOBAL_CTRL
+        | LOAD_PAT
+        | LOAD_EFER
+        | LOAD_BNDCFGS;
+    /// Reserved bits that read as 1 in the allowed-0 capability word.
+    pub const DEFAULT1: u32 = 0x0000_11ff;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default1_bits_outside_defined() {
+        // Purely-reserved default-1 bits must not collide with defined
+        // control bits. The debug-controls bits (bit 2 of the entry and
+        // exit words) are the architectural exception: defined *and*
+        // default-1, exactly as on real parts.
+        assert_eq!(pin::DEFINED & pin::DEFAULT1, 0);
+        assert_eq!(exit::DEFINED & exit::DEFAULT1, exit::SAVE_DEBUG_CONTROLS);
+        assert_eq!(entry::DEFINED & entry::DEFAULT1, entry::LOAD_DEBUG_CONTROLS);
+    }
+
+    #[test]
+    fn proc_default1_subset_check() {
+        // KVM's 0x0401e172 default-1 mask includes bits 1, 4-6, 8, 13-14,
+        // 16-17 (historical reserved) — none of which may be "defined".
+        assert_eq!(proc::DEFAULT1 & proc::CR3_LOAD_EXITING, 0x8000);
+        // CR3 load/store exiting are default-1 on parts without the
+        // "true" controls; our model exposes true controls, so they are
+        // also architecturally defined. Everything else must not overlap.
+        let overlap = proc::DEFINED & proc::DEFAULT1;
+        assert_eq!(overlap, proc::CR3_LOAD_EXITING | proc::CR3_STORE_EXITING);
+    }
+
+    #[test]
+    fn ia32e_mode_guest_is_bit_9() {
+        assert_eq!(entry::IA32E_MODE_GUEST, 0x200);
+    }
+}

@@ -1,0 +1,231 @@
+//! VM-exit reasons (Intel basic exit reasons and SVM exit codes).
+
+/// Intel VT-x basic exit reasons (SDM Appendix C), restricted to the set
+/// the framework's instruction templates and hypervisors exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u16)]
+pub enum ExitReason {
+    /// Exception or NMI.
+    ExceptionNmi = 0,
+    /// External interrupt.
+    ExternalInterrupt = 1,
+    /// Triple fault.
+    TripleFault = 2,
+    /// CPUID instruction.
+    Cpuid = 10,
+    /// HLT instruction.
+    Hlt = 12,
+    /// INVLPG instruction.
+    Invlpg = 14,
+    /// RDPMC instruction.
+    Rdpmc = 15,
+    /// RDTSC instruction.
+    Rdtsc = 16,
+    /// VMCALL instruction.
+    Vmcall = 18,
+    /// VMCLEAR instruction.
+    Vmclear = 19,
+    /// VMLAUNCH instruction.
+    Vmlaunch = 20,
+    /// VMPTRLD instruction.
+    Vmptrld = 21,
+    /// VMPTRST instruction.
+    Vmptrst = 22,
+    /// VMREAD instruction.
+    Vmread = 23,
+    /// VMRESUME instruction.
+    Vmresume = 24,
+    /// VMWRITE instruction.
+    Vmwrite = 25,
+    /// VMXOFF instruction.
+    Vmxoff = 26,
+    /// VMXON instruction.
+    Vmxon = 27,
+    /// Control-register access.
+    CrAccess = 28,
+    /// Debug-register access.
+    DrAccess = 29,
+    /// I/O instruction.
+    IoInstruction = 30,
+    /// RDMSR instruction.
+    Rdmsr = 31,
+    /// WRMSR instruction.
+    Wrmsr = 32,
+    /// VM entry failed: invalid guest state.
+    EntryFailGuestState = 33,
+    /// VM entry failed: MSR loading.
+    EntryFailMsrLoad = 34,
+    /// MWAIT instruction.
+    Mwait = 36,
+    /// Monitor trap flag.
+    MonitorTrapFlag = 37,
+    /// MONITOR instruction.
+    Monitor = 39,
+    /// PAUSE instruction.
+    Pause = 40,
+    /// VM entry failed: machine check.
+    EntryFailMachineCheck = 41,
+    /// EPT violation.
+    EptViolation = 48,
+    /// EPT misconfiguration.
+    EptMisconfig = 49,
+    /// INVEPT instruction.
+    Invept = 50,
+    /// RDTSCP instruction.
+    Rdtscp = 51,
+    /// Preemption timer expired.
+    PreemptionTimer = 52,
+    /// INVVPID instruction.
+    Invvpid = 53,
+    /// WBINVD instruction.
+    Wbinvd = 54,
+    /// XSETBV instruction.
+    Xsetbv = 55,
+    /// RDRAND instruction.
+    Rdrand = 57,
+    /// INVPCID instruction.
+    Invpcid = 58,
+    /// RDSEED instruction.
+    Rdseed = 61,
+}
+
+impl ExitReason {
+    /// Bit 31 of the exit-reason field: VM-entry failure indicator.
+    pub const ENTRY_FAILURE: u32 = 1 << 31;
+
+    /// Encodes the exit reason as the 32-bit VMCS field value.
+    pub const fn encode(self, entry_failure: bool) -> u32 {
+        self as u16 as u32
+            | if entry_failure {
+                Self::ENTRY_FAILURE
+            } else {
+                0
+            }
+    }
+
+    /// Returns `true` for exits caused by VMX instructions — the exits an
+    /// L0 hypervisor must *reflect* to L1 when L1 is a hypervisor.
+    pub const fn is_vmx_instruction(self) -> bool {
+        matches!(
+            self,
+            ExitReason::Vmcall
+                | ExitReason::Vmclear
+                | ExitReason::Vmlaunch
+                | ExitReason::Vmptrld
+                | ExitReason::Vmptrst
+                | ExitReason::Vmread
+                | ExitReason::Vmresume
+                | ExitReason::Vmwrite
+                | ExitReason::Vmxoff
+                | ExitReason::Vmxon
+                | ExitReason::Invept
+                | ExitReason::Invvpid
+        )
+    }
+}
+
+/// AMD-V (SVM) exit codes (APM Vol. 2, Appendix C), modeled subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u32)]
+pub enum SvmExitCode {
+    /// CR0 read.
+    Cr0Read = 0x00,
+    /// CR0 write.
+    Cr0Write = 0x10,
+    /// CR3 write.
+    Cr3Write = 0x13,
+    /// CR4 write.
+    Cr4Write = 0x14,
+    /// INTR (physical interrupt).
+    Intr = 0x60,
+    /// NMI.
+    Nmi = 0x61,
+    /// VINTR (virtual interrupt window).
+    Vintr = 0x64,
+    /// CPUID instruction.
+    Cpuid = 0x72,
+    /// IRET instruction.
+    Iret = 0x74,
+    /// PAUSE instruction.
+    Pause = 0x77,
+    /// HLT instruction.
+    Hlt = 0x78,
+    /// INVLPG instruction.
+    Invlpg = 0x79,
+    /// I/O instruction.
+    Ioio = 0x7b,
+    /// MSR access.
+    Msr = 0x7c,
+    /// Shutdown (triple fault).
+    Shutdown = 0x7f,
+    /// VMRUN instruction.
+    Vmrun = 0x80,
+    /// VMMCALL instruction.
+    Vmmcall = 0x81,
+    /// VMLOAD instruction.
+    Vmload = 0x82,
+    /// VMSAVE instruction.
+    Vmsave = 0x83,
+    /// STGI instruction.
+    Stgi = 0x84,
+    /// CLGI instruction.
+    Clgi = 0x85,
+    /// SKINIT instruction.
+    Skinit = 0x86,
+    /// RDTSCP instruction.
+    Rdtscp = 0x87,
+    /// Nested page fault.
+    NestedPageFault = 0x400,
+    /// AVIC incomplete IPI.
+    AvicIncompleteIpi = 0x401,
+    /// AVIC access to unaccelerated register — the spurious exit that
+    /// exposes Xen's `LMA && !PG` bug (paper §5.5.2, bug #5).
+    AvicNoaccel = 0x402,
+    /// Invalid guest state in the VMCB (`VMEXIT_INVALID`; encoded as -1).
+    Invalid = 0xffff_ffff,
+}
+
+impl SvmExitCode {
+    /// Returns `true` for exits caused by SVM instructions.
+    pub const fn is_svm_instruction(self) -> bool {
+        matches!(
+            self,
+            SvmExitCode::Vmrun
+                | SvmExitCode::Vmmcall
+                | SvmExitCode::Vmload
+                | SvmExitCode::Vmsave
+                | SvmExitCode::Stgi
+                | SvmExitCode::Clgi
+                | SvmExitCode::Skinit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_with_entry_failure_bit() {
+        let enc = ExitReason::EntryFailGuestState.encode(true);
+        assert_eq!(enc & 0xffff, 33);
+        assert_ne!(enc & ExitReason::ENTRY_FAILURE, 0);
+        assert_eq!(ExitReason::Cpuid.encode(false), 10);
+    }
+
+    #[test]
+    fn vmx_instruction_classification() {
+        assert!(ExitReason::Vmlaunch.is_vmx_instruction());
+        assert!(ExitReason::Vmresume.is_vmx_instruction());
+        assert!(!ExitReason::Cpuid.is_vmx_instruction());
+        assert!(!ExitReason::EptViolation.is_vmx_instruction());
+    }
+
+    #[test]
+    fn svm_instruction_classification() {
+        assert!(SvmExitCode::Vmrun.is_svm_instruction());
+        assert!(SvmExitCode::Stgi.is_svm_instruction());
+        assert!(!SvmExitCode::Cpuid.is_svm_instruction());
+        assert!(!SvmExitCode::AvicNoaccel.is_svm_instruction());
+    }
+}

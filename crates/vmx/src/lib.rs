@@ -1,0 +1,31 @@
+//! VMX/SVM data structures for the NecoFuzz reproduction.
+//!
+//! This crate defines the structures hardware-assisted virtualization is
+//! *about*:
+//!
+//! - the [`Vmcs`] with its [`VmcsField`] catalogue — 165 fields spanning
+//!   exactly 8000 bits, the geometry the paper's Figure 5 experiment is
+//!   defined over;
+//! - control-field bit definitions ([`controls`]);
+//! - the capability surface ([`VmxCapabilities`]) derived from a vCPU
+//!   [`nf_x86::FeatureSet`];
+//! - VM-exit reasons for both vendors ([`ExitReason`], [`SvmExitCode`]);
+//! - the AMD [`Vmcb`]; and
+//! - MSR-load/store areas ([`MsrArea`]).
+//!
+//! Behavioural semantics (what VM entry *accepts*) live in `nf-silicon`.
+
+pub mod caps;
+pub mod controls;
+pub mod exit;
+pub mod field;
+pub mod msr_area;
+pub mod vmcb;
+pub mod vmcs;
+
+pub use caps::{CtrlKind, VmxCapabilities};
+pub use exit::{ExitReason, SvmExitCode};
+pub use field::{FieldGroup, FieldWidth, VmcsField, FIELD_COUNT, STATE_BITS};
+pub use msr_area::{MsrArea, MsrAreaEntry};
+pub use vmcb::{Vmcb, VmcbControl, VmcbSave};
+pub use vmcs::{Vmcs, VmcsState};

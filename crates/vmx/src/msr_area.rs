@@ -1,0 +1,104 @@
+//! VM-entry/exit MSR-load and MSR-store areas.
+//!
+//! VM entry can load a list of MSRs from memory (SDM 26.4); the list
+//! entries are (index, value) pairs. Values loaded this way bypass the
+//! ordinary `wrmsr` checks **unless the hypervisor re-validates them** —
+//! the validation VirtualBox skipped for `KernelGSBase`, producing
+//! CVE-2024-21106.
+
+/// One entry of an MSR-load/store area (SDM Table 26-10, padding elided).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MsrAreaEntry {
+    /// MSR index.
+    pub index: u32,
+    /// Value to load (or slot to store into).
+    pub value: u64,
+}
+
+/// An MSR-load/store area.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MsrArea {
+    /// Entries in list order.
+    pub entries: Vec<MsrAreaEntry>,
+}
+
+impl MsrArea {
+    /// Architectural limit on the entry count (SDM 26.4: 512 entries).
+    pub const MAX_ENTRIES: usize = 512;
+
+    /// Bytes per serialized entry (index + reserved pad + value).
+    pub const ENTRY_BYTES: usize = 12;
+
+    /// Creates an empty area.
+    pub fn new() -> Self {
+        MsrArea::default()
+    }
+
+    /// Parses `count` entries from fuzz bytes (missing bytes read zero).
+    pub fn from_bytes(bytes: &[u8], count: usize) -> Self {
+        let count = count.min(Self::MAX_ENTRIES);
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = i * Self::ENTRY_BYTES;
+            let get = |o: usize, n: usize| -> u64 {
+                let mut buf = [0u8; 8];
+                for j in 0..n {
+                    buf[j] = bytes.get(o + j).copied().unwrap_or(0);
+                }
+                u64::from_le_bytes(buf)
+            };
+            entries.push(MsrAreaEntry {
+                index: get(off, 4) as u32,
+                value: get(off + 4, 8),
+            });
+        }
+        MsrArea { entries }
+    }
+
+    /// Serializes back into the fuzz byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.entries.len() * Self::ENTRY_BYTES);
+        for e in &self.entries {
+            out.extend_from_slice(&e.index.to_le_bytes());
+            out.extend_from_slice(&e.value.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let area = MsrArea {
+            entries: vec![
+                MsrAreaEntry {
+                    index: 0xc000_0102,
+                    value: 0x8000_0000_0000_0000,
+                },
+                MsrAreaEntry {
+                    index: 0x277,
+                    value: 0x0007_0406_0007_0406,
+                },
+            ],
+        };
+        let bytes = area.to_bytes();
+        let back = MsrArea::from_bytes(&bytes, 2);
+        assert_eq!(back, area);
+    }
+
+    #[test]
+    fn count_clamped_to_architectural_limit() {
+        let area = MsrArea::from_bytes(&[], 100_000);
+        assert_eq!(area.entries.len(), MsrArea::MAX_ENTRIES);
+    }
+
+    #[test]
+    fn short_input_zero_fills() {
+        let area = MsrArea::from_bytes(&[0xff, 0xff], 1);
+        assert_eq!(area.entries[0].index, 0xffff);
+        assert_eq!(area.entries[0].value, 0);
+    }
+}

@@ -1,0 +1,441 @@
+//! The AMD-V virtual machine control block (VMCB).
+//!
+//! AMD splits the VMCB into a *control area* (intercepts, TLB/ASID
+//! control, virtual interrupt state, nested paging) and a *save area*
+//! (guest register state). Layout follows APM Vol. 2 Appendix B, reduced
+//! to the fields the framework's harness, checks, and seeded bugs touch.
+
+use nf_x86::segment::{AccessRights, Segment, Selector};
+use nf_x86::SegReg;
+
+/// Intercept bits in the modeled intercept vector.
+///
+/// Real VMCBs spread intercepts over five 32-bit words; the model packs
+/// the ones it uses into a single 64-bit word with APM-faithful names.
+pub mod intercept {
+    /// Intercept INTR.
+    pub const INTR: u64 = 1 << 0;
+    /// Intercept NMI.
+    pub const NMI: u64 = 1 << 1;
+    /// Intercept CPUID.
+    pub const CPUID: u64 = 1 << 2;
+    /// Intercept HLT.
+    pub const HLT: u64 = 1 << 3;
+    /// Intercept INVLPG.
+    pub const INVLPG: u64 = 1 << 4;
+    /// Intercept IOIO_PROT (use the I/O permission map).
+    pub const IOIO_PROT: u64 = 1 << 5;
+    /// Intercept MSR_PROT (use the MSR permission map).
+    pub const MSR_PROT: u64 = 1 << 6;
+    /// Intercept CR0 writes.
+    pub const CR0_WRITE: u64 = 1 << 7;
+    /// Intercept CR3 writes.
+    pub const CR3_WRITE: u64 = 1 << 8;
+    /// Intercept CR4 writes.
+    pub const CR4_WRITE: u64 = 1 << 9;
+    /// Intercept VMRUN — must be set for any legal VMCB (APM 15.5).
+    pub const VMRUN: u64 = 1 << 10;
+    /// Intercept VMMCALL.
+    pub const VMMCALL: u64 = 1 << 11;
+    /// Intercept VMLOAD.
+    pub const VMLOAD: u64 = 1 << 12;
+    /// Intercept VMSAVE.
+    pub const VMSAVE: u64 = 1 << 13;
+    /// Intercept STGI.
+    pub const STGI: u64 = 1 << 14;
+    /// Intercept CLGI.
+    pub const CLGI: u64 = 1 << 15;
+    /// Intercept SKINIT.
+    pub const SKINIT: u64 = 1 << 16;
+    /// Intercept RDTSC.
+    pub const RDTSC: u64 = 1 << 17;
+    /// Intercept RDPMC.
+    pub const RDPMC: u64 = 1 << 18;
+    /// Intercept PAUSE.
+    pub const PAUSE: u64 = 1 << 19;
+    /// Intercept shutdown events.
+    pub const SHUTDOWN: u64 = 1 << 20;
+}
+
+/// `int_ctl` bits (APM B.1, offset 0x60).
+pub mod int_ctl {
+    /// Virtual TPR (bits 7:0 in hardware; modeled as a flag-free field).
+    pub const V_IRQ: u64 = 1 << 8;
+    /// Virtual GIF value — the bit Xen's `nsvm_vcpu_vmexit_inject`
+    /// asserts on (paper bug #6).
+    pub const V_GIF: u64 = 1 << 9;
+    /// Ignore virtual TPR.
+    pub const V_IGN_TPR: u64 = 1 << 20;
+    /// Virtual interrupt masking.
+    pub const V_INTR_MASKING: u64 = 1 << 24;
+    /// Virtual GIF enable (vGIF feature).
+    pub const V_GIF_ENABLE: u64 = 1 << 25;
+    /// AVIC enable — erroneously set by Xen's bug #5 path.
+    pub const AVIC_ENABLE: u64 = 1 << 31;
+}
+
+/// VMCB control area (modeled subset of APM Table B-1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VmcbControl {
+    /// Packed intercept vector (see [`intercept`]).
+    pub intercepts: u64,
+    /// I/O permission-map base physical address.
+    pub iopm_base_pa: u64,
+    /// MSR permission-map base physical address.
+    pub msrpm_base_pa: u64,
+    /// TSC offset.
+    pub tsc_offset: u64,
+    /// Guest ASID; zero is reserved for the host and illegal in a VMCB.
+    pub guest_asid: u32,
+    /// TLB control byte.
+    pub tlb_control: u8,
+    /// Virtual interrupt control (see [`int_ctl`]).
+    pub int_ctl: u64,
+    /// Interrupt shadow state.
+    pub interrupt_shadow: u64,
+    /// Exit code written by the CPU on #VMEXIT.
+    pub exitcode: u64,
+    /// Exit info 1.
+    pub exitinfo1: u64,
+    /// Exit info 2.
+    pub exitinfo2: u64,
+    /// Exit interrupt info.
+    pub exitintinfo: u64,
+    /// Nested-paging enable (bit 0) and SEV bits (modeled: bit 0 only).
+    pub np_enable: u64,
+    /// AVIC APIC_BAR.
+    pub avic_apic_bar: u64,
+    /// Event injection field.
+    pub event_inj: u64,
+    /// Nested page-table CR3.
+    pub ncr3: u64,
+    /// LBR virtualization enable (bit 0), virtual VMLOAD/VMSAVE (bit 1).
+    pub lbr_ctl: u64,
+    /// VMCB clean bits.
+    pub vmcb_clean: u32,
+    /// Next sequential instruction pointer (decode assist).
+    pub nrip: u64,
+    /// AVIC backing page pointer.
+    pub avic_backing_page: u64,
+    /// AVIC logical table pointer.
+    pub avic_logical_table: u64,
+    /// AVIC physical table pointer.
+    pub avic_physical_table: u64,
+    /// Pause-filter count.
+    pub pause_filter_count: u16,
+    /// Pause-filter threshold.
+    pub pause_filter_thresh: u16,
+}
+
+/// VMCB save area (modeled subset of APM Table B-2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VmcbSave {
+    /// Segment registers in VMCS-compatible quadruples.
+    pub es: Segment,
+    /// Code segment.
+    pub cs: Segment,
+    /// Stack segment.
+    pub ss: Segment,
+    /// Data segment.
+    pub ds: Segment,
+    /// `FS` segment.
+    pub fs: Segment,
+    /// `GS` segment.
+    pub gs: Segment,
+    /// Global descriptor table (base/limit carried in a [`Segment`]).
+    pub gdtr: Segment,
+    /// Local descriptor table.
+    pub ldtr: Segment,
+    /// Interrupt descriptor table.
+    pub idtr: Segment,
+    /// Task register.
+    pub tr: Segment,
+    /// Current privilege level.
+    pub cpl: u8,
+    /// Extended feature enable register.
+    pub efer: u64,
+    /// Control register 4.
+    pub cr4: u64,
+    /// Control register 3.
+    pub cr3: u64,
+    /// Control register 0.
+    pub cr0: u64,
+    /// Debug register 7.
+    pub dr7: u64,
+    /// Debug register 6.
+    pub dr6: u64,
+    /// Flags register.
+    pub rflags: u64,
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Stack pointer.
+    pub rsp: u64,
+    /// Accumulator (saved/restored by `vmrun`).
+    pub rax: u64,
+    /// SYSCALL target address.
+    pub star: u64,
+    /// 64-bit SYSCALL target.
+    pub lstar: u64,
+    /// Compatibility SYSCALL target.
+    pub cstar: u64,
+    /// SYSCALL flag mask.
+    pub sfmask: u64,
+    /// Swapped GS base.
+    pub kernel_gs_base: u64,
+    /// SYSENTER code segment.
+    pub sysenter_cs: u64,
+    /// SYSENTER stack pointer.
+    pub sysenter_esp: u64,
+    /// SYSENTER instruction pointer.
+    pub sysenter_eip: u64,
+    /// Guest PAT.
+    pub g_pat: u64,
+    /// Debug control MSR.
+    pub dbgctl: u64,
+}
+
+/// A full VMCB: control plus save area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Vmcb {
+    /// Control area.
+    pub control: VmcbControl,
+    /// Save area.
+    pub save: VmcbSave,
+}
+
+impl Vmcb {
+    /// Serialized size in bytes of the fuzz layout.
+    pub const BYTES: usize = 13 * 8 // control u64 block 1
+        + 4 + 1 + 2 + 2 + 1 // asid, tlb, pause filter pair, pad
+        + 9 * 8 // control u64 block 2
+        + 4 + 4 // vmcb_clean + pad
+        + 10 * Self::SEG_BYTES
+        + 1 + 7 // cpl + pad
+        + 17 * 8; // save u64 fields
+
+    const SEG_BYTES: usize = 2 + 4 + 4 + 8;
+
+    /// Serializes to the flat fuzz layout (little-endian, fixed order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::BYTES);
+        let c = &self.control;
+        for v in [
+            c.intercepts,
+            c.iopm_base_pa,
+            c.msrpm_base_pa,
+            c.tsc_offset,
+            c.int_ctl,
+            c.interrupt_shadow,
+            c.exitcode,
+            c.exitinfo1,
+            c.exitinfo2,
+            c.exitintinfo,
+            c.np_enable,
+            c.avic_apic_bar,
+            c.event_inj,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&c.guest_asid.to_le_bytes());
+        out.push(c.tlb_control);
+        out.extend_from_slice(&c.pause_filter_count.to_le_bytes());
+        out.extend_from_slice(&c.pause_filter_thresh.to_le_bytes());
+        out.push(0);
+        for v in [
+            c.ncr3,
+            c.lbr_ctl,
+            c.nrip,
+            c.avic_backing_page,
+            c.avic_logical_table,
+            c.avic_physical_table,
+            0,
+            0,
+            0,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&c.vmcb_clean.to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]);
+        let s = &self.save;
+        for seg in [
+            s.es, s.cs, s.ss, s.ds, s.fs, s.gs, s.gdtr, s.ldtr, s.idtr, s.tr,
+        ] {
+            out.extend_from_slice(&seg.selector.0.to_le_bytes());
+            out.extend_from_slice(&seg.ar.0.to_le_bytes());
+            out.extend_from_slice(&seg.limit.to_le_bytes());
+            out.extend_from_slice(&seg.base.to_le_bytes());
+        }
+        out.push(s.cpl);
+        out.extend_from_slice(&[0u8; 7]);
+        for v in [
+            s.efer,
+            s.cr4,
+            s.cr3,
+            s.cr0,
+            s.dr7,
+            s.dr6,
+            s.rflags,
+            s.rip,
+            s.rsp,
+            s.rax,
+            s.star,
+            s.lstar,
+            s.cstar,
+            s.sfmask,
+            s.kernel_gs_base,
+            s.sysenter_cs,
+            s.g_pat,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        debug_assert_eq!(out.len(), Self::BYTES);
+        out
+    }
+
+    /// Deserializes from fuzz bytes; missing bytes read as zero.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        struct Cursor<'a> {
+            bytes: &'a [u8],
+            off: usize,
+        }
+        impl Cursor<'_> {
+            fn take(&mut self, n: usize) -> u64 {
+                let mut buf = [0u8; 8];
+                for i in 0..n {
+                    buf[i] = self.bytes.get(self.off + i).copied().unwrap_or(0);
+                }
+                self.off += n;
+                u64::from_le_bytes(buf)
+            }
+        }
+        let mut cur = Cursor { bytes, off: 0 };
+        let mut vmcb = Vmcb::default();
+        {
+            let c = &mut vmcb.control;
+            c.intercepts = cur.take(8);
+            c.iopm_base_pa = cur.take(8);
+            c.msrpm_base_pa = cur.take(8);
+            c.tsc_offset = cur.take(8);
+            c.int_ctl = cur.take(8);
+            c.interrupt_shadow = cur.take(8);
+            c.exitcode = cur.take(8);
+            c.exitinfo1 = cur.take(8);
+            c.exitinfo2 = cur.take(8);
+            c.exitintinfo = cur.take(8);
+            c.np_enable = cur.take(8);
+            c.avic_apic_bar = cur.take(8);
+            c.event_inj = cur.take(8);
+            c.guest_asid = cur.take(4) as u32;
+            c.tlb_control = cur.take(1) as u8;
+            c.pause_filter_count = cur.take(2) as u16;
+            c.pause_filter_thresh = cur.take(2) as u16;
+            cur.take(1);
+            c.ncr3 = cur.take(8);
+            c.lbr_ctl = cur.take(8);
+            c.nrip = cur.take(8);
+            c.avic_backing_page = cur.take(8);
+            c.avic_logical_table = cur.take(8);
+            c.avic_physical_table = cur.take(8);
+            cur.take(8);
+            cur.take(8);
+            cur.take(8);
+            c.vmcb_clean = cur.take(4) as u32;
+            cur.take(4);
+        }
+        {
+            let s = &mut vmcb.save;
+            let seg = |cur: &mut Cursor| Segment {
+                selector: Selector(cur.take(2) as u16),
+                ar: AccessRights::new(cur.take(4) as u32),
+                limit: cur.take(4) as u32,
+                base: cur.take(8),
+            };
+            s.es = seg(&mut cur);
+            s.cs = seg(&mut cur);
+            s.ss = seg(&mut cur);
+            s.ds = seg(&mut cur);
+            s.fs = seg(&mut cur);
+            s.gs = seg(&mut cur);
+            s.gdtr = seg(&mut cur);
+            s.ldtr = seg(&mut cur);
+            s.idtr = seg(&mut cur);
+            s.tr = seg(&mut cur);
+            s.cpl = cur.take(1) as u8;
+            cur.take(7);
+            s.efer = cur.take(8);
+            s.cr4 = cur.take(8);
+            s.cr3 = cur.take(8);
+            s.cr0 = cur.take(8);
+            s.dr7 = cur.take(8);
+            s.dr6 = cur.take(8);
+            s.rflags = cur.take(8);
+            s.rip = cur.take(8);
+            s.rsp = cur.take(8);
+            s.rax = cur.take(8);
+            s.star = cur.take(8);
+            s.lstar = cur.take(8);
+            s.cstar = cur.take(8);
+            s.sfmask = cur.take(8);
+            s.kernel_gs_base = cur.take(8);
+            s.sysenter_cs = cur.take(8);
+            s.g_pat = cur.take(8);
+        }
+        vmcb
+    }
+
+    /// Returns the segment for `reg` (GDTR/IDTR are not addressable this
+    /// way; they are separate fields in the save area).
+    pub fn segment(&self, reg: SegReg) -> Segment {
+        match reg {
+            SegReg::Es => self.save.es,
+            SegReg::Cs => self.save.cs,
+            SegReg::Ss => self.save.ss,
+            SegReg::Ds => self.save.ds,
+            SegReg::Fs => self.save.fs,
+            SegReg::Gs => self.save.gs,
+            SegReg::Ldtr => self.save.ldtr,
+            SegReg::Tr => self.save.tr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_x86::Efer;
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut v = Vmcb::default();
+        v.control.intercepts = intercept::VMRUN | intercept::CPUID;
+        v.control.guest_asid = 7;
+        v.control.int_ctl = int_ctl::V_GIF_ENABLE;
+        v.control.ncr3 = 0xabc000;
+        v.save.efer = Efer::SVME | Efer::LME;
+        v.save.cr0 = 0x8000_0011;
+        v.save.cs = Segment::flat_code64();
+        v.save.cpl = 3;
+        v.save.kernel_gs_base = 0xffff_8000_0000_0000;
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), Vmcb::BYTES);
+        let back = Vmcb::from_bytes(&bytes);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn from_bytes_tolerates_any_length() {
+        let v = Vmcb::from_bytes(&[0xaa; 16]);
+        assert_eq!(v.control.intercepts, 0xaaaa_aaaa_aaaa_aaaa);
+        assert_eq!(v.control.msrpm_base_pa, 0);
+        let empty = Vmcb::from_bytes(&[]);
+        assert_eq!(empty, Vmcb::default());
+    }
+
+    #[test]
+    fn segment_accessor() {
+        let mut v = Vmcb::default();
+        v.save.fs = Segment::flat_data();
+        assert_eq!(v.segment(SegReg::Fs), Segment::flat_data());
+        assert_eq!(v.segment(SegReg::Cs), Segment::default());
+    }
+}

@@ -1,0 +1,150 @@
+//! Address types and canonicality rules.
+//!
+//! The VMX guest/host-state checks and the SVM `VMRUN` checks repeatedly
+//! require *canonical* virtual addresses (sign-extended from bit 47) and
+//! physical addresses that fit within the processor's physical-address
+//! width. Both rules are modeled here so that the silicon oracle, the
+//! Bochs-derived validator, and the hypervisor re-implementations all share
+//! one definition.
+
+/// Physical address width of the modeled processor, in bits.
+///
+/// Real parts report this via CPUID leaf `0x8000_0008`; 46 bits is typical
+/// for the desktop parts used in the paper (Core i9-12900K, Ryzen 5950X).
+pub const MAXPHYADDR: u32 = 46;
+
+/// Number of implemented virtual-address bits (4-level paging).
+pub const VADDR_BITS: u32 = 48;
+
+/// A virtual (linear) address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Returns `true` if the address is canonical: bits 63:47 are all equal
+    /// to bit 47.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nf_x86::VirtAddr;
+    /// assert!(VirtAddr(0x0000_7fff_ffff_ffff).is_canonical());
+    /// assert!(VirtAddr(0xffff_8000_0000_0000).is_canonical());
+    /// assert!(!VirtAddr(0x8000_0000_0000_0000).is_canonical());
+    /// ```
+    pub fn is_canonical(self) -> bool {
+        let shift = 64 - VADDR_BITS;
+        ((self.0 as i64) << shift >> shift) as u64 == self.0
+    }
+
+    /// Forces the address to the nearest canonical value by sign-extending
+    /// from bit 47. Used by the validator's rounding pass.
+    pub fn canonicalized(self) -> Self {
+        let shift = 64 - VADDR_BITS;
+        VirtAddr((((self.0 as i64) << shift) >> shift) as u64)
+    }
+}
+
+/// A guest-physical address (the address space an L2 guest sees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GuestPhysAddr(pub u64);
+
+/// A host-physical address (what the L0 hypervisor programs into hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HostPhysAddr(pub u64);
+
+/// Returns `true` if `pa` fits in the modeled physical-address width.
+pub fn phys_in_width(pa: u64) -> bool {
+    pa < (1u64 << MAXPHYADDR)
+}
+
+/// Returns `true` if `pa` is aligned to a 4 KiB page boundary.
+pub fn page_aligned(pa: u64) -> bool {
+    pa & 0xfff == 0
+}
+
+/// Masks `pa` down to the modeled physical-address width and page-aligns it.
+///
+/// This is the rounding action both the silicon model and the validator use
+/// for VMCS physical-address fields (I/O bitmaps, MSR bitmaps, APIC pages).
+pub fn round_phys(pa: u64) -> u64 {
+    pa & ((1u64 << MAXPHYADDR) - 1) & !0xfff
+}
+
+impl GuestPhysAddr {
+    /// Returns `true` if the address fits in the physical-address width.
+    pub fn in_width(self) -> bool {
+        phys_in_width(self.0)
+    }
+
+    /// Returns `true` if the address is 4 KiB aligned.
+    pub fn page_aligned(self) -> bool {
+        page_aligned(self.0)
+    }
+}
+
+impl HostPhysAddr {
+    /// Returns `true` if the address fits in the physical-address width.
+    pub fn in_width(self) -> bool {
+        phys_in_width(self.0)
+    }
+
+    /// Returns `true` if the address is 4 KiB aligned.
+    pub fn page_aligned(self) -> bool {
+        page_aligned(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_boundaries() {
+        assert!(VirtAddr(0).is_canonical());
+        assert!(VirtAddr(0x0000_7fff_ffff_ffff).is_canonical());
+        assert!(!VirtAddr(0x0000_8000_0000_0000).is_canonical());
+        assert!(!VirtAddr(0xffff_7fff_ffff_ffff).is_canonical());
+        assert!(VirtAddr(0xffff_8000_0000_0000).is_canonical());
+        assert!(VirtAddr(u64::MAX).is_canonical());
+    }
+
+    #[test]
+    fn canonicalized_is_canonical_and_idempotent() {
+        for raw in [
+            0u64,
+            1,
+            0x8000_0000_0000_0000,
+            0x1234_5678_9abc_def0,
+            u64::MAX,
+        ] {
+            let c = VirtAddr(raw).canonicalized();
+            assert!(c.is_canonical(), "{raw:#x} -> {:#x}", c.0);
+            assert_eq!(c.canonicalized(), c);
+        }
+    }
+
+    #[test]
+    fn canonicalized_preserves_low_bits() {
+        let c = VirtAddr(0x8000_dead_beef_f000).canonicalized();
+        assert_eq!(c.0 & 0x0000_ffff_ffff_ffff, 0x0000_dead_beef_f000);
+    }
+
+    #[test]
+    fn phys_width_and_alignment() {
+        assert!(phys_in_width(0));
+        assert!(phys_in_width((1 << MAXPHYADDR) - 1));
+        assert!(!phys_in_width(1 << MAXPHYADDR));
+        assert!(page_aligned(0x1000));
+        assert!(!page_aligned(0x1001));
+    }
+
+    #[test]
+    fn round_phys_produces_valid_addresses() {
+        for raw in [u64::MAX, 0xffff_ffff_ffff_f123, 0x1fff] {
+            let r = round_phys(raw);
+            assert!(phys_in_width(r));
+            assert!(page_aligned(r));
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! CPU identification and the virtualization feature model.
+//!
+//! The vCPU configurator's search space is the power set of these features
+//! (paper §3.5). A [`FeatureSet`] is the hypervisor-independent
+//! representation that the per-hypervisor adapters translate into module
+//! parameters and VM options.
+
+use std::fmt;
+
+/// Processor vendor, selecting VT-x or AMD-V semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuVendor {
+    /// Intel: VT-x / VMX / VMCS.
+    Intel,
+    /// AMD: AMD-V / SVM / VMCB.
+    Amd,
+}
+
+impl fmt::Display for CpuVendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuVendor::Intel => write!(f, "Intel"),
+            CpuVendor::Amd => write!(f, "AMD"),
+        }
+    }
+}
+
+/// A hardware-assisted virtualization feature that the vCPU configurator
+/// can enable or disable.
+///
+/// The list merges the Intel VT-x and AMD-V feature menus; each feature
+/// records which vendor(s) expose it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CpuFeature {
+    /// VMX instruction set itself (Intel).
+    Vmx = 0,
+    /// SVM instruction set itself (AMD).
+    Svm = 1,
+    /// Extended page tables (Intel nested paging).
+    Ept = 2,
+    /// Unrestricted guest (real-mode execution under EPT).
+    UnrestrictedGuest = 3,
+    /// Virtual-processor identifiers.
+    Vpid = 4,
+    /// VMCS shadowing.
+    VmcsShadowing = 5,
+    /// APIC-register virtualization / APICv.
+    Apicv = 6,
+    /// Virtual NMIs.
+    VirtualNmi = 7,
+    /// Posted interrupts.
+    PostedInterrupts = 8,
+    /// Intel Processor Trace exposure to guests.
+    IntelPt = 9,
+    /// Software Guard Extensions exposure.
+    Sgx = 10,
+    /// Hyper-V enlightened VMCS emulation.
+    EnlightenedVmcs = 11,
+    /// AMD nested paging (NPT).
+    NestedPaging = 12,
+    /// AMD Advanced Virtual Interrupt Controller.
+    Avic = 13,
+    /// AMD virtual GIF.
+    VGif = 14,
+    /// AMD virtual VMLOAD/VMSAVE.
+    VirtualVmloadVmsave = 15,
+    /// AMD decode assists.
+    DecodeAssists = 16,
+    /// AMD LBR virtualization.
+    Lbrv = 17,
+    /// AMD pause filter.
+    PauseFilter = 18,
+    /// TSC scaling (both vendors).
+    TscScaling = 19,
+    /// AMD flush-by-ASID.
+    FlushByAsid = 20,
+    /// AMD next-RIP save.
+    NextRipSave = 21,
+}
+
+impl CpuFeature {
+    /// Every feature, in bit order.
+    pub const ALL: [CpuFeature; 22] = [
+        CpuFeature::Vmx,
+        CpuFeature::Svm,
+        CpuFeature::Ept,
+        CpuFeature::UnrestrictedGuest,
+        CpuFeature::Vpid,
+        CpuFeature::VmcsShadowing,
+        CpuFeature::Apicv,
+        CpuFeature::VirtualNmi,
+        CpuFeature::PostedInterrupts,
+        CpuFeature::IntelPt,
+        CpuFeature::Sgx,
+        CpuFeature::EnlightenedVmcs,
+        CpuFeature::NestedPaging,
+        CpuFeature::Avic,
+        CpuFeature::VGif,
+        CpuFeature::VirtualVmloadVmsave,
+        CpuFeature::DecodeAssists,
+        CpuFeature::Lbrv,
+        CpuFeature::PauseFilter,
+        CpuFeature::TscScaling,
+        CpuFeature::FlushByAsid,
+        CpuFeature::NextRipSave,
+    ];
+
+    /// Bit index inside a [`FeatureSet`].
+    pub const fn bit(self) -> u32 {
+        self as u32
+    }
+
+    /// Returns `true` if `vendor` exposes this feature at all.
+    pub const fn available_on(self, vendor: CpuVendor) -> bool {
+        match self {
+            CpuFeature::Vmx
+            | CpuFeature::Ept
+            | CpuFeature::UnrestrictedGuest
+            | CpuFeature::Vpid
+            | CpuFeature::VmcsShadowing
+            | CpuFeature::Apicv
+            | CpuFeature::VirtualNmi
+            | CpuFeature::PostedInterrupts
+            | CpuFeature::IntelPt
+            | CpuFeature::Sgx
+            | CpuFeature::EnlightenedVmcs => matches!(vendor, CpuVendor::Intel),
+            CpuFeature::Svm
+            | CpuFeature::NestedPaging
+            | CpuFeature::Avic
+            | CpuFeature::VGif
+            | CpuFeature::VirtualVmloadVmsave
+            | CpuFeature::DecodeAssists
+            | CpuFeature::Lbrv
+            | CpuFeature::PauseFilter
+            | CpuFeature::FlushByAsid
+            | CpuFeature::NextRipSave => matches!(vendor, CpuVendor::Amd),
+            CpuFeature::TscScaling => true,
+        }
+    }
+
+    /// Kernel-module-parameter-style name used by the KVM adapter.
+    pub const fn param_name(self) -> &'static str {
+        match self {
+            CpuFeature::Vmx => "vmx",
+            CpuFeature::Svm => "svm",
+            CpuFeature::Ept => "ept",
+            CpuFeature::UnrestrictedGuest => "unrestricted_guest",
+            CpuFeature::Vpid => "vpid",
+            CpuFeature::VmcsShadowing => "enable_shadow_vmcs",
+            CpuFeature::Apicv => "enable_apicv",
+            CpuFeature::VirtualNmi => "vnmi",
+            CpuFeature::PostedInterrupts => "posted_intr",
+            CpuFeature::IntelPt => "pt_mode",
+            CpuFeature::Sgx => "sgx",
+            CpuFeature::EnlightenedVmcs => "evmcs",
+            CpuFeature::NestedPaging => "npt",
+            CpuFeature::Avic => "avic",
+            CpuFeature::VGif => "vgif",
+            CpuFeature::VirtualVmloadVmsave => "vls",
+            CpuFeature::DecodeAssists => "decode_assists",
+            CpuFeature::Lbrv => "lbrv",
+            CpuFeature::PauseFilter => "pause_filter",
+            CpuFeature::TscScaling => "tsc_scaling",
+            CpuFeature::FlushByAsid => "flush_by_asid",
+            CpuFeature::NextRipSave => "nrips",
+        }
+    }
+}
+
+/// A set of enabled [`CpuFeature`]s, stored as a bit array — the exact
+/// representation the vCPU configurator mutates (paper §4.4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FeatureSet(pub u32);
+
+impl FeatureSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        FeatureSet(0)
+    }
+
+    /// Everything a given vendor can offer.
+    pub fn full(vendor: CpuVendor) -> Self {
+        let mut s = FeatureSet::empty();
+        for f in CpuFeature::ALL {
+            if f.available_on(vendor) {
+                s.insert(f);
+            }
+        }
+        s
+    }
+
+    /// The paper's *default* configuration: the virtualization base
+    /// feature plus nested paging and the common accelerations, matching
+    /// the hypervisors' out-of-the-box module parameters.
+    pub fn default_for(vendor: CpuVendor) -> Self {
+        let mut s = FeatureSet::empty();
+        match vendor {
+            CpuVendor::Intel => {
+                for f in [
+                    CpuFeature::Vmx,
+                    CpuFeature::Ept,
+                    CpuFeature::UnrestrictedGuest,
+                    CpuFeature::Vpid,
+                    CpuFeature::VirtualNmi,
+                    CpuFeature::TscScaling,
+                ] {
+                    s.insert(f);
+                }
+            }
+            CpuVendor::Amd => {
+                for f in [
+                    CpuFeature::Svm,
+                    CpuFeature::NestedPaging,
+                    CpuFeature::PauseFilter,
+                    CpuFeature::NextRipSave,
+                    CpuFeature::TscScaling,
+                ] {
+                    s.insert(f);
+                }
+            }
+        }
+        s
+    }
+
+    /// Inserts a feature.
+    pub fn insert(&mut self, f: CpuFeature) {
+        self.0 |= 1 << f.bit();
+    }
+
+    /// Removes a feature.
+    pub fn remove(&mut self, f: CpuFeature) {
+        self.0 &= !(1 << f.bit());
+    }
+
+    /// Membership test.
+    pub const fn contains(self, f: CpuFeature) -> bool {
+        self.0 & (1 << f.bit()) != 0
+    }
+
+    /// Iterates over the enabled features.
+    pub fn iter(self) -> impl Iterator<Item = CpuFeature> {
+        CpuFeature::ALL
+            .into_iter()
+            .filter(move |f| self.contains(*f))
+    }
+
+    /// Number of enabled features.
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Returns `true` if no feature is enabled.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Restricts the set to features the vendor actually exposes and
+    /// enforces the dependency rules (e.g. unrestricted guest requires
+    /// EPT; AVIC/VGIF require SVM; posted interrupts require APICv).
+    pub fn sanitized(self, vendor: CpuVendor) -> Self {
+        let mut s = FeatureSet(self.0);
+        for f in CpuFeature::ALL {
+            if s.contains(f) && !f.available_on(vendor) {
+                s.remove(f);
+            }
+        }
+        if !s.contains(CpuFeature::Ept) {
+            s.remove(CpuFeature::UnrestrictedGuest);
+        }
+        if !s.contains(CpuFeature::Apicv) {
+            s.remove(CpuFeature::PostedInterrupts);
+        }
+        if vendor == CpuVendor::Amd && !s.contains(CpuFeature::Svm) {
+            // Without SVM the rest of the AMD menu is moot.
+            for f in [
+                CpuFeature::NestedPaging,
+                CpuFeature::Avic,
+                CpuFeature::VGif,
+                CpuFeature::VirtualVmloadVmsave,
+                CpuFeature::DecodeAssists,
+                CpuFeature::Lbrv,
+                CpuFeature::PauseFilter,
+                CpuFeature::FlushByAsid,
+                CpuFeature::NextRipSave,
+            ] {
+                s.remove(f);
+            }
+        }
+        if vendor == CpuVendor::Intel && !s.contains(CpuFeature::Vmx) {
+            for f in [
+                CpuFeature::Ept,
+                CpuFeature::UnrestrictedGuest,
+                CpuFeature::Vpid,
+                CpuFeature::VmcsShadowing,
+                CpuFeature::Apicv,
+                CpuFeature::VirtualNmi,
+                CpuFeature::PostedInterrupts,
+                CpuFeature::IntelPt,
+                CpuFeature::Sgx,
+                CpuFeature::EnlightenedVmcs,
+            ] {
+                s.remove(f);
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Debug for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.iter().map(|x| x.param_name()).collect();
+        write!(f, "FeatureSet({})", names.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = FeatureSet::empty();
+        assert!(s.is_empty());
+        s.insert(CpuFeature::Ept);
+        assert!(s.contains(CpuFeature::Ept));
+        assert_eq!(s.len(), 1);
+        s.remove(CpuFeature::Ept);
+        assert!(!s.contains(CpuFeature::Ept));
+    }
+
+    #[test]
+    fn defaults_are_vendor_consistent() {
+        let intel = FeatureSet::default_for(CpuVendor::Intel);
+        assert!(intel.contains(CpuFeature::Vmx));
+        assert!(intel.contains(CpuFeature::Ept));
+        assert!(!intel.contains(CpuFeature::Svm));
+        assert_eq!(intel.sanitized(CpuVendor::Intel), intel);
+
+        let amd = FeatureSet::default_for(CpuVendor::Amd);
+        assert!(amd.contains(CpuFeature::Svm));
+        assert!(amd.contains(CpuFeature::NestedPaging));
+        assert!(!amd.contains(CpuFeature::Vmx));
+        assert_eq!(amd.sanitized(CpuVendor::Amd), amd);
+    }
+
+    #[test]
+    fn sanitize_drops_foreign_features() {
+        let mut s = FeatureSet::default_for(CpuVendor::Intel);
+        s.insert(CpuFeature::Avic);
+        let s = s.sanitized(CpuVendor::Intel);
+        assert!(!s.contains(CpuFeature::Avic));
+    }
+
+    #[test]
+    fn sanitize_enforces_dependencies() {
+        let mut s = FeatureSet::empty();
+        s.insert(CpuFeature::Vmx);
+        s.insert(CpuFeature::UnrestrictedGuest); // without EPT
+        let s = s.sanitized(CpuVendor::Intel);
+        assert!(!s.contains(CpuFeature::UnrestrictedGuest));
+
+        let mut t = FeatureSet::empty();
+        t.insert(CpuFeature::Avic); // without SVM
+        let t = t.sanitized(CpuVendor::Amd);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sanitize_without_base_feature_clears_menu() {
+        let mut s = FeatureSet::full(CpuVendor::Intel);
+        s.remove(CpuFeature::Vmx);
+        let s = s.sanitized(CpuVendor::Intel);
+        assert!(!s.contains(CpuFeature::Ept));
+        assert!(!s.contains(CpuFeature::Vpid));
+        // Vendor-neutral TSC scaling survives.
+        assert!(s.contains(CpuFeature::TscScaling));
+    }
+
+    #[test]
+    fn full_sets_disjoint_virtualization_bases() {
+        assert!(FeatureSet::full(CpuVendor::Intel).contains(CpuFeature::Vmx));
+        assert!(!FeatureSet::full(CpuVendor::Intel).contains(CpuFeature::Svm));
+        assert!(FeatureSet::full(CpuVendor::Amd).contains(CpuFeature::Svm));
+    }
+}

@@ -1,0 +1,288 @@
+//! Control registers `CR0`, `CR3`, and `CR4`.
+//!
+//! Control registers carry most of the cross-field constraints that make
+//! VMCS validation hard: paging mode is a function of `CR0.PG`, `CR4.PAE`,
+//! and `EFER.LME`; VMX operation pins `CR4.VMXE`; and both registers have
+//! large reserved regions that must read as zero. The constants and checks
+//! here are shared by the silicon oracle, the validator, and all three
+//! hypervisor models.
+
+use crate::addr::MAXPHYADDR;
+use crate::{ArchError, ArchResult};
+
+/// The `CR0` control register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cr0(pub u64);
+
+impl Cr0 {
+    /// Protection Enable.
+    pub const PE: u64 = 1 << 0;
+    /// Monitor Coprocessor.
+    pub const MP: u64 = 1 << 1;
+    /// Emulation.
+    pub const EM: u64 = 1 << 2;
+    /// Task Switched.
+    pub const TS: u64 = 1 << 3;
+    /// Extension Type (hardwired to 1 on modern parts).
+    pub const ET: u64 = 1 << 4;
+    /// Numeric Error.
+    pub const NE: u64 = 1 << 5;
+    /// Write Protect.
+    pub const WP: u64 = 1 << 16;
+    /// Alignment Mask.
+    pub const AM: u64 = 1 << 18;
+    /// Not Write-through.
+    pub const NW: u64 = 1 << 29;
+    /// Cache Disable.
+    pub const CD: u64 = 1 << 30;
+    /// Paging.
+    pub const PG: u64 = 1 << 31;
+
+    /// All architecturally defined bits; the complement is reserved and
+    /// must be zero.
+    pub const DEFINED: u64 = Self::PE
+        | Self::MP
+        | Self::EM
+        | Self::TS
+        | Self::ET
+        | Self::NE
+        | Self::WP
+        | Self::AM
+        | Self::NW
+        | Self::CD
+        | Self::PG;
+
+    /// Creates a `CR0` from a raw value without validation.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns `true` if `bit` (one of the associated constants) is set.
+    pub const fn has(self, bit: u64) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Returns the reserved bits that are (illegally) set.
+    pub const fn reserved_set(self) -> u64 {
+        self.0 & !Self::DEFINED
+    }
+
+    /// Checks the architectural write rules for `CR0` (what a `mov cr0`
+    /// would `#GP` on, ignoring VMX fixed-bit requirements).
+    ///
+    /// Rules: reserved bits clear, `PG` requires `PE`, and `NW` without
+    /// `CD` is invalid.
+    pub fn check_arch(self) -> ArchResult {
+        if self.reserved_set() != 0 {
+            return Err(ArchError::new(
+                "cr0.reserved",
+                format!("reserved CR0 bits set: {:#x}", self.reserved_set()),
+            ));
+        }
+        if self.has(Self::PG) && !self.has(Self::PE) {
+            return Err(ArchError::new(
+                "cr0.pg_without_pe",
+                "CR0.PG=1 requires CR0.PE=1",
+            ));
+        }
+        if self.has(Self::NW) && !self.has(Self::CD) {
+            return Err(ArchError::new(
+                "cr0.nw_without_cd",
+                "CR0.NW=1 requires CR0.CD=1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The `CR3` control register (page-table base).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cr3(pub u64);
+
+impl Cr3 {
+    /// Page-level write-through (ignored when `CR4.PCIDE=1`).
+    pub const PWT: u64 = 1 << 3;
+    /// Page-level cache disable (ignored when `CR4.PCIDE=1`).
+    pub const PCD: u64 = 1 << 4;
+
+    /// Creates a `CR3` from a raw value without validation.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the page-table base address portion.
+    pub const fn base(self) -> u64 {
+        self.0 & !0xfff & ((1 << MAXPHYADDR) - 1)
+    }
+
+    /// Checks that no bits beyond the physical-address width are set.
+    ///
+    /// This is the guest-state check VM entry performs (SDM 26.3.1.1) and,
+    /// notably, the check whose *absence* for `VMCS12.HOST_CR3` led to
+    /// CVE-2023-30456's sibling fixes.
+    pub fn check_width(self) -> ArchResult {
+        if self.0 >> MAXPHYADDR != 0 {
+            return Err(ArchError::new(
+                "cr3.width",
+                format!("CR3 {:#x} exceeds MAXPHYADDR={MAXPHYADDR}", self.0),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The `CR4` control register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cr4(pub u64);
+
+impl Cr4 {
+    /// Virtual-8086 Mode Extensions.
+    pub const VME: u64 = 1 << 0;
+    /// Protected-Mode Virtual Interrupts.
+    pub const PVI: u64 = 1 << 1;
+    /// Time Stamp Disable.
+    pub const TSD: u64 = 1 << 2;
+    /// Debugging Extensions.
+    pub const DE: u64 = 1 << 3;
+    /// Page Size Extensions.
+    pub const PSE: u64 = 1 << 4;
+    /// Physical Address Extension.
+    pub const PAE: u64 = 1 << 5;
+    /// Machine-Check Enable.
+    pub const MCE: u64 = 1 << 6;
+    /// Page Global Enable.
+    pub const PGE: u64 = 1 << 7;
+    /// Performance-Monitoring Counter Enable.
+    pub const PCE: u64 = 1 << 8;
+    /// OS FXSAVE/FXRSTOR Support.
+    pub const OSFXSR: u64 = 1 << 9;
+    /// OS Unmasked SIMD FP Exceptions.
+    pub const OSXMMEXCPT: u64 = 1 << 10;
+    /// User-Mode Instruction Prevention.
+    pub const UMIP: u64 = 1 << 11;
+    /// 57-bit linear addresses (5-level paging).
+    pub const LA57: u64 = 1 << 12;
+    /// VMX Enable.
+    pub const VMXE: u64 = 1 << 13;
+    /// SMX Enable.
+    pub const SMXE: u64 = 1 << 14;
+    /// FSGSBASE instructions enable.
+    pub const FSGSBASE: u64 = 1 << 16;
+    /// Process-Context Identifiers enable.
+    pub const PCIDE: u64 = 1 << 17;
+    /// XSAVE and Processor Extended States enable.
+    pub const OSXSAVE: u64 = 1 << 18;
+    /// Supervisor-Mode Execution Prevention.
+    pub const SMEP: u64 = 1 << 20;
+    /// Supervisor-Mode Access Prevention.
+    pub const SMAP: u64 = 1 << 21;
+    /// Protection Keys for user pages.
+    pub const PKE: u64 = 1 << 22;
+    /// Control-flow Enforcement Technology.
+    pub const CET: u64 = 1 << 23;
+    /// Protection Keys for supervisor pages.
+    pub const PKS: u64 = 1 << 24;
+
+    /// All architecturally defined bits on the modeled processor.
+    pub const DEFINED: u64 = Self::VME
+        | Self::PVI
+        | Self::TSD
+        | Self::DE
+        | Self::PSE
+        | Self::PAE
+        | Self::MCE
+        | Self::PGE
+        | Self::PCE
+        | Self::OSFXSR
+        | Self::OSXMMEXCPT
+        | Self::UMIP
+        | Self::LA57
+        | Self::VMXE
+        | Self::SMXE
+        | Self::FSGSBASE
+        | Self::PCIDE
+        | Self::OSXSAVE
+        | Self::SMEP
+        | Self::SMAP
+        | Self::PKE
+        | Self::CET
+        | Self::PKS;
+
+    /// Creates a `CR4` from a raw value without validation.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns `true` if `bit` (one of the associated constants) is set.
+    pub const fn has(self, bit: u64) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Returns the reserved bits that are (illegally) set.
+    pub const fn reserved_set(self) -> u64 {
+        self.0 & !Self::DEFINED
+    }
+
+    /// Checks the architectural write rules for `CR4`.
+    ///
+    /// Rules: reserved bits clear; `PCIDE` requires long mode (checked by
+    /// the caller against `EFER`); `CET` requires `CR0.WP` (checked by the
+    /// caller against `CR0`).
+    pub fn check_arch(self) -> ArchResult {
+        if self.reserved_set() != 0 {
+            return Err(ArchError::new(
+                "cr4.reserved",
+                format!("reserved CR4 bits set: {:#x}", self.reserved_set()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cr0_valid_configurations() {
+        assert!(Cr0::new(Cr0::PE).check_arch().is_ok());
+        assert!(Cr0::new(Cr0::PE | Cr0::PG).check_arch().is_ok());
+        assert!(Cr0::new(Cr0::CD | Cr0::NW | Cr0::PE).check_arch().is_ok());
+        assert!(Cr0::new(0).check_arch().is_ok());
+    }
+
+    #[test]
+    fn cr0_pg_without_pe_rejected() {
+        let err = Cr0::new(Cr0::PG).check_arch().unwrap_err();
+        assert_eq!(err.rule, "cr0.pg_without_pe");
+    }
+
+    #[test]
+    fn cr0_nw_without_cd_rejected() {
+        let err = Cr0::new(Cr0::NW).check_arch().unwrap_err();
+        assert_eq!(err.rule, "cr0.nw_without_cd");
+    }
+
+    #[test]
+    fn cr0_reserved_rejected() {
+        let err = Cr0::new(1 << 17).check_arch().unwrap_err();
+        assert_eq!(err.rule, "cr0.reserved");
+        assert!(Cr0::new(1u64 << 63).check_arch().is_err());
+    }
+
+    #[test]
+    fn cr3_width_check() {
+        assert!(Cr3::new(0x1000).check_width().is_ok());
+        assert!(Cr3::new(1 << MAXPHYADDR).check_width().is_err());
+        assert_eq!(Cr3::new(0x1234_5fff).base(), 0x1234_5000);
+    }
+
+    #[test]
+    fn cr4_reserved_rejected() {
+        assert!(Cr4::new(Cr4::PAE | Cr4::VMXE).check_arch().is_ok());
+        let err = Cr4::new(1 << 15).check_arch().unwrap_err();
+        assert_eq!(err.rule, "cr4.reserved");
+        assert!(Cr4::new(1 << 19).check_arch().is_err());
+        assert!(Cr4::new(1 << 25).check_arch().is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Descriptor-table registers (`GDTR`/`IDTR`).
+
+use crate::addr::VirtAddr;
+use crate::{ArchError, ArchResult};
+
+/// A descriptor-table register: base and limit, as stored in the VMCS
+/// guest-state area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DescriptorTable {
+    /// Linear base address of the table.
+    pub base: u64,
+    /// Table limit. The VMCS stores 32 bits but VM entry requires bits
+    /// 31:16 to be zero.
+    pub limit: u32,
+}
+
+impl DescriptorTable {
+    /// Creates a descriptor-table register value.
+    pub const fn new(base: u64, limit: u32) -> Self {
+        Self { base, limit }
+    }
+
+    /// VM-entry checks (SDM 26.3.1.3): canonical base, limit bits 31:16
+    /// zero.
+    pub fn check_vmx(&self, name: &'static str) -> ArchResult {
+        if !VirtAddr(self.base).is_canonical() {
+            return Err(ArchError::new(
+                "dtable.base_canonical",
+                format!("{name} base {:#x} non-canonical", self.base),
+            ));
+        }
+        if self.limit >> 16 != 0 {
+            return Err(ArchError::new(
+                "dtable.limit_upper",
+                format!("{name} limit {:#x} has bits 31:16 set", self.limit),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Rounds to a value that passes [`DescriptorTable::check_vmx`].
+    pub fn rounded(&self) -> Self {
+        DescriptorTable {
+            base: VirtAddr(self.base).canonicalized().0,
+            limit: self.limit & 0xffff,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_table_passes() {
+        assert!(DescriptorTable::new(0xffff_8000_0000_1000, 0xfff)
+            .check_vmx("GDTR")
+            .is_ok());
+    }
+
+    #[test]
+    fn non_canonical_base_rejected() {
+        let err = DescriptorTable::new(0x9000_0000_0000_0000, 0)
+            .check_vmx("GDTR")
+            .unwrap_err();
+        assert_eq!(err.rule, "dtable.base_canonical");
+    }
+
+    #[test]
+    fn limit_upper_bits_rejected() {
+        let err = DescriptorTable::new(0, 0x10000)
+            .check_vmx("IDTR")
+            .unwrap_err();
+        assert_eq!(err.rule, "dtable.limit_upper");
+    }
+
+    #[test]
+    fn rounding_fixes_everything() {
+        let t = DescriptorTable::new(0x9000_0000_0000_0000, 0xffff_0000).rounded();
+        assert!(t.check_vmx("GDTR").is_ok());
+        assert_eq!(t.rounded(), t);
+    }
+}

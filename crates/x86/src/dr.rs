@@ -1,0 +1,118 @@
+//! Debug registers `DR6` and `DR7`.
+//!
+//! VM entry checks `DR7` when the "load debug controls" entry control is
+//! set (bits 63:32 must be zero), and `DR6`/`DR7` reserved-bit patterns are
+//! part of the guest state that the L0 hypervisor must sanitize when
+//! emulating nested entries.
+
+use crate::{ArchError, ArchResult};
+
+/// The `DR6` debug status register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dr6(pub u64);
+
+impl Default for Dr6 {
+    fn default() -> Self {
+        Dr6(Self::RESERVED_ONE)
+    }
+}
+
+impl Dr6 {
+    /// Breakpoint condition detected bits `B0..B3`.
+    pub const B_MASK: u64 = 0xf;
+    /// Debug register access detected.
+    pub const BD: u64 = 1 << 13;
+    /// Single step.
+    pub const BS: u64 = 1 << 14;
+    /// Task switch.
+    pub const BT: u64 = 1 << 15;
+    /// RTM transaction region (reads as 1 outside RTM).
+    pub const RTM: u64 = 1 << 16;
+    /// Bits that always read as one on the modeled part (bits 4..=11 and
+    /// bit 12 clear; 31:17 one except RTM semantics simplified).
+    pub const RESERVED_ONE: u64 = 0xffff_0ff0;
+
+    /// Creates a `DR6` value without validation.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Checks the canonical `DR6` pattern: upper 32 bits zero.
+    pub fn check(self) -> ArchResult {
+        if self.0 >> 32 != 0 {
+            return Err(ArchError::new("dr6.upper", "DR6 bits 63:32 must be zero"));
+        }
+        Ok(())
+    }
+
+    /// Rounds to a value that passes [`Dr6::check`] and has the
+    /// reserved-one bits set.
+    pub fn rounded(self) -> Self {
+        Dr6((self.0 & 0xffff_ffff) | Self::RESERVED_ONE)
+    }
+}
+
+/// The `DR7` debug control register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dr7(pub u64);
+
+impl Default for Dr7 {
+    fn default() -> Self {
+        Dr7(Self::RESERVED_ONE)
+    }
+}
+
+impl Dr7 {
+    /// Bit 10 always reads as 1.
+    pub const RESERVED_ONE: u64 = 1 << 10;
+    /// General detect enable.
+    pub const GD: u64 = 1 << 13;
+
+    /// Creates a `DR7` value without validation.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Checks the VM-entry rule for `DR7` (SDM 26.3.1.1): bits 63:32 must
+    /// be zero when the entry loads debug controls.
+    pub fn check_vmx(self) -> ArchResult {
+        if self.0 >> 32 != 0 {
+            return Err(ArchError::new("dr7.upper", "DR7 bits 63:32 must be zero"));
+        }
+        Ok(())
+    }
+
+    /// Rounds to a value that passes [`Dr7::check_vmx`] with bit 10 set.
+    pub fn rounded(self) -> Self {
+        Dr7((self.0 & 0xffff_ffff) | Self::RESERVED_ONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dr6_upper_bits_rejected() {
+        assert!(Dr6::default().check().is_ok());
+        assert_eq!(Dr6::new(1 << 32).check().unwrap_err().rule, "dr6.upper");
+    }
+
+    #[test]
+    fn dr6_rounding() {
+        let r = Dr6::new(u64::MAX).rounded();
+        assert!(r.check().is_ok());
+        assert_eq!(r.0 & Dr6::RESERVED_ONE, Dr6::RESERVED_ONE);
+        assert_eq!(r.rounded(), r);
+    }
+
+    #[test]
+    fn dr7_vmx_check_and_rounding() {
+        assert!(Dr7::default().check_vmx().is_ok());
+        assert_eq!(Dr7::new(1 << 40).check_vmx().unwrap_err().rule, "dr7.upper");
+        let r = Dr7::new((1 << 40) | Dr7::GD).rounded();
+        assert!(r.check_vmx().is_ok());
+        assert!(r.0 & Dr7::GD != 0, "defined bits preserved");
+        assert!(r.0 & Dr7::RESERVED_ONE != 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The `IA32_EFER` / AMD `EFER` model-specific register.
+//!
+//! `EFER` couples long mode to paging: `LMA` must always equal
+//! `LME & CR0.PG`. Two of the paper's discovered bugs (vkvm bug #1 and the
+//! Xen nested-SVM `LMA && !PG` bug) are violations of exactly this
+//! consistency family, so the rule lives here as a first-class check.
+
+use crate::{ArchError, ArchResult, Cr0, Cr4};
+
+/// The extended feature enable register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Efer(pub u64);
+
+impl Efer {
+    /// System Call Extensions (SYSCALL/SYSRET enable).
+    pub const SCE: u64 = 1 << 0;
+    /// Long Mode Enable.
+    pub const LME: u64 = 1 << 8;
+    /// Long Mode Active (read-only to software; set by the CPU).
+    pub const LMA: u64 = 1 << 10;
+    /// No-Execute Enable.
+    pub const NXE: u64 = 1 << 11;
+    /// Secure Virtual Machine Enable (AMD-V).
+    pub const SVME: u64 = 1 << 12;
+    /// Long Mode Segment Limit Enable (AMD).
+    pub const LMSLE: u64 = 1 << 13;
+    /// Fast FXSAVE/FXRSTOR (AMD).
+    pub const FFXSR: u64 = 1 << 14;
+    /// Translation Cache Extension (AMD).
+    pub const TCE: u64 = 1 << 15;
+
+    /// All architecturally defined bits.
+    pub const DEFINED: u64 = Self::SCE
+        | Self::LME
+        | Self::LMA
+        | Self::NXE
+        | Self::SVME
+        | Self::LMSLE
+        | Self::FFXSR
+        | Self::TCE;
+
+    /// Creates an `EFER` from a raw value without validation.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns `true` if `bit` (one of the associated constants) is set.
+    pub const fn has(self, bit: u64) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Returns the reserved bits that are (illegally) set.
+    pub const fn reserved_set(self) -> u64 {
+        self.0 & !Self::DEFINED
+    }
+
+    /// Checks that no reserved bits are set (a `wrmsr` would `#GP`).
+    pub fn check_reserved(self) -> ArchResult {
+        if self.reserved_set() != 0 {
+            return Err(ArchError::new(
+                "efer.reserved",
+                format!("reserved EFER bits set: {:#x}", self.reserved_set()),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks the long-mode consistency triple (`EFER.LMA == EFER.LME &&
+    /// CR0.PG`) together with the PAE requirement of IA-32e mode.
+    ///
+    /// This is the constraint family behind CVE-2023-30456 (KVM trusted
+    /// `CR4.PAE` literally where the CPU silently assumes it) and Xen issue
+    /// #216 (`LMA && !PG` VMCB accepted by `vmrun`).
+    pub fn check_long_mode(self, cr0: Cr0, cr4: Cr4) -> ArchResult {
+        let lme = self.has(Self::LME);
+        let lma = self.has(Self::LMA);
+        let pg = cr0.has(Cr0::PG);
+        if lma != (lme && pg) {
+            return Err(ArchError::new(
+                "efer.lma_consistency",
+                format!(
+                    "EFER.LMA={} but EFER.LME={} && CR0.PG={}",
+                    lma as u8, lme as u8, pg as u8
+                ),
+            ));
+        }
+        if lma && pg && !cr4.has(Cr4::PAE) {
+            return Err(ArchError::new(
+                "efer.lme_requires_pae",
+                "IA-32e paging active but CR4.PAE=0",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_bits() {
+        assert!(Efer::new(Efer::SCE | Efer::LME | Efer::NXE)
+            .check_reserved()
+            .is_ok());
+        assert_eq!(
+            Efer::new(1 << 1).check_reserved().unwrap_err().rule,
+            "efer.reserved"
+        );
+        assert!(Efer::new(1 << 9).check_reserved().is_err());
+        assert!(Efer::new(1 << 16).check_reserved().is_err());
+    }
+
+    #[test]
+    fn long_mode_consistent_configurations() {
+        let long = Efer::new(Efer::LME | Efer::LMA);
+        let cr0 = Cr0::new(Cr0::PE | Cr0::PG);
+        let cr4 = Cr4::new(Cr4::PAE);
+        assert!(long.check_long_mode(cr0, cr4).is_ok());
+
+        // Legacy mode: nothing set.
+        assert!(Efer::new(0)
+            .check_long_mode(Cr0::new(Cr0::PE), Cr4::new(0))
+            .is_ok());
+
+        // LME set but paging off: LMA must be clear.
+        assert!(Efer::new(Efer::LME)
+            .check_long_mode(Cr0::new(Cr0::PE), Cr4::new(0))
+            .is_ok());
+    }
+
+    #[test]
+    fn lma_without_pg_rejected() {
+        let efer = Efer::new(Efer::LME | Efer::LMA);
+        let err = efer
+            .check_long_mode(Cr0::new(Cr0::PE), Cr4::new(Cr4::PAE))
+            .unwrap_err();
+        assert_eq!(err.rule, "efer.lma_consistency");
+    }
+
+    #[test]
+    fn long_mode_without_pae_rejected() {
+        let efer = Efer::new(Efer::LME | Efer::LMA);
+        let err = efer
+            .check_long_mode(Cr0::new(Cr0::PE | Cr0::PG), Cr4::new(0))
+            .unwrap_err();
+        assert_eq!(err.rule, "efer.lme_requires_pae");
+    }
+}

@@ -1,0 +1,340 @@
+//! Exceptions, event injection, interruptibility, and activity states.
+//!
+//! The VMCS guest-state area carries an *activity state* and an
+//! *interruptibility state*, and VM entry can inject an event described by
+//! the VM-entry interruption-information field. Xen's WAIT-FOR-SIPI hang
+//! (paper §5.5.2, bug #4) is an activity-state sanitization failure, so
+//! the activity-state rules are modeled carefully here.
+
+use crate::{ArchError, ArchResult, RFlags};
+
+/// An exception/interrupt vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Vector(pub u8);
+
+impl Vector {
+    /// Divide error.
+    pub const DE: Vector = Vector(0);
+    /// Debug exception.
+    pub const DB: Vector = Vector(1);
+    /// Non-maskable interrupt.
+    pub const NMI: Vector = Vector(2);
+    /// Breakpoint.
+    pub const BP: Vector = Vector(3);
+    /// Overflow.
+    pub const OF: Vector = Vector(4);
+    /// Invalid opcode.
+    pub const UD: Vector = Vector(6);
+    /// Double fault.
+    pub const DF: Vector = Vector(8);
+    /// Invalid TSS.
+    pub const TS: Vector = Vector(10);
+    /// Segment not present.
+    pub const NP: Vector = Vector(11);
+    /// Stack-segment fault.
+    pub const SS: Vector = Vector(12);
+    /// General protection fault.
+    pub const GP: Vector = Vector(13);
+    /// Page fault.
+    pub const PF: Vector = Vector(14);
+    /// Machine check.
+    pub const MC: Vector = Vector(18);
+
+    /// Returns `true` if the exception pushes an error code.
+    pub const fn has_error_code(self) -> bool {
+        matches!(self.0, 8 | 10 | 11 | 12 | 13 | 14 | 17 | 21 | 29 | 30)
+    }
+}
+
+/// VMCS guest activity state (SDM 24.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u32)]
+pub enum ActivityState {
+    /// Executing instructions normally.
+    #[default]
+    Active = 0,
+    /// Halted by `hlt`.
+    Hlt = 1,
+    /// Shutdown after a triple fault; only NMI/SMI/INIT break it.
+    Shutdown = 2,
+    /// Waiting for a startup IPI — intended for TXT auxiliary processors,
+    /// never for ordinary nested guests.
+    WaitForSipi = 3,
+}
+
+impl ActivityState {
+    /// Decodes a raw VMCS field value; values above 3 are reserved.
+    pub fn from_raw(raw: u64) -> ArchResult<ActivityState> {
+        match raw {
+            0 => Ok(ActivityState::Active),
+            1 => Ok(ActivityState::Hlt),
+            2 => Ok(ActivityState::Shutdown),
+            3 => Ok(ActivityState::WaitForSipi),
+            other => Err(ArchError::new(
+                "activity.reserved",
+                format!("activity state {other} is reserved"),
+            )),
+        }
+    }
+
+    /// Returns `true` for states a well-behaved L1 hypervisor would ever
+    /// place in a nested guest's VMCS — the states an L0 must *sanitize*
+    /// to, per the Xen WAIT-FOR-SIPI fix.
+    pub const fn safe_for_nested(self) -> bool {
+        matches!(self, ActivityState::Active | ActivityState::Hlt)
+    }
+}
+
+/// VMCS interruptibility-state bits (SDM 24.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Interruptibility(pub u32);
+
+impl Interruptibility {
+    /// Blocking by `sti`.
+    pub const STI: u32 = 1 << 0;
+    /// Blocking by `mov ss` / `pop ss`.
+    pub const MOV_SS: u32 = 1 << 1;
+    /// Blocking by SMI.
+    pub const SMI: u32 = 1 << 2;
+    /// Blocking by NMI.
+    pub const NMI: u32 = 1 << 3;
+    /// Enclave interruption (SGX).
+    pub const ENCLAVE: u32 = 1 << 4;
+    /// Defined bits; the rest are reserved-zero.
+    pub const DEFINED: u32 = 0x1f;
+
+    /// Checks the VM-entry rules for interruptibility state in
+    /// combination with `RFLAGS.IF` (SDM 26.3.1.5, excerpt sufficient for
+    /// the modeled hypervisors).
+    pub fn check(self, rflags: RFlags) -> ArchResult {
+        if self.0 & !Self::DEFINED != 0 {
+            return Err(ArchError::new(
+                "intr.reserved",
+                format!(
+                    "reserved interruptibility bits set: {:#x}",
+                    self.0 & !Self::DEFINED
+                ),
+            ));
+        }
+        if self.0 & Self::STI != 0 && self.0 & Self::MOV_SS != 0 {
+            return Err(ArchError::new(
+                "intr.sti_and_movss",
+                "STI and MOV-SS blocking cannot both be set",
+            ));
+        }
+        if self.0 & Self::STI != 0 && !rflags.has(RFlags::IF) {
+            return Err(ArchError::new(
+                "intr.sti_requires_if",
+                "STI blocking requires RFLAGS.IF=1",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Rounds to a value that passes [`Interruptibility::check`] for the
+    /// given `rflags`.
+    pub fn rounded(self, rflags: RFlags) -> Self {
+        let mut v = self.0 & Self::DEFINED;
+        if v & Self::STI != 0 && (v & Self::MOV_SS != 0 || !rflags.has(RFlags::IF)) {
+            v &= !Self::STI;
+        }
+        Interruptibility(v)
+    }
+}
+
+/// Event-delivery type in the VM-entry interruption-information field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum EventType {
+    /// External interrupt.
+    External = 0,
+    /// Non-maskable interrupt.
+    Nmi = 2,
+    /// Hardware exception.
+    HardException = 3,
+    /// Software interrupt (`int n`).
+    SoftInt = 4,
+    /// Privileged software exception (`int1`).
+    PrivSoftException = 5,
+    /// Software exception (`int3`/`into`).
+    SoftException = 6,
+    /// Other event (e.g. MTF).
+    Other = 7,
+}
+
+impl EventType {
+    /// Decodes the 3-bit type field; type 1 is reserved.
+    pub fn from_raw(raw: u32) -> ArchResult<EventType> {
+        match raw & 7 {
+            0 => Ok(EventType::External),
+            2 => Ok(EventType::Nmi),
+            3 => Ok(EventType::HardException),
+            4 => Ok(EventType::SoftInt),
+            5 => Ok(EventType::PrivSoftException),
+            6 => Ok(EventType::SoftException),
+            7 => Ok(EventType::Other),
+            _ => Err(ArchError::new(
+                "event.type_reserved",
+                "event type 1 is reserved",
+            )),
+        }
+    }
+}
+
+/// The VM-entry interruption-information field (SDM 24.8.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EventInjection(pub u32);
+
+impl EventInjection {
+    /// Valid bit (bit 31).
+    pub const VALID: u32 = 1 << 31;
+    /// Deliver-error-code bit (bit 11).
+    pub const DELIVER_EC: u32 = 1 << 11;
+
+    /// Builds an injection field.
+    pub const fn build(vector: Vector, typ: EventType, deliver_ec: bool, valid: bool) -> Self {
+        EventInjection(
+            vector.0 as u32
+                | ((typ as u32) << 8)
+                | (if deliver_ec { Self::DELIVER_EC } else { 0 })
+                | (if valid { Self::VALID } else { 0 }),
+        )
+    }
+
+    /// Returns the vector field.
+    pub const fn vector(self) -> Vector {
+        Vector((self.0 & 0xff) as u8)
+    }
+
+    /// Returns `true` if the valid bit is set.
+    pub const fn valid(self) -> bool {
+        self.0 & Self::VALID != 0
+    }
+
+    /// Checks the VM-entry rules for the interruption-information field
+    /// (SDM 26.2.1.3, modeled subset): reserved bits zero, type not
+    /// reserved, NMI implies vector 2, hardware exceptions imply vector
+    /// ≤ 31, and error-code delivery only for vectors that define one.
+    pub fn check(self) -> ArchResult {
+        if !self.valid() {
+            return Ok(());
+        }
+        let reserved = self.0 & 0x7fff_f000;
+        if reserved != 0 {
+            return Err(ArchError::new(
+                "event.reserved",
+                format!("reserved interruption-info bits set: {reserved:#x}"),
+            ));
+        }
+        let typ = EventType::from_raw((self.0 >> 8) & 7)?;
+        let vec = self.vector();
+        match typ {
+            EventType::Nmi if vec != Vector::NMI => Err(ArchError::new(
+                "event.nmi_vector",
+                "NMI injection requires vector 2",
+            )),
+            EventType::HardException if vec.0 > 31 => Err(ArchError::new(
+                "event.exception_vector",
+                format!("hardware exception vector {} out of range", vec.0),
+            )),
+            EventType::HardException if self.0 & Self::DELIVER_EC != 0 && !vec.has_error_code() => {
+                Err(ArchError::new(
+                    "event.error_code",
+                    format!("vector {} does not deliver an error code", vec.0),
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_error_codes() {
+        assert!(Vector::DF.has_error_code());
+        assert!(Vector::GP.has_error_code());
+        assert!(Vector::PF.has_error_code());
+        assert!(!Vector::DE.has_error_code());
+        assert!(!Vector::NMI.has_error_code());
+    }
+
+    #[test]
+    fn activity_state_decoding() {
+        assert_eq!(ActivityState::from_raw(0).unwrap(), ActivityState::Active);
+        assert_eq!(
+            ActivityState::from_raw(3).unwrap(),
+            ActivityState::WaitForSipi
+        );
+        assert!(ActivityState::from_raw(4).is_err());
+    }
+
+    #[test]
+    fn nested_safe_activity_states() {
+        assert!(ActivityState::Active.safe_for_nested());
+        assert!(ActivityState::Hlt.safe_for_nested());
+        assert!(!ActivityState::Shutdown.safe_for_nested());
+        assert!(!ActivityState::WaitForSipi.safe_for_nested());
+    }
+
+    #[test]
+    fn interruptibility_rules() {
+        let if_set = RFlags::new(RFlags::RESERVED_ONE | RFlags::IF);
+        let if_clear = RFlags::default();
+        assert!(Interruptibility(0).check(if_clear).is_ok());
+        assert!(Interruptibility(Interruptibility::STI)
+            .check(if_set)
+            .is_ok());
+        assert_eq!(
+            Interruptibility(Interruptibility::STI)
+                .check(if_clear)
+                .unwrap_err()
+                .rule,
+            "intr.sti_requires_if"
+        );
+        assert_eq!(
+            Interruptibility(Interruptibility::STI | Interruptibility::MOV_SS)
+                .check(if_set)
+                .unwrap_err()
+                .rule,
+            "intr.sti_and_movss"
+        );
+        assert_eq!(
+            Interruptibility(1 << 9).check(if_set).unwrap_err().rule,
+            "intr.reserved"
+        );
+    }
+
+    #[test]
+    fn interruptibility_rounding() {
+        let if_clear = RFlags::default();
+        for raw in [0u32, u32::MAX, Interruptibility::STI, 0x3ff] {
+            let r = Interruptibility(raw).rounded(if_clear);
+            assert!(r.check(if_clear).is_ok(), "raw={raw:#x}");
+        }
+    }
+
+    #[test]
+    fn event_injection_checks() {
+        let ok = EventInjection::build(Vector::GP, EventType::HardException, true, true);
+        assert!(ok.check().is_ok());
+
+        let bad_nmi = EventInjection::build(Vector::GP, EventType::Nmi, false, true);
+        assert_eq!(bad_nmi.check().unwrap_err().rule, "event.nmi_vector");
+
+        let bad_ec = EventInjection::build(Vector::UD, EventType::HardException, true, true);
+        assert_eq!(bad_ec.check().unwrap_err().rule, "event.error_code");
+
+        let bad_vec = EventInjection::build(Vector(99), EventType::HardException, false, true);
+        assert_eq!(bad_vec.check().unwrap_err().rule, "event.exception_vector");
+
+        // Invalid bit clear: no checks apply.
+        let invalid = EventInjection::build(Vector(99), EventType::Nmi, true, false);
+        assert!(invalid.check().is_ok());
+
+        let reserved = EventInjection(EventInjection::VALID | (1 << 13));
+        assert_eq!(reserved.check().unwrap_err().rule, "event.reserved");
+    }
+}

@@ -1,0 +1,80 @@
+//! x86 architectural substrate for the NecoFuzz reproduction.
+//!
+//! This crate models the architectural state that hardware-assisted
+//! virtualization operates on: control registers, `RFLAGS`, `EFER`, debug
+//! registers, segmentation, descriptor tables, MSRs, paging modes, and the
+//! interrupt/activity state machinery that the VMCS guest-state area
+//! captures.
+//!
+//! Everything here is a *model*: plain data types with the architectural
+//! validity rules attached as methods. The VMX/SVM-specific structures
+//! (VMCS, VMCB, capability MSRs) live in `nf-vmx`, and the behavioural
+//! semantics (VM-entry checks, silent rounding) live in `nf-silicon`.
+//!
+//! # Examples
+//!
+//! ```
+//! use nf_x86::{Cr0, Cr4, Efer, PagingMode};
+//!
+//! let cr0 = Cr0::new(Cr0::PE | Cr0::PG);
+//! let cr4 = Cr4::new(Cr4::PAE);
+//! let efer = Efer::new(Efer::LME | Efer::LMA);
+//! assert_eq!(PagingMode::derive(cr0, cr4, efer), PagingMode::FourLevel);
+//! ```
+
+pub mod addr;
+pub mod cpuid;
+pub mod cr;
+pub mod desc;
+pub mod dr;
+pub mod efer;
+pub mod interrupt;
+pub mod msr;
+pub mod paging;
+pub mod rflags;
+pub mod segment;
+
+pub use addr::{GuestPhysAddr, HostPhysAddr, VirtAddr, MAXPHYADDR};
+pub use cpuid::{CpuFeature, CpuVendor, FeatureSet};
+pub use cr::{Cr0, Cr3, Cr4};
+pub use desc::DescriptorTable;
+pub use dr::{Dr6, Dr7};
+pub use efer::Efer;
+pub use interrupt::{ActivityState, EventInjection, EventType, Interruptibility, Vector};
+pub use msr::{Msr, MsrFile};
+pub use paging::{PagingMode, Pdpte};
+pub use rflags::RFlags;
+pub use segment::{AccessRights, SegReg, Segment, SegmentKind, Selector};
+
+/// An architectural rule violation, produced by the validity checkers.
+///
+/// The silicon model and the hypervisors map these onto their own error
+/// reporting (VM-entry failure, `#GP`, consistency-check exit, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchError {
+    /// Short machine-readable rule identifier, e.g. `"cr0.pg_without_pe"`.
+    pub rule: &'static str,
+    /// Human-readable explanation used in diagnostics and fuzzer reports.
+    pub detail: String,
+}
+
+impl ArchError {
+    /// Creates a new error for `rule` with a formatted `detail` message.
+    pub fn new(rule: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            rule,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for ArchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.rule, self.detail)
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// Convenience result alias for architectural checks.
+pub type ArchResult<T = ()> = Result<T, ArchError>;

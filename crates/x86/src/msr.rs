@@ -1,0 +1,335 @@
+//! Model-specific registers: index catalogue, storage, and validity rules.
+//!
+//! The MSR surface matters to nested virtualization in three ways: the
+//! `IA32_VMX_*` capability MSRs define which VMCS control bits may be set
+//! (`nf-vmx` interprets them); VM entry loads guest MSRs from the VMCS and
+//! from the MSR-load area (where VirtualBox's CVE-2024-21106 lived); and
+//! the vCPU configurator toggles feature bits that surface through MSRs.
+
+use std::collections::BTreeMap;
+
+use crate::addr::VirtAddr;
+use crate::{ArchError, ArchResult};
+
+/// Well-known MSR indices used throughout the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u32)]
+pub enum Msr {
+    /// Time-stamp counter.
+    Tsc = 0x10,
+    /// APIC base address and enable bits.
+    ApicBase = 0x1b,
+    /// Feature control: VMX enable lock.
+    FeatureControl = 0x3a,
+    /// SYSENTER target code segment.
+    SysenterCs = 0x174,
+    /// SYSENTER stack pointer.
+    SysenterEsp = 0x175,
+    /// SYSENTER instruction pointer.
+    SysenterEip = 0x176,
+    /// Debug control (LBR, BTF).
+    DebugCtl = 0x1d9,
+    /// Page-attribute table.
+    Pat = 0x277,
+    /// Performance global control.
+    PerfGlobalCtrl = 0x38f,
+    /// VMX capability: basic information.
+    VmxBasic = 0x480,
+    /// VMX capability: pin-based controls.
+    VmxPinbasedCtls = 0x481,
+    /// VMX capability: primary processor-based controls.
+    VmxProcbasedCtls = 0x482,
+    /// VMX capability: VM-exit controls.
+    VmxExitCtls = 0x483,
+    /// VMX capability: VM-entry controls.
+    VmxEntryCtls = 0x484,
+    /// VMX capability: miscellaneous data.
+    VmxMisc = 0x485,
+    /// VMX capability: CR0 bits fixed to 1.
+    VmxCr0Fixed0 = 0x486,
+    /// VMX capability: CR0 bits fixed to 0 (reads as allowed-1 mask).
+    VmxCr0Fixed1 = 0x487,
+    /// VMX capability: CR4 bits fixed to 1.
+    VmxCr4Fixed0 = 0x488,
+    /// VMX capability: CR4 bits fixed to 0 (reads as allowed-1 mask).
+    VmxCr4Fixed1 = 0x489,
+    /// VMX capability: VMCS enumeration.
+    VmxVmcsEnum = 0x48a,
+    /// VMX capability: secondary processor-based controls.
+    VmxProcbasedCtls2 = 0x48b,
+    /// VMX capability: EPT and VPID capabilities.
+    VmxEptVpidCap = 0x48c,
+    /// VMX capability: true pin-based controls.
+    VmxTruePinbasedCtls = 0x48d,
+    /// VMX capability: true processor-based controls.
+    VmxTrueProcbasedCtls = 0x48e,
+    /// VMX capability: true VM-exit controls.
+    VmxTrueExitCtls = 0x48f,
+    /// VMX capability: true VM-entry controls.
+    VmxTrueEntryCtls = 0x490,
+    /// VMX capability: VM functions.
+    VmxVmfunc = 0x491,
+    /// Extended feature enables (long mode, NX, SVME).
+    Efer = 0xc000_0080,
+    /// SYSCALL target (legacy).
+    Star = 0xc000_0081,
+    /// SYSCALL target (64-bit).
+    Lstar = 0xc000_0082,
+    /// SYSCALL target (compat).
+    Cstar = 0xc000_0083,
+    /// SYSCALL flag mask.
+    SfMask = 0xc000_0084,
+    /// FS segment base.
+    FsBase = 0xc000_0100,
+    /// GS segment base.
+    GsBase = 0xc000_0101,
+    /// Swapped GS base for SWAPGS.
+    KernelGsBase = 0xc000_0102,
+    /// AMD: SVM control.
+    VmCr = 0xc001_0114,
+    /// AMD: host save-area physical address for `VMRUN`.
+    VmHsavePa = 0xc001_0117,
+}
+
+impl Msr {
+    /// Returns the raw MSR index.
+    pub const fn index(self) -> u32 {
+        self as u32
+    }
+
+    /// Returns `true` if the value written to this MSR must be a canonical
+    /// virtual address (a non-canonical write raises `#GP`, and VM entry
+    /// must enforce the same for loaded guest/host values).
+    ///
+    /// `KernelGsBase` is the member VirtualBox failed to check during
+    /// nested entry MSR-load processing (CVE-2024-21106).
+    pub const fn requires_canonical(self) -> bool {
+        matches!(
+            self,
+            Msr::SysenterEsp
+                | Msr::SysenterEip
+                | Msr::FsBase
+                | Msr::GsBase
+                | Msr::KernelGsBase
+                | Msr::Lstar
+                | Msr::Cstar
+        )
+    }
+
+    /// Looks up a known MSR by raw index.
+    pub fn from_index(index: u32) -> Option<Msr> {
+        ALL_MSRS.iter().copied().find(|m| m.index() == index)
+    }
+}
+
+/// Every MSR the model knows about.
+pub const ALL_MSRS: &[Msr] = &[
+    Msr::Tsc,
+    Msr::ApicBase,
+    Msr::FeatureControl,
+    Msr::SysenterCs,
+    Msr::SysenterEsp,
+    Msr::SysenterEip,
+    Msr::DebugCtl,
+    Msr::Pat,
+    Msr::PerfGlobalCtrl,
+    Msr::VmxBasic,
+    Msr::VmxPinbasedCtls,
+    Msr::VmxProcbasedCtls,
+    Msr::VmxExitCtls,
+    Msr::VmxEntryCtls,
+    Msr::VmxMisc,
+    Msr::VmxCr0Fixed0,
+    Msr::VmxCr0Fixed1,
+    Msr::VmxCr4Fixed0,
+    Msr::VmxCr4Fixed1,
+    Msr::VmxVmcsEnum,
+    Msr::VmxProcbasedCtls2,
+    Msr::VmxEptVpidCap,
+    Msr::VmxTruePinbasedCtls,
+    Msr::VmxTrueProcbasedCtls,
+    Msr::VmxTrueExitCtls,
+    Msr::VmxTrueEntryCtls,
+    Msr::VmxVmfunc,
+    Msr::Efer,
+    Msr::Star,
+    Msr::Lstar,
+    Msr::Cstar,
+    Msr::SfMask,
+    Msr::FsBase,
+    Msr::GsBase,
+    Msr::KernelGsBase,
+    Msr::VmCr,
+    Msr::VmHsavePa,
+];
+
+/// Checks an `IA32_PAT` value: every byte must encode a valid memory type
+/// (0, 1, 4, 5, 6 or 7).
+pub fn pat_valid(pat: u64) -> bool {
+    (0..8).all(|i| matches!((pat >> (i * 8)) & 0xff, 0 | 1 | 4 | 5 | 6 | 7))
+}
+
+/// Rounds an `IA32_PAT` value so every byte is a valid memory type,
+/// replacing invalid bytes with write-back (6).
+pub fn pat_rounded(pat: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..8 {
+        let b = (pat >> (i * 8)) & 0xff;
+        let b = if matches!(b, 0 | 1 | 4 | 5 | 6 | 7) {
+            b
+        } else {
+            6
+        };
+        out |= b << (i * 8);
+    }
+    out
+}
+
+/// Checks an `IA32_DEBUGCTL` value against the modeled defined-bit mask
+/// (bits 0..=15 minus reserved holes; everything above must be zero).
+pub fn debugctl_valid(val: u64) -> bool {
+    const DEFINED: u64 = 0xffc3;
+    val & !DEFINED == 0
+}
+
+/// A flat MSR file with architectural reset defaults.
+///
+/// # Examples
+///
+/// ```
+/// use nf_x86::{Msr, MsrFile};
+/// let mut msrs = MsrFile::at_reset();
+/// msrs.write(Msr::KernelGsBase.index(), 0xffff_8000_dead_0000).unwrap();
+/// assert!(msrs.write(Msr::KernelGsBase.index(), 0x8000_0000_0000_0000).is_err());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MsrFile {
+    values: BTreeMap<u32, u64>,
+}
+
+impl MsrFile {
+    /// Creates an MSR file with architectural reset values.
+    pub fn at_reset() -> Self {
+        let mut f = MsrFile::default();
+        f.values.insert(Msr::Pat.index(), 0x0007_0406_0007_0406);
+        f.values.insert(Msr::ApicBase.index(), 0xfee0_0900);
+        f
+    }
+
+    /// Reads an MSR, returning 0 for never-written known indices and an
+    /// error for unknown ones (a real CPU would `#GP`).
+    pub fn read(&self, index: u32) -> ArchResult<u64> {
+        if Msr::from_index(index).is_none() {
+            return Err(ArchError::new(
+                "msr.unknown",
+                format!("rdmsr of unknown MSR {index:#x}"),
+            ));
+        }
+        Ok(self.values.get(&index).copied().unwrap_or(0))
+    }
+
+    /// Writes an MSR, enforcing canonicality and per-MSR value rules.
+    pub fn write(&mut self, index: u32, value: u64) -> ArchResult {
+        let Some(msr) = Msr::from_index(index) else {
+            return Err(ArchError::new(
+                "msr.unknown",
+                format!("wrmsr of unknown MSR {index:#x}"),
+            ));
+        };
+        if msr.requires_canonical() && !VirtAddr(value).is_canonical() {
+            return Err(ArchError::new(
+                "msr.non_canonical",
+                format!("wrmsr {index:#x} with non-canonical value {value:#x}"),
+            ));
+        }
+        if msr == Msr::Pat && !pat_valid(value) {
+            return Err(ArchError::new(
+                "msr.pat",
+                format!("invalid PAT value {value:#x}"),
+            ));
+        }
+        if msr == Msr::DebugCtl && !debugctl_valid(value) {
+            return Err(ArchError::new(
+                "msr.debugctl",
+                format!("reserved DEBUGCTL bits set in {value:#x}"),
+            ));
+        }
+        self.values.insert(index, value);
+        Ok(())
+    }
+
+    /// Writes without validation — models microcode/VM-entry loads that
+    /// bypass the `wrmsr` checks (the exact bypass that makes unchecked
+    /// MSR-load lists dangerous).
+    pub fn write_unchecked(&mut self, index: u32, value: u64) {
+        self.values.insert(index, value);
+    }
+
+    /// Raw read without the known-MSR guard (returns 0 when absent).
+    pub fn read_raw(&self, index: u32) -> u64 {
+        self.values.get(&index).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_roundtrip() {
+        for &m in ALL_MSRS {
+            assert_eq!(Msr::from_index(m.index()), Some(m));
+        }
+        assert_eq!(Msr::from_index(0xdead), None);
+    }
+
+    #[test]
+    fn canonical_enforcement_on_write() {
+        let mut f = MsrFile::at_reset();
+        assert!(f.write(Msr::Lstar.index(), 0x8000_0000_0000_0000).is_err());
+        assert!(f.write(Msr::Lstar.index(), 0xffff_8000_0000_0000).is_ok());
+        // STAR carries no address; anything goes.
+        assert!(f.write(Msr::Star.index(), u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn pat_validity_and_rounding() {
+        assert!(pat_valid(0x0007_0406_0007_0406));
+        assert!(!pat_valid(0x0000_0000_0000_0002));
+        assert!(!pat_valid(0x0800_0000_0000_0000));
+        let r = pat_rounded(0x0203_0406_0007_0406);
+        assert!(pat_valid(r));
+        assert_eq!(r & 0xffff_ffff, 0x0007_0406);
+    }
+
+    #[test]
+    fn debugctl_reserved() {
+        assert!(debugctl_valid(0x1));
+        assert!(!debugctl_valid(1 << 2));
+        assert!(!debugctl_valid(1 << 16));
+    }
+
+    #[test]
+    fn unknown_msr_faults() {
+        let mut f = MsrFile::at_reset();
+        assert_eq!(f.read(0x9999).unwrap_err().rule, "msr.unknown");
+        assert_eq!(f.write(0x9999, 0).unwrap_err().rule, "msr.unknown");
+    }
+
+    #[test]
+    fn unchecked_write_bypasses_rules() {
+        let mut f = MsrFile::at_reset();
+        f.write_unchecked(Msr::KernelGsBase.index(), 0x8000_0000_0000_0000);
+        assert_eq!(
+            f.read(Msr::KernelGsBase.index()).unwrap(),
+            0x8000_0000_0000_0000
+        );
+    }
+
+    #[test]
+    fn reset_defaults() {
+        let f = MsrFile::at_reset();
+        assert_eq!(f.read(Msr::Pat.index()).unwrap(), 0x0007_0406_0007_0406);
+        assert_eq!(f.read(Msr::Efer.index()).unwrap(), 0);
+    }
+}

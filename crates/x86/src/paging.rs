@@ -1,0 +1,170 @@
+//! Paging-mode derivation and PAE PDPTE rules.
+//!
+//! The paging mode is a *derived* quantity — a function of `CR0.PG`,
+//! `CR4.PAE`, `CR4.LA57`, and `EFER.LMA`. Hypervisors that re-derive it
+//! from individual bits instead of asking the hardware are exactly the
+//! ones that fall into the CVE-2023-30456 trap: the CPU silently assumes
+//! `CR4.PAE=1` when IA-32e mode is on, while a literal reading of the bits
+//! yields a different (shorter) page-walk than the one hardware performs.
+
+use crate::{ArchError, ArchResult, Cr0, Cr4, Efer};
+
+/// The five architectural paging modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PagingMode {
+    /// Paging disabled (`CR0.PG=0`).
+    None,
+    /// Classic 32-bit paging (two levels).
+    ThirtyTwoBit,
+    /// PAE paging (three levels).
+    Pae,
+    /// IA-32e four-level paging.
+    FourLevel,
+    /// Five-level paging (`CR4.LA57=1`).
+    FiveLevel,
+}
+
+impl PagingMode {
+    /// Derives the paging mode the *hardware* would use, including the
+    /// silent `CR4.PAE` assumption in IA-32e mode.
+    pub fn derive(cr0: Cr0, cr4: Cr4, efer: Efer) -> PagingMode {
+        if !cr0.has(Cr0::PG) {
+            return PagingMode::None;
+        }
+        if efer.has(Efer::LME) || efer.has(Efer::LMA) {
+            // Hardware behaves as if CR4.PAE were set in IA-32e mode even
+            // when the bit reads 0 after a malformed VM entry.
+            if cr4.has(Cr4::LA57) {
+                return PagingMode::FiveLevel;
+            }
+            return PagingMode::FourLevel;
+        }
+        if cr4.has(Cr4::PAE) {
+            return PagingMode::Pae;
+        }
+        PagingMode::ThirtyTwoBit
+    }
+
+    /// Derives the paging mode by *literal* bit interpretation — the buggy
+    /// software reading where IA-32e mode with `CR4.PAE=0` degenerates to
+    /// a mode the hardware never uses. Kept for the vulnerable hypervisor
+    /// model; correct software must use [`PagingMode::derive`].
+    pub fn derive_literal(cr0: Cr0, cr4: Cr4, efer: Efer) -> PagingMode {
+        if !cr0.has(Cr0::PG) {
+            return PagingMode::None;
+        }
+        if !cr4.has(Cr4::PAE) {
+            // Literal reading: no PAE bit, no PAE walk — even in IA-32e.
+            return PagingMode::ThirtyTwoBit;
+        }
+        if efer.has(Efer::LME) || efer.has(Efer::LMA) {
+            if cr4.has(Cr4::LA57) {
+                return PagingMode::FiveLevel;
+            }
+            return PagingMode::FourLevel;
+        }
+        PagingMode::Pae
+    }
+
+    /// Number of page-table levels the walk traverses.
+    pub const fn walk_levels(self) -> usize {
+        match self {
+            PagingMode::None => 0,
+            PagingMode::ThirtyTwoBit => 2,
+            PagingMode::Pae => 3,
+            PagingMode::FourLevel => 4,
+            PagingMode::FiveLevel => 5,
+        }
+    }
+}
+
+/// A PAE page-directory-pointer-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pdpte(pub u64);
+
+impl Pdpte {
+    /// Present bit.
+    pub const P: u64 = 1;
+    /// Reserved bits that must be zero when present (bits 2:1 and 8:5).
+    pub const RESERVED: u64 = 0b1_1110_0110;
+
+    /// Checks the VM-entry PDPTE rule (SDM 26.3.1.6): when present,
+    /// reserved bits must be zero.
+    pub fn check(self) -> ArchResult {
+        if self.0 & Self::P != 0 && self.0 & Self::RESERVED != 0 {
+            return Err(ArchError::new(
+                "pdpte.reserved",
+                format!("PDPTE {:#x} has reserved bits set", self.0),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn long_mode_regs() -> (Cr0, Cr4, Efer) {
+        (
+            Cr0::new(Cr0::PE | Cr0::PG),
+            Cr4::new(Cr4::PAE),
+            Efer::new(Efer::LME | Efer::LMA),
+        )
+    }
+
+    #[test]
+    fn mode_derivation_matrix() {
+        let (cr0, cr4, efer) = long_mode_regs();
+        assert_eq!(PagingMode::derive(cr0, cr4, efer), PagingMode::FourLevel);
+        assert_eq!(
+            PagingMode::derive(Cr0::new(Cr0::PE), cr4, efer),
+            PagingMode::None
+        );
+        assert_eq!(
+            PagingMode::derive(cr0, Cr4::new(Cr4::PAE), Efer::new(0)),
+            PagingMode::Pae
+        );
+        assert_eq!(
+            PagingMode::derive(cr0, Cr4::new(0), Efer::new(0)),
+            PagingMode::ThirtyTwoBit
+        );
+        assert_eq!(
+            PagingMode::derive(cr0, Cr4::new(Cr4::PAE | Cr4::LA57), efer),
+            PagingMode::FiveLevel
+        );
+    }
+
+    #[test]
+    fn hardware_assumes_pae_in_long_mode() {
+        // The CVE-2023-30456 state: IA-32e guest with CR4.PAE=0.
+        let cr0 = Cr0::new(Cr0::PE | Cr0::PG);
+        let cr4 = Cr4::new(0);
+        let efer = Efer::new(Efer::LME | Efer::LMA);
+        assert_eq!(PagingMode::derive(cr0, cr4, efer), PagingMode::FourLevel);
+        // Literal software reading disagrees — that disagreement is the bug.
+        assert_eq!(
+            PagingMode::derive_literal(cr0, cr4, efer),
+            PagingMode::ThirtyTwoBit
+        );
+    }
+
+    #[test]
+    fn walk_levels() {
+        assert_eq!(PagingMode::None.walk_levels(), 0);
+        assert_eq!(PagingMode::ThirtyTwoBit.walk_levels(), 2);
+        assert_eq!(PagingMode::Pae.walk_levels(), 3);
+        assert_eq!(PagingMode::FourLevel.walk_levels(), 4);
+        assert_eq!(PagingMode::FiveLevel.walk_levels(), 5);
+    }
+
+    #[test]
+    fn pdpte_reserved_bits() {
+        assert!(Pdpte(0).check().is_ok());
+        assert!(Pdpte(Pdpte::P).check().is_ok());
+        assert!(Pdpte(Pdpte::P | (1 << 1)).check().is_err());
+        assert!(Pdpte(Pdpte::P | (1 << 5)).check().is_err());
+        // Reserved bits in a non-present entry are ignored.
+        assert!(Pdpte(1 << 5).check().is_ok());
+    }
+}

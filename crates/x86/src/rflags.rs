@@ -1,0 +1,156 @@
+//! The `RFLAGS` register.
+//!
+//! VMX guest-state checks require bit 1 set, the reserved bits clear, and
+//! coupling rules between `VM`, `IF`, and pending-event injection. The
+//! type offers both the check and the canonicalizing *rounding* used by the
+//! validator.
+
+use crate::{ArchError, ArchResult};
+
+/// The `RFLAGS` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RFlags(pub u64);
+
+impl Default for RFlags {
+    fn default() -> Self {
+        RFlags(Self::RESERVED_ONE)
+    }
+}
+
+impl RFlags {
+    /// Carry flag.
+    pub const CF: u64 = 1 << 0;
+    /// Bit 1: reserved, always reads as 1.
+    pub const RESERVED_ONE: u64 = 1 << 1;
+    /// Parity flag.
+    pub const PF: u64 = 1 << 2;
+    /// Auxiliary carry flag.
+    pub const AF: u64 = 1 << 4;
+    /// Zero flag.
+    pub const ZF: u64 = 1 << 6;
+    /// Sign flag.
+    pub const SF: u64 = 1 << 7;
+    /// Trap flag (single-step).
+    pub const TF: u64 = 1 << 8;
+    /// Interrupt enable flag.
+    pub const IF: u64 = 1 << 9;
+    /// Direction flag.
+    pub const DF: u64 = 1 << 10;
+    /// Overflow flag.
+    pub const OF: u64 = 1 << 11;
+    /// I/O privilege level (2 bits).
+    pub const IOPL: u64 = 3 << 12;
+    /// Nested task.
+    pub const NT: u64 = 1 << 14;
+    /// Resume flag.
+    pub const RF: u64 = 1 << 16;
+    /// Virtual-8086 mode.
+    pub const VM: u64 = 1 << 17;
+    /// Alignment check / access control.
+    pub const AC: u64 = 1 << 18;
+    /// Virtual interrupt flag.
+    pub const VIF: u64 = 1 << 19;
+    /// Virtual interrupt pending.
+    pub const VIP: u64 = 1 << 20;
+    /// CPUID-available flag.
+    pub const ID: u64 = 1 << 21;
+
+    /// All writable/defined bits (excluding the always-one bit 1).
+    pub const DEFINED: u64 = Self::CF
+        | Self::PF
+        | Self::AF
+        | Self::ZF
+        | Self::SF
+        | Self::TF
+        | Self::IF
+        | Self::DF
+        | Self::OF
+        | Self::IOPL
+        | Self::NT
+        | Self::RF
+        | Self::VM
+        | Self::AC
+        | Self::VIF
+        | Self::VIP
+        | Self::ID;
+
+    /// Creates an `RFLAGS` value without validation.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns `true` if `bit` (one of the associated constants) is set.
+    pub const fn has(self, bit: u64) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Returns the reserved-zero bits that are (illegally) set.
+    pub const fn reserved_set(self) -> u64 {
+        self.0 & !(Self::DEFINED | Self::RESERVED_ONE)
+    }
+
+    /// Checks the VMX guest-state rules for `RFLAGS` in isolation:
+    /// reserved-zero bits clear and bit 1 set (SDM 26.3.1.4).
+    pub fn check_vmx(self) -> ArchResult {
+        if self.reserved_set() != 0 {
+            return Err(ArchError::new(
+                "rflags.reserved",
+                format!("reserved RFLAGS bits set: {:#x}", self.reserved_set()),
+            ));
+        }
+        if !self.has(Self::RESERVED_ONE) {
+            return Err(ArchError::new("rflags.bit1", "RFLAGS bit 1 must be 1"));
+        }
+        Ok(())
+    }
+
+    /// Rounds the value to one that passes [`RFlags::check_vmx`], keeping
+    /// every defined bit as-is.
+    pub fn rounded(self) -> Self {
+        RFlags((self.0 & (Self::DEFINED | Self::RESERVED_ONE)) | Self::RESERVED_ONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_passes() {
+        assert!(RFlags::default().check_vmx().is_ok());
+    }
+
+    #[test]
+    fn reserved_bits_rejected() {
+        assert_eq!(
+            RFlags::new(0x2 | (1 << 3)).check_vmx().unwrap_err().rule,
+            "rflags.reserved"
+        );
+        assert!(RFlags::new(0x2 | (1 << 5)).check_vmx().is_err());
+        assert!(RFlags::new(0x2 | (1 << 15)).check_vmx().is_err());
+        assert!(RFlags::new(0x2 | (1 << 22)).check_vmx().is_err());
+        assert!(RFlags::new(0x2 | (1u64 << 63)).check_vmx().is_err());
+    }
+
+    #[test]
+    fn bit1_required() {
+        assert_eq!(RFlags::new(0).check_vmx().unwrap_err().rule, "rflags.bit1");
+    }
+
+    #[test]
+    fn rounding_fixes_all_violations_and_is_idempotent() {
+        for raw in [0u64, u64::MAX, 0xdead_beef, 1 << 15] {
+            let r = RFlags::new(raw).rounded();
+            assert!(r.check_vmx().is_ok(), "raw {raw:#x}");
+            assert_eq!(r.rounded(), r);
+        }
+    }
+
+    #[test]
+    fn rounding_preserves_defined_bits() {
+        let r = RFlags::new(RFlags::IF | RFlags::VM | (1 << 3)).rounded();
+        assert!(r.has(RFlags::IF));
+        assert!(r.has(RFlags::VM));
+        assert_eq!(r.reserved_set(), 0);
+    }
+}

