@@ -6,8 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use necofuzz::campaign::{run_campaign, CampaignConfig};
+use necofuzz::orchestrator::{CampaignExecutor, CampaignPlan};
 use necofuzz::{ComponentMask, VmStateValidator};
-use nf_bench::{vkvm_factory, vvbox_factory, vxen_factory};
+use nf_bench::{vkvm_backend, vkvm_factory, vvbox_factory, vxen_factory};
 use nf_fuzz::Mode;
 use nf_vmx::{Vmcs, VmxCapabilities};
 use nf_x86::{CpuVendor, FeatureSet};
@@ -198,6 +199,29 @@ fn bench_figure5(c: &mut Criterion) {
     g.finish();
 }
 
+/// Orchestrator: the same 2-vendor × 3-seed grid, serial vs fanned out.
+/// The speedup of `jobs_auto` over `jobs_1` is the orchestrator's whole
+/// point; outputs are identical either way.
+fn bench_orchestrator(c: &mut Criterion) {
+    let plan = || {
+        CampaignPlan::new()
+            .backend(vkvm_backend())
+            .vendors(&[CpuVendor::Intel, CpuVendor::Amd])
+            .seeds(0..3)
+            .hours(2)
+            .execs_per_hour(60)
+    };
+    let mut g = c.benchmark_group("orchestrator");
+    g.sample_size(10);
+    g.bench_function("grid_jobs_1", |b| {
+        b.iter(|| CampaignExecutor::new().jobs(1).run(&plan()).len())
+    });
+    g.bench_function("grid_jobs_auto", |b| {
+        b.iter(|| CampaignExecutor::new().run(&plan()).len())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table2_figure3,
@@ -205,6 +229,7 @@ criterion_group!(
     bench_table4,
     bench_table5,
     bench_table6,
-    bench_figure5
+    bench_figure5,
+    bench_orchestrator
 );
 criterion_main!(benches);

@@ -2,6 +2,7 @@
 //! nested-virtualization-specific code — NecoFuzz vs Syzkaller, with
 //! IRIS's termination coverage as the reference line; (a) Intel, (b) AMD.
 
+use necofuzz::orchestrator::Task;
 use nf_bench::*;
 use nf_fuzz::Mode;
 use nf_x86::CpuVendor;
@@ -16,11 +17,23 @@ fn main() {
             Mode::Unguided,
             necofuzz::ComponentMask::ALL,
         );
-        let syz: Vec<_> = (0..RUNS)
-            .map(|seed| {
-                nf_baselines::syzkaller(vkvm_factory(), vendor, HOURS_LONG, EXECS_PER_HOUR, seed)
-            })
-            .collect();
+        // The syzkaller runs ride the same worker pool.
+        let syz = executor().execute(
+            (0..RUNS)
+                .map(|seed| {
+                    Task::new(format!("syzkaller/{vendor}/seed{seed}"), move || {
+                        nf_baselines::syzkaller(
+                            vkvm_factory(),
+                            vendor,
+                            HOURS_LONG,
+                            EXECS_PER_HOUR,
+                            seed,
+                        )
+                    })
+                    .with_summary(|r| format!("cov {:.1}%", r.final_coverage * 100.0))
+                })
+                .collect(),
+        );
         let iris_cov = if vendor == CpuVendor::Intel {
             Some(nf_baselines::iris(vkvm_factory(), 0).final_coverage)
         } else {

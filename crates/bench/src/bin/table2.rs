@@ -5,6 +5,7 @@
 //! AMD, with the `A∩B` / `A−B` set-algebra rows, plus the Klees-style
 //! statistics (Mann-Whitney U, Cohen's d).
 
+use necofuzz::orchestrator::Task;
 use nf_bench::*;
 use nf_fuzz::Mode;
 use nf_x86::CpuVendor;
@@ -19,13 +20,32 @@ fn main() {
             Mode::Unguided,
             necofuzz::ComponentMask::ALL,
         );
-        let syz: Vec<_> = (0..RUNS)
+        // The baselines join the same worker pool as one task batch:
+        // RUNS syzkaller campaigns, then the two deterministic suites.
+        let mut baseline_tasks: Vec<Task<nf_baselines::BaselineResult>> = (0..RUNS)
             .map(|seed| {
-                nf_baselines::syzkaller(vkvm_factory(), vendor, HOURS_LONG, EXECS_PER_HOUR, seed)
+                Task::new(format!("syzkaller/{vendor}/seed{seed}"), move || {
+                    nf_baselines::syzkaller(
+                        vkvm_factory(),
+                        vendor,
+                        HOURS_LONG,
+                        EXECS_PER_HOUR,
+                        seed,
+                    )
+                })
+                .with_summary(|r| format!("cov {:.1}%", r.final_coverage * 100.0))
             })
             .collect();
-        let selft = nf_baselines::selftests(vkvm_factory(), vendor);
-        let kut = nf_baselines::kvm_unit_tests(vkvm_factory(), vendor);
+        baseline_tasks.push(Task::new(format!("selftests/{vendor}"), move || {
+            nf_baselines::selftests(vkvm_factory(), vendor)
+        }));
+        baseline_tasks.push(Task::new(format!("kvm-unit-tests/{vendor}"), move || {
+            nf_baselines::kvm_unit_tests(vkvm_factory(), vendor)
+        }));
+        let mut baselines = executor().execute(baseline_tasks);
+        let kut = baselines.pop().expect("kvm-unit-tests result");
+        let selft = baselines.pop().expect("selftests result");
+        let syz = baselines;
 
         let neco_med = median_run(&neco);
         let syz_cov: Vec<f64> = syz.iter().map(|r| r.final_coverage).collect();

@@ -4,9 +4,9 @@
 //! median of five runs: coverage at the end (Table 3) and the hourly
 //! progression (Figure 4), on Intel and AMD.
 
+use necofuzz::orchestrator::CampaignPlan;
 use necofuzz::ComponentMask;
 use nf_bench::*;
-use nf_fuzz::Mode;
 use nf_x86::CpuVendor;
 
 fn main() {
@@ -37,10 +37,21 @@ fn main() {
     ];
     for vendor in [CpuVendor::Intel, CpuVendor::Amd] {
         hr(&format!("Table 3 — component ablation at 24 h ({vendor})"));
+        // The whole ablation — every mask × every seed — is one plan;
+        // the orchestrator fans the 25 campaigns out together and hands
+        // results back in plan order (mask-major, seed-minor).
+        let plan = CampaignPlan::new()
+            .backend(vkvm_backend())
+            .vendors(&[vendor])
+            .masks(&variants.map(|(_, mask)| mask))
+            .seeds(0..RUNS)
+            .hours(HOURS_SHORT)
+            .execs_per_hour(EXECS_PER_HOUR);
+        let results = executor().run(&plan);
+
         let mut curves = Vec::new();
-        for (name, mask) in variants {
-            let runs = necofuzz_runs(vkvm_factory, vendor, HOURS_SHORT, Mode::Unguided, mask);
-            let med = median_coverage(&runs);
+        for ((name, _), runs) in variants.iter().zip(results.chunks(RUNS as usize)) {
+            let med = median_coverage(runs);
             println!("{:<28} {}", name, pct(med));
             let curve: Vec<f64> = (0..HOURS_SHORT as usize)
                 .map(|h| {
@@ -52,7 +63,7 @@ fn main() {
                     )
                 })
                 .collect();
-            curves.push((name, curve));
+            curves.push((*name, curve));
         }
         hr(&format!(
             "Figure 4 — ablation coverage over time ({vendor})"

@@ -5,28 +5,35 @@
 //! slightly hurts), because rounding collapses coverage-guided
 //! micro-variations into equivalent post-rounding states (§5.4, §5.6).
 
+use necofuzz::orchestrator::CampaignPlan;
 use nf_bench::*;
 use nf_fuzz::Mode;
 use nf_x86::CpuVendor;
 
 fn main() {
     hr("Table 5 — effect of coverage guidance (KVM, 48 h)");
+    // The full 2-vendor × 2-mode × RUNS-seed grid is one plan; results
+    // come back vendor-major, then mode, then seed.
+    let plan = CampaignPlan::new()
+        .backend(vkvm_backend())
+        .vendors(&[CpuVendor::Intel, CpuVendor::Amd])
+        .modes(&[Mode::Unguided, Mode::Guided])
+        .seeds(0..RUNS)
+        .hours(HOURS_LONG)
+        .execs_per_hour(EXECS_PER_HOUR);
+    let results = executor().run(&plan);
+    let cell = |vendor_idx: usize, mode_idx: usize| {
+        let start = (vendor_idx * 2 + mode_idx) * RUNS as usize;
+        pct(median_coverage(&results[start..start + RUNS as usize]))
+    };
+
     println!("{:<26} {:>10} {:>10}", "", "Intel", "AMD");
-    for (name, mode) in [
-        ("w/o coverage guidance", Mode::Unguided),
-        ("with coverage guidance", Mode::Guided),
-    ] {
-        let mut cells = Vec::new();
-        for vendor in [CpuVendor::Intel, CpuVendor::Amd] {
-            let runs = necofuzz_runs(
-                vkvm_factory,
-                vendor,
-                HOURS_LONG,
-                mode,
-                necofuzz::ComponentMask::ALL,
-            );
-            cells.push(pct(median_coverage(&runs)));
-        }
-        println!("{:<26} {:>10} {:>10}", name, cells[0], cells[1]);
+    for (mode_idx, name) in [(0, "w/o coverage guidance"), (1, "with coverage guidance")] {
+        println!(
+            "{:<26} {:>10} {:>10}",
+            name,
+            cell(0, mode_idx),
+            cell(1, mode_idx)
+        );
     }
 }

@@ -4,6 +4,7 @@
 //! Intel and AMD, Xen on Intel and AMD, VirtualBox on Intel) and reports
 //! every Table 6 bug with its detector, matching the paper's six finds.
 
+use necofuzz::orchestrator::{Backend, CampaignJob};
 use nf_bench::*;
 use nf_fuzz::Mode;
 use nf_x86::CpuVendor;
@@ -15,29 +16,43 @@ fn main() {
         "No", "Hypervisor", "CPU", "Bug id", "Detector", "found at exec"
     );
     let mut no = 0;
-    let targets: [(&str, fn() -> Factory, CpuVendor, u32); 5] = [
-        ("vkvm", vkvm_factory, CpuVendor::Intel, HOURS_LONG),
-        ("vkvm", vkvm_factory, CpuVendor::Amd, HOURS_LONG),
-        ("vxen", vxen_factory, CpuVendor::Intel, HOURS_SHORT),
-        ("vxen", vxen_factory, CpuVendor::Amd, HOURS_SHORT),
-        ("vvbox", vvbox_factory, CpuVendor::Intel, HOURS_SHORT),
+    let targets: [(fn() -> Backend, CpuVendor, u32); 5] = [
+        (vkvm_backend, CpuVendor::Intel, HOURS_LONG),
+        (vkvm_backend, CpuVendor::Amd, HOURS_LONG),
+        (vxen_backend, CpuVendor::Intel, HOURS_SHORT),
+        (vxen_backend, CpuVendor::Amd, HOURS_SHORT),
+        (vvbox_backend, CpuVendor::Intel, HOURS_SHORT),
     ];
+    // All five targets × RUNS seeds go out as one 25-job batch; the
+    // per-target budgets differ, so this is an explicit job list
+    // rather than a cartesian plan.
+    let jobs: Vec<CampaignJob> = targets
+        .iter()
+        .flat_map(|&(backend, vendor, hours)| {
+            (0..RUNS).map(move |seed| CampaignJob {
+                backend: backend(),
+                cfg: necofuzz::CampaignConfig {
+                    vendor,
+                    hours,
+                    execs_per_hour: EXECS_PER_HOUR,
+                    seed,
+                    mode: Mode::Unguided,
+                    mask: necofuzz::ComponentMask::ALL,
+                },
+            })
+        })
+        .collect();
+    let results = executor().run_jobs(jobs);
+
     let mut all_found = std::collections::BTreeSet::new();
-    for (name, factory, vendor, hours) in targets {
+    for ((backend, vendor, _), target_results) in targets.iter().zip(results.chunks(RUNS as usize))
+    {
+        let name = backend().name().to_string();
         // vGIF is an optional feature the configurator must enable; the
         // Xen/AMD campaign explores it via the feature bit-array.
         let mut finds = Vec::new();
-        for seed in 0..RUNS {
-            let cfg = necofuzz::CampaignConfig {
-                vendor,
-                hours,
-                execs_per_hour: EXECS_PER_HOUR,
-                seed,
-                mode: Mode::Unguided,
-                mask: necofuzz::ComponentMask::ALL,
-            };
-            let result = necofuzz::run_campaign(factory(), &cfg);
-            for f in result.finds {
+        for result in target_results {
+            for f in &result.finds {
                 if !finds
                     .iter()
                     .any(|(id, _, _): &(String, _, _)| *id == f.bug_id)

@@ -6,8 +6,16 @@
 //! not the authors' testbed); the *shape* — who wins, by what factor,
 //! where curves saturate — is the reproduced quantity (see
 //! `EXPERIMENTS.md`).
+//!
+//! Every driver fans its campaign grid out through the
+//! [`necofuzz::orchestrator`] worker pool: pass `--jobs N` to any bench
+//! binary (or set `NF_JOBS`) to bound the pool; the default uses every
+//! available core. Parallelism never changes output — results are
+//! reduced in deterministic plan order — so `--jobs 1` and `--jobs 32`
+//! print byte-identical tables.
 
-use necofuzz::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use necofuzz::campaign::{CampaignConfig, CampaignResult};
+use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignJob};
 use necofuzz::ComponentMask;
 use nf_coverage::LineSet;
 use nf_fuzz::Mode;
@@ -43,7 +51,59 @@ pub fn vvbox_factory() -> Factory {
     Box::new(|cfg| Box::new(Vvbox::new(cfg)))
 }
 
-/// Runs NecoFuzz `RUNS` times and returns the per-run results.
+/// Orchestrator backend for the KVM model.
+pub fn vkvm_backend() -> Backend {
+    Backend::new("vkvm", |cfg| Box::new(Vkvm::new(cfg)))
+}
+
+/// Orchestrator backend for the Xen model.
+pub fn vxen_backend() -> Backend {
+    Backend::new("vxen", |cfg| Box::new(Vxen::new(cfg)))
+}
+
+/// Orchestrator backend for the VirtualBox model (Intel only).
+pub fn vvbox_backend() -> Backend {
+    Backend::new("vvbox", |cfg| Box::new(Vvbox::new(cfg)))
+}
+
+/// Worker-pool width for the experiment drivers: `--jobs N` (or
+/// `--jobs=N`) on the command line, else the `NF_JOBS` environment
+/// variable, else `0` (auto: every available core). A malformed value
+/// is a usage error (exit 2), matching the `necofuzz` CLI.
+pub fn jobs_arg() -> usize {
+    let bad = |v: &str| -> ! {
+        eprintln!("invalid --jobs value {v:?}: expected a non-negative integer");
+        std::process::exit(2);
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            let v = args.next().unwrap_or_else(|| bad("<missing>"));
+            return v.parse().unwrap_or_else(|_| bad(&v));
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            return v.parse().unwrap_or_else(|_| bad(v));
+        }
+    }
+    std::env::var("NF_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The shared executor of the experiment drivers: sized by
+/// [`jobs_arg`], reporting per-job completions on stderr (stdout stays
+/// byte-identical across worker counts).
+pub fn executor() -> CampaignExecutor {
+    CampaignExecutor::new().jobs(jobs_arg()).on_progress(|p| {
+        eprintln!(
+            "[{:>3}/{}] {:<40} {}",
+            p.completed, p.total, p.label, p.summary
+        );
+    })
+}
+
+/// Runs NecoFuzz `RUNS` times (seeds `0..RUNS`) on the worker pool and
+/// returns the per-run results in seed order.
 pub fn necofuzz_runs(
     factory: fn() -> Factory,
     vendor: CpuVendor,
@@ -51,19 +111,20 @@ pub fn necofuzz_runs(
     mode: Mode,
     mask: ComponentMask,
 ) -> Vec<CampaignResult> {
-    (0..RUNS)
-        .map(|seed| {
-            let cfg = CampaignConfig {
+    let jobs = (0..RUNS)
+        .map(|seed| CampaignJob {
+            backend: Backend::new("necofuzz", move |cfg| factory()(cfg)),
+            cfg: CampaignConfig {
                 vendor,
                 hours,
                 execs_per_hour: EXECS_PER_HOUR,
                 seed,
                 mode,
                 mask,
-            };
-            run_campaign(factory(), &cfg)
+            },
         })
-        .collect()
+        .collect();
+    executor().run_jobs(jobs)
 }
 
 /// Median final coverage of a run set.

@@ -2,28 +2,33 @@
 //!
 //! ```text
 //! necofuzz [--target vkvm|vxen|vvbox] [--vendor intel|amd]
-//!          [--hours N] [--execs-per-hour N] [--seed N] [--guided]
-//!          [--no-harness] [--no-validator] [--no-configurator]
-//!          [--out DIR]
+//!          [--hours N] [--execs-per-hour N] [--seed N] [--runs N]
+//!          [--jobs N] [--guided] [--no-harness] [--no-validator]
+//!          [--no-configurator] [--out DIR]
 //! ```
 //!
-//! Runs one campaign against the chosen hypervisor model and, like the
-//! paper's agent (§4.5), saves every unique crashing input to a
-//! timestamped file under `--out` for later reproduction.
+//! Runs one campaign — or, with `--runs N`, a whole grid of campaigns
+//! (seeds `seed..seed+N`) fanned out over the orchestrator's worker
+//! pool (`--jobs`, default = all cores) — against the chosen hypervisor
+//! model. Like the paper's agent (§4.5), every unique crashing input is
+//! saved to a timestamped file under `--out` for later reproduction.
+//! Parallelism never changes results: output is reduced in seed order.
 
 use std::io::Write as _;
 
-use necofuzz::campaign::{run_campaign, CampaignConfig};
+use necofuzz::campaign::CampaignResult;
+use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignPlan};
 use necofuzz::ComponentMask;
 use nf_fuzz::Mode;
-use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
+use nf_hv::{Vkvm, Vvbox, Vxen};
 use nf_x86::CpuVendor;
 
 fn usage() -> ! {
     eprintln!(
         "usage: necofuzz [--target vkvm|vxen|vvbox] [--vendor intel|amd] [--hours N]\n\
-         \x20               [--execs-per-hour N] [--seed N] [--guided] [--no-harness]\n\
-         \x20               [--no-validator] [--no-configurator] [--out DIR]"
+         \x20               [--execs-per-hour N] [--seed N] [--runs N] [--jobs N]\n\
+         \x20               [--guided] [--no-harness] [--no-validator]\n\
+         \x20               [--no-configurator] [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -34,6 +39,8 @@ fn main() {
     let mut hours = 24u32;
     let mut execs_per_hour = 250u32;
     let mut seed = 0u64;
+    let mut runs = 1u64;
+    let mut jobs = 0usize; // 0 = available parallelism
     let mut mode = Mode::Unguided;
     let mut mask = ComponentMask::ALL;
     let mut out: Option<String> = None;
@@ -54,6 +61,8 @@ fn main() {
             "--hours" => hours = value().parse().unwrap_or_else(|_| usage()),
             "--execs-per-hour" => execs_per_hour = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--runs" => runs = value().parse().unwrap_or_else(|_| usage()),
+            "--jobs" => jobs = value().parse().unwrap_or_else(|_| usage()),
             "--guided" => mode = Mode::Guided,
             "--no-harness" => mask.harness = false,
             "--no-validator" => mask.validator = false,
@@ -63,31 +72,104 @@ fn main() {
             _ => usage(),
         }
     }
+    if runs == 0 {
+        usage();
+    }
 
-    let factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>> = match target.as_str() {
-        "vkvm" => Box::new(|c| Box::new(Vkvm::new(c))),
-        "vxen" => Box::new(|c| Box::new(Vxen::new(c))),
+    let backend = match target.as_str() {
+        "vkvm" => Backend::new("vkvm", |c| Box::new(Vkvm::new(c))),
+        "vxen" => Backend::new("vxen", |c| Box::new(Vxen::new(c))),
         "vvbox" => {
             if vendor != CpuVendor::Intel {
                 eprintln!("vvbox supports only --vendor intel");
                 std::process::exit(2);
             }
-            Box::new(|c| Box::new(Vvbox::new(c)))
+            Backend::new("vvbox", |c| Box::new(Vvbox::new(c)))
         }
         _ => usage(),
     };
 
     println!(
         "necofuzz: target={target} vendor={vendor} hours={hours} execs/h={execs_per_hour} \
-         seed={seed} mode={mode:?} components[harness={} validator={} configurator={}]",
-        mask.harness, mask.validator, mask.configurator
+         seeds={seed}..{} runs={runs} mode={mode:?} \
+         components[harness={} validator={} configurator={}]",
+        seed + runs,
+        mask.harness,
+        mask.validator,
+        mask.configurator
     );
 
-    let cfg = CampaignConfig { vendor, hours, execs_per_hour, seed, mode, mask };
-    let result = run_campaign(factory, &cfg);
+    let plan = CampaignPlan::new()
+        .backend(backend)
+        .vendors(&[vendor])
+        .modes(&[mode])
+        .masks(&[mask])
+        .seeds(seed..seed + runs)
+        .hours(hours)
+        .execs_per_hour(execs_per_hour);
+    let executor = CampaignExecutor::new().jobs(jobs).on_progress(|p| {
+        eprintln!(
+            "[{:>3}/{}] {:<40} {}",
+            p.completed, p.total, p.label, p.summary
+        );
+    });
+    let results = executor.run(&plan);
 
+    let mut unique_finds = 0usize;
+    for (run, result) in results.iter().enumerate() {
+        let run_seed = seed + run as u64;
+        report_run(run_seed, result, runs > 1);
+        unique_finds += result.finds.len();
+        if let Some(dir) = &out {
+            save_crashes(dir, run_seed, result);
+        }
+    }
+
+    if runs > 1 {
+        let coverages: Vec<f64> = results.iter().map(|r| r.final_coverage).collect();
+        let mut ids: Vec<&str> = results
+            .iter()
+            .flat_map(|r| r.finds.iter().map(|f| f.bug_id.as_str()))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        println!(
+            "\n{} runs: median coverage {:.1}%, {} unique bug(s): {:?}",
+            runs,
+            nf_stats_median(&coverages) * 100.0,
+            ids.len(),
+            ids
+        );
+    }
+
+    if unique_finds > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Median without pulling `nf-stats` into the core crate's deps.
+fn nf_stats_median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn report_run(run_seed: u64, result: &CampaignResult, multi: bool) {
+    let prefix = if multi {
+        format!("[seed {run_seed}] ")
+    } else {
+        String::new()
+    };
     println!(
-        "\ncoverage {:.1}% ({}/{} lines of {}), {} execs, {} watchdog restarts",
+        "\n{prefix}coverage {:.1}% ({}/{} lines of {}), {} execs, {} watchdog restarts",
         result.final_coverage * 100.0,
         result.lines.count_in(&result.map, result.file),
         result.map.file_lines(result.file),
@@ -97,30 +179,41 @@ fn main() {
     );
 
     if result.finds.is_empty() {
-        println!("no anomalies detected");
+        println!("{prefix}no anomalies detected");
     } else {
-        println!("{} unique anomalies:", result.finds.len());
+        println!("{prefix}{} unique anomalies:", result.finds.len());
         for f in &result.finds {
-            println!("  [{:<17}] {} at exec {}: {}", format!("{}", f.kind), f.bug_id, f.exec, f.message);
+            println!(
+                "  [{:<17}] {} at exec {}: {}",
+                format!("{}", f.kind),
+                f.bug_id,
+                f.exec,
+                f.message
+            );
         }
     }
+}
 
-    // Save crashing inputs for reproduction (§4.5: "saves the current
-    // fuzzing input to a timestamped file within a designated directory").
-    if let Some(dir) = out {
-        std::fs::create_dir_all(&dir).expect("create output directory");
-        for f in &result.finds {
-            let path = format!("{dir}/crash-exec{:06}-{}.bin", f.exec, f.bug_id);
-            let mut file = std::fs::File::create(&path).expect("create crash file");
-            file.write_all(&f.input.bytes).expect("write crash input");
-            let meta = format!("{dir}/crash-exec{:06}-{}.txt", f.exec, f.bug_id);
-            std::fs::write(&meta, format!("{} via {}\n{}\n", f.bug_id, f.kind, f.message))
-                .expect("write crash metadata");
-            println!("saved {path}");
-        }
-    }
-
-    if !result.finds.is_empty() {
-        std::process::exit(1);
+/// Saves crashing inputs for reproduction (§4.5: "saves the current
+/// fuzzing input to a timestamped file within a designated directory").
+fn save_crashes(dir: &str, run_seed: u64, result: &CampaignResult) {
+    std::fs::create_dir_all(dir).expect("create output directory");
+    for f in &result.finds {
+        let path = format!(
+            "{dir}/crash-s{run_seed:03}-exec{:06}-{}.bin",
+            f.exec, f.bug_id
+        );
+        let mut file = std::fs::File::create(&path).expect("create crash file");
+        file.write_all(&f.input.bytes).expect("write crash input");
+        let meta = format!(
+            "{dir}/crash-s{run_seed:03}-exec{:06}-{}.txt",
+            f.exec, f.bug_id
+        );
+        std::fs::write(
+            &meta,
+            format!("{} via {}\n{}\n", f.bug_id, f.kind, f.message),
+        )
+        .expect("write crash metadata");
+        println!("saved {path}");
     }
 }

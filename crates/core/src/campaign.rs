@@ -61,7 +61,11 @@ pub struct HourSample {
 }
 
 /// Result of one campaign run.
-#[derive(Debug)]
+///
+/// `PartialEq` compares every field; the orchestrator's equivalence
+/// tests rely on it to show parallel execution is bit-identical to
+/// serial.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     /// Hourly coverage samples (index 0 = after the first hour).
     pub hourly: Vec<HourSample>,

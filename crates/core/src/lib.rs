@@ -17,11 +17,34 @@
 //!   exploration through per-hypervisor adapters.
 //!
 //! An [`agent::Agent`] coordinates the AFL++-style engine (`nf-fuzz`),
-//! the harness VM, and the target hypervisor (`nf-hv`), and
-//! [`campaign::run_campaign`] reproduces the paper's virtual-time
-//! experiments.
+//! the harness VM, and the target hypervisor (`nf-hv`);
+//! [`campaign::run_campaign`] reproduces one of the paper's
+//! virtual-time experiments, and the [`orchestrator`] fans a whole
+//! experiment grid out over a worker pool.
 //!
 //! # Examples
+//!
+//! Plan a small campaign grid and run it in parallel — results come
+//! back in plan order, identical to a serial run:
+//!
+//! ```
+//! use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignPlan};
+//! use nf_hv::Vkvm;
+//! use nf_x86::CpuVendor;
+//!
+//! let plan = CampaignPlan::new()
+//!     .backend(Backend::new("vkvm", |c| Box::new(Vkvm::new(c))))
+//!     .vendors(&[CpuVendor::Intel])
+//!     .seeds(0..2)
+//!     .hours(1)
+//!     .execs_per_hour(50);
+//!
+//! let results = CampaignExecutor::new().jobs(2).run(&plan);
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.final_coverage > 0.2));
+//! ```
+//!
+//! A single campaign without the orchestrator:
 //!
 //! ```
 //! use necofuzz::campaign::{run_campaign, CampaignConfig};
@@ -42,6 +65,7 @@ pub mod campaign;
 pub mod configurator;
 pub mod harness;
 pub mod input;
+pub mod orchestrator;
 pub mod validator;
 
 pub use agent::{Agent, BugFind, ComponentMask};
@@ -49,4 +73,8 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignResult, HourSample, EXE
 pub use configurator::{HvAdapter, KvmAdapter, VboxAdapter, VcpuConfigurator, XenAdapter};
 pub use harness::{ExecutionHarness, InitPlan, InitStep};
 pub use input::InputView;
+pub use orchestrator::{
+    default_jobs, Backend, CampaignExecutor, CampaignJob, CampaignPlan, Progress, SharedFactory,
+    Task,
+};
 pub use validator::{Correction, OracleVerdict, VmStateValidator};

@@ -1,0 +1,475 @@
+//! Parallel campaign orchestrator: plans a grid of campaigns and fans
+//! them out over a worker pool.
+//!
+//! The paper's evaluation is a grid of *independent* campaigns — five
+//! seeds × {Intel, AMD} × {KVM, Xen, VirtualBox} × component masks,
+//! each 24–48 virtual hours (§5.1). Every campaign is a pure function
+//! of its [`CampaignConfig`], so the grid parallelizes perfectly:
+//!
+//! - [`CampaignPlan`] enumerates the cartesian product of backends ×
+//!   vendors × modes × masks × seeds in a **deterministic order**;
+//! - [`CampaignExecutor`] runs the jobs on a `std::thread` pool
+//!   (`jobs(n)`, default = available parallelism) and returns results
+//!   **in plan order**, so output is byte-identical to a serial run;
+//! - [`Task`] is the generic unit the executor schedules — baseline
+//!   tools (Syzkaller, IRIS, the test suites) join the same pool via
+//!   [`CampaignExecutor::execute`].
+//!
+//! Per-campaign seed determinism is preserved because nothing is shared
+//! between jobs: each worker constructs its own hypervisor, fuzzer, and
+//! agent from the job's config.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nf_fuzz::Mode;
+use nf_hv::{HvConfig, L0Hypervisor};
+use nf_x86::CpuVendor;
+
+use crate::agent::ComponentMask;
+use crate::campaign::{run_campaign, CampaignConfig, CampaignResult, EXECS_PER_HOUR};
+
+/// A hypervisor factory shareable across worker threads.
+pub type SharedFactory = Arc<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor> + Send + Sync>;
+
+/// A named hypervisor backend of the plan grid.
+#[derive(Clone)]
+pub struct Backend {
+    name: String,
+    factory: SharedFactory,
+}
+
+impl Backend {
+    /// A backend built from a factory closure.
+    pub fn new<F>(name: impl Into<String>, factory: F) -> Self
+    where
+        F: Fn(HvConfig) -> Box<dyn L0Hypervisor> + Send + Sync + 'static,
+    {
+        Backend {
+            name: name.into(),
+            factory: Arc::new(factory),
+        }
+    }
+
+    /// The backend's display name (`vkvm`, `vxen`, `vvbox`, ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adapts the shared factory to the boxed form `run_campaign` takes.
+    pub fn factory(&self) -> Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>> {
+        let f = Arc::clone(&self.factory);
+        Box::new(move |cfg| f(cfg))
+    }
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backend").field("name", &self.name).finish()
+    }
+}
+
+/// One scheduled campaign: a backend plus its full configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignJob {
+    /// The hypervisor under test.
+    pub backend: Backend,
+    /// The campaign configuration (vendor, seed, mode, mask, budget).
+    pub cfg: CampaignConfig,
+}
+
+impl CampaignJob {
+    /// A human-readable label (`vkvm/Intel/unguided/seed3`).
+    pub fn label(&self) -> String {
+        let mode = match self.cfg.mode {
+            Mode::Guided => "guided",
+            Mode::Unguided => "unguided",
+        };
+        let mask = if self.cfg.mask == ComponentMask::ALL {
+            String::new()
+        } else {
+            format!(
+                "/h{}v{}c{}",
+                u8::from(self.cfg.mask.harness),
+                u8::from(self.cfg.mask.validator),
+                u8::from(self.cfg.mask.configurator)
+            )
+        };
+        format!(
+            "{}/{}/{mode}{mask}/seed{}",
+            self.backend.name, self.cfg.vendor, self.cfg.seed
+        )
+    }
+
+    /// Runs the campaign to completion on the calling thread.
+    pub fn run(&self) -> CampaignResult {
+        run_campaign(self.backend.factory(), &self.cfg)
+    }
+}
+
+/// A cartesian grid of campaigns: backends × vendors × modes × masks ×
+/// seeds, all at the same virtual-hour budget.
+///
+/// The grid expands in a fixed nesting order (backend, then vendor,
+/// then mode, then mask, then seed), so a plan is a deterministic,
+/// reproducible description of an experiment — the executor's results
+/// come back in exactly this order regardless of worker count.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    backends: Vec<Backend>,
+    vendors: Vec<CpuVendor>,
+    modes: Vec<Mode>,
+    masks: Vec<ComponentMask>,
+    seeds: Vec<u64>,
+    hours: u32,
+    execs_per_hour: u32,
+}
+
+impl CampaignPlan {
+    /// An empty plan with the paper's defaults: Intel, unguided, all
+    /// components, seed 0, 24 virtual hours.
+    pub fn new() -> Self {
+        CampaignPlan {
+            backends: Vec::new(),
+            vendors: vec![CpuVendor::Intel],
+            modes: vec![Mode::Unguided],
+            masks: vec![ComponentMask::ALL],
+            seeds: vec![0],
+            hours: 24,
+            execs_per_hour: EXECS_PER_HOUR,
+        }
+    }
+
+    /// Adds a backend to the grid.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backends.push(backend);
+        self
+    }
+
+    /// Sets the vendor axis.
+    pub fn vendors(mut self, vendors: &[CpuVendor]) -> Self {
+        self.vendors = vendors.to_vec();
+        self
+    }
+
+    /// Sets the feedback-mode axis.
+    pub fn modes(mut self, modes: &[Mode]) -> Self {
+        self.modes = modes.to_vec();
+        self
+    }
+
+    /// Sets the component-mask axis (Table 3's ablation grid).
+    pub fn masks(mut self, masks: &[ComponentMask]) -> Self {
+        self.masks = masks.to_vec();
+        self
+    }
+
+    /// Sets the seed axis (the paper uses five runs, seeds 0..5).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the virtual duration of every campaign.
+    pub fn hours(mut self, hours: u32) -> Self {
+        self.hours = hours;
+        self
+    }
+
+    /// Sets the executions-per-virtual-hour rate.
+    pub fn execs_per_hour(mut self, execs: u32) -> Self {
+        self.execs_per_hour = execs;
+        self
+    }
+
+    /// Number of jobs the grid expands to.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+            * self.vendors.len()
+            * self.modes.len()
+            * self.masks.len()
+            * self.seeds.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into jobs, in deterministic plan order.
+    pub fn jobs(&self) -> Vec<CampaignJob> {
+        let mut jobs = Vec::with_capacity(self.len());
+        for backend in &self.backends {
+            for &vendor in &self.vendors {
+                for &mode in &self.modes {
+                    for &mask in &self.masks {
+                        for &seed in &self.seeds {
+                            jobs.push(CampaignJob {
+                                backend: backend.clone(),
+                                cfg: CampaignConfig {
+                                    vendor,
+                                    hours: self.hours,
+                                    execs_per_hour: self.execs_per_hour,
+                                    seed,
+                                    mode,
+                                    mask,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+impl Default for CampaignPlan {
+    fn default() -> Self {
+        CampaignPlan::new()
+    }
+}
+
+/// A progress event, delivered once per completed job.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Plan index of the job that just finished.
+    pub index: usize,
+    /// Total jobs in this execution.
+    pub total: usize,
+    /// Jobs completed so far (including this one); reaches `total`.
+    pub completed: usize,
+    /// The job's label.
+    pub label: String,
+    /// One-line result summary (coverage and finds for campaigns).
+    pub summary: String,
+}
+
+/// A generic unit of work the executor can schedule: baseline runs
+/// (Syzkaller, IRIS, the fixed suites) join campaigns on one pool
+/// through this type.
+pub struct Task<T> {
+    label: String,
+    run: Box<dyn FnOnce() -> T + Send>,
+    summarize: Box<dyn Fn(&T) -> String + Send>,
+}
+
+impl<T> Task<T> {
+    /// A task running `run`, reported under `label`.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> T + Send + 'static) -> Self {
+        Task {
+            label: label.into(),
+            run: Box::new(run),
+            summarize: Box::new(|_| String::new()),
+        }
+    }
+
+    /// Attaches a result summarizer for progress events.
+    pub fn with_summary(mut self, summarize: impl Fn(&T) -> String + Send + 'static) -> Self {
+        self.summarize = Box::new(summarize);
+        self
+    }
+}
+
+type ProgressFn = dyn Fn(&Progress) + Send + Sync;
+
+/// Fans campaign jobs out over a `std::thread` worker pool.
+///
+/// Results always come back in submission order; worker count only
+/// changes wall-clock time, never output. Campaigns are seeded
+/// per-job, so `jobs(32)` and `jobs(1)` produce identical results.
+pub struct CampaignExecutor {
+    workers: usize,
+    progress: Option<Arc<ProgressFn>>,
+}
+
+impl CampaignExecutor {
+    /// An executor sized to the host's available parallelism.
+    pub fn new() -> Self {
+        CampaignExecutor {
+            workers: default_jobs(),
+            progress: None,
+        }
+    }
+
+    /// Sets the worker-pool width; `0` restores the default (all
+    /// available cores).
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.workers = if n == 0 { default_jobs() } else { n };
+        self
+    }
+
+    /// The configured worker-pool width.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Registers a per-job completion callback.
+    ///
+    /// The callback runs on worker threads, possibly concurrently with
+    /// itself; `completed` is the only cross-job field.
+    pub fn on_progress(mut self, f: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// Runs every job of `plan`; results are in plan order.
+    pub fn run(&self, plan: &CampaignPlan) -> Vec<CampaignResult> {
+        self.run_jobs(plan.jobs())
+    }
+
+    /// Runs explicit campaign jobs; results are in submission order.
+    pub fn run_jobs(&self, jobs: Vec<CampaignJob>) -> Vec<CampaignResult> {
+        let tasks = jobs
+            .into_iter()
+            .map(|job| {
+                Task::new(job.label(), move || job.run()).with_summary(|r: &CampaignResult| {
+                    format!(
+                        "cov {:.1}%, {} finds",
+                        r.final_coverage * 100.0,
+                        r.finds.len()
+                    )
+                })
+            })
+            .collect();
+        self.execute(tasks)
+    }
+
+    /// Runs arbitrary tasks on the pool; results are in submission
+    /// order. This is the seam baseline tools share with campaigns.
+    pub fn execute<T: Send>(&self, tasks: Vec<Task<T>>) -> Vec<T> {
+        let total = tasks.len();
+        let workers = self.workers.min(total).max(1);
+        let next = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let queue: Vec<Mutex<Option<Task<T>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let task = queue[index]
+                        .lock()
+                        .expect("task queue poisoned")
+                        .take()
+                        .expect("task claimed twice");
+                    let result = (task.run)();
+                    if let Some(progress) = &self.progress {
+                        progress(&Progress {
+                            index,
+                            total,
+                            completed: completed.fetch_add(1, Ordering::SeqCst) + 1,
+                            label: task.label.clone(),
+                            summary: (task.summarize)(&result),
+                        });
+                    }
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker exited without storing a result")
+            })
+            .collect()
+    }
+}
+
+impl Default for CampaignExecutor {
+    fn default() -> Self {
+        CampaignExecutor::new()
+    }
+}
+
+/// The default worker count: the host's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_hv::{Vkvm, Vxen};
+
+    fn small_plan() -> CampaignPlan {
+        CampaignPlan::new()
+            .backend(Backend::new("vkvm", |c| Box::new(Vkvm::new(c))))
+            .backend(Backend::new("vxen", |c| Box::new(Vxen::new(c))))
+            .vendors(&[CpuVendor::Intel, CpuVendor::Amd])
+            .seeds(0..3)
+            .hours(2)
+            .execs_per_hour(30)
+    }
+
+    #[test]
+    fn plan_expands_in_deterministic_order() {
+        let plan = small_plan();
+        assert_eq!(plan.len(), 12);
+        let labels: Vec<String> = plan.jobs().iter().map(|j| j.label()).collect();
+        assert_eq!(labels[0], "vkvm/Intel/unguided/seed0");
+        assert_eq!(labels[1], "vkvm/Intel/unguided/seed1");
+        assert_eq!(labels[3], "vkvm/AMD/unguided/seed0");
+        assert_eq!(labels[6], "vxen/Intel/unguided/seed0");
+        // Expansion is stable across calls.
+        let again: Vec<String> = plan.jobs().iter().map(|j| j.label()).collect();
+        assert_eq!(labels, again);
+    }
+
+    #[test]
+    fn parallel_results_match_serial_exactly() {
+        let plan = small_plan();
+        let serial = CampaignExecutor::new().jobs(1).run(&plan);
+        let parallel = CampaignExecutor::new().jobs(4).run(&plan);
+        assert_eq!(serial.len(), parallel.len());
+        for (index, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(s, p, "job {index} diverged between jobs=1 and jobs=4");
+        }
+    }
+
+    #[test]
+    fn progress_fires_once_per_job_and_reaches_total() {
+        let plan = small_plan();
+        let events: Arc<Mutex<Vec<Progress>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        let results = CampaignExecutor::new()
+            .jobs(4)
+            .on_progress(move |p| sink.lock().unwrap().push(p.clone()))
+            .run(&plan);
+        assert_eq!(results.len(), plan.len());
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), plan.len(), "one event per job");
+        let mut indices: Vec<usize> = events.iter().map(|p| p.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..plan.len()).collect::<Vec<_>>());
+        assert!(events.iter().any(|p| p.completed == plan.len()));
+        assert!(events.iter().all(|p| p.total == plan.len()));
+        assert!(events.iter().all(|p| p.summary.contains("cov")));
+    }
+
+    #[test]
+    fn generic_tasks_preserve_submission_order() {
+        let tasks: Vec<Task<usize>> = (0..64)
+            .map(|i| Task::new(format!("t{i}"), move || i * i))
+            .collect();
+        let results = CampaignExecutor::new().jobs(8).execute(tasks);
+        assert_eq!(results, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_means_available_parallelism() {
+        let executor = CampaignExecutor::new().jobs(0);
+        assert_eq!(executor.worker_count(), default_jobs());
+        assert!(executor.worker_count() >= 1);
+    }
+}

@@ -38,7 +38,7 @@ pub struct BlockDef {
 
 /// The instrumentation registry of one hypervisor build: every file and
 /// block, with the line geometry used by all coverage accounting.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CovMap {
     files: Vec<(String, u32)>, // (name, total lines)
     blocks: Vec<BlockDef>,

@@ -4,7 +4,7 @@
 //! KVM's in the failure modes the paper found (Table 6 rows 4–6), all
 //! seeded here:
 //!
-//! - **Activity-state pass-through** (Intel, fixed by [11]): vxen copies
+//! - **Activity-state pass-through** (Intel, fixed by citation \[11\]): vxen copies
 //!   the VMCS12 activity state into VMCS02 without sanitizing it. A
 //!   WAIT-FOR-SIPI guest enters and never runs; the host spins waiting
 //!   for an exit and the watchdog declares the whole machine hung.
@@ -41,7 +41,7 @@ use crate::sanitizer::HostHealth;
 /// Seeded-bug switches for vxen; `false` = vulnerable (as evaluated).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VxenBugs {
-    /// Sanitize the VMCS12 activity state (the fix of [11]).
+    /// Sanitize the VMCS12 activity state (the fix of citation \[11\]).
     pub activity_state_fixed: bool,
     /// Reject `LMA && !PG` VMCBs before merging (issue #216 fix).
     pub lma_pg_fixed: bool,

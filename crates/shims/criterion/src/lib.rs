@@ -1,0 +1,145 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace ships
+//! the subset of the criterion API the paper-experiment benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Each benchmark runs a warm-up iteration followed by
+//! `sample_size` timed iterations and prints mean wall-clock time per
+//! iteration — no statistics engine, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running one warm-up pass plus the configured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// as it goes, so this is a no-op that consumes the group).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, self.default_sample_size, &mut f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters as u32
+    };
+    println!("bench {id:<48} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut calls = 0u64;
+        g.sample_size(4)
+            .bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        // One warm-up call plus four timed samples.
+        assert_eq!(calls, 5);
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace ships
+//! the subset of the proptest API its property tests use: the
+//! [`proptest!`] macro, [`prelude::any`], integer-range strategies,
+//! [`collection::vec`], `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros. Values are drawn from a deterministic RNG
+//! seeded from the test name, so failures reproduce across runs; there
+//! is no shrinking — a failing case reports the assertion directly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic value source handed to strategies.
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// A runner whose stream is a pure function of `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRunner {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A recipe for producing random values of one type.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+/// Strategy returned by [`prelude::any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical uniform strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one uniformly distributed value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.rng().next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{Strategy, TestRunner};
+
+    /// Strategy producing `Vec`s of a fixed length.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// A strategy for vectors of `len` values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            (0..self.len)
+                .map(|_| self.element.new_value(runner))
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable API surface.
+
+    pub use super::collection;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use super::{Arbitrary, ProptestConfig, Strategy, TestRunner};
+
+    /// The canonical uniform strategy for `T`.
+    pub fn any<T: super::Arbitrary>() -> super::Any<T> {
+        super::Any(std::marker::PhantomData)
+    }
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two values differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ..)` body
+/// runs once per case with fresh strategy-drawn values.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (
+        @expand ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::TestRunner::from_seed($crate::seed_for(stringify!($name)));
+                for _case in 0..config.cases {
+                    let ($($arg,)*) =
+                        ($($crate::Strategy::new_value(&$strategy, &mut runner),)*);
+                    $body
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_strategy_has_requested_len(bytes in collection::vec(any::<u8>(), 32)) {
+            prop_assert_eq!(bytes.len(), 32);
+        }
+
+        #[test]
+        fn range_strategy_in_bounds(x in 0usize..4096) {
+            prop_assert!(x < 4096);
+        }
+    }
+}

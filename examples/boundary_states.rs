@@ -2,6 +2,15 @@
 //! become a near-boundary VM state, and watch the validator correct its
 //! own model against the hardware oracle.
 //!
+//! The program rounds a random byte blob into a valid VMCS and prints
+//! the Hamming distance the rounding pass moved (the Figure 5
+//! quantity); then fuzzes until the physical-CPU oracle has flagged
+//! every divergence of the validator's Bochs-derived model (the two
+//! Bochs bugs and the PAE quirk of §3.4) and prints each correction as
+//! it is learned; and finally shows selective bit invalidation
+//! producing near-boundary states that sit just on either side of the
+//! VM-entry checks.
+//!
 //! ```text
 //! cargo run --release --example boundary_states
 //! ```

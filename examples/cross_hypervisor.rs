@@ -2,13 +2,22 @@
 //! drives KVM, Xen, and VirtualBox models, and finds each target's own
 //! bugs — nothing in the generator is hypervisor-specific.
 //!
+//! Demonstrates two things:
+//!
+//! 1. the per-hypervisor `HvAdapter`s translating one vCPU feature
+//!    configuration into each host's own control interface (§3.5);
+//! 2. the campaign orchestrator fanning the five-target campaign grid
+//!    out over a worker pool — the per-target results print in plan
+//!    order no matter which worker finishes first.
+//!
 //! ```text
 //! cargo run --release --example cross_hypervisor
 //! ```
 
-use necofuzz::campaign::{run_campaign, CampaignConfig};
+use necofuzz::campaign::CampaignConfig;
+use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignJob};
 use necofuzz::{HvAdapter, KvmAdapter, VboxAdapter, XenAdapter};
-use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
+use nf_hv::{Vkvm, Vvbox, Vxen};
 use nf_x86::{CpuVendor, FeatureSet};
 
 fn main() {
@@ -29,45 +38,42 @@ fn main() {
     println!("  xen : {xen_cmd}");
     println!("  vbox: {vbox_cmd}");
 
-    let targets: Vec<(
-        &str,
-        Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
-        CpuVendor,
-    )> = vec![
+    let targets: Vec<(Backend, CpuVendor)> = vec![
         (
-            "vkvm/Intel",
-            Box::new(|c| Box::new(Vkvm::new(c))),
+            Backend::new("vkvm", |c| Box::new(Vkvm::new(c))),
             CpuVendor::Intel,
         ),
         (
-            "vkvm/AMD",
-            Box::new(|c| Box::new(Vkvm::new(c))),
+            Backend::new("vkvm", |c| Box::new(Vkvm::new(c))),
             CpuVendor::Amd,
         ),
         (
-            "vxen/Intel",
-            Box::new(|c| Box::new(Vxen::new(c))),
+            Backend::new("vxen", |c| Box::new(Vxen::new(c))),
             CpuVendor::Intel,
         ),
         (
-            "vxen/AMD",
-            Box::new(|c| Box::new(Vxen::new(c))),
+            Backend::new("vxen", |c| Box::new(Vxen::new(c))),
             CpuVendor::Amd,
         ),
         (
-            "vvbox/Intel",
-            Box::new(|c| Box::new(Vvbox::new(c))),
+            Backend::new("vvbox", |c| Box::new(Vvbox::new(c))),
             CpuVendor::Intel,
         ),
     ];
+    let jobs: Vec<CampaignJob> = targets
+        .iter()
+        .map(|(backend, vendor)| CampaignJob {
+            backend: backend.clone(),
+            cfg: CampaignConfig {
+                execs_per_hour: 150,
+                ..CampaignConfig::necofuzz(*vendor, 8, 1)
+            },
+        })
+        .collect();
 
     println!("\nfuzzing every target with the identical generator:");
-    for (name, factory, vendor) in targets {
-        let cfg = CampaignConfig {
-            execs_per_hour: 150,
-            ..CampaignConfig::necofuzz(vendor, 8, 1)
-        };
-        let result = run_campaign(factory, &cfg);
+    let results = CampaignExecutor::new().run_jobs(jobs);
+    for ((backend, vendor), result) in targets.iter().zip(&results) {
         let bug_list: Vec<String> = result
             .finds
             .iter()
@@ -75,7 +81,7 @@ fn main() {
             .collect();
         println!(
             "  {:<12} coverage {:>5.1}%  restarts {:>2}  bugs: {}",
-            name,
+            format!("{}/{vendor}", backend.name()),
             result.final_coverage * 100.0,
             result.restarts,
             if bug_list.is_empty() {

@@ -7,6 +7,13 @@
 //! - **CVE-2024-21106** (VirtualBox): a VM-entry MSR-load entry carrying
 //!   a non-canonical `MSR_KERNEL_GS_BASE` — the host takes a #GP.
 //!
+//! Each PoC prints the exact guest-state recipe (control bits, CR
+//! values, MSR-load entries), runs it against the unpatched model to
+//! show the detector firing, then re-runs it against the patched model
+//! to show the find disappear — the same fixed/unfixed discipline the
+//! `fixed_hypervisors_survive_the_same_campaign` integration test
+//! enforces.
+//!
 //! ```text
 //! cargo run --release --example cve_repro
 //! ```

@@ -1,5 +1,11 @@
-//! Quickstart: fuzz the KVM model for one virtual hour and print what
-//! NecoFuzz found.
+//! Quickstart: the smallest end-to-end NecoFuzz run — fuzz the KVM
+//! model for four virtual hours on one core and print what it found.
+//!
+//! Expected output: a per-hour coverage ramp (the `#` bars saturate
+//! around 80% of the modeled `nested.c`), the execution/restart
+//! counters, and any Table 6 bugs the short run tripped over. For a
+//! multi-run, multi-core version of the same thing, see the `necofuzz`
+//! binary's `--runs`/`--jobs` flags or the `cross_hypervisor` example.
 //!
 //! ```text
 //! cargo run --release --example quickstart

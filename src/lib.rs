@@ -1,0 +1,32 @@
+//! Workspace umbrella for the NecoFuzz reproduction (EuroSys 2026).
+//!
+//! This crate carries the repository-level examples and integration
+//! tests and re-exports every workspace member for one-stop rustdoc
+//! navigation. The code lives in the member crates:
+//!
+//! - [`necofuzz`] — the framework: agent, harness, validator,
+//!   configurator, campaigns, and the parallel campaign orchestrator;
+//! - [`nf_fuzz`] — the AFL++-style engine (queue, bitmap, mutators);
+//! - [`nf_hv`] — the L0 hypervisor models (KVM, Xen, VirtualBox);
+//! - [`nf_silicon`] — the physical-CPU oracle (VM-entry checks);
+//! - [`nf_vmx`] — VMCS/VMCB layouts and capability rounding;
+//! - [`nf_x86`] — architectural types (CRs, MSRs, segments, paging);
+//! - [`nf_coverage`] — line coverage maps and set algebra;
+//! - [`nf_stats`] — medians, Mann-Whitney U, Cohen's d, violins;
+//! - [`nf_baselines`] — Syzkaller/IRIS/selftests/XTF models;
+//! - [`nf_bench`] — drivers regenerating the paper's tables/figures.
+//!
+//! Start at `README.md` for the quickstart and `docs/ARCHITECTURE.md`
+//! for the crate map and the orchestrator fan-out diagram.
+
+pub use necofuzz;
+pub use nf_baselines;
+pub use nf_bench;
+pub use nf_coverage;
+pub use nf_fuzz;
+pub use nf_hv;
+pub use nf_silicon;
+pub use nf_stats;
+pub use nf_vmx;
+pub use nf_x86;
+pub use rand;

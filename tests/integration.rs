@@ -199,6 +199,42 @@ fn xen_campaign_beats_xtf_by_a_wide_margin() {
 }
 
 #[test]
+fn orchestrator_grid_matches_serial_loop() {
+    // The public-API contract the bench drivers rely on: a plan run on
+    // a pool is element-for-element identical to the hand-written
+    // serial loop it replaced.
+    use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignPlan};
+
+    let plan = CampaignPlan::new()
+        .backend(Backend::new("vkvm", |c| Box::new(Vkvm::new(c))))
+        .vendors(&[CpuVendor::Intel, CpuVendor::Amd])
+        .seeds(0..3)
+        .hours(2)
+        .execs_per_hour(40);
+    let pooled = CampaignExecutor::new().jobs(4).run(&plan);
+
+    let mut serial = Vec::new();
+    for vendor in [CpuVendor::Intel, CpuVendor::Amd] {
+        for seed in 0..3 {
+            let cfg = CampaignConfig {
+                vendor,
+                hours: 2,
+                execs_per_hour: 40,
+                seed,
+                mode: Mode::Unguided,
+                mask: ComponentMask::ALL,
+            };
+            serial.push(run_campaign(kvm(), &cfg));
+        }
+    }
+
+    assert_eq!(pooled.len(), serial.len());
+    for (i, (p, s)) in pooled.iter().zip(&serial).enumerate() {
+        assert_eq!(p, s, "plan job {i} diverged from the serial loop");
+    }
+}
+
+#[test]
 fn agent_restores_validator_corrections_across_reconfigurations() {
     // The configurator changes configs constantly; corrections learned
     // from the oracle must survive (the model is config-independent).
