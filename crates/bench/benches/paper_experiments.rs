@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use necofuzz::campaign::{run_campaign, CampaignConfig};
 use necofuzz::orchestrator::{CampaignExecutor, CampaignPlan};
-use necofuzz::{ComponentMask, VmStateValidator};
+use necofuzz::{ComponentMask, EngineMode, VmStateValidator};
 use nf_bench::{vkvm_backend, vkvm_factory, vvbox_factory, vxen_factory};
 use nf_fuzz::Mode;
 use nf_vmx::{Vmcs, VmxCapabilities};
@@ -23,6 +23,7 @@ fn mini_campaign(vendor: CpuVendor, mode: Mode, mask: ComponentMask, seed: u64) 
         seed,
         mode,
         mask,
+        engine: EngineMode::Snapshot,
     };
     run_campaign(vkvm_factory(), &cfg).final_coverage
 }
@@ -105,6 +106,7 @@ fn bench_table4(c: &mut Criterion) {
                     seed,
                     mode: Mode::Unguided,
                     mask: ComponentMask::ALL,
+                    engine: EngineMode::Snapshot,
                 };
                 run_campaign(vxen_factory(), &cfg).final_coverage
             })
@@ -147,6 +149,7 @@ fn bench_table6(c: &mut Criterion) {
                 seed,
                 mode: Mode::Unguided,
                 mask: ComponentMask::ALL,
+                engine: EngineMode::Snapshot,
             };
             run_campaign(vvbox_factory(), &cfg).finds.len()
         })
@@ -162,6 +165,7 @@ fn bench_table6(c: &mut Criterion) {
                 seed,
                 mode: Mode::Unguided,
                 mask: ComponentMask::ALL,
+                engine: EngineMode::Snapshot,
             };
             run_campaign(vxen_factory(), &cfg).finds.len()
         })

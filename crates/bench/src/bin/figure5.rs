@@ -19,7 +19,7 @@ fn main() {
     );
     let mut validator = VmStateValidator::new(caps.clone());
     // Warm the oracle loop so rounding reflects the corrected model.
-    let mut rng = SmallRng::seed_from_u64(0xf16_5);
+    let mut rng = SmallRng::seed_from_u64(0xf165);
     for _ in 0..64 {
         let mut seed = vec![0u8; Vmcs::BYTES];
         rng.fill(&mut seed[..]);

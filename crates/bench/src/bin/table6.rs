@@ -12,11 +12,12 @@ use nf_x86::CpuVendor;
 fn main() {
     hr("Table 6 — vulnerability discovery");
     println!(
-        "{:<4} {:<12} {:<7} {:<28} {:<18} {}",
-        "No", "Hypervisor", "CPU", "Bug id", "Detector", "found at exec"
+        "{:<4} {:<12} {:<7} {:<28} {:<18} found at exec",
+        "No", "Hypervisor", "CPU", "Bug id", "Detector"
     );
     let mut no = 0;
-    let targets: [(fn() -> Backend, CpuVendor, u32); 5] = [
+    type Target = (fn() -> Backend, CpuVendor, u32);
+    let targets: [Target; 5] = [
         (vkvm_backend, CpuVendor::Intel, HOURS_LONG),
         (vkvm_backend, CpuVendor::Amd, HOURS_LONG),
         (vxen_backend, CpuVendor::Intel, HOURS_SHORT),
@@ -38,6 +39,7 @@ fn main() {
                     seed,
                     mode: Mode::Unguided,
                     mask: necofuzz::ComponentMask::ALL,
+                    engine: necofuzz::EngineMode::Snapshot,
                 },
             })
         })

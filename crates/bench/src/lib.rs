@@ -16,7 +16,7 @@
 
 use necofuzz::campaign::{CampaignConfig, CampaignResult};
 use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignJob};
-use necofuzz::ComponentMask;
+use necofuzz::{ComponentMask, EngineMode};
 use nf_coverage::LineSet;
 use nf_fuzz::Mode;
 use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
@@ -121,6 +121,7 @@ pub fn necofuzz_runs(
                 seed,
                 mode,
                 mask,
+                engine: EngineMode::Snapshot,
             },
         })
         .collect();

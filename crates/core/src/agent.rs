@@ -1,11 +1,16 @@
 //! The agent program (paper §4.5): the central coordinator between the
 //! fuzzer, the fuzz-harness VM, and the target L0 hypervisor.
 //!
-//! Per test case the agent: applies the vCPU configuration (relaunching
-//! the host when it changed), embeds the fuzzing input into the executor,
-//! runs the two harness phases, collects coverage into the AFL bitmap,
-//! monitors the sanitizers/kernel log for anomalies, saves crashing
-//! inputs, and restarts the host through the watchdog when it died.
+//! Per test case the agent: applies the vCPU configuration (switching
+//! the host image through the [`ExecutionEngine`] when it changed),
+//! embeds the fuzzing input into the executor, runs the two harness
+//! phases, collects coverage into the AFL bitmap, monitors the
+//! sanitizers/kernel log for anomalies, saves crashing inputs, and
+//! restarts the host through the watchdog when it died.
+//!
+//! The hot path is delegated to the engine: instead of rebuilding the
+//! hypervisor and re-deriving boot state each iteration, the engine
+//! restores cached boot snapshots (see [`crate::engine`]).
 
 use nf_coverage::LineSet;
 use nf_fuzz::{ExecFeedback, FuzzInput, MAP_SIZE};
@@ -14,6 +19,7 @@ use nf_vmx::VmxCapabilities;
 use nf_x86::CpuVendor;
 
 use crate::configurator::VcpuConfigurator;
+use crate::engine::{EngineMode, EngineStats, ExecutionEngine};
 use crate::harness::ExecutionHarness;
 use crate::input::InputView;
 use crate::validator::VmStateValidator;
@@ -69,13 +75,11 @@ pub struct IterationResult {
     pub feedback: ExecFeedback,
 }
 
-/// The agent: owns the hypervisor instance and the per-campaign state.
+/// The agent: owns the execution engine and the per-campaign state.
 pub struct Agent {
-    factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
-    hv: Box<dyn L0Hypervisor>,
+    engine: ExecutionEngine,
     vendor: CpuVendor,
     harness: ExecutionHarness,
-    validator: VmStateValidator,
     configurator: VcpuConfigurator,
     mask: ComponentMask,
     execs: u64,
@@ -87,11 +91,22 @@ pub struct Agent {
 }
 
 impl Agent {
-    /// Creates an agent fuzzing the hypervisor produced by `factory`.
+    /// Creates an agent fuzzing the hypervisor produced by `factory`,
+    /// on the default (snapshot) engine.
     pub fn new(
         factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
         vendor: CpuVendor,
         mask: ComponentMask,
+    ) -> Self {
+        Agent::with_engine(factory, vendor, mask, EngineMode::Snapshot)
+    }
+
+    /// Creates an agent with an explicit engine mode (`--engine` A/B).
+    pub fn with_engine(
+        factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
+        vendor: CpuVendor,
+        mask: ComponentMask,
+        mode: EngineMode,
     ) -> Self {
         let configurator = VcpuConfigurator::new(vendor);
         let (features, nested) = configurator.default_config();
@@ -100,17 +115,15 @@ impl Agent {
             features,
             nested,
         };
-        let hv = factory(config);
         let caps = VmxCapabilities::from_features(
             nf_x86::FeatureSet::default_for(vendor).sanitized(vendor),
         );
-        let cumulative = LineSet::for_map(hv.coverage_map());
+        let engine = ExecutionEngine::new(factory, config, caps, mode);
+        let cumulative = LineSet::for_map(engine.hv().coverage_map());
         Agent {
-            factory,
-            hv,
+            engine,
             vendor,
             harness: ExecutionHarness::new(vendor),
-            validator: VmStateValidator::new(caps),
             configurator,
             mask,
             execs: 0,
@@ -122,12 +135,17 @@ impl Agent {
 
     /// The hypervisor under test (for inspection in tests/benches).
     pub fn hv(&self) -> &dyn L0Hypervisor {
-        self.hv.as_ref()
+        self.engine.hv()
     }
 
     /// The validator (exposes the oracle-correction state).
     pub fn validator(&self) -> &VmStateValidator {
-        &self.validator
+        self.engine.validator()
+    }
+
+    /// The engine's hot-path counters (cache hits, restores, …).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 
     /// Number of executions performed.
@@ -142,12 +160,13 @@ impl Agent {
 
     /// Coverage fraction of the vendor-matching nested file.
     pub fn coverage_fraction(&self) -> f64 {
-        let map = self.hv.coverage_map();
+        let hv = self.engine.hv();
+        let map = hv.coverage_map();
         let file = match self.vendor {
-            CpuVendor::Intel => self.hv.intel_file(),
-            CpuVendor::Amd => match self.hv.amd_file() {
+            CpuVendor::Intel => hv.intel_file(),
+            CpuVendor::Amd => match hv.amd_file() {
                 Some(f) => f,
-                None => self.hv.intel_file(),
+                None => hv.intel_file(),
             },
         };
         self.cumulative.fraction_of(map, file)
@@ -159,13 +178,16 @@ impl Agent {
         let view = InputView::new(input);
 
         // 1. Watchdog: a dead host is restarted before the next test
-        // case, whatever else this iteration changes (paper §3.2).
-        if self.hv.health().dead {
-            self.hv.reboot_host();
+        // case, whatever else this iteration changes (paper §3.2). This
+        // is the slow path — a modeled power-cycle.
+        if self.engine.hv().health().dead {
+            self.engine.reboot();
             self.restarts += 1;
         }
 
-        // 2. vCPU configuration (adapter reload when it changed).
+        // 2. vCPU configuration. The engine services a changed config
+        // from its booted-image cache (snapshot mode) or through the
+        // factory (rebuild mode), and resets guest state either way.
         let (features, nested) = if self.mask.configurator {
             self.configurator.generate(view.vcpu_cfg())
         } else {
@@ -176,27 +198,15 @@ impl Agent {
             features,
             nested,
         };
-        if *self.hv.config() != config {
-            self.hv = (self.factory)(config.clone());
-            self.validator = VmStateValidator::with_corrections_of(
-                VmxCapabilities::from_features(features),
-                &self.validator,
-            );
-        }
-
-        self.hv.reset_guest();
+        self.engine.prepare(&config);
 
         // 3. Generate the fuzz-harness VM content.
         let revision = VmxCapabilities::REVISION;
         let (vmcs12, msr_area, vmcb12) = if self.mask.validator {
-            let (vmcs, area) = self.validator.generate(
-                view.vmcs_seed(),
-                view.mutate_bytes(),
-                view.msr_area_bytes(),
-            );
-            let vmcb = self
-                .validator
-                .generate_vmcb(view.vmcs_seed(), view.mutate_bytes());
+            let validator = self.engine.validator_mut();
+            let (vmcs, area) =
+                validator.generate(view.vmcs_seed(), view.mutate_bytes(), view.msr_area_bytes());
+            let vmcb = validator.generate_vmcb(view.vmcs_seed(), view.mutate_bytes());
             (vmcs, area, vmcb)
         } else {
             // Ablation: the golden template with a few raw overwrites
@@ -236,13 +246,13 @@ impl Agent {
         };
         let init = self
             .harness
-            .run_init(self.hv.as_mut(), &plan, &vmcs12, &vmcb12, &msr_area);
+            .run_init(self.engine.hv_mut(), &plan, &vmcs12, &vmcb12, &msr_area);
 
         // 5. Runtime phase.
         if !init.host_dead {
             if self.mask.harness {
                 self.harness
-                    .run_runtime(self.hv.as_mut(), view.runtime_bytes(), init.l2_live);
+                    .run_runtime(self.engine.hv_mut(), view.runtime_bytes(), init.l2_live);
             } else {
                 // Fixed runtime template: a deterministic exit mix.
                 let fixed: Vec<u8> = [0u8, 1, 2, 4, 13, 14]
@@ -250,19 +260,26 @@ impl Agent {
                     .flat_map(|&s| [s, 0, 0, 0])
                     .collect();
                 self.harness
-                    .run_runtime(self.hv.as_mut(), &fixed, init.l2_live);
+                    .run_runtime(self.engine.hv_mut(), &fixed, init.l2_live);
             }
         }
 
         // 6. Coverage collection.
-        let trace = self.hv.take_trace();
-        self.cumulative.add_trace(self.hv.coverage_map(), &trace);
+        let trace = self.engine.hv_mut().take_trace();
+        self.cumulative
+            .add_trace(self.engine.hv().coverage_map(), &trace);
         let mut bitmap = vec![0u8; MAP_SIZE];
         trace.fill_afl_bitmap(&mut bitmap);
 
         // 7. Anomaly detection: drain sanitizer/log reports, dedup by id.
         let mut crashed = false;
-        let reports: Vec<_> = self.hv.health_mut().reports.drain(..).collect();
+        let reports: Vec<_> = self
+            .engine
+            .hv_mut()
+            .health_mut()
+            .reports
+            .drain(..)
+            .collect();
         for report in reports {
             crashed = true;
             if !self.finds.iter().any(|f| f.bug_id == report.bug_id) {
@@ -374,6 +391,66 @@ mod tests {
         let before = ids.len();
         ids.dedup();
         assert_eq!(ids.len(), before, "find list must be id-unique");
+    }
+
+    #[test]
+    fn snapshot_and_rebuild_agents_are_bit_identical() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let inputs: Vec<FuzzInput> = (0..150).map(|_| FuzzInput::random(&mut rng)).collect();
+        let mk = |mode| {
+            Agent::with_engine(
+                Box::new(|cfg| Box::new(Vkvm::new(cfg))),
+                CpuVendor::Intel,
+                ComponentMask::ALL,
+                mode,
+            )
+        };
+        let mut snap = mk(EngineMode::Snapshot);
+        let mut rebuild = mk(EngineMode::Rebuild);
+        for (i, input) in inputs.iter().enumerate() {
+            let a = snap.run_iteration(input);
+            let b = rebuild.run_iteration(input);
+            assert_eq!(a.bitmap, b.bitmap, "bitmap diverged at exec {i}");
+            assert_eq!(a.feedback.crashed, b.feedback.crashed, "exec {i}");
+        }
+        assert_eq!(snap.finds, rebuild.finds);
+        assert_eq!(snap.restarts(), rebuild.restarts());
+        assert_eq!(snap.coverage_fraction(), rebuild.coverage_fraction());
+        let stats = snap.engine_stats();
+        assert!(stats.snapshot_restores > 0, "fast path must be exercised");
+        assert!(
+            stats.cache_hits > 0,
+            "config churn must hit the image cache: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn identical_caps_share_the_validator_across_config_flips() {
+        // Regression: validator corrections used to be recomputed from
+        // scratch on every config change even when the VmxCapabilities
+        // were identical. The engine memoizes; nested-only flips (same
+        // caps) must leave the validator untouched.
+        let mut a = agent(CpuVendor::Intel, ComponentMask::ALL);
+        let mut input = FuzzInput::zeroed();
+        for i in 0..20 {
+            // Byte 4 of the vCPU config word holds the keep-base bits
+            // (32..35) and the nested bits (36..39): 0x11 = VMX kept +
+            // nested on, 0x01 = VMX kept + nested off. Features — and
+            // therefore capabilities — never change.
+            input.bytes[crate::input::sections::VCPU_CFG + 4] =
+                if i % 2 == 0 { 0x11 } else { 0x01 };
+            a.run_iteration(&input);
+        }
+        let stats = a.engine_stats();
+        assert_eq!(
+            stats.validator_rebuilds, 1,
+            "only the initial flip away from the default features may \
+             rebuild: {stats:?}"
+        );
+        assert!(
+            stats.validator_reuses >= 19,
+            "same-caps flips must reuse the validator: {stats:?}"
+        );
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! necofuzz [--target vkvm|vxen|vvbox] [--vendor intel|amd]
 //!          [--hours N] [--execs-per-hour N] [--seed N] [--runs N]
 //!          [--jobs N] [--guided] [--no-harness] [--no-validator]
-//!          [--no-configurator] [--out DIR]
+//!          [--no-configurator] [--engine snapshot|rebuild]
+//!          [--out DIR] [--bench-out PATH]
 //! ```
 //!
 //! Runs one campaign — or, with `--runs N`, a whole grid of campaigns
@@ -13,12 +14,20 @@
 //! model. Like the paper's agent (§4.5), every unique crashing input is
 //! saved to a timestamped file under `--out` for later reproduction.
 //! Parallelism never changes results: output is reduced in seed order.
+//!
+//! `--engine` selects the iteration hot path: `snapshot` (default) runs
+//! on the persistent-execution engine — cached booted images restored
+//! per iteration — while `rebuild` keeps the original
+//! reboot-every-reconfiguration semantics for A/B comparison; results
+//! are bit-identical either way. `--bench-out PATH` records the run's
+//! throughput (total execs, wall-clock seconds, overall execs/sec,
+//! and per-run exec/restart counts) as JSON for offline comparison.
 
 use std::io::Write as _;
 
 use necofuzz::campaign::CampaignResult;
 use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignPlan};
-use necofuzz::ComponentMask;
+use necofuzz::{ComponentMask, EngineMode};
 use nf_fuzz::Mode;
 use nf_hv::{Vkvm, Vvbox, Vxen};
 use nf_x86::CpuVendor;
@@ -28,7 +37,8 @@ fn usage() -> ! {
         "usage: necofuzz [--target vkvm|vxen|vvbox] [--vendor intel|amd] [--hours N]\n\
          \x20               [--execs-per-hour N] [--seed N] [--runs N] [--jobs N]\n\
          \x20               [--guided] [--no-harness] [--no-validator]\n\
-         \x20               [--no-configurator] [--out DIR]"
+         \x20               [--no-configurator] [--engine snapshot|rebuild]\n\
+         \x20               [--out DIR] [--bench-out PATH]"
     );
     std::process::exit(2);
 }
@@ -43,7 +53,9 @@ fn main() {
     let mut jobs = 0usize; // 0 = available parallelism
     let mut mode = Mode::Unguided;
     let mut mask = ComponentMask::ALL;
+    let mut engine = EngineMode::Snapshot;
     let mut out: Option<String> = None;
+    let mut bench_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -67,7 +79,9 @@ fn main() {
             "--no-harness" => mask.harness = false,
             "--no-validator" => mask.validator = false,
             "--no-configurator" => mask.configurator = false,
+            "--engine" => engine = EngineMode::parse(&value()).unwrap_or_else(|| usage()),
             "--out" => out = Some(value()),
+            "--bench-out" => bench_out = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -91,7 +105,7 @@ fn main() {
 
     println!(
         "necofuzz: target={target} vendor={vendor} hours={hours} execs/h={execs_per_hour} \
-         seeds={seed}..{} runs={runs} mode={mode:?} \
+         seeds={seed}..{} runs={runs} mode={mode:?} engine={engine} \
          components[harness={} validator={} configurator={}]",
         seed + runs,
         mask.harness,
@@ -106,14 +120,17 @@ fn main() {
         .masks(&[mask])
         .seeds(seed..seed + runs)
         .hours(hours)
-        .execs_per_hour(execs_per_hour);
+        .execs_per_hour(execs_per_hour)
+        .engine(engine);
     let executor = CampaignExecutor::new().jobs(jobs).on_progress(|p| {
         eprintln!(
             "[{:>3}/{}] {:<40} {}",
             p.completed, p.total, p.label, p.summary
         );
     });
+    let started = std::time::Instant::now();
     let results = executor.run(&plan);
+    let elapsed = started.elapsed().as_secs_f64();
 
     let mut unique_finds = 0usize;
     for (run, result) in results.iter().enumerate() {
@@ -142,9 +159,32 @@ fn main() {
         );
     }
 
+    if let Some(path) = &bench_out {
+        save_bench(path, engine, elapsed, &results);
+    }
+
     if unique_finds > 0 {
         std::process::exit(1);
     }
+}
+
+/// Writes the run's throughput record (`--bench-out`): execs/sec
+/// overall and per seed, for offline engine A/B comparison.
+fn save_bench(path: &str, engine: EngineMode, elapsed: f64, results: &[CampaignResult]) {
+    let total_execs: u64 = results.iter().map(|r| r.execs).sum();
+    let per_run: Vec<String> = results
+        .iter()
+        .map(|r| format!("{{\"execs\": {}, \"restarts\": {}}}", r.execs, r.restarts))
+        .collect();
+    let json = format!(
+        "{{\n  \"engine\": \"{engine}\",\n  \"total_execs\": {total_execs},\n  \
+         \"elapsed_sec\": {elapsed:.3},\n  \"execs_per_sec\": {:.1},\n  \
+         \"runs\": [{}]\n}}\n",
+        total_execs as f64 / elapsed,
+        per_run.join(", ")
+    );
+    std::fs::write(path, json).expect("write bench output");
+    println!("wrote {path}");
 }
 
 /// Median without pulling `nf-stats` into the core crate's deps.

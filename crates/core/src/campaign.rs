@@ -10,6 +10,7 @@ use nf_hv::{HvConfig, L0Hypervisor};
 use nf_x86::CpuVendor;
 
 use crate::agent::{Agent, BugFind, ComponentMask};
+use crate::engine::EngineMode;
 
 /// Executions one virtual hour stands for. The paper's harness reaches
 /// hundreds of executions per second on bare metal; the simulation
@@ -31,6 +32,10 @@ pub struct CampaignConfig {
     pub mode: Mode,
     /// Component toggles (Table 3 / Figure 4).
     pub mask: ComponentMask,
+    /// Iteration hot-path engine (`Snapshot` is the product default;
+    /// `Rebuild` keeps the original full-reboot semantics for A/B
+    /// measurement — results are bit-identical either way).
+    pub engine: EngineMode,
 }
 
 impl CampaignConfig {
@@ -47,6 +52,7 @@ impl CampaignConfig {
             seed,
             mode: Mode::Unguided,
             mask: ComponentMask::ALL,
+            engine: EngineMode::Snapshot,
         }
     }
 }
@@ -90,7 +96,7 @@ pub fn run_campaign(
     factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
     cfg: &CampaignConfig,
 ) -> CampaignResult {
-    let mut agent = Agent::new(factory, cfg.vendor, cfg.mask);
+    let mut agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine);
     let mut fuzzer = Fuzzer::new(cfg.seed, cfg.mode);
     let mut hourly = Vec::with_capacity(cfg.hours as usize);
 

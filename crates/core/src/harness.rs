@@ -297,7 +297,7 @@ impl ExecutionHarness {
             CpuVendor::Amd => GuestInstr::Vmrun(VMCB12_GPA),
         };
         match sel % 16 {
-            0 | 1 | 2 | 3 | 4 => resume(),
+            0..=4 => resume(),
             5 => GuestInstr::Vmread(VmcsField::ALL[a as usize % VmcsField::ALL.len()].encoding()),
             6 => GuestInstr::Vmwrite(
                 VmcsField::ALL[a as usize % VmcsField::ALL.len()].encoding(),

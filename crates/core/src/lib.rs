@@ -17,8 +17,11 @@
 //!   exploration through per-hypervisor adapters.
 //!
 //! An [`agent::Agent`] coordinates the AFL++-style engine (`nf-fuzz`),
-//! the harness VM, and the target hypervisor (`nf-hv`);
-//! [`campaign::run_campaign`] reproduces one of the paper's
+//! the harness VM, and the target hypervisor (`nf-hv`); its hot path
+//! runs on the snapshot-based [`engine::ExecutionEngine`], which
+//! restores cached booted images instead of rebooting per iteration
+//! (paper §3.2 — the fuzz-harness VM exists to avoid guest-OS
+//! reboots). [`campaign::run_campaign`] reproduces one of the paper's
 //! virtual-time experiments, and the [`orchestrator`] fans a whole
 //! experiment grid out over a worker pool.
 //!
@@ -63,6 +66,7 @@
 pub mod agent;
 pub mod campaign;
 pub mod configurator;
+pub mod engine;
 pub mod harness;
 pub mod input;
 pub mod orchestrator;
@@ -71,6 +75,7 @@ pub mod validator;
 pub use agent::{Agent, BugFind, ComponentMask};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, HourSample, EXECS_PER_HOUR};
 pub use configurator::{HvAdapter, KvmAdapter, VboxAdapter, VcpuConfigurator, XenAdapter};
+pub use engine::{EngineMode, EngineStats, ExecutionEngine};
 pub use harness::{ExecutionHarness, InitPlan, InitStep};
 pub use input::InputView;
 pub use orchestrator::{

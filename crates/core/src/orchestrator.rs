@@ -28,6 +28,7 @@ use nf_x86::CpuVendor;
 
 use crate::agent::ComponentMask;
 use crate::campaign::{run_campaign, CampaignConfig, CampaignResult, EXECS_PER_HOUR};
+use crate::engine::EngineMode;
 
 /// A hypervisor factory shareable across worker threads.
 pub type SharedFactory = Arc<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor> + Send + Sync>;
@@ -95,8 +96,12 @@ impl CampaignJob {
                 u8::from(self.cfg.mask.configurator)
             )
         };
+        let engine = match self.cfg.engine {
+            EngineMode::Snapshot => "",
+            EngineMode::Rebuild => "/rebuild",
+        };
         format!(
-            "{}/{}/{mode}{mask}/seed{}",
+            "{}/{}/{mode}{mask}{engine}/seed{}",
             self.backend.name, self.cfg.vendor, self.cfg.seed
         )
     }
@@ -123,6 +128,7 @@ pub struct CampaignPlan {
     seeds: Vec<u64>,
     hours: u32,
     execs_per_hour: u32,
+    engine: EngineMode,
 }
 
 impl CampaignPlan {
@@ -137,6 +143,7 @@ impl CampaignPlan {
             seeds: vec![0],
             hours: 24,
             execs_per_hour: EXECS_PER_HOUR,
+            engine: EngineMode::Snapshot,
         }
     }
 
@@ -182,6 +189,14 @@ impl CampaignPlan {
         self
     }
 
+    /// Selects the iteration hot-path engine for every campaign of the
+    /// grid (default: [`EngineMode::Snapshot`]). Results are
+    /// bit-identical across engines; only wall-clock time changes.
+    pub fn engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Number of jobs the grid expands to.
     pub fn len(&self) -> usize {
         self.backends.len()
@@ -213,6 +228,7 @@ impl CampaignPlan {
                                     seed,
                                     mode,
                                     mask,
+                                    engine: self.engine,
                                 },
                             });
                         }

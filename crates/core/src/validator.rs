@@ -1021,7 +1021,10 @@ mod tests {
         let directives = [2u8, 0, 5, 3, 1, 2, 3, 4, 5, 6, 0, 9, 2, 7, 8, 9, 1, 2];
         let mutated = validator.mutate(&golden, &directives);
         let dist = golden.hamming_distance(&mutated);
-        assert!(dist >= 1 && dist <= 24, "1-3 fields x 1-8 bits, got {dist}");
+        assert!(
+            (1..=24).contains(&dist),
+            "1-3 fields x 1-8 bits, got {dist}"
+        );
     }
 
     #[test]

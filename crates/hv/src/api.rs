@@ -101,6 +101,42 @@ pub enum IoctlOp {
     HardwareUnsetup,
 }
 
+/// A captured image of one hypervisor instance's mutable state.
+///
+/// This is the substrate of the snapshot-based persistent-execution
+/// engine (paper §3.2, §4.5 — and the IRIS-style record/replay of a
+/// booted VM): instead of rebooting the guest between fuzzing
+/// iterations, the agent captures the freshly-booted state once and
+/// *restores* it before every test case. A snapshot holds everything a
+/// fuzzing iteration can observe or dirty — guest-visible registers,
+/// staged regions, nested VMX/SVM bookkeeping, bug switches, and the
+/// host-health surface. The coverage-map geometry and the in-flight
+/// execution trace are instrumentation, not VM state, and are not
+/// captured.
+///
+/// Snapshots are backend-tagged: restoring a snapshot on a different
+/// backend is a programming error and panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HvSnapshot {
+    /// State image of a [`crate::Vkvm`] instance.
+    Vkvm(crate::vkvm::VkvmSnapshot),
+    /// State image of a [`crate::Vxen`] instance.
+    Vxen(crate::vxen::VxenSnapshot),
+    /// State image of a [`crate::Vvbox`] instance.
+    Vvbox(crate::vvbox::VvboxSnapshot),
+}
+
+impl HvSnapshot {
+    /// Name of the backend this snapshot was captured from.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            HvSnapshot::Vkvm(_) => "vkvm",
+            HvSnapshot::Vxen(_) => "vxen",
+            HvSnapshot::Vvbox(_) => "vvbox",
+        }
+    }
+}
+
 /// The L0 hypervisor under test.
 pub trait L0Hypervisor {
     /// Short name, e.g. `"vkvm"`.
@@ -119,6 +155,23 @@ pub trait L0Hypervisor {
 
     /// Fully reboots the host (watchdog path): clears health state too.
     fn reboot_host(&mut self);
+
+    /// Captures the instance's complete mutable state (see
+    /// [`HvSnapshot`] for exactly what that covers). A snapshot taken
+    /// right after construction is a *boot image*: restoring it is
+    /// equivalent to [`Self::reset_guest`] plus a health reset, without
+    /// re-running the hypervisor factory.
+    fn snapshot(&self) -> HvSnapshot;
+
+    /// Restores a state previously captured with [`Self::snapshot`],
+    /// copying only the fields that have been dirtied since the capture
+    /// (delta restore) — restoring onto an undirtied instance is a
+    /// comparison-only no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` was captured from a different backend.
+    fn restore(&mut self, snap: &HvSnapshot);
 
     /// L1 executes `instr`; L0 traps and emulates if it is sensitive.
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result;

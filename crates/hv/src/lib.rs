@@ -21,11 +21,27 @@ pub mod vkvm;
 pub mod vvbox;
 pub mod vxen;
 
-pub use api::{HvConfig, IoctlOp, L0Hypervisor, L1Result, L2Result};
+pub use api::{HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
 pub use sanitizer::{CrashKind, CrashReport, HostHealth, LogLine};
-pub use vkvm::Vkvm;
-pub use vvbox::Vvbox;
-pub use vxen::Vxen;
+pub use vkvm::{Vkvm, VkvmSnapshot};
+pub use vvbox::{Vvbox, VvboxSnapshot};
+pub use vxen::{Vxen, VxenSnapshot};
+
+/// Delta restore of snapshot fields: each field is copied back only
+/// when it differs from the captured value, so restoring onto a mostly
+/// clean instance does no allocation or deep copying.
+///
+/// `copy:` fields are plain-`Copy` scalars; `clone:` fields own heap
+/// state (maps, vectors, health) and are cloned only when dirtied.
+macro_rules! restore_fields {
+    (copy: $hv:expr, $snap:expr, [$($f:ident),* $(,)?]) => {
+        $( if $hv.$f != $snap.$f { $hv.$f = $snap.$f; } )*
+    };
+    (clone: $hv:expr, $snap:expr, [$($f:ident),* $(,)?]) => {
+        $( if $hv.$f != $snap.$f { $hv.$f = $snap.$f.clone(); } )*
+    };
+}
+pub(crate) use restore_fields;
 
 /// Declares an instrumented-block enum: each variant is one basic block
 /// of hypervisor code with a static source-line span.

@@ -60,7 +60,7 @@ pub struct LogLine {
 }
 
 /// The sanitizer + log + watchdog state of one host kernel instance.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct HostHealth {
     /// Anomalies detected this boot, in order.
     pub reports: Vec<CrashReport>,

@@ -30,7 +30,8 @@ use nf_silicon::GuestInstr;
 use nf_vmx::{MsrArea, Vmcb, Vmcs, VmxCapabilities};
 use nf_x86::{CpuVendor, Efer, FeatureSet, Msr};
 
-use crate::api::{HvConfig, IoctlOp, L0Hypervisor, L1Result, L2Result};
+use crate::api::{HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
+use crate::restore_fields;
 use crate::sanitizer::HostHealth;
 
 /// Guest-physical memory size of the L1 VM; roots beyond this limit fail
@@ -45,6 +46,29 @@ pub struct VkvmBugs {
     pub cve_2023_30456_fixed: bool,
     /// Apply the dummy-root fix (commit 0e3223d8d).
     pub dummy_root_fixed: bool,
+}
+
+/// The mutable-state image of a [`Vkvm`] instance (see
+/// [`crate::HvSnapshot`]). Compare snapshots with `==` to assert
+/// round-trip identity; the fields themselves are an internal detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VkvmSnapshot {
+    bugs: VkvmBugs,
+    l1_cr0: u64,
+    l1_cr4: u64,
+    l1_efer: u64,
+    vmxon_region: Option<u64>,
+    vmcs12_mem: BTreeMap<u64, Vmcs>,
+    current_vmptr: Option<u64>,
+    msr_area_mem: BTreeMap<u64, MsrArea>,
+    vmcs02: Option<Vmcs>,
+    in_l2: bool,
+    gif: bool,
+    vmcb12_mem: BTreeMap<u64, Vmcb>,
+    current_vmcb: Option<u64>,
+    vmcb02: Option<Vmcb>,
+    fail_next_alloc: bool,
+    health: HostHealth,
 }
 
 /// The KVM model.
@@ -227,6 +251,40 @@ impl L0Hypervisor for Vkvm {
         self.health = HostHealth::new();
     }
 
+    fn snapshot(&self) -> HvSnapshot {
+        HvSnapshot::Vkvm(VkvmSnapshot {
+            bugs: self.bugs,
+            l1_cr0: self.l1_cr0,
+            l1_cr4: self.l1_cr4,
+            l1_efer: self.l1_efer,
+            vmxon_region: self.vmxon_region,
+            vmcs12_mem: self.vmcs12_mem.clone(),
+            current_vmptr: self.current_vmptr,
+            msr_area_mem: self.msr_area_mem.clone(),
+            vmcs02: self.vmcs02.clone(),
+            in_l2: self.in_l2,
+            gif: self.gif,
+            vmcb12_mem: self.vmcb12_mem.clone(),
+            current_vmcb: self.current_vmcb,
+            vmcb02: self.vmcb02,
+            fail_next_alloc: self.fail_next_alloc,
+            health: self.health.clone(),
+        })
+    }
+
+    fn restore(&mut self, snap: &HvSnapshot) {
+        let HvSnapshot::Vkvm(s) = snap else {
+            panic!("vkvm cannot restore a {} snapshot", snap.backend());
+        };
+        restore_fields!(copy: self, s, [
+            bugs, l1_cr0, l1_cr4, l1_efer, vmxon_region, current_vmptr,
+            in_l2, gif, current_vmcb, vmcb02, fail_next_alloc,
+        ]);
+        restore_fields!(clone: self, s, [
+            vmcs12_mem, msr_area_mem, vmcs02, vmcb12_mem, health,
+        ]);
+    }
+
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result {
         if self.health.dead {
             return L1Result::HostDead;
@@ -333,7 +391,7 @@ impl L0Hypervisor for Vkvm {
     }
 
     fn l1_stage_vmcs_region(&mut self, addr: u64, revision: u32) {
-        let vmcs = self.vmcs12_mem.entry(addr).or_insert_with(Vmcs::new);
+        let vmcs = self.vmcs12_mem.entry(addr).or_default();
         vmcs.revision_id = revision;
     }
 

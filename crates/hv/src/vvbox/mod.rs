@@ -22,7 +22,8 @@ use nf_vmx::{ExitReason, MsrArea, Vmcb, Vmcs, VmcsField, VmcsState, VmxCapabilit
 use nf_x86::addr::VirtAddr;
 use nf_x86::{CpuFeature, CpuVendor, Cr0, Cr4, Efer, FeatureSet, Msr};
 
-use crate::api::{HvConfig, IoctlOp, L0Hypervisor, L1Result, L2Result};
+use crate::api::{HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
+use crate::restore_fields;
 use crate::sanitizer::HostHealth;
 
 /// Seeded-bug switch; `false` = vulnerable (as evaluated).
@@ -31,6 +32,25 @@ pub struct VvboxBugs {
     /// Validate MSR-load values with full `wrmsr` semantics (the
     /// CVE-2024-21106 fix).
     pub msr_load_fixed: bool,
+}
+
+/// The mutable-state image of a [`Vvbox`] instance (see
+/// [`crate::HvSnapshot`]). Compare snapshots with `==` to assert
+/// round-trip identity; the fields themselves are an internal detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VvboxSnapshot {
+    bugs: VvboxBugs,
+    l1_cr0: u64,
+    l1_cr4: u64,
+    l1_efer: u64,
+    vmxon_region: Option<u64>,
+    vmcs12_mem: BTreeMap<u64, Vmcs>,
+    current_vmptr: Option<u64>,
+    msr_area_mem: BTreeMap<u64, MsrArea>,
+    vmcs02: Option<Vmcs>,
+    in_l2: bool,
+    pending_host_msrs: Vec<(u32, u64)>,
+    health: HostHealth,
 }
 
 /// The VirtualBox model.
@@ -272,6 +292,35 @@ impl L0Hypervisor for Vvbox {
         self.health = HostHealth::new();
     }
 
+    fn snapshot(&self) -> HvSnapshot {
+        HvSnapshot::Vvbox(VvboxSnapshot {
+            bugs: self.bugs,
+            l1_cr0: self.l1_cr0,
+            l1_cr4: self.l1_cr4,
+            l1_efer: self.l1_efer,
+            vmxon_region: self.vmxon_region,
+            vmcs12_mem: self.vmcs12_mem.clone(),
+            current_vmptr: self.current_vmptr,
+            msr_area_mem: self.msr_area_mem.clone(),
+            vmcs02: self.vmcs02.clone(),
+            in_l2: self.in_l2,
+            pending_host_msrs: self.pending_host_msrs.clone(),
+            health: self.health.clone(),
+        })
+    }
+
+    fn restore(&mut self, snap: &HvSnapshot) {
+        let HvSnapshot::Vvbox(s) = snap else {
+            panic!("vvbox cannot restore a {} snapshot", snap.backend());
+        };
+        restore_fields!(copy: self, s, [
+            bugs, l1_cr0, l1_cr4, l1_efer, vmxon_region, current_vmptr, in_l2,
+        ]);
+        restore_fields!(clone: self, s, [
+            vmcs12_mem, msr_area_mem, vmcs02, pending_host_msrs, health,
+        ]);
+    }
+
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result {
         if self.health.dead {
             return L1Result::HostDead;
@@ -427,7 +476,7 @@ impl L0Hypervisor for Vvbox {
     }
 
     fn l1_stage_vmcs_region(&mut self, addr: u64, revision: u32) {
-        let vmcs = self.vmcs12_mem.entry(addr).or_insert_with(Vmcs::new);
+        let vmcs = self.vmcs12_mem.entry(addr).or_default();
         vmcs.revision_id = revision;
     }
 

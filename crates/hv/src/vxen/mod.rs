@@ -35,7 +35,8 @@ use nf_vmx::vmcb::int_ctl;
 use nf_vmx::{ExitReason, MsrArea, SvmExitCode, Vmcb, Vmcs, VmcsField, VmcsState, VmxCapabilities};
 use nf_x86::{CpuFeature, CpuVendor, Cr0, Cr4, Efer, FeatureSet};
 
-use crate::api::{HvConfig, IoctlOp, L0Hypervisor, L1Result, L2Result};
+use crate::api::{HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
+use crate::restore_fields;
 use crate::sanitizer::HostHealth;
 
 /// Seeded-bug switches for vxen; `false` = vulnerable (as evaluated).
@@ -47,6 +48,28 @@ pub struct VxenBugs {
     pub lma_pg_fixed: bool,
     /// Tolerate `vgif == 0` in the exit-injection path (issue #215 fix).
     pub vgif_assert_fixed: bool,
+}
+
+/// The mutable-state image of a [`Vxen`] instance (see
+/// [`crate::HvSnapshot`]). Compare snapshots with `==` to assert
+/// round-trip identity; the fields themselves are an internal detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VxenSnapshot {
+    bugs: VxenBugs,
+    l1_cr0: u64,
+    l1_cr4: u64,
+    l1_efer: u64,
+    vmxon_region: Option<u64>,
+    vmcs12_mem: BTreeMap<u64, Vmcs>,
+    current_vmptr: Option<u64>,
+    msr_area_mem: BTreeMap<u64, MsrArea>,
+    vmcs02: Option<Vmcs>,
+    in_l2: bool,
+    avic_corrupted: bool,
+    vmcb12_mem: BTreeMap<u64, Vmcb>,
+    current_vmcb: Option<u64>,
+    vmcb02: Option<Vmcb>,
+    health: HostHealth,
 }
 
 /// The Xen model.
@@ -518,6 +541,39 @@ impl L0Hypervisor for Vxen {
         self.health = HostHealth::new();
     }
 
+    fn snapshot(&self) -> HvSnapshot {
+        HvSnapshot::Vxen(VxenSnapshot {
+            bugs: self.bugs,
+            l1_cr0: self.l1_cr0,
+            l1_cr4: self.l1_cr4,
+            l1_efer: self.l1_efer,
+            vmxon_region: self.vmxon_region,
+            vmcs12_mem: self.vmcs12_mem.clone(),
+            current_vmptr: self.current_vmptr,
+            msr_area_mem: self.msr_area_mem.clone(),
+            vmcs02: self.vmcs02.clone(),
+            in_l2: self.in_l2,
+            avic_corrupted: self.avic_corrupted,
+            vmcb12_mem: self.vmcb12_mem.clone(),
+            current_vmcb: self.current_vmcb,
+            vmcb02: self.vmcb02,
+            health: self.health.clone(),
+        })
+    }
+
+    fn restore(&mut self, snap: &HvSnapshot) {
+        let HvSnapshot::Vxen(s) = snap else {
+            panic!("vxen cannot restore a {} snapshot", snap.backend());
+        };
+        restore_fields!(copy: self, s, [
+            bugs, l1_cr0, l1_cr4, l1_efer, vmxon_region, current_vmptr,
+            in_l2, avic_corrupted, current_vmcb, vmcb02,
+        ]);
+        restore_fields!(clone: self, s, [
+            vmcs12_mem, msr_area_mem, vmcs02, vmcb12_mem, health,
+        ]);
+    }
+
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result {
         if self.health.dead {
             return L1Result::HostDead;
@@ -726,7 +782,7 @@ impl L0Hypervisor for Vxen {
     }
 
     fn l1_stage_vmcs_region(&mut self, addr: u64, revision: u32) {
-        let vmcs = self.vmcs12_mem.entry(addr).or_insert_with(Vmcs::new);
+        let vmcs = self.vmcs12_mem.entry(addr).or_default();
         vmcs.revision_id = revision;
     }
 

@@ -42,8 +42,8 @@ impl MsrArea {
             let off = i * Self::ENTRY_BYTES;
             let get = |o: usize, n: usize| -> u64 {
                 let mut buf = [0u8; 8];
-                for j in 0..n {
-                    buf[j] = bytes.get(o + j).copied().unwrap_or(0);
+                for (j, b) in buf.iter_mut().enumerate().take(n) {
+                    *b = bytes.get(o + j).copied().unwrap_or(0);
                 }
                 u64::from_le_bytes(buf)
             };

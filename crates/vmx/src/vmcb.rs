@@ -301,8 +301,8 @@ impl Vmcb {
         impl Cursor<'_> {
             fn take(&mut self, n: usize) -> u64 {
                 let mut buf = [0u8; 8];
-                for i in 0..n {
-                    buf[i] = self.bytes.get(self.off + i).copied().unwrap_or(0);
+                for (i, b) in buf.iter_mut().enumerate().take(n) {
+                    *b = self.bytes.get(self.off + i).copied().unwrap_or(0);
                 }
                 self.off += n;
                 u64::from_le_bytes(buf)

@@ -99,8 +99,8 @@ impl Vmcs {
         let mut off = 0usize;
         let get = |off: usize, n: usize| -> u64 {
             let mut buf = [0u8; 8];
-            for i in 0..n {
-                buf[i] = bytes.get(off + i).copied().unwrap_or(0);
+            for (i, b) in buf.iter_mut().enumerate().take(n) {
+                *b = bytes.get(off + i).copied().unwrap_or(0);
             }
             u64::from_le_bytes(buf)
         };

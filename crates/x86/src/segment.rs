@@ -114,6 +114,7 @@ impl AccessRights {
     }
 
     /// Builds usable access rights from parts.
+    #[allow(clippy::too_many_arguments)] // mirrors the 8 AR bit fields
     pub const fn build(
         typ: u8,
         s: bool,

@@ -10,6 +10,11 @@
 //!    out over a worker pool — the per-target results print in plan
 //!    order no matter which worker finishes first.
 //!
+//! Every campaign runs on the snapshot persistent-execution engine:
+//! the configurator's constant config flips restore cached booted
+//! images instead of re-running each hypervisor factory (see
+//! `docs/ARCHITECTURE.md`, "The persistent-execution engine").
+//!
 //! ```text
 //! cargo run --release --example cross_hypervisor
 //! ```

@@ -35,6 +35,7 @@ fn campaign(
         seed,
         mode: Mode::Unguided,
         mask: ComponentMask::ALL,
+        engine: necofuzz::EngineMode::Snapshot,
     };
     run_campaign(factory, &cfg)
 }
@@ -184,6 +185,7 @@ fn ablation_ordering_matches_table3() {
             seed: 0,
             mode: Mode::Unguided,
             mask,
+            engine: necofuzz::EngineMode::Snapshot,
         };
         cov.insert(name, run_campaign(kvm(), &cfg).final_coverage);
     }
@@ -223,6 +225,7 @@ fn orchestrator_grid_matches_serial_loop() {
                 seed,
                 mode: Mode::Unguided,
                 mask: ComponentMask::ALL,
+                engine: necofuzz::EngineMode::Snapshot,
             };
             serial.push(run_campaign(kvm(), &cfg));
         }
