@@ -16,15 +16,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn mini_campaign(vendor: CpuVendor, mode: Mode, mask: ComponentMask, seed: u64) -> f64 {
-    let cfg = CampaignConfig {
-        vendor,
-        hours: 4,
-        execs_per_hour: 60,
-        seed,
-        mode,
-        mask,
-        engine: EngineMode::Snapshot,
-    };
+    let cfg = CampaignConfig::necofuzz(vendor, 4, seed)
+        .with_execs_per_hour(60)
+        .with_mode(mode)
+        .with_mask(mask)
+        .with_engine(EngineMode::Snapshot);
     run_campaign(vkvm_factory(), &cfg).final_coverage
 }
 
@@ -99,15 +95,7 @@ fn bench_table4(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                let cfg = CampaignConfig {
-                    vendor,
-                    hours: 4,
-                    execs_per_hour: 60,
-                    seed,
-                    mode: Mode::Unguided,
-                    mask: ComponentMask::ALL,
-                    engine: EngineMode::Snapshot,
-                };
+                let cfg = CampaignConfig::necofuzz(vendor, 4, seed).with_execs_per_hour(60);
                 run_campaign(vxen_factory(), &cfg).final_coverage
             })
         });
@@ -142,15 +130,7 @@ fn bench_table6(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            let cfg = CampaignConfig {
-                vendor: CpuVendor::Intel,
-                hours: 2,
-                execs_per_hour: 60,
-                seed,
-                mode: Mode::Unguided,
-                mask: ComponentMask::ALL,
-                engine: EngineMode::Snapshot,
-            };
+            let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 2, seed).with_execs_per_hour(60);
             run_campaign(vvbox_factory(), &cfg).finds.len()
         })
     });
@@ -158,15 +138,7 @@ fn bench_table6(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            let cfg = CampaignConfig {
-                vendor: CpuVendor::Amd,
-                hours: 2,
-                execs_per_hour: 60,
-                seed,
-                mode: Mode::Unguided,
-                mask: ComponentMask::ALL,
-                engine: EngineMode::Snapshot,
-            };
+            let cfg = CampaignConfig::necofuzz(CpuVendor::Amd, 2, seed).with_execs_per_hour(60);
             run_campaign(vxen_factory(), &cfg).finds.len()
         })
     });

@@ -32,15 +32,9 @@ fn main() {
         .flat_map(|&(backend, vendor, hours)| {
             (0..RUNS).map(move |seed| CampaignJob {
                 backend: backend(),
-                cfg: necofuzz::CampaignConfig {
-                    vendor,
-                    hours,
-                    execs_per_hour: EXECS_PER_HOUR,
-                    seed,
-                    mode: Mode::Unguided,
-                    mask: necofuzz::ComponentMask::ALL,
-                    engine: necofuzz::EngineMode::Snapshot,
-                },
+                cfg: necofuzz::CampaignConfig::necofuzz(vendor, hours, seed)
+                    .with_execs_per_hour(EXECS_PER_HOUR)
+                    .with_mode(Mode::Unguided),
             })
         })
         .collect();

@@ -108,15 +108,11 @@ fn campaign_eps(
     hours: u32,
     execs_per_hour: u32,
 ) -> (f64, necofuzz::CampaignResult) {
-    let cfg = CampaignConfig {
-        vendor,
-        hours,
-        execs_per_hour,
-        seed: 0,
-        mode: Mode::Unguided,
-        mask: ComponentMask::ALL,
-        engine: mode,
-    };
+    let cfg = CampaignConfig::necofuzz(vendor, hours, 0)
+        .with_execs_per_hour(execs_per_hour)
+        .with_mode(Mode::Unguided)
+        .with_mask(ComponentMask::ALL)
+        .with_engine(mode);
     let start = Instant::now();
     let result = run_campaign(factory, &cfg);
     let eps = result.execs as f64 / start.elapsed().as_secs_f64();

@@ -16,7 +16,7 @@
 
 use necofuzz::campaign::{CampaignConfig, CampaignResult};
 use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignJob};
-use necofuzz::{ComponentMask, EngineMode};
+use necofuzz::ComponentMask;
 use nf_coverage::LineSet;
 use nf_fuzz::Mode;
 use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
@@ -114,15 +114,10 @@ pub fn necofuzz_runs(
     let jobs = (0..RUNS)
         .map(|seed| CampaignJob {
             backend: Backend::new("necofuzz", move |cfg| factory()(cfg)),
-            cfg: CampaignConfig {
-                vendor,
-                hours,
-                execs_per_hour: EXECS_PER_HOUR,
-                seed,
-                mode,
-                mask,
-                engine: EngineMode::Snapshot,
-            },
+            cfg: CampaignConfig::necofuzz(vendor, hours, seed)
+                .with_execs_per_hour(EXECS_PER_HOUR)
+                .with_mode(mode)
+                .with_mask(mask),
         })
         .collect();
     executor().run_jobs(jobs)

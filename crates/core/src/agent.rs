@@ -22,6 +22,7 @@ use crate::configurator::VcpuConfigurator;
 use crate::engine::{EngineMode, EngineStats, ExecutionEngine};
 use crate::harness::ExecutionHarness;
 use crate::input::InputView;
+use crate::triage::CrashTriage;
 use crate::validator::VmStateValidator;
 
 /// Component toggles for the ablation study (paper §5.3, Table 3).
@@ -71,6 +72,8 @@ pub struct BugFind {
 pub struct IterationResult {
     /// AFL bitmap of the execution.
     pub bitmap: Vec<u8>,
+    /// Line coverage of this execution alone (corpus-entry evidence).
+    pub lines: LineSet,
     /// Feedback for the engine.
     pub feedback: ExecFeedback,
 }
@@ -86,8 +89,9 @@ pub struct Agent {
     restarts: u64,
     /// Cumulative covered lines (across reboots and reconfigurations).
     pub cumulative: LineSet,
-    /// Saved vulnerability reports, deduplicated by bug id.
-    pub finds: Vec<BugFind>,
+    /// The crash-triage index: saved vulnerability reports,
+    /// deduplicated by bug id, in discovery order.
+    triage: CrashTriage,
 }
 
 impl Agent {
@@ -129,7 +133,7 @@ impl Agent {
             execs: 0,
             restarts: 0,
             cumulative,
-            finds: Vec::new(),
+            triage: CrashTriage::new(),
         }
     }
 
@@ -156,6 +160,11 @@ impl Agent {
     /// Number of watchdog restarts.
     pub fn restarts(&self) -> u64 {
         self.restarts
+    }
+
+    /// The crash-triage index (unique finds in discovery order).
+    pub fn triage(&self) -> &CrashTriage {
+        &self.triage
     }
 
     /// Coverage fraction of the vendor-matching nested file.
@@ -266,12 +275,15 @@ impl Agent {
 
         // 6. Coverage collection.
         let trace = self.engine.hv_mut().take_trace();
-        self.cumulative
-            .add_trace(self.engine.hv().coverage_map(), &trace);
+        let map = self.engine.hv().coverage_map();
+        let mut lines = LineSet::for_map(map);
+        lines.add_trace(map, &trace);
+        self.cumulative.union_with(&lines);
         let mut bitmap = vec![0u8; MAP_SIZE];
         trace.fill_afl_bitmap(&mut bitmap);
 
-        // 7. Anomaly detection: drain sanitizer/log reports, dedup by id.
+        // 7. Anomaly detection: drain sanitizer/log reports into the
+        // triage index (O(1) dedup by bug id, first-seen provenance).
         let mut crashed = false;
         let reports: Vec<_> = self
             .engine
@@ -282,20 +294,42 @@ impl Agent {
             .collect();
         for report in reports {
             crashed = true;
-            if !self.finds.iter().any(|f| f.bug_id == report.bug_id) {
-                self.finds.push(BugFind {
-                    bug_id: report.bug_id.to_string(),
-                    kind: report.kind,
-                    message: report.message,
-                    exec: self.execs,
-                    input: input.clone(),
-                });
-            }
+            self.triage.record(BugFind {
+                bug_id: report.bug_id.to_string(),
+                kind: report.kind,
+                message: report.message,
+                exec: self.execs,
+                input: input.clone(),
+            });
         }
 
         IterationResult {
             bitmap,
+            lines,
             feedback: ExecFeedback { crashed },
+        }
+    }
+
+    /// Fast-forwards the validator to its converged state: every
+    /// oracle correction a long campaign learns (the CR4.PAE quirk and
+    /// both seeded Bochs bugs) is applied up front, with matching
+    /// `Correction` records so the engine's validator pool propagates
+    /// them across configuration flips.
+    ///
+    /// Crash inputs are saved mid-campaign, where (some of) these
+    /// corrections were already learned — the generated harness VM
+    /// depends on them. Replay tooling ([`crate::triage::ReplayOracle`])
+    /// uses this to reconstruct that first-seen context.
+    pub fn converge_validator(&mut self) {
+        let v = self.engine.validator_mut();
+        v.apply_known_quirk();
+        v.apply_ss_rpl_fix();
+        v.apply_tr_type_fix();
+        for rule in ["cr4_pae_quirk", "guest.ss_rpl", "tr_type_legacy"] {
+            v.corrections.push(crate::validator::Correction {
+                rule,
+                detail: "assumed converged for replay".into(),
+            });
         }
     }
 }
@@ -387,7 +421,7 @@ mod tests {
         for _ in 0..300 {
             a.run_iteration(&FuzzInput::random(&mut rng));
         }
-        let mut ids: Vec<&str> = a.finds.iter().map(|f| f.bug_id.as_str()).collect();
+        let mut ids: Vec<&str> = a.triage().iter().map(|f| f.bug_id.as_str()).collect();
         let before = ids.len();
         ids.dedup();
         assert_eq!(ids.len(), before, "find list must be id-unique");
@@ -413,7 +447,7 @@ mod tests {
             assert_eq!(a.bitmap, b.bitmap, "bitmap diverged at exec {i}");
             assert_eq!(a.feedback.crashed, b.feedback.crashed, "exec {i}");
         }
-        assert_eq!(snap.finds, rebuild.finds);
+        assert_eq!(snap.triage(), rebuild.triage());
         assert_eq!(snap.restarts(), rebuild.restarts());
         assert_eq!(snap.coverage_fraction(), rebuild.coverage_fraction());
         let stats = snap.engine_stats();

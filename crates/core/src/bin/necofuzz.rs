@@ -5,7 +5,12 @@
 //!          [--hours N] [--execs-per-hour N] [--seed N] [--runs N]
 //!          [--jobs N] [--guided] [--no-harness] [--no-validator]
 //!          [--no-configurator] [--engine snapshot|rebuild]
-//!          [--out DIR] [--bench-out PATH]
+//!          [--sync-interval N] [--corpus-dir DIR]
+//!          [--resume-corpus DIR] [--out DIR] [--bench-out PATH]
+//! necofuzz corpus stat DIR
+//! necofuzz corpus minimize DIR [--out DIR]
+//! necofuzz corpus repro FILE [--target T] [--vendor V]
+//!          [--engine E] [--minimize] [--out FILE]
 //! ```
 //!
 //! Runs one campaign — or, with `--runs N`, a whole grid of campaigns
@@ -14,6 +19,19 @@
 //! model. Like the paper's agent (§4.5), every unique crashing input is
 //! saved to a timestamped file under `--out` for later reproduction.
 //! Parallelism never changes results: output is reduced in seed order.
+//!
+//! `--sync-interval N` makes the runs an AFL++-style sync group: every
+//! `N` virtual hours the campaigns exchange corpus deltas (novel queue
+//! entries + virgin-bitmap knowledge) through a shared pool, merged in
+//! deterministic seed order. `--corpus-dir DIR` persists each run's
+//! final corpus to `DIR/seedNNN/` for the `corpus` subcommand:
+//! `stat` summarizes a saved corpus, `minimize` runs the
+//! afl-cmin-style greedy set cover over line coverage, and `repro`
+//! replays a saved crash input against a clean engine (with
+//! `--minimize`, greedily truncating it to the bytes the bug needs).
+//! `--resume-corpus DIR` starts a single campaign from a saved corpus
+//! (queue and virgin-bitmap knowledge carried over) instead of the
+//! default seed set.
 //!
 //! `--engine` selects the iteration hot path: `snapshot` (default) runs
 //! on the persistent-execution engine — cached booted images restored
@@ -27,9 +45,10 @@ use std::io::Write as _;
 
 use necofuzz::campaign::CampaignResult;
 use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignPlan};
-use necofuzz::{ComponentMask, EngineMode};
-use nf_fuzz::Mode;
-use nf_hv::{Vkvm, Vvbox, Vxen};
+use necofuzz::{ComponentMask, EngineMode, ReplayOracle};
+use nf_fuzz::corpus::Corpus;
+use nf_fuzz::{FuzzInput, Mode, INPUT_LEN};
+use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
 use nf_x86::CpuVendor;
 
 fn usage() -> ! {
@@ -38,9 +57,29 @@ fn usage() -> ! {
          \x20               [--execs-per-hour N] [--seed N] [--runs N] [--jobs N]\n\
          \x20               [--guided] [--no-harness] [--no-validator]\n\
          \x20               [--no-configurator] [--engine snapshot|rebuild]\n\
-         \x20               [--out DIR] [--bench-out PATH]"
+         \x20               [--sync-interval N] [--corpus-dir DIR]\n\
+         \x20               [--resume-corpus DIR] [--out DIR] [--bench-out PATH]\n\
+         \x20      necofuzz corpus stat DIR\n\
+         \x20      necofuzz corpus minimize DIR [--out DIR]\n\
+         \x20      necofuzz corpus repro FILE [--target T] [--vendor V]\n\
+         \x20               [--engine E] [--minimize] [--out FILE]"
     );
     std::process::exit(2);
+}
+
+fn backend_for(target: &str, vendor: CpuVendor) -> Backend {
+    match target {
+        "vkvm" => Backend::new("vkvm", |c| Box::new(Vkvm::new(c))),
+        "vxen" => Backend::new("vxen", |c| Box::new(Vxen::new(c))),
+        "vvbox" => {
+            if vendor != CpuVendor::Intel {
+                eprintln!("vvbox supports only --vendor intel");
+                std::process::exit(2);
+            }
+            Backend::new("vvbox", |c| Box::new(Vvbox::new(c)))
+        }
+        _ => usage(),
+    }
 }
 
 fn main() {
@@ -54,10 +93,17 @@ fn main() {
     let mut mode = Mode::Unguided;
     let mut mask = ComponentMask::ALL;
     let mut engine = EngineMode::Snapshot;
+    let mut sync_interval = 0u32;
+    let mut corpus_dir: Option<String> = None;
+    let mut resume_corpus: Option<String> = None;
     let mut out: Option<String> = None;
     let mut bench_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("corpus") {
+        corpus_main(&args[1..]);
+        return;
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
@@ -80,6 +126,9 @@ fn main() {
             "--no-validator" => mask.validator = false,
             "--no-configurator" => mask.configurator = false,
             "--engine" => engine = EngineMode::parse(&value()).unwrap_or_else(|| usage()),
+            "--sync-interval" => sync_interval = value().parse().unwrap_or_else(|_| usage()),
+            "--corpus-dir" => corpus_dir = Some(value()),
+            "--resume-corpus" => resume_corpus = Some(value()),
             "--out" => out = Some(value()),
             "--bench-out" => bench_out = Some(value()),
             "--help" | "-h" => usage(),
@@ -90,22 +139,49 @@ fn main() {
         usage();
     }
 
-    let backend = match target.as_str() {
-        "vkvm" => Backend::new("vkvm", |c| Box::new(Vkvm::new(c))),
-        "vxen" => Backend::new("vxen", |c| Box::new(Vxen::new(c))),
-        "vvbox" => {
-            if vendor != CpuVendor::Intel {
-                eprintln!("vvbox supports only --vendor intel");
-                std::process::exit(2);
-            }
-            Backend::new("vvbox", |c| Box::new(Vvbox::new(c)))
+    let backend = backend_for(&target, vendor);
+
+    if let Some(dir) = &resume_corpus {
+        if runs != 1 {
+            eprintln!("--resume-corpus resumes exactly one campaign; drop --runs");
+            std::process::exit(2);
         }
-        _ => usage(),
-    };
+        // Reject flags the resume path would silently ignore.
+        if sync_interval != 0 {
+            eprintln!("--resume-corpus runs a lone campaign; drop --sync-interval");
+            std::process::exit(2);
+        }
+        if bench_out.is_some() {
+            eprintln!("--resume-corpus does not record throughput; drop --bench-out");
+            std::process::exit(2);
+        }
+        let loaded = load_corpus(&resolve_corpus_dir(dir));
+        println!(
+            "necofuzz: resuming from {dir} ({} entries, worker {}) — target={target} \
+             vendor={vendor} hours={hours} execs/h={execs_per_hour} seed={seed} mode={mode:?}",
+            loaded.len(),
+            loaded.worker()
+        );
+        let cfg = necofuzz::campaign::CampaignConfig::necofuzz(vendor, hours, seed)
+            .with_execs_per_hour(execs_per_hour)
+            .with_mode(mode)
+            .with_mask(mask)
+            .with_engine(engine);
+        let campaign = necofuzz::campaign::Campaign::with_corpus(backend.factory(), &cfg, loaded);
+        let result = campaign.into_result();
+        report_run(seed, &result, false);
+        if let Some(dir) = &out {
+            save_crashes(dir, seed, &result);
+        }
+        if let Some(dir) = &corpus_dir {
+            save_corpus(dir, seed, &result);
+        }
+        std::process::exit(i32::from(!result.finds.is_empty()));
+    }
 
     println!(
         "necofuzz: target={target} vendor={vendor} hours={hours} execs/h={execs_per_hour} \
-         seeds={seed}..{} runs={runs} mode={mode:?} engine={engine} \
+         seeds={seed}..{} runs={runs} mode={mode:?} engine={engine} sync={sync_interval}h \
          components[harness={} validator={} configurator={}]",
         seed + runs,
         mask.harness,
@@ -121,13 +197,27 @@ fn main() {
         .seeds(seed..seed + runs)
         .hours(hours)
         .execs_per_hour(execs_per_hour)
-        .engine(engine);
-    let executor = CampaignExecutor::new().jobs(jobs).on_progress(|p| {
-        eprintln!(
-            "[{:>3}/{}] {:<40} {}",
-            p.completed, p.total, p.label, p.summary
-        );
-    });
+        .engine(engine)
+        .sync_interval(sync_interval);
+    let executor = CampaignExecutor::new()
+        .jobs(jobs)
+        .on_progress(|p| {
+            eprintln!(
+                "[{:>3}/{}] {:<40} {}",
+                p.completed, p.total, p.label, p.summary
+            );
+        })
+        // Synced fleets are one scheduling unit; without the hourly
+        // heartbeat a long fleet would print nothing until it finished.
+        .on_epoch(|e| {
+            eprintln!(
+                "[{:>3}h/{}h] {:<40} best cov {:.1}%",
+                e.hours_done,
+                e.hours_total,
+                e.label,
+                e.best_coverage * 100.0
+            );
+        });
     let started = std::time::Instant::now();
     let results = executor.run(&plan);
     let elapsed = started.elapsed().as_secs_f64();
@@ -139,6 +229,9 @@ fn main() {
         unique_finds += result.finds.len();
         if let Some(dir) = &out {
             save_crashes(dir, run_seed, result);
+        }
+        if let Some(dir) = &corpus_dir {
+            save_corpus(dir, run_seed, result);
         }
     }
 
@@ -166,6 +259,202 @@ fn main() {
     if unique_finds > 0 {
         std::process::exit(1);
     }
+}
+
+/// The `corpus` subcommand: offline corpus tooling.
+///
+/// - `stat DIR` — entry/coverage summary of a saved corpus;
+/// - `minimize DIR [--out DIR]` — afl-cmin-style greedy set cover over
+///   line coverage, saved back (or to `--out`);
+/// - `repro FILE [--target T] [--vendor V] [--engine E] [--minimize]
+///   [--out FILE]` — replay a saved crash input against a clean
+///   engine; with `--minimize`, greedily truncate it to the bytes the
+///   bug still needs (every candidate validated by re-execution).
+fn corpus_main(args: &[String]) {
+    let mut it = args.iter();
+    let action = it.next().map(String::as_str).unwrap_or_else(|| usage());
+    let path = it.next().cloned().unwrap_or_else(|| usage());
+    let mut target = "vkvm".to_string();
+    let mut vendor = CpuVendor::Intel;
+    let mut engine = EngineMode::Snapshot;
+    let mut minimize = false;
+    let mut out: Option<String> = None;
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        // Reject flags the chosen action ignores: `corpus stat DIR
+        // --minimize` silently doing nothing would read as success.
+        let only_repro = |flag: &str| {
+            if action != "repro" {
+                eprintln!("corpus {action}: {flag} applies only to repro");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--target" => {
+                only_repro("--target");
+                target = value();
+            }
+            "--vendor" => {
+                only_repro("--vendor");
+                vendor = match value().as_str() {
+                    "intel" => CpuVendor::Intel,
+                    "amd" => CpuVendor::Amd,
+                    _ => usage(),
+                }
+            }
+            "--engine" => {
+                only_repro("--engine");
+                engine = EngineMode::parse(&value()).unwrap_or_else(|| usage());
+            }
+            "--minimize" => {
+                only_repro("--minimize");
+                minimize = true;
+            }
+            "--out" => {
+                if action == "stat" {
+                    eprintln!("corpus stat: --out is not supported");
+                    std::process::exit(2);
+                }
+                out = Some(value());
+            }
+            _ => usage(),
+        }
+    }
+
+    let path = match action {
+        "stat" | "minimize" => resolve_corpus_dir(&path),
+        _ => path,
+    };
+    match action {
+        "stat" => {
+            let corpus = load_corpus(&path);
+            let lines = corpus.line_union();
+            println!(
+                "corpus {path}: {} entries (worker {}), {} bitmap bits seen, \
+                 {} lines of entry evidence",
+                corpus.len(),
+                corpus.worker(),
+                corpus.seen_bits(),
+                lines.count()
+            );
+            for (i, entry) in corpus.entries().enumerate() {
+                println!(
+                    "  [{i:4}] worker {} exec {:>7}  {:>4} edges  {:>5} lines  energy {}",
+                    entry.provenance.worker,
+                    entry.provenance.exec,
+                    entry.cov.len(),
+                    entry.lines.count(),
+                    entry.energy
+                );
+            }
+        }
+        "minimize" => {
+            let corpus = load_corpus(&path);
+            let before = (corpus.len(), corpus.line_union().count());
+            let minimized = corpus.minimize();
+            assert_eq!(
+                minimized.line_union(),
+                corpus.line_union(),
+                "minimize must preserve exact line coverage"
+            );
+            let dest = out.unwrap_or_else(|| path.clone());
+            minimized
+                .save_to(&dest)
+                .unwrap_or_else(|e| panic!("save minimized corpus to {dest}: {e}"));
+            println!(
+                "minimized {path}: {} -> {} entries ({} lines preserved), wrote {dest}",
+                before.0,
+                minimized.len(),
+                before.1
+            );
+        }
+        "repro" => {
+            let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+                eprintln!("read {path}: {e}");
+                std::process::exit(2);
+            });
+            let mut input = FuzzInput::zeroed();
+            let n = bytes.len().min(INPUT_LEN);
+            input.bytes[..n].copy_from_slice(&bytes[..n]);
+
+            let backend = backend_for(&target, vendor);
+            let factory = move |cfg: HvConfig| -> Box<dyn L0Hypervisor> { backend.factory()(cfg) };
+            let oracle = ReplayOracle::new(factory, vendor, ComponentMask::ALL, engine);
+            let bugs = oracle.replay(&input);
+            if bugs.is_empty() {
+                println!("{path}: no anomaly reproduced on {target}/{vendor}");
+                std::process::exit(1);
+            }
+            for (id, kind, message) in &bugs {
+                println!("{path}: reproduced [{kind}] {id}: {message}");
+            }
+            if minimize {
+                let bug_id = &bugs[0].0;
+                let minimized = oracle.minimize(bug_id, &input);
+                let nonzero = minimized.bytes.iter().filter(|&&b| b != 0).count();
+                let dest = out.unwrap_or_else(|| format!("{path}.min.bin"));
+                std::fs::write(&dest, &minimized.bytes)
+                    .unwrap_or_else(|e| panic!("write {dest}: {e}"));
+                println!(
+                    "minimized reproducer for {bug_id}: {} -> {} non-zero bytes, wrote {dest}",
+                    input.bytes.iter().filter(|&&b| b != 0).count(),
+                    nonzero
+                );
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Resolves a `corpus` subcommand directory argument: a corpus dir is
+/// used as-is, while a `--corpus-dir` parent holding exactly one
+/// `seedNNN` corpus descends into it (several are ambiguous — they are
+/// listed so the user can pick one).
+fn resolve_corpus_dir(path: &str) -> String {
+    if std::path::Path::new(path).join("MANIFEST").exists() {
+        return path.to_string();
+    }
+    let mut seeds: Vec<String> = std::fs::read_dir(path)
+        .map(|rd| {
+            rd.flatten()
+                .filter(|e| e.path().join("MANIFEST").exists())
+                .map(|e| e.path().display().to_string())
+                .collect()
+        })
+        .unwrap_or_default();
+    seeds.sort();
+    match seeds.len() {
+        0 => path.to_string(), // let load_corpus report the real error
+        1 => seeds.pop().expect("one element"),
+        _ => {
+            eprintln!("{path} holds several corpora; pick one of:");
+            for s in &seeds {
+                eprintln!("  {s}");
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Persists a run's final corpus to `dir/seedNNN/` (the layout the
+/// `corpus` subcommand and `--resume-corpus` read back).
+fn save_corpus(dir: &str, run_seed: u64, result: &CampaignResult) {
+    let run_dir = format!("{dir}/seed{run_seed:03}");
+    result
+        .corpus
+        .save_to(&run_dir)
+        .unwrap_or_else(|e| panic!("save corpus to {run_dir}: {e}"));
+    println!(
+        "saved corpus ({} entries) to {run_dir}",
+        result.corpus.len()
+    );
+}
+
+fn load_corpus(path: &str) -> Corpus {
+    Corpus::load_from(path).unwrap_or_else(|e| {
+        eprintln!("load corpus from {path}: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Writes the run's throughput record (`--bench-out`): execs/sec

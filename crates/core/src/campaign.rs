@@ -1,11 +1,19 @@
-//! Campaign runner: virtual-time fuzzing runs with hourly sampling.
+//! Campaign runner: virtual-time fuzzing runs with hourly sampling and
+//! cross-worker corpus sync.
 //!
 //! The paper runs 48-hour (Table 2) and 24-hour (Tables 3/4) campaigns,
 //! reporting medians of five runs. A campaign here advances a virtual
 //! clock at a fixed executions-per-hour rate, samples coverage each
 //! virtual hour (Figures 3/4), and records vulnerability discoveries.
+//!
+//! A [`Campaign`] is resumable: `run_hours(n)` advances the clock in
+//! steps, so a *sync group* (AFL++-style main/secondary fleets) can
+//! interleave members at epoch boundaries and exchange
+//! [`CorpusDelta`]s through a [`SharedCorpus`] —
+//! [`run_campaign_group`] is that loop, and the orchestrator's
+//! `SyncGroup` seam feeds it whole grid cells.
 
-use nf_fuzz::{FuzzInput, Fuzzer, Mode};
+use nf_fuzz::{CorpusDelta, FuzzInput, Fuzzer, Mode, SharedCorpus};
 use nf_hv::{HvConfig, L0Hypervisor};
 use nf_x86::CpuVendor;
 
@@ -36,6 +44,10 @@ pub struct CampaignConfig {
     /// `Rebuild` keeps the original full-reboot semantics for A/B
     /// measurement — results are bit-identical either way).
     pub engine: EngineMode,
+    /// Corpus-sync epoch length in virtual hours. `0` (the default)
+    /// never syncs; `n` exchanges [`CorpusDelta`]s with the sync group
+    /// every `n` virtual hours. A lone campaign ignores the setting.
+    pub sync_interval: u32,
 }
 
 impl CampaignConfig {
@@ -53,7 +65,38 @@ impl CampaignConfig {
             mode: Mode::Unguided,
             mask: ComponentMask::ALL,
             engine: EngineMode::Snapshot,
+            sync_interval: 0,
         }
+    }
+
+    /// Sets the executions-per-virtual-hour rate.
+    pub fn with_execs_per_hour(mut self, execs_per_hour: u32) -> Self {
+        self.execs_per_hour = execs_per_hour;
+        self
+    }
+
+    /// Sets the feedback mode.
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the component-ablation mask.
+    pub fn with_mask(mut self, mask: ComponentMask) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Sets the iteration hot-path engine.
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the corpus-sync epoch length (hours; `0` = never).
+    pub fn with_sync_interval(mut self, sync_interval: u32) -> Self {
+        self.sync_interval = sync_interval;
+        self
     }
 }
 
@@ -89,48 +132,291 @@ pub struct CampaignResult {
     pub execs: u64,
     /// Watchdog restarts.
     pub restarts: u64,
+    /// The final corpus (queue + virgin bitmap + provenance) — for
+    /// persistence (`--corpus-dir`) and offline minimization.
+    pub corpus: nf_fuzz::Corpus,
+    /// Corpus entries adopted from sync-group siblings.
+    pub adopted: u64,
+}
+
+/// A resumable campaign: agent + fuzzer + the virtual clock.
+///
+/// `run_campaign` drives one to completion in a single call; sync
+/// groups advance members epoch by epoch and exchange corpus deltas in
+/// between.
+pub struct Campaign {
+    agent: Agent,
+    fuzzer: Fuzzer,
+    cfg: CampaignConfig,
+    hourly: Vec<HourSample>,
+    hour: u32,
+    adopted: u64,
+}
+
+impl Campaign {
+    /// Creates a campaign as sync-group worker 0.
+    pub fn new(
+        factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
+        cfg: &CampaignConfig,
+    ) -> Self {
+        Campaign::with_worker(factory, cfg, 0)
+    }
+
+    /// Creates a campaign with an explicit sync-group worker id (the
+    /// deterministic merge-order key; plan order in a grid).
+    pub fn with_worker(
+        factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
+        cfg: &CampaignConfig,
+        worker: u32,
+    ) -> Self {
+        let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine);
+        let mut fuzzer = Fuzzer::new(cfg.seed, cfg.mode);
+        fuzzer.set_worker(worker);
+        Campaign {
+            agent,
+            fuzzer,
+            cfg: cfg.clone(),
+            hourly: Vec::with_capacity(cfg.hours as usize),
+            hour: 0,
+            adopted: 0,
+        }
+    }
+
+    /// Creates a campaign resuming from a persisted corpus.
+    pub fn with_corpus(
+        factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
+        cfg: &CampaignConfig,
+        corpus: nf_fuzz::Corpus,
+    ) -> Self {
+        let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine);
+        let fuzzer = Fuzzer::with_corpus(cfg.seed, cfg.mode, corpus);
+        Campaign {
+            agent,
+            fuzzer,
+            cfg: cfg.clone(),
+            hourly: Vec::with_capacity(cfg.hours as usize),
+            hour: 0,
+            adopted: 0,
+        }
+    }
+
+    /// Virtual hours completed so far.
+    pub fn hours_done(&self) -> u32 {
+        self.hour
+    }
+
+    /// The configured virtual-hour budget.
+    pub fn hours_total(&self) -> u32 {
+        self.cfg.hours
+    }
+
+    /// Corpus entries adopted (and replayed) from sync-group siblings.
+    pub fn adopted(&self) -> u64 {
+        self.adopted
+    }
+
+    /// `true` once the configured budget is exhausted.
+    pub fn is_complete(&self) -> bool {
+        self.hour >= self.cfg.hours
+    }
+
+    /// Executions performed so far.
+    pub fn execs(&self) -> u64 {
+        self.agent.execs()
+    }
+
+    /// Cumulative covered lines so far.
+    pub fn lines(&self) -> &nf_coverage::LineSet {
+        &self.agent.cumulative
+    }
+
+    /// The target's coverage geometry: the map and the vendor-matching
+    /// nested file (for cross-member union accounting in benches).
+    pub fn coverage_geometry(&self) -> (nf_coverage::CovMap, nf_coverage::FileId) {
+        let hv = self.agent.hv();
+        let file = match self.cfg.vendor {
+            CpuVendor::Intel => hv.intel_file(),
+            CpuVendor::Amd => hv.amd_file().unwrap_or_else(|| hv.intel_file()),
+        };
+        (hv.coverage_map().clone(), file)
+    }
+
+    /// Current coverage fraction of the vendor-matching nested file.
+    pub fn coverage_fraction(&self) -> f64 {
+        self.agent.coverage_fraction()
+    }
+
+    /// Advances the virtual clock by up to `n` hours (clamped to the
+    /// configured budget), sampling coverage at each hour boundary.
+    pub fn run_hours(&mut self, n: u32) {
+        let until = (self.hour + n).min(self.cfg.hours);
+        while self.hour < until {
+            for _ in 0..self.cfg.execs_per_hour {
+                let input: FuzzInput = self.fuzzer.next_input();
+                let result = self.agent.run_iteration(&input);
+                self.fuzzer
+                    .report_observed(&input, &result.bitmap, &result.lines, result.feedback);
+            }
+            self.hour += 1;
+            self.hourly.push(HourSample {
+                hour: self.hour,
+                coverage: self.agent.coverage_fraction(),
+            });
+        }
+    }
+
+    /// Turns on corpus recording regardless of feedback mode, so an
+    /// unguided member still contributes its novel inputs to the sync
+    /// pool. `run_campaign_group` calls this for every member of an
+    /// actually-syncing group; a lone campaign keeps mode defaults.
+    pub fn enable_sync_recording(&mut self) {
+        self.fuzzer.set_recording(true);
+    }
+
+    /// Takes the corpus delta since the last sync watermark (locally
+    /// discovered entries + virgin bits cleared).
+    pub fn take_delta(&mut self) -> CorpusDelta {
+        self.fuzzer.corpus_mut().take_delta()
+    }
+
+    /// Adopts the sync pool and **replays** every adopted input once —
+    /// AFL++ secondaries execute synced queue entries rather than only
+    /// mutating them, which is what imports the siblings' discoveries
+    /// into this campaign's own coverage (and exec) accounting.
+    /// Returns the number of adopted entries.
+    pub fn adopt(&mut self, shared: &SharedCorpus) -> usize {
+        let inputs = shared.adopt_into(self.fuzzer.corpus_mut());
+        for input in &inputs {
+            let result = self.agent.run_iteration(input);
+            self.fuzzer
+                .report_observed(input, &result.bitmap, &result.lines, result.feedback);
+        }
+        self.adopted += inputs.len() as u64;
+        inputs.len()
+    }
+
+    /// Finishes the campaign (running any remaining budget) and
+    /// produces its result.
+    pub fn into_result(mut self) -> CampaignResult {
+        if !self.is_complete() {
+            let rest = self.cfg.hours - self.hour;
+            self.run_hours(rest);
+        }
+        let (map, file) = self.coverage_geometry();
+        let agent = &self.agent;
+        let final_coverage = agent.coverage_fraction();
+        CampaignResult {
+            hourly: self.hourly,
+            final_coverage,
+            lines: agent.cumulative.clone(),
+            map,
+            file,
+            finds: agent.triage().finds().to_vec(),
+            execs: agent.execs(),
+            restarts: agent.restarts(),
+            corpus: std::mem::take(self.fuzzer.corpus_mut()),
+            adopted: self.adopted,
+        }
+    }
 }
 
 /// Runs one campaign of NecoFuzz against the hypervisor `factory`.
+/// Boxed hypervisor factory: builds a fresh L0 for a given [`HvConfig`].
+pub type HvFactory = Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>;
+
+/// One sync-group member: a hypervisor factory plus its campaign config.
+pub type GroupMember = (HvFactory, CampaignConfig);
+
 pub fn run_campaign(
     factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
     cfg: &CampaignConfig,
 ) -> CampaignResult {
-    let mut agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine);
-    let mut fuzzer = Fuzzer::new(cfg.seed, cfg.mode);
-    let mut hourly = Vec::with_capacity(cfg.hours as usize);
+    let mut campaign = Campaign::new(factory, cfg);
+    campaign.run_hours(cfg.hours);
+    campaign.into_result()
+}
 
-    for hour in 1..=cfg.hours {
-        for _ in 0..cfg.execs_per_hour {
-            let input: FuzzInput = fuzzer.next_input();
-            let result = agent.run_iteration(&input);
-            fuzzer.report(&input, &result.bitmap, result.feedback);
-        }
-        hourly.push(HourSample {
-            hour,
-            coverage: agent.coverage_fraction(),
-        });
-    }
+/// Runs a sync group: campaigns that pool their corpora.
+///
+/// Members advance in lockstep epochs of `sync_interval` virtual
+/// hours; at each epoch boundary *with budget remaining*, every member
+/// publishes its [`CorpusDelta`] to a [`SharedCorpus`], the pool
+/// commits the deltas in worker-id order, and every member adopts the
+/// merged view. With `sync_interval == 0` — or an interval at or past
+/// the budget, where an exchange could no longer influence any
+/// execution — the members run exactly like independent
+/// `run_campaign` calls and produce bit-identical results to them.
+///
+/// Worker ids are member indices, so the whole group is a pure
+/// function of its (ordered) member list: results are deterministic at
+/// any host parallelism.
+pub fn run_campaign_group(members: Vec<GroupMember>) -> Vec<CampaignResult> {
+    run_campaign_group_observed(members, |_| {})
+}
 
-    let final_coverage = agent.coverage_fraction();
-    let map = agent.hv().coverage_map().clone();
-    let file = match cfg.vendor {
-        CpuVendor::Intel => agent.hv().intel_file(),
-        CpuVendor::Amd => agent
-            .hv()
-            .amd_file()
-            .unwrap_or_else(|| agent.hv().intel_file()),
+/// [`run_campaign_group`] with a per-hour observer: after every virtual
+/// hour — and after any corpus exchange at that boundary — `observe`
+/// sees the member states. This is the seam benches and progress
+/// reporting use to sample time-to-coverage without re-implementing
+/// the sync protocol; the observer cannot influence the run, so
+/// results are identical to the unobserved call.
+pub fn run_campaign_group_observed(
+    members: Vec<GroupMember>,
+    mut observe: impl FnMut(&[Campaign]),
+) -> Vec<CampaignResult> {
+    let Some(first) = members.first() else {
+        return Vec::new();
     };
-    CampaignResult {
-        hourly,
-        final_coverage,
-        lines: agent.cumulative.clone(),
-        map,
-        file,
-        finds: agent.finds.clone(),
-        execs: agent.execs(),
-        restarts: agent.restarts(),
+    let hours = first.1.hours;
+    let interval = first.1.sync_interval;
+    // A hard assert: in release builds a mismatched member would
+    // silently finish its surplus hours unsynced, voiding the group's
+    // determinism guarantee.
+    assert!(
+        members
+            .iter()
+            .all(|(_, cfg)| cfg.hours == hours && cfg.sync_interval == interval),
+        "sync-group members must share hours and sync_interval"
+    );
+    // A group only *syncs* when an exchange can still influence an
+    // execution: at least two members and a boundary strictly inside
+    // the budget. Otherwise members must be bit-identical to isolated
+    // `run_campaign` calls — including their corpora — so neither
+    // worker ids nor forced recording may leak in.
+    let syncing = interval > 0 && members.len() > 1 && interval < hours;
+    let mut campaigns: Vec<Campaign> = members
+        .into_iter()
+        .enumerate()
+        .map(|(worker, (factory, cfg))| {
+            Campaign::with_worker(factory, &cfg, if syncing { worker as u32 } else { 0 })
+        })
+        .collect();
+
+    let shared = SharedCorpus::new();
+    if syncing {
+        for c in &mut campaigns {
+            c.enable_sync_recording();
+        }
     }
+    let mut done = 0;
+    while done < hours {
+        for c in &mut campaigns {
+            c.run_hours(1);
+        }
+        done += 1;
+        if syncing && done < hours && done % interval == 0 {
+            for c in &mut campaigns {
+                let delta = c.take_delta();
+                shared.publish(delta);
+            }
+            shared.commit_epoch();
+            for c in &mut campaigns {
+                c.adopt(&shared);
+            }
+        }
+        observe(&campaigns);
+    }
+    campaigns.into_iter().map(Campaign::into_result).collect()
 }
 
 #[cfg(test)]
@@ -144,11 +430,7 @@ mod tests {
 
     #[test]
     fn short_campaign_produces_samples() {
-        let cfg = CampaignConfig {
-            hours: 3,
-            execs_per_hour: 40,
-            ..CampaignConfig::necofuzz(CpuVendor::Intel, 3, 0)
-        };
+        let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 3, 0).with_execs_per_hour(40);
         let result = run_campaign(kvm_factory(), &cfg);
         assert_eq!(result.hourly.len(), 3);
         assert_eq!(result.execs, 120);
@@ -161,24 +443,48 @@ mod tests {
 
     #[test]
     fn campaigns_are_seed_deterministic() {
-        let cfg = CampaignConfig {
-            hours: 2,
-            execs_per_hour: 30,
-            ..CampaignConfig::necofuzz(CpuVendor::Intel, 2, 9)
-        };
+        let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 2, 9).with_execs_per_hour(30);
         let a = run_campaign(kvm_factory(), &cfg);
         let b = run_campaign(kvm_factory(), &cfg);
         assert_eq!(a.final_coverage, b.final_coverage);
         assert_eq!(a.execs, b.execs);
+        assert_eq!(a.corpus, b.corpus);
+    }
+
+    #[test]
+    fn resumed_campaign_carries_corpus_knowledge_and_is_deterministic() {
+        let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 2, 3)
+            .with_execs_per_hour(40)
+            .with_mode(Mode::Guided);
+        let first = run_campaign(kvm_factory(), &cfg);
+        let queued = first.corpus.len();
+        assert!(queued > 0, "guided leg must promote entries");
+
+        let resume = |corpus: nf_fuzz::Corpus| {
+            Campaign::with_corpus(kvm_factory(), &cfg, corpus).into_result()
+        };
+        let a = resume(first.corpus.clone());
+        let b = resume(first.corpus.clone());
+        assert_eq!(a, b, "resume must be a pure function of (cfg, corpus)");
+        // The queue is carried over (and only ever grows from there),
+        // and the loaded virgin knowledge suppresses re-promotion of
+        // inputs the first leg already found interesting.
+        assert!(a.corpus.len() >= queued);
+        assert!(
+            a.corpus.len() - queued < queued,
+            "resumed leg re-promoted too much: {} new vs {queued} carried",
+            a.corpus.len() - queued
+        );
+        assert_eq!(
+            a.corpus.worker(),
+            first.corpus.worker(),
+            "worker id travels with the corpus"
+        );
     }
 
     #[test]
     fn different_seeds_explore_differently() {
-        let mk = |seed| CampaignConfig {
-            hours: 2,
-            execs_per_hour: 30,
-            ..CampaignConfig::necofuzz(CpuVendor::Intel, 2, seed)
-        };
+        let mk = |seed| CampaignConfig::necofuzz(CpuVendor::Intel, 2, seed).with_execs_per_hour(30);
         let a = run_campaign(kvm_factory(), &mk(1));
         let b = run_campaign(kvm_factory(), &mk(2));
         // Coverage may coincide, but the covered line sets rarely do.
@@ -186,5 +492,74 @@ mod tests {
             a.lines != b.lines || (a.final_coverage - b.final_coverage).abs() > 0.0,
             "two seeds should not be bit-identical"
         );
+    }
+
+    #[test]
+    fn stepped_campaign_equals_one_shot() {
+        let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 4, 7).with_execs_per_hour(30);
+        let one_shot = run_campaign(kvm_factory(), &cfg);
+        let mut stepped = Campaign::new(kvm_factory(), &cfg);
+        stepped.run_hours(1);
+        stepped.run_hours(2);
+        stepped.run_hours(1);
+        assert!(stepped.is_complete());
+        assert_eq!(stepped.into_result(), one_shot);
+    }
+
+    #[test]
+    fn into_result_runs_remaining_budget() {
+        let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 3, 1).with_execs_per_hour(20);
+        let partial = Campaign::new(kvm_factory(), &cfg);
+        let result = partial.into_result();
+        assert_eq!(result.execs, 60, "unfinished budget must be run");
+        assert_eq!(result.hourly.len(), 3);
+    }
+
+    #[test]
+    fn synced_group_members_share_corpus_entries() {
+        let mk = |seed| {
+            CampaignConfig::necofuzz(CpuVendor::Intel, 4, seed)
+                .with_execs_per_hour(40)
+                .with_mode(Mode::Guided)
+                .with_sync_interval(1)
+        };
+        let members = (0..3).map(|s| (kvm_factory(), mk(s))).collect();
+        let results = run_campaign_group(members);
+        assert_eq!(results.len(), 3);
+        assert!(
+            results.iter().any(|r| r.adopted > 0),
+            "guided siblings must adopt at least one entry: {:?}",
+            results.iter().map(|r| r.adopted).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unsynced_group_is_bit_identical_to_lone_campaigns() {
+        let mk = |seed, interval: u32| {
+            CampaignConfig::necofuzz(CpuVendor::Intel, 3, seed)
+                .with_execs_per_hour(30)
+                .with_mode(Mode::Guided)
+                .with_sync_interval(interval)
+        };
+        let lone: Vec<CampaignResult> = (0..2)
+            .map(|s| run_campaign(kvm_factory(), &mk(s, 0)))
+            .collect();
+        // interval == 0: never sync. interval == hours: the only
+        // boundary is the end of the budget, where an exchange could
+        // not influence anything — also bit-identical.
+        for interval in [0u32, 3] {
+            let group =
+                run_campaign_group((0..2).map(|s| (kvm_factory(), mk(s, interval))).collect());
+            for (worker, (g, l)) in group.iter().zip(&lone).enumerate() {
+                assert_eq!(
+                    g.hourly, l.hourly,
+                    "interval {interval} diverged for worker {worker}"
+                );
+                assert_eq!(g.finds, l.finds);
+                assert_eq!(g.lines, l.lines);
+                assert_eq!(g.execs, l.execs);
+                assert_eq!(g.adopted, 0);
+            }
+        }
     }
 }

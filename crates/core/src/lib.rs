@@ -70,16 +70,22 @@ pub mod engine;
 pub mod harness;
 pub mod input;
 pub mod orchestrator;
+pub mod triage;
 pub mod validator;
 
 pub use agent::{Agent, BugFind, ComponentMask};
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, HourSample, EXECS_PER_HOUR};
+pub use campaign::{
+    run_campaign, run_campaign_group, Campaign, CampaignConfig, CampaignResult, HourSample,
+    EXECS_PER_HOUR,
+};
 pub use configurator::{HvAdapter, KvmAdapter, VboxAdapter, VcpuConfigurator, XenAdapter};
 pub use engine::{EngineMode, EngineStats, ExecutionEngine};
 pub use harness::{ExecutionHarness, InitPlan, InitStep};
 pub use input::InputView;
+pub use nf_fuzz::{Corpus, CorpusDelta, SharedCorpus};
 pub use orchestrator::{
     default_jobs, Backend, CampaignExecutor, CampaignJob, CampaignPlan, Progress, SharedFactory,
-    Task,
+    SyncGroup, Task,
 };
+pub use triage::{minimize_input, CrashTriage, ReplayOracle};
 pub use validator::{Correction, OracleVerdict, VmStateValidator};

@@ -11,14 +11,22 @@
 //! - [`CampaignExecutor`] runs the jobs on a `std::thread` pool
 //!   (`jobs(n)`, default = available parallelism) and returns results
 //!   **in plan order**, so output is byte-identical to a serial run;
+//! - [`SyncGroup`] is the corpus-sharing seam: when a plan sets a
+//!   `sync_interval`, grid cells that share (backend, vendor, mode,
+//!   mask, engine, budget) pool their corpora across seeds — the group
+//!   becomes one scheduling unit whose members interleave in lockstep
+//!   epochs, so plan-order determinism and the serial==parallel
+//!   guarantee survive the sharing;
 //! - [`Task`] is the generic unit the executor schedules — baseline
 //!   tools (Syzkaller, IRIS, the test suites) join the same pool via
 //!   [`CampaignExecutor::execute`].
 //!
-//! Per-campaign seed determinism is preserved because nothing is shared
-//! between jobs: each worker constructs its own hypervisor, fuzzer, and
-//! agent from the job's config.
+//! Determinism is preserved because nothing is shared *between
+//! scheduling units*: an unsynced job owns its hypervisor, fuzzer, and
+//! agent; a sync group owns all of its members and merges their deltas
+//! in worker-id order at fixed epoch boundaries.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -27,7 +35,9 @@ use nf_hv::{HvConfig, L0Hypervisor};
 use nf_x86::CpuVendor;
 
 use crate::agent::ComponentMask;
-use crate::campaign::{run_campaign, CampaignConfig, CampaignResult, EXECS_PER_HOUR};
+use crate::campaign::{
+    run_campaign, run_campaign_group_observed, CampaignConfig, CampaignResult, EXECS_PER_HOUR,
+};
 use crate::engine::EngineMode;
 
 /// A hypervisor factory shareable across worker threads.
@@ -82,6 +92,12 @@ pub struct CampaignJob {
 impl CampaignJob {
     /// A human-readable label (`vkvm/Intel/unguided/seed3`).
     pub fn label(&self) -> String {
+        format!("{}/seed{}", self.label_without_seed(), self.cfg.seed)
+    }
+
+    /// The label's seed-independent prefix (`vkvm/Intel/unguided`) —
+    /// the display form of the job's grid cell.
+    pub fn label_without_seed(&self) -> String {
         let mode = match self.cfg.mode {
             Mode::Guided => "guided",
             Mode::Unguided => "unguided",
@@ -101,8 +117,20 @@ impl CampaignJob {
             EngineMode::Rebuild => "/rebuild",
         };
         format!(
-            "{}/{}/{mode}{mask}{engine}/seed{}",
-            self.backend.name, self.cfg.vendor, self.cfg.seed
+            "{}/{}/{mode}{mask}{engine}",
+            self.backend.name, self.cfg.vendor
+        )
+    }
+
+    /// The sync-group identity: every axis except the seed, including
+    /// the budget (groups must advance in lockstep epochs).
+    fn cell_key(&self) -> String {
+        format!(
+            "{}|{}h|{}eph|sync{}",
+            self.label_without_seed(),
+            self.cfg.hours,
+            self.cfg.execs_per_hour,
+            self.cfg.sync_interval
         )
     }
 
@@ -129,6 +157,7 @@ pub struct CampaignPlan {
     hours: u32,
     execs_per_hour: u32,
     engine: EngineMode,
+    sync_interval: u32,
 }
 
 impl CampaignPlan {
@@ -144,6 +173,7 @@ impl CampaignPlan {
             hours: 24,
             execs_per_hour: EXECS_PER_HOUR,
             engine: EngineMode::Snapshot,
+            sync_interval: 0,
         }
     }
 
@@ -197,6 +227,15 @@ impl CampaignPlan {
         self
     }
 
+    /// Sets the corpus-sync epoch length in virtual hours (default
+    /// `0`: no syncing, every job independent). With `n > 0`, grid
+    /// cells sharing (backend, vendor, mode, mask, engine, budget)
+    /// form a [`SyncGroup`] pooling their corpora across seeds.
+    pub fn sync_interval(mut self, sync_interval: u32) -> Self {
+        self.sync_interval = sync_interval;
+        self
+    }
+
     /// Number of jobs the grid expands to.
     pub fn len(&self) -> usize {
         self.backends.len()
@@ -229,6 +268,7 @@ impl CampaignPlan {
                                     mode,
                                     mask,
                                     engine: self.engine,
+                                    sync_interval: self.sync_interval,
                                 },
                             });
                         }
@@ -243,6 +283,112 @@ impl CampaignPlan {
 impl Default for CampaignPlan {
     fn default() -> Self {
         CampaignPlan::new()
+    }
+}
+
+/// A scheduling unit of corpus-sharing campaigns: the jobs of one grid
+/// cell (same backend, vendor, mode, mask, engine, and budget) across
+/// seeds, with their plan indices.
+///
+/// A group runs as **one** pool task: its members interleave in
+/// lockstep `sync_interval`-hour epochs and exchange corpus deltas in
+/// worker-id (= plan) order through a `SharedCorpus`
+/// ([`crate::campaign::run_campaign_group`]). Because the group — not the member — is
+/// the unit the executor schedules, host parallelism cannot reorder
+/// the exchanges: plan-order determinism and the serial==parallel
+/// guarantee hold with sharing enabled.
+pub struct SyncGroup {
+    jobs: Vec<(usize, CampaignJob)>,
+}
+
+impl SyncGroup {
+    /// Partitions jobs into scheduling units, preserving plan order:
+    /// jobs that cannot exchange corpora — `sync_interval == 0`, or a
+    /// boundary at/past the budget — become singleton groups (they run
+    /// like isolated campaigns, so coalescing them would only
+    /// serialize parallelizable work); syncing jobs coalesce per grid
+    /// cell in first-occurrence order.
+    pub fn partition(jobs: Vec<CampaignJob>) -> Vec<SyncGroup> {
+        let mut groups: Vec<SyncGroup> = Vec::new();
+        let mut cell_group: BTreeMap<String, usize> = BTreeMap::new();
+        for (index, job) in jobs.into_iter().enumerate() {
+            if job.cfg.sync_interval == 0 || job.cfg.sync_interval >= job.cfg.hours {
+                groups.push(SyncGroup {
+                    jobs: vec![(index, job)],
+                });
+                continue;
+            }
+            let key = job.cell_key();
+            match cell_group.get(&key) {
+                Some(&g) => groups[g].jobs.push((index, job)),
+                None => {
+                    cell_group.insert(key, groups.len());
+                    groups.push(SyncGroup {
+                        jobs: vec![(index, job)],
+                    });
+                }
+            }
+        }
+        groups
+    }
+
+    /// Number of member campaigns.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// `true` when the members will actually exchange corpora: more
+    /// than one member and a sync boundary strictly inside the budget
+    /// (an exchange at or past the budget could not influence any
+    /// execution, so such groups run as isolated campaigns).
+    pub fn is_synced(&self) -> bool {
+        self.jobs.len() > 1 && {
+            let cfg = &self.jobs[0].1.cfg;
+            cfg.sync_interval > 0 && cfg.sync_interval < cfg.hours
+        }
+    }
+
+    /// Display label: the single job's label, or the cell with a
+    /// member count.
+    pub fn label(&self) -> String {
+        if self.jobs.len() == 1 {
+            self.jobs[0].1.label()
+        } else {
+            format!(
+                "sync[{} x{} seeds @{}h]",
+                self.jobs[0].1.label_without_seed(),
+                self.jobs.len(),
+                self.jobs[0].1.cfg.sync_interval
+            )
+        }
+    }
+
+    /// Runs the group to completion on the calling thread; returns
+    /// `(plan index, result)` pairs in member order.
+    pub fn run(self) -> Vec<(usize, CampaignResult)> {
+        self.run_observed(|_| {})
+    }
+
+    /// [`run`](Self::run) with a per-hour observer over the member
+    /// campaigns (see [`run_campaign_group_observed`]).
+    pub fn run_observed(
+        self,
+        observe: impl FnMut(&[crate::campaign::Campaign]),
+    ) -> Vec<(usize, CampaignResult)> {
+        let (indices, members): (Vec<usize>, Vec<_>) = self
+            .jobs
+            .into_iter()
+            .map(|(index, job)| (index, (job.backend.factory(), job.cfg)))
+            .unzip();
+        indices
+            .into_iter()
+            .zip(run_campaign_group_observed(members, observe))
+            .collect()
     }
 }
 
@@ -288,6 +434,22 @@ impl<T> Task<T> {
 }
 
 type ProgressFn = dyn Fn(&Progress) + Send + Sync;
+type EpochFn = dyn Fn(&EpochProgress) + Send + Sync;
+
+/// An hourly heartbeat from a running [`SyncGroup`]: synced fleets are
+/// one scheduling unit, so without this a multi-hour fleet would emit
+/// no output until every member finished.
+#[derive(Debug, Clone)]
+pub struct EpochProgress {
+    /// The group's display label.
+    pub label: String,
+    /// Virtual hours completed by every member.
+    pub hours_done: u32,
+    /// The group's total virtual-hour budget.
+    pub hours_total: u32,
+    /// Best member coverage fraction so far.
+    pub best_coverage: f64,
+}
 
 /// Fans campaign jobs out over a `std::thread` worker pool.
 ///
@@ -297,6 +459,7 @@ type ProgressFn = dyn Fn(&Progress) + Send + Sync;
 pub struct CampaignExecutor {
     workers: usize,
     progress: Option<Arc<ProgressFn>>,
+    epoch: Option<Arc<EpochFn>>,
 }
 
 impl CampaignExecutor {
@@ -305,6 +468,7 @@ impl CampaignExecutor {
         CampaignExecutor {
             workers: default_jobs(),
             progress: None,
+            epoch: None,
         }
     }
 
@@ -329,26 +493,79 @@ impl CampaignExecutor {
         self
     }
 
+    /// Registers an hourly heartbeat for multi-member [`SyncGroup`]s
+    /// (singleton groups stay silent — they already report through
+    /// [`on_progress`](Self::on_progress) at a useful cadence). Runs on
+    /// worker threads; purely observational, never affects results.
+    pub fn on_epoch(mut self, f: impl Fn(&EpochProgress) + Send + Sync + 'static) -> Self {
+        self.epoch = Some(Arc::new(f));
+        self
+    }
+
     /// Runs every job of `plan`; results are in plan order.
     pub fn run(&self, plan: &CampaignPlan) -> Vec<CampaignResult> {
         self.run_jobs(plan.jobs())
     }
 
     /// Runs explicit campaign jobs; results are in submission order.
+    ///
+    /// Jobs with a non-zero `sync_interval` are partitioned into
+    /// [`SyncGroup`]s first — each group is one scheduling unit, so
+    /// corpus sharing cannot perturb determinism. Unsynced jobs run
+    /// exactly as before, one task each.
     pub fn run_jobs(&self, jobs: Vec<CampaignJob>) -> Vec<CampaignResult> {
-        let tasks = jobs
+        let total = jobs.len();
+        let tasks: Vec<Task<Vec<(usize, CampaignResult)>>> = SyncGroup::partition(jobs)
             .into_iter()
-            .map(|job| {
-                Task::new(job.label(), move || job.run()).with_summary(|r: &CampaignResult| {
-                    format!(
-                        "cov {:.1}%, {} finds",
-                        r.final_coverage * 100.0,
-                        r.finds.len()
-                    )
+            .map(|group| {
+                let epoch = self.epoch.clone().filter(|_| group.len() > 1);
+                let label = group.label();
+                let task_label = label.clone();
+                let run = move || match epoch {
+                    Some(epoch) => group.run_observed(|members| {
+                        epoch(&EpochProgress {
+                            label: label.clone(),
+                            hours_done: members[0].hours_done(),
+                            hours_total: members[0].hours_total(),
+                            best_coverage: members
+                                .iter()
+                                .map(crate::campaign::Campaign::coverage_fraction)
+                                .fold(0.0, f64::max),
+                        });
+                    }),
+                    None => group.run(),
+                };
+                Task::new(task_label, run).with_summary(|results: &Vec<(usize, CampaignResult)>| {
+                    match results.as_slice() {
+                        [(_, r)] => format!(
+                            "cov {:.1}%, {} finds",
+                            r.final_coverage * 100.0,
+                            r.finds.len()
+                        ),
+                        many => {
+                            let adopted: u64 = many.iter().map(|(_, r)| r.adopted).sum();
+                            let best = many
+                                .iter()
+                                .map(|(_, r)| r.final_coverage)
+                                .fold(0.0, f64::max);
+                            format!(
+                                "{} members, best cov {:.1}%, {adopted} adoptions",
+                                many.len(),
+                                best * 100.0
+                            )
+                        }
+                    }
                 })
             })
             .collect();
-        self.execute(tasks)
+        let mut slots: Vec<Option<CampaignResult>> = (0..total).map(|_| None).collect();
+        for (index, result) in self.execute(tasks).into_iter().flatten() {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("job produced no result"))
+            .collect()
     }
 
     /// Runs arbitrary tasks on the pool; results are in submission
@@ -480,6 +697,38 @@ mod tests {
             .collect();
         let results = CampaignExecutor::new().jobs(8).execute(tasks);
         assert_eq!(results, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sync_groups_partition_per_cell_in_plan_order() {
+        let plan = small_plan().sync_interval(1);
+        let groups = SyncGroup::partition(plan.jobs());
+        // 2 backends × 2 vendors = 4 cells of 3 seeds each.
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|g| g.len() == 3 && g.is_synced()));
+        assert!(groups[0].label().starts_with("sync[vkvm/Intel"));
+        // Without an interval every job is its own unit.
+        let solo = SyncGroup::partition(small_plan().jobs());
+        assert_eq!(solo.len(), 12);
+        assert!(solo.iter().all(|g| !g.is_synced()));
+    }
+
+    #[test]
+    fn synced_grid_is_identical_serial_and_parallel() {
+        let plan = small_plan().modes(&[Mode::Guided]).sync_interval(1);
+        let serial = CampaignExecutor::new().jobs(1).run(&plan);
+        let parallel = CampaignExecutor::new().jobs(8).run(&plan);
+        assert_eq!(serial.len(), parallel.len());
+        for (index, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                s, p,
+                "synced job {index} diverged between jobs=1 and jobs=8"
+            );
+        }
+        assert!(
+            serial.iter().any(|r| r.adopted > 0),
+            "the grid must actually exchange corpus entries"
+        );
     }
 
     #[test]

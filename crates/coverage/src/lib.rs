@@ -167,6 +167,96 @@ impl ExecTrace {
     }
 }
 
+pub mod bitmap {
+    //! Set algebra on AFL-style virgin bitmaps.
+    //!
+    //! A *virgin map* starts all-ones; every hit-count bucket a fuzzer
+    //! observes clears its bit. The corpus-sync merge path (see
+    //! `nf_fuzz::corpus`) exchanges coverage between workers as sparse
+    //! *classified maps* — `(byte index, bucket bits)` pairs — and
+    //! combines virgin maps so that siblings stop re-exploring each
+    //! other's territory.
+
+    /// Classifies a raw hit count into its AFL bucket.
+    pub fn bucket(count: u8) -> u8 {
+        match count {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 => 4,
+            4..=7 => 8,
+            8..=15 => 16,
+            16..=31 => 32,
+            32..=127 => 64,
+            _ => 128,
+        }
+    }
+
+    /// Projects a raw hit-count bitmap onto its sparse classified form:
+    /// `(index, bucket)` pairs for every non-zero byte, in index order.
+    pub fn classify(raw: &[u8]) -> Vec<(u32, u8)> {
+        raw.iter()
+            .enumerate()
+            .filter(|(_, &b)| b != 0)
+            .map(|(i, &b)| (i as u32, bucket(b)))
+            .collect()
+    }
+
+    /// Returns `true` if any bit of the classified map `cov` is still
+    /// virgin in `virgin` — i.e. executing this input would teach the
+    /// holder of `virgin` something new.
+    pub fn is_novel_against(cov: &[(u32, u8)], virgin: &[u8]) -> bool {
+        cov.iter()
+            .any(|&(i, bits)| virgin.get(i as usize).is_some_and(|&v| bits & v != 0))
+    }
+
+    /// Clears every bit of the classified map `cov` from `virgin`.
+    /// Returns `true` if at least one bit was still set.
+    pub fn merge_classified(virgin: &mut [u8], cov: &[(u32, u8)]) -> bool {
+        let mut new_bits = false;
+        for &(i, bits) in cov {
+            if let Some(v) = virgin.get_mut(i as usize) {
+                if bits & *v != 0 {
+                    *v &= !bits;
+                    new_bits = true;
+                }
+            }
+        }
+        new_bits
+    }
+
+    /// Merges two virgin maps: after the call, `dst` treats as seen
+    /// everything either map had seen (bitwise AND — virgin bits are
+    /// set while *unseen*).
+    pub fn merge_virgin(dst: &mut [u8], src: &[u8]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d &= s;
+        }
+    }
+
+    /// The sparse set of bits seen in `now` but not yet in `then`
+    /// (both virgin maps): the coverage delta between two watermarks.
+    pub fn cleared_since(then: &[u8], now: &[u8]) -> Vec<(u32, u8)> {
+        then.iter()
+            .zip(now)
+            .enumerate()
+            .filter_map(|(i, (&t, &n))| {
+                let cleared = t & !n;
+                (cleared != 0).then_some((i as u32, cleared))
+            })
+            .collect()
+    }
+
+    /// Applies a sparse cleared-bits delta to a virgin map.
+    pub fn apply_cleared(virgin: &mut [u8], cleared: &[(u32, u8)]) {
+        for &(i, bits) in cleared {
+            if let Some(v) = virgin.get_mut(i as usize) {
+                *v &= !bits;
+            }
+        }
+    }
+}
+
 /// A set of covered source lines in the global line index space.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct LineSet {
@@ -255,6 +345,28 @@ impl LineSet {
                 .map(|(i, w)| w & !other.bits.get(i).copied().unwrap_or(0))
                 .collect(),
         }
+    }
+
+    /// `self.minus(other).count()` without materializing the
+    /// difference set — corpus minimization calls this once per
+    /// (round × entry) pair, where the allocation would dominate.
+    pub fn minus_count(&self, other: &LineSet) -> u32 {
+        self.bits
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w & !other.bits.get(i).copied().unwrap_or(0)).count_ones())
+            .sum()
+    }
+
+    /// The raw 64-line words backing the set (for serialization).
+    pub fn as_words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a set from raw words produced by [`LineSet::as_words`].
+    /// The round-trip is bit-identical.
+    pub fn from_words(bits: Vec<u64>) -> Self {
+        LineSet { bits }
     }
 
     /// Coverage fraction over the lines of `file` (0.0..=1.0).
@@ -356,6 +468,52 @@ mod tests {
         t2.fill_afl_bitmap(&mut b2);
         assert_eq!(b1, b1b, "projection must be deterministic");
         assert_ne!(b1, b2, "edge projection must be order sensitive");
+    }
+
+    #[test]
+    fn lineset_words_round_trip() {
+        let (map, _, ids) = small_map();
+        let mut set = LineSet::for_map(&map);
+        set.add_block(map.block(ids[1]));
+        let rebuilt = LineSet::from_words(set.as_words().to_vec());
+        assert_eq!(set, rebuilt);
+        assert_eq!(rebuilt.count(), 5);
+    }
+
+    #[test]
+    fn bitmap_classify_and_novelty() {
+        let mut raw = vec![0u8; 64];
+        raw[3] = 1;
+        raw[10] = 5;
+        let cov = bitmap::classify(&raw);
+        assert_eq!(cov, vec![(3, 1), (10, 8)]);
+
+        let mut virgin = vec![0xff; 64];
+        assert!(bitmap::is_novel_against(&cov, &virgin));
+        assert!(bitmap::merge_classified(&mut virgin, &cov));
+        assert!(!bitmap::is_novel_against(&cov, &virgin));
+        assert!(!bitmap::merge_classified(&mut virgin, &cov));
+        // A higher hit bucket on a merged edge is novel again.
+        raw[10] = 200;
+        assert!(bitmap::is_novel_against(&bitmap::classify(&raw), &virgin));
+    }
+
+    #[test]
+    fn bitmap_virgin_merge_and_delta() {
+        let mut a = vec![0xffu8; 16];
+        let mut b = vec![0xffu8; 16];
+        a[0] &= !0x01;
+        b[5] &= !0x10;
+        let before = a.clone();
+        bitmap::merge_virgin(&mut a, &b);
+        assert_eq!(a[0], 0xfe, "own bits kept");
+        assert_eq!(a[5], 0xef, "sibling bits adopted");
+
+        let cleared = bitmap::cleared_since(&before, &a);
+        assert_eq!(cleared, vec![(5, 0x10)]);
+        let mut c = vec![0xffu8; 16];
+        bitmap::apply_cleared(&mut c, &cleared);
+        assert_eq!(c[5], 0xef);
     }
 
     #[test]

@@ -8,13 +8,20 @@
 //! - [`FuzzInput`] — the 2 KiB input buffer;
 //! - deterministic + havoc mutators (bit flips, arithmetic, block copy,
 //!   splice);
-//! - a queue with energy assignment and a virgin-bitmap novelty test;
+//! - a [`corpus::Corpus`] with energy assignment, a virgin-bitmap
+//!   novelty test, cross-worker sync deltas, persistence, and
+//!   afl-cmin-style minimization;
 //! - two modes: [`Mode::Guided`] (classic AFL feedback) and
 //!   [`Mode::Unguided`] (black-box breadth-first), the comparison of the
 //!   paper's Table 5.
 
+pub mod corpus;
+
+use nf_coverage::LineSet;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+pub use corpus::{Corpus, CorpusDelta, CorpusEntry, Provenance, SharedCorpus};
 
 /// Size of one fuzzing input (paper §4.1: "2KiB of binary data").
 pub const INPUT_LEN: usize = 2048;
@@ -79,14 +86,6 @@ pub enum Mode {
     Unguided,
 }
 
-/// A queue entry with its energy (number of havoc children per cycle).
-#[derive(Debug, Clone)]
-struct QueueEntry {
-    input: FuzzInput,
-    energy: u32,
-    fuzzed: u32,
-}
-
 /// Execution feedback the agent reports back to the fuzzer.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecFeedback {
@@ -94,13 +93,18 @@ pub struct ExecFeedback {
     pub crashed: bool,
 }
 
-/// The fuzzing engine.
+/// The fuzzing engine: mutation scheduling and RNG state on top of a
+/// [`Corpus`] (which owns the queue, energy, and virgin bitmap).
 pub struct Fuzzer {
     rng: SmallRng,
     mode: Mode,
-    queue: Vec<QueueEntry>,
-    cursor: usize,
-    virgin: Vec<u8>,
+    corpus: Corpus,
+    /// Record novel inputs into the corpus. On by default in guided
+    /// mode; a sync group turns it on in unguided mode too, so
+    /// breadth-first workers still contribute their discoveries to the
+    /// shared pool (generation is unaffected — unguided inputs never
+    /// come from the queue).
+    recording: bool,
     execs: u64,
     crashes: u64,
     queue_adds: u64,
@@ -112,28 +116,40 @@ impl Fuzzer {
         let mut f = Fuzzer {
             rng: SmallRng::seed_from_u64(seed),
             mode,
-            queue: Vec::new(),
-            cursor: 0,
-            virgin: vec![0xff; MAP_SIZE],
+            corpus: Corpus::new(),
+            recording: mode == Mode::Guided,
             execs: 0,
             crashes: 0,
             queue_adds: 0,
         };
         // Seed corpus: one zero input and a few random ones.
-        f.queue.push(QueueEntry {
-            input: FuzzInput::zeroed(),
-            energy: 8,
-            fuzzed: 0,
-        });
+        f.corpus.push_seed(FuzzInput::zeroed());
         for _ in 0..4 {
             let input = FuzzInput::random(&mut f.rng);
-            f.queue.push(QueueEntry {
-                input,
-                energy: 8,
-                fuzzed: 0,
-            });
+            f.corpus.push_seed(input);
         }
         f
+    }
+
+    /// Creates an engine resuming from a persisted corpus (the corpus
+    /// replaces the default seed set; the RNG stream is still a pure
+    /// function of `seed`).
+    pub fn with_corpus(seed: u64, mode: Mode, corpus: Corpus) -> Self {
+        Fuzzer {
+            rng: SmallRng::seed_from_u64(seed),
+            mode,
+            corpus,
+            recording: mode == Mode::Guided,
+            execs: 0,
+            crashes: 0,
+            queue_adds: 0,
+        }
+    }
+
+    /// Overrides corpus recording of novel inputs (see the field doc:
+    /// sync groups record in unguided mode too).
+    pub fn set_recording(&mut self, recording: bool) {
+        self.recording = recording;
     }
 
     /// The mode this engine runs in.
@@ -153,23 +169,33 @@ impl Fuzzer {
 
     /// Number of inputs promoted into the queue.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.corpus.len()
+    }
+
+    /// The corpus (queue + virgin bitmap + provenance).
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Mutable corpus access (sync delta exchange, persistence).
+    pub fn corpus_mut(&mut self) -> &mut Corpus {
+        &mut self.corpus
+    }
+
+    /// Sets the sync-group worker id recorded in entry provenance.
+    pub fn set_worker(&mut self, worker: u32) {
+        self.corpus.set_worker(worker);
     }
 
     /// Produces the next input to execute.
     pub fn next_input(&mut self) -> FuzzInput {
         match self.mode {
             Mode::Unguided => FuzzInput::random(&mut self.rng),
-            Mode::Guided => {
-                let idx = self.cursor % self.queue.len();
-                let parent = self.queue[idx].input.clone();
-                self.queue[idx].fuzzed += 1;
-                if self.queue[idx].fuzzed >= self.queue[idx].energy {
-                    self.queue[idx].fuzzed = 0;
-                    self.cursor += 1;
-                }
-                self.havoc(parent)
-            }
+            Mode::Guided => match self.corpus.schedule_next() {
+                Some(parent) => self.havoc(parent),
+                // A minimized-to-nothing corpus degrades to random.
+                None => FuzzInput::random(&mut self.rng),
+            },
         }
     }
 
@@ -219,12 +245,13 @@ impl Fuzzer {
                     input.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
                 }
                 _ => {
-                    // Splice: copy a block from another queue entry.
-                    if !self.queue.is_empty() {
-                        let other = self.rng.gen_range(0..self.queue.len());
+                    // Splice: copy a block from another corpus entry.
+                    if !self.corpus.is_empty() {
+                        let other = self.rng.gen_range(0..self.corpus.len());
                         let len = self.rng.gen_range(16..256usize);
                         let off = self.rng.gen_range(0..INPUT_LEN - len);
-                        let donor: Vec<u8> = self.queue[other].input.bytes[off..off + len].to_vec();
+                        let donor: Vec<u8> =
+                            self.corpus.donor(other).bytes[off..off + len].to_vec();
                         input.bytes[off..off + len].copy_from_slice(&donor);
                     }
                 }
@@ -233,48 +260,35 @@ impl Fuzzer {
         input
     }
 
-    /// Classifies hit counts into AFL buckets.
-    fn bucket(count: u8) -> u8 {
-        match count {
-            0 => 0,
-            1 => 1,
-            2 => 2,
-            3 => 4,
-            4..=7 => 8,
-            8..=15 => 16,
-            16..=31 => 32,
-            32..=127 => 64,
-            _ => 128,
-        }
-    }
-
     /// Reports an execution's bitmap. Returns `true` when the input
     /// produced new coverage (and, in guided mode, was queued).
+    ///
+    /// Queued entries carry no line evidence through this method; the
+    /// agent path uses [`Fuzzer::report_observed`] so corpus entries
+    /// record the line coverage `minimize` operates on.
     pub fn report(&mut self, input: &FuzzInput, bitmap: &[u8], feedback: ExecFeedback) -> bool {
+        self.report_observed(input, bitmap, &LineSet::default(), feedback)
+    }
+
+    /// [`Fuzzer::report`] with the execution's line coverage attached
+    /// as the queued entry's evidence (provenance for sync and the set
+    /// `minimize` covers).
+    pub fn report_observed(
+        &mut self,
+        input: &FuzzInput,
+        bitmap: &[u8],
+        lines: &LineSet,
+        feedback: ExecFeedback,
+    ) -> bool {
         self.execs += 1;
         if feedback.crashed {
             self.crashes += 1;
         }
-        let mut new_bits = false;
-        for (i, &b) in bitmap.iter().enumerate().take(MAP_SIZE) {
-            let bucketed = Self::bucket(b);
-            if bucketed & self.virgin[i] != 0 {
-                self.virgin[i] &= !bucketed;
-                new_bits = true;
-            }
-        }
-        if new_bits && self.mode == Mode::Guided {
+        let new_bits = self
+            .corpus
+            .observe(input, bitmap, lines, self.execs, self.recording);
+        if new_bits && self.recording {
             self.queue_adds += 1;
-            self.queue.push(QueueEntry {
-                input: input.clone(),
-                energy: 8,
-                fuzzed: 0,
-            });
-            // Bound queue growth like AFL's culling.
-            if self.queue.len() > 512 {
-                self.queue.drain(0..128);
-                self.cursor = 0;
-            }
         }
         new_bits
     }

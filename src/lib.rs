@@ -6,7 +6,8 @@
 //!
 //! - [`necofuzz`] — the framework: agent, harness, validator,
 //!   configurator, campaigns, and the parallel campaign orchestrator;
-//! - [`nf_fuzz`] — the AFL++-style engine (queue, bitmap, mutators);
+//! - [`nf_fuzz`] — the AFL++-style engine (corpus, bitmap, mutators,
+//!   cross-worker sync, persistence, minimization);
 //! - [`nf_hv`] — the L0 hypervisor models (KVM, Xen, VirtualBox);
 //! - [`nf_silicon`] — the physical-CPU oracle (VM-entry checks);
 //! - [`nf_vmx`] — VMCS/VMCB layouts and capability rounding;

@@ -28,15 +28,11 @@ fn campaign(
     hours: u32,
     seed: u64,
 ) -> necofuzz::CampaignResult {
-    let cfg = CampaignConfig {
-        vendor,
-        hours,
-        execs_per_hour: 150,
-        seed,
-        mode: Mode::Unguided,
-        mask: ComponentMask::ALL,
-        engine: necofuzz::EngineMode::Snapshot,
-    };
+    let cfg = CampaignConfig::necofuzz(vendor, hours, seed)
+        .with_execs_per_hour(150)
+        .with_mode(Mode::Unguided)
+        .with_mask(ComponentMask::ALL)
+        .with_engine(necofuzz::EngineMode::Snapshot);
     run_campaign(factory, &cfg)
 }
 
@@ -178,15 +174,9 @@ fn ablation_ordering_matches_table3() {
         ),
         ("none", ComponentMask::NONE),
     ] {
-        let cfg = CampaignConfig {
-            vendor: CpuVendor::Intel,
-            hours: 12,
-            execs_per_hour: 150,
-            seed: 0,
-            mode: Mode::Unguided,
-            mask,
-            engine: necofuzz::EngineMode::Snapshot,
-        };
+        let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 12, 0)
+            .with_execs_per_hour(150)
+            .with_mask(mask);
         cov.insert(name, run_campaign(kvm(), &cfg).final_coverage);
     }
     assert!(cov["all"] > cov["no_validator"], "{cov:?}");
@@ -218,15 +208,7 @@ fn orchestrator_grid_matches_serial_loop() {
     let mut serial = Vec::new();
     for vendor in [CpuVendor::Intel, CpuVendor::Amd] {
         for seed in 0..3 {
-            let cfg = CampaignConfig {
-                vendor,
-                hours: 2,
-                execs_per_hour: 40,
-                seed,
-                mode: Mode::Unguided,
-                mask: ComponentMask::ALL,
-                engine: necofuzz::EngineMode::Snapshot,
-            };
+            let cfg = CampaignConfig::necofuzz(vendor, 2, seed).with_execs_per_hour(40);
             serial.push(run_campaign(kvm(), &cfg));
         }
     }

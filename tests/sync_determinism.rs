@@ -1,0 +1,134 @@
+//! Sync determinism: corpus sharing must not cost the orchestrator its
+//! two core guarantees.
+//!
+//! 1. **serial == parallel**: a synced grid run with `jobs(1)` is
+//!    element-for-element identical to the same grid with `jobs(8)` —
+//!    the `SyncGroup` is the scheduling unit, so worker count cannot
+//!    reorder the delta exchanges.
+//! 2. **off == never == final-boundary**: `sync_interval = 0` (never
+//!    sync) and `sync_interval = hours` (the only boundary is the end
+//!    of the budget, where an exchange could not influence any
+//!    execution) both reproduce today's unsynced results bit-for-bit.
+
+use necofuzz::campaign::{run_campaign, CampaignConfig};
+use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignPlan};
+use nf_fuzz::Mode;
+use nf_hv::{Vkvm, Vxen};
+use nf_x86::CpuVendor;
+
+const HOURS: u32 = 3;
+const EXECS_PER_HOUR: u32 = 40;
+
+fn grid(mode: Mode, sync_interval: u32) -> CampaignPlan {
+    CampaignPlan::new()
+        .backend(Backend::new("vkvm", |c| Box::new(Vkvm::new(c))))
+        .backend(Backend::new("vxen", |c| Box::new(Vxen::new(c))))
+        .vendors(&[CpuVendor::Intel, CpuVendor::Amd])
+        .modes(&[mode])
+        .seeds(0..3)
+        .hours(HOURS)
+        .execs_per_hour(EXECS_PER_HOUR)
+        .sync_interval(sync_interval)
+}
+
+#[test]
+fn synced_grid_serial_equals_parallel() {
+    for mode in [Mode::Guided, Mode::Unguided] {
+        let plan = grid(mode, 1);
+        let serial = CampaignExecutor::new().jobs(1).run(&plan);
+        let parallel = CampaignExecutor::new().jobs(8).run(&plan);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                s, p,
+                "synced {mode:?} job {i} diverged across jobs=1/jobs=8"
+            );
+        }
+        // The grid must actually share: each (backend, vendor) cell
+        // syncs its three seeds.
+        assert!(
+            serial.iter().any(|r| r.adopted > 0),
+            "{mode:?} grid exchanged nothing"
+        );
+    }
+}
+
+#[test]
+fn never_sync_and_final_boundary_sync_match_unsynced_results() {
+    // "Today's results": plain run_campaign, no sync machinery at all.
+    let unsynced: Vec<_> = (0..3)
+        .map(|seed| {
+            let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, HOURS, seed)
+                .with_execs_per_hour(EXECS_PER_HOUR)
+                .with_mode(Mode::Guided);
+            run_campaign(Box::new(|c| Box::new(Vkvm::new(c))), &cfg)
+        })
+        .collect();
+
+    for sync_interval in [0, HOURS] {
+        let plan = CampaignPlan::new()
+            .backend(Backend::new("vkvm", |c| Box::new(Vkvm::new(c))))
+            .vendors(&[CpuVendor::Intel])
+            .modes(&[Mode::Guided])
+            .seeds(0..3)
+            .hours(HOURS)
+            .execs_per_hour(EXECS_PER_HOUR)
+            .sync_interval(sync_interval);
+        let results = CampaignExecutor::new().jobs(4).run(&plan);
+        assert_eq!(results.len(), unsynced.len());
+        for (i, (synced, plain)) in results.iter().zip(&unsynced).enumerate() {
+            assert_eq!(
+                synced.hourly, plain.hourly,
+                "interval {sync_interval}: hourly curve diverged for seed {i}"
+            );
+            assert_eq!(
+                synced.lines, plain.lines,
+                "interval {sync_interval}, seed {i}"
+            );
+            assert_eq!(
+                synced.finds, plain.finds,
+                "interval {sync_interval}, seed {i}"
+            );
+            assert_eq!(
+                synced.execs, plain.execs,
+                "interval {sync_interval}, seed {i}"
+            );
+            assert_eq!(
+                synced.restarts, plain.restarts,
+                "interval {sync_interval}, seed {i}"
+            );
+            assert_eq!(synced.adopted, 0, "interval {sync_interval}, seed {i}");
+            // Full structural equality — the corpus too: a never-
+            // exchanging group must not leak worker ids or forced
+            // recording into its members.
+            assert_eq!(
+                synced, plain,
+                "interval {sync_interval}: result diverged for seed {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn synced_fleet_members_converge_on_shared_coverage() {
+    // The point of the exchange: with replay-on-adopt, every member of
+    // a synced cell ends at least as covered as its unsynced twin, and
+    // the worst member improves strictly (the fleet pools discoveries).
+    let unsynced = CampaignExecutor::new()
+        .jobs(1)
+        .run(&grid(Mode::Unguided, 0));
+    let synced = CampaignExecutor::new()
+        .jobs(1)
+        .run(&grid(Mode::Unguided, 1));
+    let min = |rs: &[necofuzz::CampaignResult]| {
+        rs.iter()
+            .map(|r| r.final_coverage)
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!(
+        min(&synced) > min(&unsynced),
+        "worst synced member {:.4} must beat worst unsynced member {:.4}",
+        min(&synced),
+        min(&unsynced)
+    );
+}
