@@ -471,7 +471,7 @@ mod tests {
             // (32..35) and the nested bits (36..39): 0x11 = VMX kept +
             // nested on, 0x01 = VMX kept + nested off. Features — and
             // therefore capabilities — never change.
-            input.bytes[crate::input::sections::VCPU_CFG + 4] =
+            input.bytes[crate::input::InputLayout::VCPU_CFG.offset + 4] =
                 if i % 2 == 0 { 0x11 } else { 0x01 };
             a.run_iteration(&input);
         }

@@ -3,7 +3,8 @@
 //! ```text
 //! necofuzz [--target vkvm|vxen|vvbox] [--vendor intel|amd]
 //!          [--hours N] [--execs-per-hour N] [--seed N] [--runs N]
-//!          [--jobs N] [--guided] [--no-harness] [--no-validator]
+//!          [--jobs N] [--guided] [--mutator havoc|structured]
+//!          [--no-harness] [--no-validator]
 //!          [--no-configurator] [--engine snapshot|rebuild]
 //!          [--sync-interval N] [--corpus-dir DIR]
 //!          [--resume-corpus DIR] [--out DIR] [--bench-out PATH]
@@ -33,6 +34,14 @@
 //! (queue and virgin-bitmap knowledge carried over) instead of the
 //! default seed set.
 //!
+//! `--mutator` selects how guided mode turns queue parents into
+//! children: `havoc` (default) is the classic byte-blind stack,
+//! bit-identical to the original engine; `structured` runs the
+//! scenario mutation engine — section-typed operators (init-step,
+//! runtime-step, VMCS-field, MSR-entry, vCPU-bit) scheduled by an
+//! adaptive profile, with per-operator provenance recorded on every
+//! queued entry (shown by `corpus stat`).
+//!
 //! `--engine` selects the iteration hot path: `snapshot` (default) runs
 //! on the persistent-execution engine — cached booted images restored
 //! per iteration — while `rebuild` keeps the original
@@ -47,7 +56,7 @@ use necofuzz::campaign::CampaignResult;
 use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignPlan};
 use necofuzz::{ComponentMask, EngineMode, ReplayOracle};
 use nf_fuzz::corpus::Corpus;
-use nf_fuzz::{FuzzInput, Mode, INPUT_LEN};
+use nf_fuzz::{FuzzInput, Mode, MutationStrategy, Operator, INPUT_LEN};
 use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
 use nf_x86::CpuVendor;
 
@@ -55,7 +64,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: necofuzz [--target vkvm|vxen|vvbox] [--vendor intel|amd] [--hours N]\n\
          \x20               [--execs-per-hour N] [--seed N] [--runs N] [--jobs N]\n\
-         \x20               [--guided] [--no-harness] [--no-validator]\n\
+         \x20               [--guided] [--mutator havoc|structured]\n\
+         \x20               [--no-harness] [--no-validator]\n\
          \x20               [--no-configurator] [--engine snapshot|rebuild]\n\
          \x20               [--sync-interval N] [--corpus-dir DIR]\n\
          \x20               [--resume-corpus DIR] [--out DIR] [--bench-out PATH]\n\
@@ -93,6 +103,7 @@ fn main() {
     let mut mode = Mode::Unguided;
     let mut mask = ComponentMask::ALL;
     let mut engine = EngineMode::Snapshot;
+    let mut strategy = MutationStrategy::Havoc;
     let mut sync_interval = 0u32;
     let mut corpus_dir: Option<String> = None;
     let mut resume_corpus: Option<String> = None;
@@ -122,6 +133,7 @@ fn main() {
             "--runs" => runs = value().parse().unwrap_or_else(|_| usage()),
             "--jobs" => jobs = value().parse().unwrap_or_else(|_| usage()),
             "--guided" => mode = Mode::Guided,
+            "--mutator" => strategy = MutationStrategy::parse(&value()).unwrap_or_else(|| usage()),
             "--no-harness" => mask.harness = false,
             "--no-validator" => mask.validator = false,
             "--no-configurator" => mask.configurator = false,
@@ -166,7 +178,8 @@ fn main() {
             .with_execs_per_hour(execs_per_hour)
             .with_mode(mode)
             .with_mask(mask)
-            .with_engine(engine);
+            .with_engine(engine)
+            .with_strategy(strategy);
         let campaign = necofuzz::campaign::Campaign::with_corpus(backend.factory(), &cfg, loaded);
         let result = campaign.into_result();
         report_run(seed, &result, false);
@@ -181,8 +194,8 @@ fn main() {
 
     println!(
         "necofuzz: target={target} vendor={vendor} hours={hours} execs/h={execs_per_hour} \
-         seeds={seed}..{} runs={runs} mode={mode:?} engine={engine} sync={sync_interval}h \
-         components[harness={} validator={} configurator={}]",
+         seeds={seed}..{} runs={runs} mode={mode:?} mutator={strategy} engine={engine} \
+         sync={sync_interval}h components[harness={} validator={} configurator={}]",
         seed + runs,
         mask.harness,
         mask.validator,
@@ -198,7 +211,8 @@ fn main() {
         .hours(hours)
         .execs_per_hour(execs_per_hour)
         .engine(engine)
-        .sync_interval(sync_interval);
+        .sync_interval(sync_interval)
+        .strategy(strategy);
     let executor = CampaignExecutor::new()
         .jobs(jobs)
         .on_progress(|p| {
@@ -337,14 +351,28 @@ fn corpus_main(args: &[String]) {
                 corpus.seen_bits(),
                 lines.count()
             );
+            // Per-operator provenance: which mutation operator earned
+            // how much of the queue. The yield ratio is the operator's
+            // share of all queued entries — on a havoc or unguided
+            // corpus everything lands in the untyped bucket.
+            let total = corpus.len().max(1);
+            println!("operator provenance (queue-yield ratios):");
+            for (op, count) in corpus.operator_census() {
+                println!(
+                    "  {:<24} {count:>5}  {:>5.1}%",
+                    op.map_or("untyped (seed/havoc)", Operator::name),
+                    count as f64 * 100.0 / total as f64
+                );
+            }
             for (i, entry) in corpus.entries().enumerate() {
                 println!(
-                    "  [{i:4}] worker {} exec {:>7}  {:>4} edges  {:>5} lines  energy {}",
+                    "  [{i:4}] worker {} exec {:>7}  {:>4} edges  {:>5} lines  energy {}  via {}",
                     entry.provenance.worker,
                     entry.provenance.exec,
                     entry.cov.len(),
                     entry.lines.count(),
-                    entry.energy
+                    entry.energy,
+                    entry.provenance.op.map_or("-", Operator::name)
                 );
             }
         }

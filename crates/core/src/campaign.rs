@@ -13,7 +13,9 @@
 //! [`run_campaign_group`] is that loop, and the orchestrator's
 //! `SyncGroup` seam feeds it whole grid cells.
 
-use nf_fuzz::{CorpusDelta, FuzzInput, Fuzzer, Mode, SharedCorpus};
+use nf_fuzz::{
+    CorpusDelta, FuzzInput, Fuzzer, Mode, MutationStats, MutationStrategy, SharedCorpus,
+};
 use nf_hv::{HvConfig, L0Hypervisor};
 use nf_x86::CpuVendor;
 
@@ -48,6 +50,12 @@ pub struct CampaignConfig {
     /// never syncs; `n` exchanges [`CorpusDelta`]s with the sync group
     /// every `n` virtual hours. A lone campaign ignores the setting.
     pub sync_interval: u32,
+    /// How guided mode turns queue parents into children: the classic
+    /// byte-blind havoc stack (default, bit-identical to the original
+    /// engine) or the structure-aware scenario operators (`--mutator
+    /// structured`). Unguided campaigns ignore the setting — random
+    /// generation never consults a parent.
+    pub strategy: MutationStrategy,
 }
 
 impl CampaignConfig {
@@ -66,6 +74,7 @@ impl CampaignConfig {
             mask: ComponentMask::ALL,
             engine: EngineMode::Snapshot,
             sync_interval: 0,
+            strategy: MutationStrategy::Havoc,
         }
     }
 
@@ -96,6 +105,12 @@ impl CampaignConfig {
     /// Sets the corpus-sync epoch length (hours; `0` = never).
     pub fn with_sync_interval(mut self, sync_interval: u32) -> Self {
         self.sync_interval = sync_interval;
+        self
+    }
+
+    /// Sets the guided-mode mutation strategy.
+    pub fn with_strategy(mut self, strategy: MutationStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 }
@@ -137,6 +152,10 @@ pub struct CampaignResult {
     pub corpus: nf_fuzz::Corpus,
     /// Corpus entries adopted from sync-group siblings.
     pub adopted: u64,
+    /// Mutation-side statistics: per-operator scheduling stats
+    /// (structured strategy) and the havoc arm counters — the source
+    /// of `mutator_yield`'s per-operator table and its smoke gate.
+    pub mutation: MutationStats,
 }
 
 /// A resumable campaign: agent + fuzzer + the virtual clock.
@@ -170,7 +189,7 @@ impl Campaign {
         worker: u32,
     ) -> Self {
         let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine);
-        let mut fuzzer = Fuzzer::new(cfg.seed, cfg.mode);
+        let mut fuzzer = Fuzzer::with_strategy(cfg.seed, cfg.mode, cfg.strategy);
         fuzzer.set_worker(worker);
         Campaign {
             agent,
@@ -189,7 +208,7 @@ impl Campaign {
         corpus: nf_fuzz::Corpus,
     ) -> Self {
         let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine);
-        let fuzzer = Fuzzer::with_corpus(cfg.seed, cfg.mode, corpus);
+        let fuzzer = Fuzzer::with_corpus_strategy(cfg.seed, cfg.mode, cfg.strategy, corpus);
         Campaign {
             agent,
             fuzzer,
@@ -314,6 +333,7 @@ impl Campaign {
             finds: agent.triage().finds().to_vec(),
             execs: agent.execs(),
             restarts: agent.restarts(),
+            mutation: self.fuzzer.mutation_stats(),
             corpus: std::mem::take(self.fuzzer.corpus_mut()),
             adopted: self.adopted,
         }
@@ -479,6 +499,23 @@ mod tests {
             a.corpus.worker(),
             first.corpus.worker(),
             "worker id travels with the corpus"
+        );
+    }
+
+    #[test]
+    fn structured_campaigns_are_deterministic_and_record_provenance() {
+        let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 3, 5)
+            .with_execs_per_hour(40)
+            .with_mode(Mode::Guided)
+            .with_strategy(MutationStrategy::Structured);
+        let a = run_campaign(kvm_factory(), &cfg);
+        let b = run_campaign(kvm_factory(), &cfg);
+        assert_eq!(a, b, "structured runs must be a pure function of cfg");
+        assert_eq!(a.mutation.strategy, MutationStrategy::Structured);
+        assert!(a.mutation.operators.iter().any(|s| s.generated > 0));
+        assert!(
+            a.corpus.entries().any(|e| e.provenance.op.is_some()),
+            "queued structured children must carry operator provenance"
         );
     }
 

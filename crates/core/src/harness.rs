@@ -12,6 +12,7 @@
 //!   templates (Table 1) executed in L2 and, on reflected exits, in the
 //!   L1 handler context, with operands derived from fuzzing input.
 
+use nf_fuzz::InputLayout;
 use nf_hv::{L0Hypervisor, L1Result, L2Result};
 use nf_silicon::{CrIndex, GuestInstr};
 use nf_vmx::{MsrArea, Vmcb, Vmcs, VmcsField};
@@ -109,12 +110,18 @@ impl ExecutionHarness {
 
     /// Builds a mutated initialization plan from the init-section bytes:
     /// byte pairs drive step swaps, duplications, skips, and argument
-    /// corruption, preserving overall structure (paper §4.2).
+    /// corruption, preserving overall structure (paper §4.2). The
+    /// section's sub-geometry — where the `(ctrl, arg)` pairs end and
+    /// the order/duplication/drop directives sit — comes from
+    /// [`InputLayout`], the same schema the structure-aware mutators
+    /// write through.
     pub fn mutated_plan(&self, revision: u32, init_bytes: &[u8]) -> InitPlan {
         let mut plan = self.canonical_plan(revision);
         let b = |i: usize| init_bytes.get(i).copied().unwrap_or(0);
 
-        // Argument corruption: low-probability, targeted.
+        // Argument corruption: low-probability, targeted. One (ctrl,
+        // arg) pair per canonical step, from the pair region.
+        debug_assert!(plan.steps.len() <= InputLayout::INIT_PAIRS);
         for (i, step) in plan.steps.iter_mut().enumerate() {
             let ctrl = b(i * 2);
             let arg = b(i * 2 + 1);
@@ -143,21 +150,23 @@ impl ExecutionHarness {
                 _ => {}
             }
         }
-        // Order mutation: swap adjacent steps.
-        let swaps = (b(24) % 3) as usize;
+        // Order mutation: swap adjacent steps (the count modulus is
+        // part of the shared schema — mutators only target live slots).
+        let swaps = b(InputLayout::INIT_ORDER) as usize % (InputLayout::INIT_SWAPS_MAX + 1);
         for s in 0..swaps {
-            let i = b(25 + s) as usize % plan.steps.len().saturating_sub(1).max(1);
+            let i = b(InputLayout::INIT_ORDER + 1 + s) as usize
+                % plan.steps.len().saturating_sub(1).max(1);
             plan.steps.swap(i, i + 1);
         }
         // Repetition: duplicate one step.
-        if b(30) & 0x3 == 0x3 {
-            let i = b(31) as usize % plan.steps.len();
+        if b(InputLayout::INIT_DUP) & 0x3 == 0x3 {
+            let i = b(InputLayout::INIT_DUP + 1) as usize % plan.steps.len();
             let step = plan.steps[i];
             plan.steps.insert(i, step);
         }
         // Skip: drop one step (never the final launch).
-        if b(32) & 0x7 == 0x7 && plan.steps.len() > 2 {
-            let i = b(33) as usize % (plan.steps.len() - 1);
+        if b(InputLayout::INIT_DROP) & 0x7 == 0x7 && plan.steps.len() > 2 {
+            let i = b(InputLayout::INIT_DROP + 1) as usize % (plan.steps.len() - 1);
             plan.steps.remove(i);
         }
         plan

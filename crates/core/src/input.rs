@@ -5,40 +5,16 @@
 //! order and parameters, the VM state validator consumes the raw VMCS
 //! seed plus mutation directives, and the vCPU configurator consumes the
 //! feature bit-array.
+//!
+//! The partition itself — offsets, lengths, sub-geometry — is owned by
+//! [`InputLayout`] in `nf_fuzz::scenario`: the decode side here and the
+//! structure-aware mutators there read the same schema, so the two can
+//! never drift apart. No other code states a section offset (a layout
+//! guard test enforces this).
 
 use nf_fuzz::FuzzInput;
 
-/// Byte offsets of the input sections.
-pub mod sections {
-    /// Meta bytes: phase gates, iteration limits.
-    pub const META: usize = 0;
-    /// Meta length.
-    pub const META_LEN: usize = 8;
-    /// Init-phase template mutations (order/argument/repetition).
-    pub const INIT: usize = 8;
-    /// Init section length.
-    pub const INIT_LEN: usize = 64;
-    /// Runtime-phase instruction selection and arguments.
-    pub const RUNTIME: usize = 72;
-    /// Runtime section length (4 bytes per step).
-    pub const RUNTIME_LEN: usize = 320;
-    /// Raw VMCS seed (1000 bytes = the full 8000-bit layout).
-    pub const VMCS_SEED: usize = 392;
-    /// VMCS seed length.
-    pub const VMCS_SEED_LEN: usize = 1000;
-    /// Post-rounding mutation directives (field/bit selection).
-    pub const MUTATE: usize = 1392;
-    /// Mutation directive length.
-    pub const MUTATE_LEN: usize = 28;
-    /// vCPU configuration bit-array.
-    pub const VCPU_CFG: usize = 1420;
-    /// vCPU configuration length.
-    pub const VCPU_CFG_LEN: usize = 8;
-    /// MSR-load-area entries (8 × 12 bytes).
-    pub const MSR_AREA: usize = 1428;
-    /// MSR-area section length.
-    pub const MSR_AREA_LEN: usize = 96;
-}
+pub use nf_fuzz::{InputLayout, SectionSpan};
 
 /// A parsed view of one fuzz input.
 #[derive(Debug, Clone, Copy)]
@@ -52,77 +28,102 @@ impl<'a> InputView<'a> {
         InputView { input }
     }
 
+    /// Borrows one layout section.
+    fn section(&self, span: SectionSpan) -> &'a [u8] {
+        self.input.slice(span.offset, span.len)
+    }
+
     /// Meta byte `i`.
     pub fn meta(&self, i: usize) -> u8 {
-        debug_assert!(i < sections::META_LEN);
-        self.input.bytes[sections::META + i]
+        debug_assert!(i < InputLayout::META.len);
+        self.input.bytes[InputLayout::META.offset + i]
     }
 
     /// The init-phase mutation bytes.
     pub fn init_bytes(&self) -> &'a [u8] {
-        self.input.slice(sections::INIT, sections::INIT_LEN)
+        self.section(InputLayout::INIT)
     }
 
     /// The runtime-phase selection bytes.
     pub fn runtime_bytes(&self) -> &'a [u8] {
-        self.input.slice(sections::RUNTIME, sections::RUNTIME_LEN)
+        self.section(InputLayout::RUNTIME)
     }
 
     /// The raw VMCS seed (also reused as the VMCB seed on AMD).
     pub fn vmcs_seed(&self) -> &'a [u8] {
-        self.input
-            .slice(sections::VMCS_SEED, sections::VMCS_SEED_LEN)
+        self.section(InputLayout::VMCS_SEED)
     }
 
     /// The mutation directive bytes.
     pub fn mutate_bytes(&self) -> &'a [u8] {
-        self.input.slice(sections::MUTATE, sections::MUTATE_LEN)
+        self.section(InputLayout::MUTATE)
     }
 
     /// The vCPU configuration word.
     pub fn vcpu_cfg(&self) -> u64 {
-        self.input.u64_at(sections::VCPU_CFG)
+        self.input.u64_at(InputLayout::VCPU_CFG.offset)
     }
 
     /// The MSR-area section bytes.
     pub fn msr_area_bytes(&self) -> &'a [u8] {
-        self.input.slice(sections::MSR_AREA, sections::MSR_AREA_LEN)
+        self.section(InputLayout::MSR_AREA)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nf_fuzz::INPUT_LEN;
+    use nf_fuzz::{Scenario, INPUT_LEN};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     #[test]
     fn sections_fit_and_do_not_overlap() {
-        use sections::*;
         let spans = [
-            (META, META_LEN),
-            (INIT, INIT_LEN),
-            (RUNTIME, RUNTIME_LEN),
-            (VMCS_SEED, VMCS_SEED_LEN),
-            (MUTATE, MUTATE_LEN),
-            (VCPU_CFG, VCPU_CFG_LEN),
-            (MSR_AREA, MSR_AREA_LEN),
+            InputLayout::META,
+            InputLayout::INIT,
+            InputLayout::RUNTIME,
+            InputLayout::VMCS_SEED,
+            InputLayout::MUTATE,
+            InputLayout::VCPU_CFG,
+            InputLayout::MSR_AREA,
         ];
         for w in spans.windows(2) {
-            assert_eq!(w[0].0 + w[0].1, w[1].0, "sections must be contiguous");
+            assert_eq!(w[0].end(), w[1].offset, "sections must be contiguous");
         }
-        let (last, len) = spans[spans.len() - 1];
-        assert!(last + len <= INPUT_LEN);
+        assert!(spans[spans.len() - 1].end() <= INPUT_LEN);
     }
 
     #[test]
     fn view_extracts_sections() {
         let mut input = FuzzInput::zeroed();
-        input.bytes[sections::VMCS_SEED] = 0xaa;
-        input.bytes[sections::VCPU_CFG] = 0x55;
+        input.bytes[InputLayout::VMCS_SEED.offset] = 0xaa;
+        input.bytes[InputLayout::VCPU_CFG.offset] = 0x55;
         let view = InputView::new(&input);
         assert_eq!(view.vmcs_seed()[0], 0xaa);
         assert_eq!(view.vcpu_cfg(), 0x55);
-        assert_eq!(view.vmcs_seed().len(), sections::VMCS_SEED_LEN);
-        assert_eq!(view.runtime_bytes().len(), sections::RUNTIME_LEN);
+        assert_eq!(view.vmcs_seed().len(), InputLayout::VMCS_SEED.len);
+        assert_eq!(view.runtime_bytes().len(), InputLayout::RUNTIME.len);
+    }
+
+    #[test]
+    fn view_and_scenario_decode_the_same_partition() {
+        // The decode side (harness/validator/configurator dispatch) and
+        // the mutation side (Scenario IR) must read identical bytes for
+        // every section — the whole point of the shared schema.
+        let mut rng = SmallRng::seed_from_u64(40);
+        let input = FuzzInput::random(&mut rng);
+        let view = InputView::new(&input);
+        let s = Scenario::decode(&input);
+        assert_eq!(view.vmcs_seed(), &s.vmcs_seed[..]);
+        assert_eq!(view.mutate_bytes(), &s.directives[..]);
+        assert_eq!(view.vcpu_cfg(), s.vcpu_cfg);
+        assert_eq!(
+            view.runtime_bytes(),
+            &s.encode().bytes[InputLayout::RUNTIME.range()]
+        );
+        for (i, &b) in s.meta.iter().enumerate() {
+            assert_eq!(view.meta(i), b);
+        }
     }
 }

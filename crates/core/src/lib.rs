@@ -81,8 +81,8 @@ pub use campaign::{
 pub use configurator::{HvAdapter, KvmAdapter, VboxAdapter, VcpuConfigurator, XenAdapter};
 pub use engine::{EngineMode, EngineStats, ExecutionEngine};
 pub use harness::{ExecutionHarness, InitPlan, InitStep};
-pub use input::InputView;
-pub use nf_fuzz::{Corpus, CorpusDelta, SharedCorpus};
+pub use input::{InputLayout, InputView, SectionSpan};
+pub use nf_fuzz::{Corpus, CorpusDelta, MutationStrategy, SharedCorpus};
 pub use orchestrator::{
     default_jobs, Backend, CampaignExecutor, CampaignJob, CampaignPlan, Progress, SharedFactory,
     SyncGroup, Task,

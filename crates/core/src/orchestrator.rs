@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use nf_fuzz::Mode;
+use nf_fuzz::{Mode, MutationStrategy};
 use nf_hv::{HvConfig, L0Hypervisor};
 use nf_x86::CpuVendor;
 
@@ -116,8 +116,14 @@ impl CampaignJob {
             EngineMode::Snapshot => "",
             EngineMode::Rebuild => "/rebuild",
         };
+        // Havoc (the default) stays unlabeled so existing labels — and
+        // the determinism suites diffing them — are unchanged.
+        let strategy = match self.cfg.strategy {
+            MutationStrategy::Havoc => "",
+            MutationStrategy::Structured => "/structured",
+        };
         format!(
-            "{}/{}/{mode}{mask}{engine}",
+            "{}/{}/{mode}{mask}{engine}{strategy}",
             self.backend.name, self.cfg.vendor
         )
     }
@@ -158,6 +164,7 @@ pub struct CampaignPlan {
     execs_per_hour: u32,
     engine: EngineMode,
     sync_interval: u32,
+    strategy: MutationStrategy,
 }
 
 impl CampaignPlan {
@@ -174,6 +181,7 @@ impl CampaignPlan {
             execs_per_hour: EXECS_PER_HOUR,
             engine: EngineMode::Snapshot,
             sync_interval: 0,
+            strategy: MutationStrategy::Havoc,
         }
     }
 
@@ -236,6 +244,14 @@ impl CampaignPlan {
         self
     }
 
+    /// Selects the guided-mode mutation strategy for every campaign of
+    /// the grid (default: [`MutationStrategy::Havoc`], bit-identical to
+    /// the original engine).
+    pub fn strategy(mut self, strategy: MutationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Number of jobs the grid expands to.
     pub fn len(&self) -> usize {
         self.backends.len()
@@ -269,6 +285,7 @@ impl CampaignPlan {
                                     mask,
                                     engine: self.engine,
                                     sync_interval: self.sync_interval,
+                                    strategy: self.strategy,
                                 },
                             });
                         }
@@ -729,6 +746,24 @@ mod tests {
             serial.iter().any(|r| r.adopted > 0),
             "the grid must actually exchange corpus entries"
         );
+    }
+
+    #[test]
+    fn structured_grid_is_labeled_and_identical_serial_and_parallel() {
+        let plan = small_plan()
+            .seeds(0..2)
+            .modes(&[Mode::Guided])
+            .strategy(MutationStrategy::Structured);
+        let labels: Vec<String> = plan.jobs().iter().map(|j| j.label()).collect();
+        assert!(
+            labels.iter().all(|l| l.contains("/structured/")),
+            "structured cells must be distinguishable: {labels:?}"
+        );
+        let serial = CampaignExecutor::new().jobs(1).run(&plan);
+        let parallel = CampaignExecutor::new().jobs(4).run(&plan);
+        for (index, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(s, p, "structured job {index} diverged across jobs=1/4");
+        }
     }
 
     #[test]

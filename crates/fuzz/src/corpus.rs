@@ -30,16 +30,22 @@ use std::sync::{Arc, RwLock};
 
 use nf_coverage::{bitmap, LineSet};
 
+use crate::scenario::Operator;
 use crate::{FuzzInput, INPUT_LEN, MAP_SIZE};
 
-/// Where a corpus entry came from: the worker that discovered it and
-/// the execution index at which it was promoted.
+/// Where a corpus entry came from: the worker that discovered it, the
+/// execution index at which it was promoted, and — for structured
+/// mutation — the operator that produced it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Provenance {
     /// Sync-group worker id of the discovering campaign (plan order).
     pub worker: u32,
     /// Execution index at which the entry produced new coverage.
     pub exec: u64,
+    /// The scenario operator that generated the input (`None` for
+    /// seeds, havoc children, and unguided/random inputs) — the field
+    /// `corpus stat` aggregates into per-operator yield ratios.
+    pub op: Option<Operator>,
 }
 
 /// One queue entry: an interesting input plus its scheduling state and
@@ -166,6 +172,28 @@ impl Corpus {
         union
     }
 
+    /// Per-operator provenance census over the queue, in operator
+    /// table order with the `None` bucket (seeds, havoc children,
+    /// unguided inputs, adopted entries discovered that way) first.
+    /// `corpus stat` turns this into queue-yield ratios.
+    pub fn operator_census(&self) -> Vec<(Option<Operator>, usize)> {
+        let mut untyped = 0usize;
+        let mut counts = [0usize; Operator::COUNT];
+        for e in &self.entries {
+            match e.provenance.op {
+                Some(op) => counts[op.index()] += 1,
+                None => untyped += 1,
+            }
+        }
+        let mut census = vec![(None, untyped)];
+        census.extend(
+            Operator::ALL
+                .iter()
+                .map(|&op| (Some(op), counts[op.index()])),
+        );
+        census
+    }
+
     /// Seeds the queue with an entry that has no coverage evidence
     /// (used for the initial corpus; seed entries sit below the sync
     /// watermark and are never shared — every worker has its own).
@@ -179,6 +207,7 @@ impl Corpus {
             provenance: Provenance {
                 worker: self.worker,
                 exec: 0,
+                op: None,
             },
         });
         self.synced_entries = self.entries.len();
@@ -209,13 +238,15 @@ impl Corpus {
     /// Tests an execution's bitmap against the virgin map, clearing
     /// every newly seen bucket. Returns `true` on novelty. When
     /// `queue` is set and the bitmap was novel, the input is promoted
-    /// into the queue with its coverage evidence.
+    /// into the queue with its coverage evidence and the mutation
+    /// operator (if any) that produced it.
     pub fn observe(
         &mut self,
         input: &FuzzInput,
         raw_bitmap: &[u8],
         lines: &LineSet,
         exec: u64,
+        op: Option<Operator>,
         queue: bool,
     ) -> bool {
         let mut new_bits = false;
@@ -236,6 +267,7 @@ impl Corpus {
                 provenance: Provenance {
                     worker: self.worker,
                     exec,
+                    op,
                 },
             });
             // Bound queue growth like AFL's culling.
@@ -417,12 +449,18 @@ impl Corpus {
         let manifest = std::fs::read_to_string(dir.join("MANIFEST"))?;
         let mut lines = manifest.lines();
         let header = lines.next().unwrap_or_default();
-        if header != format!("necofuzz-corpus v{FORMAT_VERSION}") {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported corpus format: {header:?}"),
-            ));
-        }
+        // v1 records lack the operator-provenance byte; they load with
+        // untyped provenance, so pre-structured corpora stay usable.
+        let version = match header {
+            "necofuzz-corpus v1" => 1,
+            h if h == format!("necofuzz-corpus v{FORMAT_VERSION}") => FORMAT_VERSION,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported corpus format: {header:?}"),
+                ))
+            }
+        };
         let mut fields: BTreeMap<&str, u64> = BTreeMap::new();
         for line in lines {
             if let Some((key, value)) = line.split_once(' ') {
@@ -461,7 +499,7 @@ impl Corpus {
         let mut entries = Vec::with_capacity(count);
         for i in 0..count {
             let mut f = std::fs::File::open(dir.join("entries").join(format!("{i:06}.bin")))?;
-            entries.push(read_entry(&mut f)?);
+            entries.push(read_entry(&mut f, version)?);
         }
         Ok(Corpus {
             entries,
@@ -481,8 +519,9 @@ impl Default for Corpus {
     }
 }
 
-/// On-disk format version (bump on layout changes).
-const FORMAT_VERSION: u32 = 1;
+/// On-disk format version (bump on layout changes). v2 added the
+/// operator-provenance byte to every entry record.
+const FORMAT_VERSION: u32 = 2;
 /// Per-entry record magic: `b"NFE1"`.
 const ENTRY_MAGIC: u32 = 0x4e46_4531;
 
@@ -494,6 +533,7 @@ fn write_entry(w: &mut impl io::Write, entry: &CorpusEntry) -> io::Result<()> {
     w.write_all(&entry.fuzzed.to_le_bytes())?;
     w.write_all(&entry.provenance.worker.to_le_bytes())?;
     w.write_all(&entry.provenance.exec.to_le_bytes())?;
+    w.write_all(&[entry.provenance.op.map_or(0, Operator::code)])?;
     w.write_all(&(entry.cov.len() as u32).to_le_bytes())?;
     for &(i, b) in &entry.cov {
         w.write_all(&i.to_le_bytes())?;
@@ -507,7 +547,7 @@ fn write_entry(w: &mut impl io::Write, entry: &CorpusEntry) -> io::Result<()> {
     Ok(())
 }
 
-fn read_entry(r: &mut impl io::Read) -> io::Result<CorpusEntry> {
+fn read_entry(r: &mut impl io::Read, version: u32) -> io::Result<CorpusEntry> {
     fn u32_of(r: &mut impl io::Read) -> io::Result<u32> {
         let mut buf = [0u8; 4];
         r.read_exact(&mut buf)?;
@@ -539,6 +579,21 @@ fn read_entry(r: &mut impl io::Read) -> io::Result<CorpusEntry> {
     let fuzzed = u32_of(r)?;
     let worker = u32_of(r)?;
     let exec = u64_of(r)?;
+    let op = if version >= 2 {
+        let mut op_code = [0u8; 1];
+        r.read_exact(&mut op_code)?;
+        match op_code[0] {
+            0 => None,
+            c => Some(Operator::from_code(c).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown operator code {c} in corpus entry"),
+                )
+            })?),
+        }
+    } else {
+        None // v1 predates operator provenance
+    };
     let cov_len = u32_of(r)? as usize;
     let mut cov = Vec::with_capacity(cov_len.min(MAP_SIZE));
     for _ in 0..cov_len {
@@ -558,7 +613,7 @@ fn read_entry(r: &mut impl io::Read) -> io::Result<CorpusEntry> {
         fuzzed,
         cov,
         lines: LineSet::from_words(words),
-        provenance: Provenance { worker, exec },
+        provenance: Provenance { worker, exec, op },
     })
 }
 
@@ -699,7 +754,11 @@ mod tests {
             fuzzed: 0,
             cov: vec![(edge, 1)],
             lines: lines_over(lines),
-            provenance: Provenance { worker, exec },
+            provenance: Provenance {
+                worker,
+                exec,
+                op: None,
+            },
         }
     }
 
@@ -708,7 +767,8 @@ mod tests {
         bitmap[edge] = 1;
         let mut rng = SmallRng::seed_from_u64(exec);
         let input = FuzzInput::random(&mut rng);
-        corpus.observe(&input, &bitmap, &lines_over(lines), exec, true)
+        let op = Operator::from_code((exec % 4) as u8);
+        corpus.observe(&input, &bitmap, &lines_over(lines), exec, op, true)
     }
 
     #[test]
@@ -825,6 +885,21 @@ mod tests {
     }
 
     #[test]
+    fn operator_census_buckets_provenance() {
+        let mut c = Corpus::new();
+        c.push_seed(FuzzInput::zeroed());
+        observed(&mut c, 10, 0..4, 1); // op code 1 = InitArg
+        observed(&mut c, 11, 4..8, 2); // op code 2 = InitReorder
+        observed(&mut c, 12, 8..12, 4); // 4 % 4 = 0 -> untyped
+        let census = c.operator_census();
+        assert_eq!(census[0], (None, 2), "seed + untyped entry");
+        assert_eq!(census[1], (Some(Operator::InitArg), 1));
+        assert_eq!(census[2], (Some(Operator::InitReorder), 1));
+        let total: usize = census.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, c.len(), "census must partition the queue");
+    }
+
+    #[test]
     fn save_load_round_trips_bit_identically() {
         let dir = std::env::temp_dir().join(format!("nf-corpus-test-{}", std::process::id()));
         let mut c = Corpus::new();
@@ -845,6 +920,48 @@ mod tests {
         min.save_to(&dir).expect("re-save");
         assert_eq!(Corpus::load_from(&dir).expect("re-load"), min);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_corpora_load_with_untyped_provenance() {
+        // Pre-structured corpora (format v1: no operator byte) must
+        // stay loadable — users resume long campaigns from them.
+        let dir = std::env::temp_dir().join(format!("nf-corpus-v1-{}", std::process::id()));
+        let mut c = Corpus::new();
+        c.set_worker(2);
+        c.push_seed(FuzzInput::zeroed());
+        observed(&mut c, 10, 0..4, 1);
+        observed(&mut c, 11, 4..8, 2);
+        c.save_to(&dir).expect("save");
+
+        // Rewrite the save as v1: drop each record's op byte (right
+        // after the u32 worker + u64 exec provenance) and downgrade
+        // the manifest header.
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST")).expect("manifest");
+        std::fs::write(
+            dir.join("MANIFEST"),
+            manifest.replace(
+                &format!("necofuzz-corpus v{FORMAT_VERSION}"),
+                "necofuzz-corpus v1",
+            ),
+        )
+        .expect("downgrade manifest");
+        let op_byte_at = 4 + 4 + INPUT_LEN + 4 + 4 + 4 + 8;
+        for i in 0..c.len() {
+            let path = dir.join("entries").join(format!("{i:06}.bin"));
+            let mut bytes = std::fs::read(&path).expect("entry");
+            bytes.remove(op_byte_at);
+            std::fs::write(&path, bytes).expect("rewrite entry");
+        }
+
+        let loaded = Corpus::load_from(&dir).expect("v1 corpus must load");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(loaded.entries().all(|e| e.provenance.op.is_none()));
+        let mut expected = c.clone();
+        for e in &mut expected.entries {
+            e.provenance.op = None;
+        }
+        assert_eq!(loaded, expected, "v1 load differs only in op provenance");
     }
 
     #[test]

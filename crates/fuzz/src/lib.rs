@@ -16,12 +16,14 @@
 //!   paper's Table 5.
 
 pub mod corpus;
+pub mod scenario;
 
 use nf_coverage::LineSet;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 pub use corpus::{Corpus, CorpusDelta, CorpusEntry, Provenance, SharedCorpus};
+pub use scenario::{InputLayout, MutatorProfile, Operator, OperatorStats, Scenario, SectionSpan};
 
 /// Size of one fuzzing input (paper §4.1: "2KiB of binary data").
 pub const INPUT_LEN: usize = 2048;
@@ -93,12 +95,82 @@ pub struct ExecFeedback {
     pub crashed: bool,
 }
 
+/// How guided mode turns a queue parent into a child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MutationStrategy {
+    /// The classic byte-blind havoc stack. Bit-identical to the
+    /// original engine — the determinism suites replay against it.
+    #[default]
+    Havoc,
+    /// The structure-aware [`scenario`] engine: section-typed operators
+    /// scheduled by an adaptive [`MutatorProfile`].
+    Structured,
+}
+
+impl MutationStrategy {
+    /// Parses a CLI value (`havoc` / `structured`).
+    pub fn parse(s: &str) -> Option<MutationStrategy> {
+        match s {
+            "havoc" => Some(MutationStrategy::Havoc),
+            "structured" => Some(MutationStrategy::Structured),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MutationStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MutationStrategy::Havoc => "havoc",
+            MutationStrategy::Structured => "structured",
+        })
+    }
+}
+
+/// Number of arms in the classic havoc stack.
+pub const HAVOC_ARMS: usize = 7;
+
+/// Mutation-side statistics of one engine: the structured profile's
+/// per-operator stats plus the havoc stack-arm counters. Which half is
+/// live depends on [`MutationStrategy`]; the other stays zero.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MutationStats {
+    /// The strategy the engine ran.
+    pub strategy: MutationStrategy,
+    /// Per-operator scheduling stats (structured strategy).
+    pub operators: Vec<OperatorStats>,
+    /// Executions of each classic havoc arm (havoc strategy).
+    pub havoc_arms: [u64; HAVOC_ARMS],
+}
+
+impl MutationStats {
+    /// `true` when every mutation primitive of the strategy ran at
+    /// least once (the `mutator_yield --smoke` gate).
+    pub fn all_exercised(&self) -> bool {
+        match self.strategy {
+            MutationStrategy::Havoc => self.havoc_arms.iter().all(|&n| n > 0),
+            MutationStrategy::Structured => {
+                !self.operators.is_empty() && self.operators.iter().all(|s| s.generated > 0)
+            }
+        }
+    }
+}
+
 /// The fuzzing engine: mutation scheduling and RNG state on top of a
 /// [`Corpus`] (which owns the queue, energy, and virgin bitmap).
 pub struct Fuzzer {
     rng: SmallRng,
     mode: Mode,
+    strategy: MutationStrategy,
     corpus: Corpus,
+    /// The adaptive operator scheduler (structured strategy only; the
+    /// havoc path never touches it, keeping havoc streams bit-stable).
+    profile: MutatorProfile,
+    /// Operator that produced the last generated input, consumed by the
+    /// next report so queued entries carry operator provenance.
+    last_op: Option<Operator>,
+    /// Per-arm execution counts of the classic havoc stack.
+    havoc_arms: [u64; HAVOC_ARMS],
     /// Record novel inputs into the corpus. On by default in guided
     /// mode; a sync group turns it on in unguided mode too, so
     /// breadth-first workers still contribute their discoveries to the
@@ -111,12 +183,24 @@ pub struct Fuzzer {
 }
 
 impl Fuzzer {
-    /// Creates an engine with a deterministic seed.
+    /// Creates an engine with a deterministic seed and the default
+    /// (havoc) mutation strategy.
     pub fn new(seed: u64, mode: Mode) -> Self {
+        Fuzzer::with_strategy(seed, mode, MutationStrategy::Havoc)
+    }
+
+    /// Creates an engine with an explicit mutation strategy. The seed
+    /// corpus and RNG stream are identical across strategies; only the
+    /// parent→child transform differs.
+    pub fn with_strategy(seed: u64, mode: Mode, strategy: MutationStrategy) -> Self {
         let mut f = Fuzzer {
             rng: SmallRng::seed_from_u64(seed),
             mode,
+            strategy,
             corpus: Corpus::new(),
+            profile: MutatorProfile::balanced(),
+            last_op: None,
+            havoc_arms: [0; HAVOC_ARMS],
             recording: mode == Mode::Guided,
             execs: 0,
             crashes: 0,
@@ -135,10 +219,24 @@ impl Fuzzer {
     /// replaces the default seed set; the RNG stream is still a pure
     /// function of `seed`).
     pub fn with_corpus(seed: u64, mode: Mode, corpus: Corpus) -> Self {
+        Fuzzer::with_corpus_strategy(seed, mode, MutationStrategy::Havoc, corpus)
+    }
+
+    /// [`Fuzzer::with_corpus`] with an explicit mutation strategy.
+    pub fn with_corpus_strategy(
+        seed: u64,
+        mode: Mode,
+        strategy: MutationStrategy,
+        corpus: Corpus,
+    ) -> Self {
         Fuzzer {
             rng: SmallRng::seed_from_u64(seed),
             mode,
+            strategy,
             corpus,
+            profile: MutatorProfile::balanced(),
+            last_op: None,
+            havoc_arms: [0; HAVOC_ARMS],
             recording: mode == Mode::Guided,
             execs: 0,
             crashes: 0,
@@ -155,6 +253,21 @@ impl Fuzzer {
     /// The mode this engine runs in.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// The mutation strategy this engine runs.
+    pub fn strategy(&self) -> MutationStrategy {
+        self.strategy
+    }
+
+    /// Mutation-side statistics: per-operator scheduling stats and the
+    /// havoc arm counters.
+    pub fn mutation_stats(&self) -> MutationStats {
+        MutationStats {
+            strategy: self.strategy,
+            operators: self.profile.stats(),
+            havoc_arms: self.havoc_arms,
+        }
     }
 
     /// Total executions reported so far.
@@ -189,10 +302,18 @@ impl Fuzzer {
 
     /// Produces the next input to execute.
     pub fn next_input(&mut self) -> FuzzInput {
+        self.last_op = None;
         match self.mode {
             Mode::Unguided => FuzzInput::random(&mut self.rng),
             Mode::Guided => match self.corpus.schedule_next() {
-                Some(parent) => self.havoc(parent),
+                Some(parent) => match self.strategy {
+                    MutationStrategy::Havoc => self.havoc(parent),
+                    MutationStrategy::Structured => {
+                        let (child, op) = self.profile.mutate(parent, &mut self.rng);
+                        self.last_op = Some(op);
+                        child
+                    }
+                },
                 // A minimized-to-nothing corpus degrades to random.
                 None => FuzzInput::random(&mut self.rng),
             },
@@ -203,7 +324,9 @@ impl Fuzzer {
     fn havoc(&mut self, mut input: FuzzInput) -> FuzzInput {
         let stacking = 1 << self.rng.gen_range(1..6); // 2..32 mutations
         for _ in 0..stacking {
-            match self.rng.gen_range(0..7) {
+            let arm = self.rng.gen_range(0..HAVOC_ARMS);
+            self.havoc_arms[arm] += 1;
+            match arm {
                 0 => {
                     // Single bit flip.
                     let bit = self.rng.gen_range(0..INPUT_LEN * 8);
@@ -284,11 +407,18 @@ impl Fuzzer {
         if feedback.crashed {
             self.crashes += 1;
         }
+        let op = self.last_op.take();
         let new_bits = self
             .corpus
-            .observe(input, bitmap, lines, self.execs, self.recording);
+            .observe(input, bitmap, lines, self.execs, op, self.recording);
         if new_bits && self.recording {
             self.queue_adds += 1;
+            // Adaptive scheduling: a queued child credits every
+            // operator of the stack that produced it, so productive
+            // operators earn weight.
+            if op.is_some() {
+                self.profile.credit_last();
+            }
         }
         new_bits
     }
@@ -379,6 +509,67 @@ mod tests {
             input.u64_at(INPUT_LEN - 2),
             input.u16_at(INPUT_LEN - 2) as u64
         );
+    }
+
+    /// Reports an always-novel bitmap so every generated child queues.
+    fn report_novel(f: &mut Fuzzer, input: &FuzzInput, edge: usize) {
+        let mut bitmap = vec![0u8; MAP_SIZE];
+        bitmap[edge] = 1;
+        f.report(input, &bitmap, ExecFeedback::default());
+    }
+
+    #[test]
+    fn structured_children_carry_operator_provenance_and_credit() {
+        let mut f = Fuzzer::with_strategy(11, Mode::Guided, MutationStrategy::Structured);
+        for i in 0..40 {
+            let input = f.next_input();
+            report_novel(&mut f, &input, i + 1);
+        }
+        let typed = f
+            .corpus()
+            .entries()
+            .filter(|e| e.provenance.op.is_some())
+            .count();
+        assert!(typed > 0, "structured children must record their operator");
+        let stats = f.mutation_stats();
+        assert_eq!(stats.strategy, MutationStrategy::Structured);
+        assert!(stats.operators.iter().any(|s| s.queued > 0));
+        let base = MutatorProfile::balanced().stats()[0].weight;
+        assert!(
+            stats.operators.iter().any(|s| s.weight > base),
+            "queued children must grow operator weight"
+        );
+        assert_eq!(stats.havoc_arms, [0; HAVOC_ARMS], "havoc half stays dead");
+    }
+
+    #[test]
+    fn havoc_children_never_carry_operator_provenance() {
+        let mut f = Fuzzer::new(11, Mode::Guided);
+        for i in 0..40 {
+            let input = f.next_input();
+            report_novel(&mut f, &input, i + 1);
+        }
+        assert!(
+            f.corpus().entries().all(|e| e.provenance.op.is_none()),
+            "havoc provenance must stay untyped"
+        );
+        let stats = f.mutation_stats();
+        assert!(stats.operators.iter().all(|s| s.generated == 0));
+        assert!(stats.havoc_arms.iter().any(|&n| n > 0));
+    }
+
+    #[test]
+    fn havoc_strategy_is_bit_identical_to_default_engine() {
+        let mut a = Fuzzer::new(21, Mode::Guided);
+        let mut b = Fuzzer::with_strategy(21, Mode::Guided, MutationStrategy::Havoc);
+        for i in 0..30 {
+            let ia = a.next_input();
+            let ib = b.next_input();
+            assert_eq!(ia, ib, "input {i} diverged");
+            report_novel(&mut a, &ia, i + 1);
+            report_novel(&mut b, &ib, i + 1);
+        }
+        assert_eq!(a.corpus(), b.corpus());
     }
 
     #[test]

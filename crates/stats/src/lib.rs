@@ -173,6 +173,21 @@ pub fn summarize(xs: &[f64]) -> DistSummary {
     }
 }
 
+/// First `x` (execution count, virtual hour, …) at which a growth
+/// curve of `(x, value)` samples reaches `level`. `None` if the curve
+/// never gets there. The time-to-coverage-level metric of the
+/// `mutator_yield` bench (`sync_speedup` computes its crossing live
+/// during the fleet run, so it cannot use a post-hoc curve scan):
+/// comparing two fuzzing configurations by *when* they reach a fixed
+/// coverage level is robust to the plateau shape at the end of a
+/// campaign, where final values saturate and stop discriminating.
+pub fn execs_to_level(samples: &[(u64, f64)], level: f64) -> Option<u64> {
+    samples
+        .iter()
+        .find(|&&(_, value)| value >= level)
+        .map(|&(x, _)| x)
+}
+
 /// A coarse text histogram (violin-plot stand-in) over `bins` buckets.
 pub fn ascii_violin(xs: &[f64], bins: usize, width: usize) -> Vec<String> {
     if xs.is_empty() || bins == 0 {
@@ -252,6 +267,15 @@ mod tests {
         assert!(d > 5.0, "large effect expected, got {d}");
         assert!(cohens_d(&b, &a) < -5.0);
         assert_eq!(cohens_d(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn execs_to_level_finds_first_crossing() {
+        let curve = [(100, 0.1), (200, 0.3), (300, 0.3), (400, 0.7)];
+        assert_eq!(execs_to_level(&curve, 0.3), Some(200));
+        assert_eq!(execs_to_level(&curve, 0.0), Some(100));
+        assert_eq!(execs_to_level(&curve, 0.71), None);
+        assert_eq!(execs_to_level(&[], 0.0), None);
     }
 
     #[test]

@@ -294,11 +294,38 @@ pub const STATE_BITS: u32 = {
     total
 };
 
+/// Byte offset of every field inside the serialized seed layout, in
+/// catalogue order — the geometry [`crate::Vmcs::from_bytes`] decodes
+/// and structure-aware mutators write through. Derived from the width
+/// table, so the two can never drift apart.
+pub const SEED_OFFSETS: [usize; FIELD_COUNT] = {
+    let mut offsets = [0usize; FIELD_COUNT];
+    let mut off = 0usize;
+    let mut i = 0;
+    while i < FIELD_COUNT {
+        offsets[i] = off;
+        off += (VmcsField::ALL[i].width().bits() / 8) as usize;
+        i += 1;
+    }
+    offsets
+};
+
 impl VmcsField {
     /// Dense index of the field inside [`VmcsField::ALL`], used as the
     /// storage slot.
     pub const fn index(self) -> usize {
         self as usize
+    }
+
+    /// Byte offset of the field in the serialized seed layout (the
+    /// little-endian byte stream `Vmcs::from_bytes` reads).
+    pub const fn seed_offset(self) -> usize {
+        SEED_OFFSETS[self as usize]
+    }
+
+    /// Byte length of the field in the serialized seed layout.
+    pub const fn seed_len(self) -> usize {
+        (self.width().bits() / 8) as usize
     }
 
     /// Looks a field up by architectural encoding.
@@ -367,6 +394,18 @@ mod tests {
         for (i, &f) in VmcsField::ALL.iter().enumerate() {
             assert_eq!(f.index(), i);
         }
+    }
+
+    #[test]
+    fn seed_offsets_match_serialization_geometry() {
+        // The offset table is exactly the cursor Vmcs::from_bytes walks:
+        // contiguous, in catalogue order, ending at the 1000-byte seed.
+        let mut off = 0usize;
+        for &f in VmcsField::ALL {
+            assert_eq!(f.seed_offset(), off, "{}", f.name());
+            off += f.seed_len();
+        }
+        assert_eq!(off, STATE_BITS as usize / 8);
     }
 
     #[test]

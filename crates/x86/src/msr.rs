@@ -163,6 +163,28 @@ pub const ALL_MSRS: &[Msr] = &[
     Msr::VmHsavePa,
 ];
 
+/// The MSR-index fuzz dictionary: every catalogued index plus the
+/// off-catalogue neighbours that exercise the unknown-MSR arms (one
+/// past each architectural range, the synthetic 0x480-block end, and
+/// the x2APIC window the model does not implement).
+///
+/// Structure-aware MSR-area mutators draw indices from here instead of
+/// mutating the index bytes blindly: most of the vocabulary lands on
+/// MSRs the VM-entry load path actually validates (`requires_canonical`
+/// members like `KernelGsBase` are CVE-2024-21106 territory), while the
+/// deliberate strays keep the `#GP`/unknown-MSR handlers reachable.
+pub fn index_dictionary() -> Vec<u32> {
+    let mut dict: Vec<u32> = ALL_MSRS.iter().map(|m| m.index()).collect();
+    dict.extend_from_slice(&[
+        0x0,         // IA32_P5_MC_ADDR: known index space, unmodeled
+        0x492,       // one past the VMX capability block
+        0x800,       // x2APIC window start
+        0xc000_0085, // hole after the SYSCALL block
+        0xc001_0118, // one past VM_HSAVE_PA
+    ]);
+    dict
+}
+
 /// Checks an `IA32_PAT` value: every byte must encode a valid memory type
 /// (0, 1, 4, 5, 6 or 7).
 pub fn pat_valid(pat: u64) -> bool {
@@ -307,6 +329,23 @@ mod tests {
         assert!(debugctl_valid(0x1));
         assert!(!debugctl_valid(1 << 2));
         assert!(!debugctl_valid(1 << 16));
+    }
+
+    #[test]
+    fn dictionary_covers_catalogue_plus_strays() {
+        let dict = index_dictionary();
+        for &m in ALL_MSRS {
+            assert!(dict.contains(&m.index()), "{m:?} missing from dictionary");
+        }
+        let strays = dict
+            .iter()
+            .filter(|&&i| Msr::from_index(i).is_none())
+            .count();
+        assert!(strays >= 4, "unknown-MSR arms need stray indices");
+        let mut unique = dict.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), dict.len(), "dictionary entries are unique");
     }
 
     #[test]

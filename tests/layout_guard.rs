@@ -1,0 +1,135 @@
+//! Layout guard: `InputLayout` (in `nf_fuzz::scenario`) is the *only*
+//! place allowed to state the fuzz-input partition. This grep-style
+//! test walks every Rust source in the workspace and fails if a raw
+//! section offset — or the pre-refactor `sections::` module — ever
+//! creeps back in, so the mutation side (fuzz) and the decode side
+//! (harness/validator/configurator) can never drift apart again.
+
+use std::path::{Path, PathBuf};
+
+/// The section start offsets of the 2 KiB layout that are distinctive
+/// enough to grep for (META/INIT starts of 0/8 are hopeless as
+/// literals; these five uniquely identify the partition). Derived from
+/// the live schema so the guard follows any future layout change.
+fn forbidden_offsets() -> Vec<String> {
+    use nf_fuzz::InputLayout;
+    [
+        InputLayout::RUNTIME.offset,   //   72
+        InputLayout::VMCS_SEED.offset, //  392
+        InputLayout::MUTATE.offset,    // 1392
+        InputLayout::VCPU_CFG.offset,  // 1420
+        InputLayout::MSR_AREA.offset,  // 1428
+    ]
+    .iter()
+    .map(usize::to_string)
+    .collect()
+}
+
+/// Collects every `.rs` file under `dir`, recursively.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // Build outputs hold generated/duplicated sources.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `true` when `needle` occurs in `hay` as a standalone decimal number:
+/// not a digit-run substring (the `392` inside `1392`), not part of a
+/// wider literal (`3920`, `1_392`, `0.1392`), and not inside a hex
+/// literal or identifier (`0x72`, `foo72`). A trailing type suffix
+/// (`1392usize`) still counts — that is a real offset literal.
+fn contains_standalone_number(hay: &str, needle: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let before_ok = |b: u8| !(b.is_ascii_alphanumeric() || b == b'_' || b == b'.');
+    let after_ok = |b: u8| !(b.is_ascii_digit() || b == b'_' || b == b'.');
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        if (start == 0 || before_ok(bytes[start - 1]))
+            && (end == bytes.len() || after_ok(bytes[end]))
+        {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+#[test]
+fn no_raw_section_offsets_outside_input_layout() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    for dir in ["crates", "tests", "examples", "src"] {
+        rust_sources(&root.join(dir), &mut sources);
+    }
+    assert!(
+        sources.len() > 40,
+        "the scan must actually see the workspace, found {} files",
+        sources.len()
+    );
+
+    let offsets = forbidden_offsets();
+    let mut violations = Vec::new();
+    for path in &sources {
+        let text = std::fs::read_to_string(path).expect("read source");
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .display()
+            .to_string();
+        // The shims vendor third-party API surface; their numerology
+        // (RNG constants etc.) has nothing to do with the input layout.
+        if rel.starts_with("crates/shims") {
+            continue;
+        }
+        if rel == "tests/layout_guard.rs" {
+            continue; // this file names the offsets in its comments
+        }
+        if text.contains("sections::") {
+            violations.push(format!("{rel}: resurrects the old `sections` module"));
+        }
+        for (line_no, line) in text.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or(line);
+            for offset in &offsets {
+                if contains_standalone_number(code, offset) {
+                    violations.push(format!(
+                        "{rel}:{}: raw section offset {offset}: {}",
+                        line_no + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "section offsets must come from InputLayout, never literals:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn guard_scanner_detects_planted_violations() {
+    // The guard is only as good as its scanner: prove it would fire.
+    assert!(contains_standalone_number("let x = 1392;", "1392"));
+    assert!(contains_standalone_number("slice(1392, 28)", "1392"));
+    assert!(contains_standalone_number("1392usize", "1392"));
+    assert!(!contains_standalone_number("let x = 1392;", "392"));
+    assert!(!contains_standalone_number("let x = 13920;", "1392"));
+    assert!(!contains_standalone_number("let x = 1_392;", "392"));
+    assert!(!contains_standalone_number("0.1392", "1392"));
+    assert!(!contains_standalone_number("Cpuid = 0x72,", "72"));
+    assert!(!contains_standalone_number("foo72(1)", "72"));
+}
