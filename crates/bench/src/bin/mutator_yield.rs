@@ -20,10 +20,12 @@
 //! The headline ratio is `structured execs-to-level / havoc budget`,
 //! medianed over seeds: below 1.0 means structured converts raw
 //! exec/s into coverage faster than havoc; the CI gate demands ≤ 0.75.
-//! Both campaigns run on the product guided path (`Campaign::run_hours`
-//! — exactly what `necofuzz --guided --mutator ...` ships), and
-//! everything is a pure function of the seeds, so the emitted
-//! `BENCH_mutators.json` is bit-reproducible.
+//! The whole pipeline lives in [`nf_bench::mutator_bench`] (both
+//! campaigns run on the product guided path — exactly what `necofuzz
+//! --guided --mutator ...` ships), so `tests/hotpath_equivalence.rs`
+//! can regenerate `BENCH_mutators.json` and hold it byte-for-byte;
+//! everything is a pure function of the seeds, so the emitted file is
+//! bit-reproducible.
 //!
 //! Flags: `--out PATH` (default `BENCH_mutators.json`), `--smoke`
 //! (small budget; the CI gate — asserts the ratio, that every operator
@@ -31,141 +33,9 @@
 //! bit-identical), `--jobs N` (accepted for CLI uniformity; cells are
 //! a handful of serial campaigns).
 
-use necofuzz::campaign::{Campaign, CampaignConfig, CampaignResult};
-use nf_bench::{hr, vkvm_factory};
-use nf_fuzz::{Mode, MutationStats, MutationStrategy, Operator, HAVOC_ARMS};
-use nf_stats::{execs_to_level, median};
-use nf_x86::CpuVendor;
-
-/// Seeds of the comparison (medianed; Klees et al.'s repeated runs).
-const SEEDS: [u64; 5] = [0, 1, 2, 3, 4];
-
-/// The ratio the CI gate demands: structured must reach the havoc
-/// level in at most this fraction of the havoc budget (median).
-const GATE_RATIO: f64 = 0.75;
-
-/// One strategy's run on one seed: the hourly growth curve plus the
-/// campaign result (operator stats, final coverage).
-struct StrategyRun {
-    curve: Vec<(u64, f64)>,
-    result: CampaignResult,
-}
-
-/// Runs one guided campaign on the product path, sampling the coverage
-/// growth curve at every virtual hour.
-fn run_strategy(strategy: MutationStrategy, seed: u64, hours: u32, eph: u32) -> StrategyRun {
-    let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, hours, seed)
-        .with_execs_per_hour(eph)
-        .with_mode(Mode::Guided)
-        .with_strategy(strategy);
-    let mut campaign = Campaign::new(vkvm_factory(), &cfg);
-    let mut curve = Vec::with_capacity(hours as usize);
-    while !campaign.is_complete() {
-        campaign.run_hours(1);
-        curve.push((campaign.execs(), campaign.coverage_fraction()));
-    }
-    StrategyRun {
-        curve,
-        result: campaign.into_result(),
-    }
-}
-
-/// One seed's havoc-vs-structured comparison.
-struct SeedRow {
-    seed: u64,
-    /// The havoc baseline's final coverage (= the target level).
-    havoc_final: f64,
-    /// The havoc baseline's execution budget.
-    havoc_execs: u64,
-    /// Executions at which structured first reached the havoc level.
-    structured_execs_to_level: Option<u64>,
-    /// Structured coverage at budget exhaustion.
-    structured_final: f64,
-}
-
-impl SeedRow {
-    /// `structured execs-to-level / havoc budget`; `None` while the
-    /// level was never reached (treated as ratio 1.0+ by the gate).
-    fn ratio(&self) -> Option<f64> {
-        self.structured_execs_to_level
-            .map(|e| e as f64 / self.havoc_execs as f64)
-    }
-}
-
-/// Aggregated per-operator stats across the structured runs.
-fn operator_table(runs: &[&MutationStats]) -> Vec<(Operator, u64, u64)> {
-    Operator::ALL
-        .iter()
-        .map(|&op| {
-            let (mut generated, mut queued) = (0u64, 0u64);
-            for stats in runs {
-                let s = &stats.operators[op.index()];
-                generated += s.generated;
-                queued += s.queued;
-            }
-            (op, generated, queued)
-        })
-        .collect()
-}
-
-#[allow(clippy::too_many_arguments)]
-fn write_json(
-    path: &str,
-    hours: u32,
-    eph: u32,
-    rows: &[SeedRow],
-    ops: &[(Operator, u64, u64)],
-    havoc_arms: &[u64; HAVOC_ARMS],
-    median_ratio: f64,
-    gate_pass: bool,
-) {
-    let row_json: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            let reached = match r.structured_execs_to_level {
-                Some(e) => format!("\"execs_to_level\": {e}, \"reached\": true"),
-                None => "\"execs_to_level\": null, \"reached\": false".to_string(),
-            };
-            format!(
-                "    {{\"seed\": {}, \"havoc_final_coverage\": {:.4}, \"havoc_execs\": {}, \
-                 {reached}, \"ratio\": {}, \"structured_final_coverage\": {:.4}}}",
-                r.seed,
-                r.havoc_final,
-                r.havoc_execs,
-                r.ratio().map_or("null".to_string(), |x| format!("{x:.4}")),
-                r.structured_final
-            )
-        })
-        .collect();
-    let op_json: Vec<String> = ops
-        .iter()
-        .map(|&(op, generated, queued)| {
-            format!(
-                "    {{\"operator\": \"{}\", \"generated\": {generated}, \"queued\": {queued}, \
-                 \"yield\": {:.4}}}",
-                op.name(),
-                queued as f64 / generated.max(1) as f64
-            )
-        })
-        .collect();
-    let arms: Vec<String> = havoc_arms.iter().map(u64::to_string).collect();
-    let json = format!(
-        "{{\n  \"bench\": \"mutator_yield\",\n  \"unit\": \"execs_to_level_ratio\",\n  \
-         \"metric\": \"structured executions to reach the havoc baseline's final coverage, \
-         as a fraction of the havoc budget (guided campaigns, medians over seeds)\",\n  \
-         \"config\": {{\"target\": \"vkvm\", \"vendor\": \"intel\", \"mode\": \"guided\", \
-         \"hours\": {hours}, \"execs_per_hour\": {eph}, \"seeds\": {}}},\n  \
-         \"seeds\": [\n{}\n  ],\n  \"operators\": [\n{}\n  ],\n  \
-         \"havoc_arm_execs\": [{}],\n  \
-         \"summary\": {{\"median_ratio\": {median_ratio:.4}, \"gate_ratio\": {GATE_RATIO}, \
-         \"structured_reaches_havoc_level_within_gate\": {gate_pass}}}\n}}\n",
-        rows.len(),
-        row_json.join(",\n"),
-        op_json.join(",\n"),
-        arms.join(", "),
-    );
-    std::fs::write(path, json).expect("write bench output");
-}
+use nf_bench::hr;
+use nf_bench::mutator_bench::{self, GATE_RATIO, SEEDS};
+use nf_fuzz::MutationStrategy;
 
 fn usage() -> ! {
     eprintln!("usage: mutator_yield [--smoke] [--jobs N] [--out PATH]");
@@ -204,26 +74,8 @@ fn main() {
         "seed", "havoc_cov", "havoc_execs", "structured@lvl", "ratio", "struct_cov"
     );
 
-    let mut rows = Vec::new();
-    let mut structured_stats = Vec::new();
-    let mut havoc_arms = [0u64; HAVOC_ARMS];
-    // The first seed's structured run is kept whole: the smoke gate
-    // re-runs that cell once and compares, so reproducibility costs
-    // one extra campaign rather than two.
-    let mut first_structured: Option<StrategyRun> = None;
-    for &seed in seeds {
-        let havoc = run_strategy(MutationStrategy::Havoc, seed, hours, eph);
-        let structured = run_strategy(MutationStrategy::Structured, seed, hours, eph);
-        let row = SeedRow {
-            seed,
-            havoc_final: havoc.result.final_coverage,
-            havoc_execs: havoc.result.execs,
-            structured_execs_to_level: execs_to_level(
-                &structured.curve,
-                havoc.result.final_coverage,
-            ),
-            structured_final: structured.result.final_coverage,
-        };
+    let report = mutator_bench::run(hours, eph, seeds);
+    for row in &report.rows {
         println!(
             "{:<6} {:>11.1}% {:>12} {:>16} {:>8} {:>11.1}%",
             row.seed,
@@ -234,59 +86,36 @@ fn main() {
             row.ratio().map_or("-".to_string(), |x| format!("{x:.2}")),
             row.structured_final * 100.0
         );
-        for (arm, &n) in havoc.result.mutation.havoc_arms.iter().enumerate() {
-            havoc_arms[arm] += n;
-        }
-        structured_stats.push(structured.result.mutation.clone());
-        if first_structured.is_none() {
-            first_structured = Some(structured);
-        }
-        rows.push(row);
     }
 
-    // A never-reached level counts as the full budget (ratio 1.0) so
-    // the median cannot be flattered by dropping bad seeds.
-    let ratios: Vec<f64> = rows.iter().map(|r| r.ratio().unwrap_or(1.0)).collect();
-    let median_ratio = median(&ratios);
-    let gate_pass = median_ratio <= GATE_RATIO;
-    let stats_refs: Vec<&MutationStats> = structured_stats.iter().collect();
-    let ops = operator_table(&stats_refs);
-
     println!("\nper-operator yield (structured, all seeds):");
-    for &(op, generated, queued) in &ops {
+    for &(op, generated, queued) in &report.ops {
         println!(
             "  {:<18} generated {generated:>6}  queued {queued:>4}",
             op.name()
         );
     }
     println!(
-        "\nmedian ratio {median_ratio:.2} (gate {GATE_RATIO}) — structured reaches the havoc \
+        "\nmedian ratio {:.2} (gate {GATE_RATIO}) — structured reaches the havoc \
          level in {:.0}% of the havoc budget",
-        median_ratio * 100.0
+        report.median_ratio,
+        report.median_ratio * 100.0
     );
 
-    write_json(
-        &out,
-        hours,
-        eph,
-        &rows,
-        &ops,
-        &havoc_arms,
-        median_ratio,
-        gate_pass,
-    );
+    std::fs::write(&out, &report.json).expect("write bench output");
     println!("wrote {out}");
 
     if smoke {
         let mut failures = Vec::new();
-        if !gate_pass {
+        if !report.gate_pass {
             failures.push(format!(
-                "median ratio {median_ratio:.3} exceeds the {GATE_RATIO} gate"
+                "median ratio {:.3} exceeds the {GATE_RATIO} gate",
+                report.median_ratio
             ));
         }
         // Every mutation primitive of both strategies must have run:
         // the gate is sized so a silently dead operator cannot hide.
-        for (seed, stats) in seeds.iter().zip(&structured_stats) {
+        for (seed, stats) in seeds.iter().zip(&report.structured_stats) {
             if !stats.all_exercised() {
                 let dead: Vec<&str> = stats
                     .operators
@@ -297,13 +126,16 @@ fn main() {
                 failures.push(format!("seed {seed}: operators never ran: {dead:?}"));
             }
         }
-        if havoc_arms.contains(&0) {
-            failures.push(format!("havoc arms not all exercised: {havoc_arms:?}"));
+        if report.havoc_arms.contains(&0) {
+            failures.push(format!(
+                "havoc arms not all exercised: {:?}",
+                report.havoc_arms
+            ));
         }
         // Bit-reproducibility: repeating the first structured cell
         // must reproduce the main loop's run exactly.
-        let first = first_structured.expect("seeds is non-empty");
-        let again = run_strategy(MutationStrategy::Structured, seeds[0], hours, eph);
+        let first = report.first_structured.expect("seeds is non-empty");
+        let again = mutator_bench::run_strategy(MutationStrategy::Structured, seeds[0], hours, eph);
         if again.curve != first.curve || again.result != first.result {
             failures.push("structured cell is not bit-reproducible".to_string());
         }

@@ -25,163 +25,20 @@
 //! is still crawling along its plateau — i.e. in measurably fewer
 //! total executions.
 //!
-//! Fleets run on the product sync path
-//! ([`run_campaign_group_observed`], the loop behind `necofuzz
-//! --sync-interval`), so the bench measures the shipped protocol, not
-//! a re-implementation. Adoption replays are real executions on top of
-//! the generation budget: `execs_to_target` counts them, and each
-//! cell's `total_execs` reports its actual cost so the
-//! equal-generation-budget coverage comparison can be read honestly.
-//!
-//! Everything is deterministic (fixed seeds, worker-id-ordered
-//! merges), so the emitted `BENCH_sync.json` is bit-reproducible.
+//! The whole pipeline lives in [`nf_bench::sync_bench`] (fleets run on
+//! the product sync path, the loop behind `necofuzz --sync-interval`),
+//! so the bench measures the shipped protocol and
+//! `tests/hotpath_equivalence.rs` can regenerate `BENCH_sync.json` and
+//! hold it byte-for-byte. Everything is deterministic (fixed seeds,
+//! worker-id-ordered merges), so the emitted file is bit-reproducible.
 //! Flags: `--out PATH` (default `BENCH_sync.json`), `--smoke` (tiny
 //! budget; exit 1 unless every synced cell covers at least as much as
 //! its unsynced twin at equal budget and some synced multi-worker
 //! fleet reaches the level — the CI gate), `--jobs N` (accepted for
 //! CLI uniformity; cells run serially because each is itself a fleet).
 
-use necofuzz::campaign::{run_campaign_group_observed, Campaign, CampaignConfig, GroupMember};
-use nf_bench::{hr, vkvm_factory};
-use nf_coverage::{CovMap, FileId, LineSet};
-use nf_fuzz::Mode;
-use nf_x86::CpuVendor;
-
-/// Fleet sizes measured — the single source for the main loop, the
-/// JSON summary, and the smoke gate, so adding a size cannot silently
-/// escape the CI comparison.
-const FLEET_SIZES: [u32; 4] = [1, 2, 4, 8];
-
-/// One fleet measurement.
-struct CellResult {
-    workers: u32,
-    synced: bool,
-    /// Total executions (across workers, replays included) when every
-    /// member's own coverage first reached the target level; `None` if
-    /// the budget ran out first.
-    execs_to_target: Option<u64>,
-    /// Worst member's own coverage at budget exhaustion.
-    final_min: f64,
-    /// Union coverage of the fleet at budget exhaustion.
-    final_union: f64,
-    /// Corpus entries adopted (and replayed) from siblings.
-    adoptions: u64,
-    /// Actual executions at budget exhaustion: the generation budget
-    /// plus adoption replays. Synced cells run more total executions
-    /// than their unsynced twins — the JSON reports this so coverage
-    /// comparisons can be read against each cell's real cost.
-    total_execs: u64,
-}
-
-/// Runs an `n`-worker unguided fleet at `hours_each` hours per worker,
-/// measuring when every member reaches `target` coverage on its own.
-///
-/// The fleet runs on the product sync path —
-/// [`run_campaign_group_observed`], the same loop `necofuzz
-/// --sync-interval` ships — with the hourly observer doing the
-/// time-to-coverage bookkeeping, so the bench measures exactly the
-/// protocol users get.
-fn run_fleet(
-    n: u32,
-    hours_each: u32,
-    execs_per_hour: u32,
-    synced: bool,
-    target: f64,
-    map: &CovMap,
-    file: FileId,
-) -> CellResult {
-    let members: Vec<GroupMember> = (0..n)
-        .map(|worker| {
-            let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, hours_each, worker as u64)
-                .with_execs_per_hour(execs_per_hour)
-                .with_mode(Mode::Unguided)
-                .with_sync_interval(u32::from(synced));
-            (vkvm_factory(), cfg)
-        })
-        .collect();
-    let total_lines = map.file_lines(file) as f64;
-
-    let mut execs_to_target = None;
-    let mut final_min = 0.0;
-    let mut final_union = 0.0;
-    let results = run_campaign_group_observed(members, |members| {
-        final_min = members
-            .iter()
-            .map(Campaign::coverage_fraction)
-            .fold(f64::INFINITY, f64::min);
-        let mut union = LineSet::for_map(map);
-        for member in members {
-            union.union_with(member.lines());
-        }
-        final_union = union.count_in(map, file) as f64 / total_lines;
-        if execs_to_target.is_none() && final_min >= target {
-            execs_to_target = Some(members.iter().map(Campaign::execs).sum());
-        }
-    });
-    CellResult {
-        workers: n,
-        synced,
-        execs_to_target,
-        final_min,
-        final_union,
-        adoptions: results.iter().map(|r| r.adopted).sum(),
-        total_execs: results.iter().map(|r| r.execs).sum(),
-    }
-}
-
-fn write_json(
-    path: &str,
-    target: f64,
-    budget: u64,
-    baseline_hours: u32,
-    execs_per_hour: u32,
-    cells: &[CellResult],
-) {
-    let rows: Vec<String> = cells
-        .iter()
-        .map(|c| {
-            let reached = match c.execs_to_target {
-                Some(execs) => format!("\"execs_to_target\": {execs}, \"reached\": true"),
-                None => "\"execs_to_target\": null, \"reached\": false".to_string(),
-            };
-            format!(
-                "    {{\"workers\": {}, \"synced\": {}, {reached}, \
-                 \"final_min_coverage\": {:.4}, \"final_union_coverage\": {:.4}, \
-                 \"adoptions\": {}, \"total_execs\": {}}}",
-                c.workers, c.synced, c.final_min, c.final_union, c.adoptions, c.total_execs
-            )
-        })
-        .collect();
-    let synced_beats_unsynced = FLEET_SIZES.iter().all(|&n| {
-        let synced = cells.iter().find(|c| c.workers == n && c.synced);
-        let unsynced = cells.iter().find(|c| c.workers == n && !c.synced);
-        match (synced, unsynced) {
-            (Some(s), Some(u)) => s.final_min >= u.final_min,
-            _ => true,
-        }
-    });
-    let best_multi = cells
-        .iter()
-        .filter(|c| c.synced && c.workers > 1)
-        .filter_map(|c| c.execs_to_target)
-        .min();
-    let speedup = best_multi.map(|e| budget as f64 / e as f64).unwrap_or(0.0);
-    let json = format!(
-        "{{\n  \"bench\": \"sync_speedup\",\n  \"unit\": \"total_execs\",\n  \
-         \"metric\": \"total executions until every fleet member's own coverage \
-         reaches the baseline level\",\n  \
-         \"baseline\": {{\"mode\": \"unguided\", \"workers\": 1, \"hours\": {baseline_hours}, \
-         \"execs_per_hour\": {execs_per_hour}, \"budget_execs\": {budget}, \
-         \"target_coverage\": {target:.4}}},\n  \
-         \"cells\": [\n{}\n  ],\n  \"summary\": {{\
-         \"synced_beats_unsynced_at_equal_budget\": {synced_beats_unsynced}, \
-         \"best_synced_multi_execs_to_target\": {}, \
-         \"speedup_vs_baseline_budget\": {speedup:.2}}}\n}}\n",
-        rows.join(",\n"),
-        best_multi.map_or("null".to_string(), |e| e.to_string()),
-    );
-    std::fs::write(path, json).expect("write bench output");
-}
+use nf_bench::hr;
+use nf_bench::sync_bench::{self, FLEET_SIZES};
 
 fn usage() -> ! {
     eprintln!("usage: sync_speedup [--smoke] [--jobs N] [--out PATH]");
@@ -211,56 +68,42 @@ fn main() {
     // at half the full exec rate keeps every cell syncing while the
     // whole gate still finishes in seconds.
     let (hours, execs_per_hour) = if smoke { (24, 60) } else { (24, 120) };
-    let budget = u64::from(hours) * u64::from(execs_per_hour);
 
-    // Baseline: the product configuration (one unguided worker) at the
-    // full budget; its endpoint is the level every fleet must reach.
-    let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, hours, 0)
-        .with_execs_per_hour(execs_per_hour)
-        .with_mode(Mode::Unguided);
-    let mut baseline = Campaign::new(vkvm_factory(), &cfg);
-    baseline.run_hours(hours);
-    let target = baseline.coverage_fraction();
-    let (map, file) = baseline.coverage_geometry();
+    let report = sync_bench::run(hours, execs_per_hour);
 
     hr("Sync speedup: corpus-synced fleets vs unsynced (equal total budget)");
     println!(
-        "baseline: 1 unguided worker, {hours}h x {execs_per_hour} execs/h = {budget} execs, \
+        "baseline: 1 unguided worker, {hours}h x {execs_per_hour} execs/h = {} execs, \
          coverage {:.1}% (the target level)",
-        target * 100.0
+        report.budget,
+        report.target * 100.0
     );
     println!(
         "\n{:<8} {:<7} {:>16} {:>14} {:>14} {:>10} {:>12}",
         "workers", "synced", "execs_to_target", "min_cov", "union_cov", "adoptions", "total_execs"
     );
-
-    let mut cells = Vec::new();
-    for n in FLEET_SIZES {
-        let hours_each = hours / n;
-        for synced in [false, true] {
-            let cell = run_fleet(n, hours_each, execs_per_hour, synced, target, &map, file);
-            println!(
-                "{:<8} {:<7} {:>16} {:>13.1}% {:>13.1}% {:>10} {:>12}",
-                cell.workers,
-                cell.synced,
-                cell.execs_to_target
-                    .map_or("-".to_string(), |e| e.to_string()),
-                cell.final_min * 100.0,
-                cell.final_union * 100.0,
-                cell.adoptions,
-                cell.total_execs
-            );
-            cells.push(cell);
-        }
+    for cell in &report.cells {
+        println!(
+            "{:<8} {:<7} {:>16} {:>13.1}% {:>13.1}% {:>10} {:>12}",
+            cell.workers,
+            cell.synced,
+            cell.execs_to_target
+                .map_or("-".to_string(), |e| e.to_string()),
+            cell.final_min * 100.0,
+            cell.final_union * 100.0,
+            cell.adoptions,
+            cell.total_execs
+        );
     }
 
-    write_json(&out, target, budget, hours, execs_per_hour, &cells);
+    std::fs::write(&out, &report.json).expect("write bench output");
     println!("\nwrote {out}");
 
     if smoke {
         // CI gate: at equal total budget, syncing must never cost the
         // fleet coverage, and some synced multi-worker fleet must
         // reach the baseline level before exhausting the budget.
+        let cells = &report.cells;
         let mut failures = Vec::new();
         for n in FLEET_SIZES {
             let synced = cells.iter().find(|c| c.workers == n && c.synced).unwrap();

@@ -14,6 +14,9 @@
 //! reduced in deterministic plan order — so `--jobs 1` and `--jobs 32`
 //! print byte-identical tables.
 
+pub mod mutator_bench;
+pub mod sync_bench;
+
 use necofuzz::campaign::{CampaignConfig, CampaignResult};
 use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignJob};
 use necofuzz::ComponentMask;

@@ -1,0 +1,210 @@
+//! The deterministic pipeline behind the `sync_speedup` bench binary:
+//! corpus-synced worker fleets vs unsynced ones at equal total
+//! execution budget, reported as time-to-coverage-level.
+//!
+//! Extracted from the binary so the emitted JSON is *testable*:
+//! everything here is a pure function of `(hours, execs_per_hour)` —
+//! fixed seeds, worker-id-ordered merges — so `BENCH_sync.json` is
+//! bit-reproducible, and `tests/hotpath_equivalence.rs` regenerates it
+//! through this module and compares byte-for-byte against the
+//! committed file. The binary adds only CLI parsing, table printing,
+//! and the CI smoke gate.
+
+use necofuzz::campaign::{run_campaign_group_observed, Campaign, CampaignConfig, GroupMember};
+use nf_coverage::{CovMap, FileId, LineSet};
+use nf_fuzz::Mode;
+use nf_x86::CpuVendor;
+
+use crate::vkvm_factory;
+
+/// Fleet sizes measured — the single source for the main loop, the
+/// JSON summary, and the smoke gate, so adding a size cannot silently
+/// escape the CI comparison.
+pub const FLEET_SIZES: [u32; 4] = [1, 2, 4, 8];
+
+/// One fleet measurement.
+pub struct SyncCell {
+    /// Fleet size.
+    pub workers: u32,
+    /// Whether the fleet exchanged corpus deltas every virtual hour.
+    pub synced: bool,
+    /// Total executions (across workers, replays included) when every
+    /// member's own coverage first reached the target level; `None` if
+    /// the budget ran out first.
+    pub execs_to_target: Option<u64>,
+    /// Worst member's own coverage at budget exhaustion.
+    pub final_min: f64,
+    /// Union coverage of the fleet at budget exhaustion.
+    pub final_union: f64,
+    /// Corpus entries adopted (and replayed) from siblings.
+    pub adoptions: u64,
+    /// Actual executions at budget exhaustion: the generation budget
+    /// plus adoption replays. Synced cells run more total executions
+    /// than their unsynced twins — the JSON reports this so coverage
+    /// comparisons can be read against each cell's real cost.
+    pub total_execs: u64,
+}
+
+/// The complete bench output: the baseline target, every cell, and the
+/// serialized `BENCH_sync.json` contents.
+pub struct SyncReport {
+    /// The single-worker baseline's final coverage (the target level).
+    pub target: f64,
+    /// The baseline's execution budget.
+    pub budget: u64,
+    /// Virtual hours per (whole) budget.
+    pub hours: u32,
+    /// Executions per virtual hour.
+    pub execs_per_hour: u32,
+    /// Every fleet cell, in `FLEET_SIZES` × (unsynced, synced) order.
+    pub cells: Vec<SyncCell>,
+    /// The JSON document (what the binary writes to disk).
+    pub json: String,
+}
+
+/// Runs an `n`-worker unguided fleet at `hours_each` hours per worker,
+/// measuring when every member reaches `target` coverage on its own.
+///
+/// The fleet runs on the product sync path —
+/// [`run_campaign_group_observed`], the same loop `necofuzz
+/// --sync-interval` ships — with the hourly observer doing the
+/// time-to-coverage bookkeeping, so the bench measures exactly the
+/// protocol users get.
+fn run_fleet(
+    n: u32,
+    hours_each: u32,
+    execs_per_hour: u32,
+    synced: bool,
+    target: f64,
+    map: &CovMap,
+    file: FileId,
+) -> SyncCell {
+    let members: Vec<GroupMember> = (0..n)
+        .map(|worker| {
+            let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, hours_each, worker as u64)
+                .with_execs_per_hour(execs_per_hour)
+                .with_mode(Mode::Unguided)
+                .with_sync_interval(u32::from(synced));
+            (vkvm_factory(), cfg)
+        })
+        .collect();
+    let total_lines = map.file_lines(file) as f64;
+
+    let mut execs_to_target = None;
+    let mut final_min = 0.0;
+    let mut final_union = 0.0;
+    let results = run_campaign_group_observed(members, |members| {
+        final_min = members
+            .iter()
+            .map(Campaign::coverage_fraction)
+            .fold(f64::INFINITY, f64::min);
+        let mut union = LineSet::for_map(map);
+        for member in members {
+            union.union_with(member.lines());
+        }
+        final_union = union.count_in(map, file) as f64 / total_lines;
+        if execs_to_target.is_none() && final_min >= target {
+            execs_to_target = Some(members.iter().map(Campaign::execs).sum());
+        }
+    });
+    SyncCell {
+        workers: n,
+        synced,
+        execs_to_target,
+        final_min,
+        final_union,
+        adoptions: results.iter().map(|r| r.adopted).sum(),
+        total_execs: results.iter().map(|r| r.execs).sum(),
+    }
+}
+
+fn build_json(
+    target: f64,
+    budget: u64,
+    baseline_hours: u32,
+    execs_per_hour: u32,
+    cells: &[SyncCell],
+) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let reached = match c.execs_to_target {
+                Some(execs) => format!("\"execs_to_target\": {execs}, \"reached\": true"),
+                None => "\"execs_to_target\": null, \"reached\": false".to_string(),
+            };
+            format!(
+                "    {{\"workers\": {}, \"synced\": {}, {reached}, \
+                 \"final_min_coverage\": {:.4}, \"final_union_coverage\": {:.4}, \
+                 \"adoptions\": {}, \"total_execs\": {}}}",
+                c.workers, c.synced, c.final_min, c.final_union, c.adoptions, c.total_execs
+            )
+        })
+        .collect();
+    let synced_beats_unsynced = FLEET_SIZES.iter().all(|&n| {
+        let synced = cells.iter().find(|c| c.workers == n && c.synced);
+        let unsynced = cells.iter().find(|c| c.workers == n && !c.synced);
+        match (synced, unsynced) {
+            (Some(s), Some(u)) => s.final_min >= u.final_min,
+            _ => true,
+        }
+    });
+    let best_multi = cells
+        .iter()
+        .filter(|c| c.synced && c.workers > 1)
+        .filter_map(|c| c.execs_to_target)
+        .min();
+    let speedup = best_multi.map(|e| budget as f64 / e as f64).unwrap_or(0.0);
+    format!(
+        "{{\n  \"bench\": \"sync_speedup\",\n  \"unit\": \"total_execs\",\n  \
+         \"metric\": \"total executions until every fleet member's own coverage \
+         reaches the baseline level\",\n  \
+         \"baseline\": {{\"mode\": \"unguided\", \"workers\": 1, \"hours\": {baseline_hours}, \
+         \"execs_per_hour\": {execs_per_hour}, \"budget_execs\": {budget}, \
+         \"target_coverage\": {target:.4}}},\n  \
+         \"cells\": [\n{}\n  ],\n  \"summary\": {{\
+         \"synced_beats_unsynced_at_equal_budget\": {synced_beats_unsynced}, \
+         \"best_synced_multi_execs_to_target\": {}, \
+         \"speedup_vs_baseline_budget\": {speedup:.2}}}\n}}\n",
+        rows.join(",\n"),
+        best_multi.map_or("null".to_string(), |e| e.to_string()),
+    )
+}
+
+/// Runs the whole bench pipeline: the single-worker unguided baseline
+/// (whose endpoint is the level every fleet must reach), then every
+/// `FLEET_SIZES` × {unsynced, synced} cell.
+pub fn run(hours: u32, execs_per_hour: u32) -> SyncReport {
+    let budget = u64::from(hours) * u64::from(execs_per_hour);
+    let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, hours, 0)
+        .with_execs_per_hour(execs_per_hour)
+        .with_mode(Mode::Unguided);
+    let mut baseline = Campaign::new(vkvm_factory(), &cfg);
+    baseline.run_hours(hours);
+    let target = baseline.coverage_fraction();
+    let (map, file) = baseline.coverage_geometry();
+
+    let mut cells = Vec::new();
+    for n in FLEET_SIZES {
+        let hours_each = hours / n;
+        for synced in [false, true] {
+            cells.push(run_fleet(
+                n,
+                hours_each,
+                execs_per_hour,
+                synced,
+                target,
+                &map,
+                file,
+            ));
+        }
+    }
+    let json = build_json(target, budget, hours, execs_per_hour, &cells);
+    SyncReport {
+        target,
+        budget,
+        hours,
+        execs_per_hour,
+        cells,
+        json,
+    }
+}

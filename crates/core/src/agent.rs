@@ -10,7 +10,16 @@
 //!
 //! The hot path is delegated to the engine: instead of rebuilding the
 //! hypervisor and re-deriving boot state each iteration, the engine
-//! restores cached boot snapshots (see [`crate::engine`]).
+//! restores cached boot snapshots (see [`crate::engine`]) — and instead
+//! of allocating a fresh bitmap, line set, and trace per execution, the
+//! engine's [`nf_coverage::ExecScratch`] is recycled:
+//! [`Agent::run_iteration`] returns an [`IterationResult`] that
+//! *borrows* the scratch buffers, valid until the next iteration.
+//! [`Agent::run_iteration_alloc`] keeps the original allocating
+//! sequence callable as the compat reference of the `hotpath` bench and
+//! the `hotpath_equivalence` suite.
+
+use std::sync::Arc;
 
 use nf_coverage::LineSet;
 use nf_fuzz::{ExecFeedback, FuzzInput, MAP_SIZE};
@@ -63,16 +72,32 @@ pub struct BugFind {
     pub message: String,
     /// Execution index at which the bug was first seen.
     pub exec: u64,
-    /// The input that triggered it (saved for reproduction).
-    pub input: FuzzInput,
+    /// The input that triggered it (saved for reproduction). Shared:
+    /// when one execution fires several detectors, the input is cloned
+    /// once and every report holds the same buffer.
+    pub input: Arc<FuzzInput>,
 }
 
-/// Result of one fuzzing iteration.
+/// Result of one fuzzing iteration, borrowing the engine's reusable
+/// [`nf_coverage::ExecScratch`] — valid until the next iteration on the
+/// same agent. The allocating twin is [`AllocIterationResult`].
 #[derive(Debug)]
-pub struct IterationResult {
+pub struct IterationResult<'a> {
+    /// AFL bitmap of the execution.
+    pub bitmap: &'a [u8],
+    /// Line coverage of this execution alone (corpus-entry evidence).
+    pub lines: &'a LineSet,
+    /// Feedback for the engine.
+    pub feedback: ExecFeedback,
+}
+
+/// Owned result of one fuzzing iteration, produced by the compat
+/// allocating path ([`Agent::run_iteration_alloc`]).
+#[derive(Debug)]
+pub struct AllocIterationResult {
     /// AFL bitmap of the execution.
     pub bitmap: Vec<u8>,
-    /// Line coverage of this execution alone (corpus-entry evidence).
+    /// Line coverage of this execution alone.
     pub lines: LineSet,
     /// Feedback for the engine.
     pub feedback: ExecFeedback,
@@ -181,8 +206,62 @@ impl Agent {
         self.cumulative.fraction_of(map, file)
     }
 
-    /// Runs one fuzzing iteration with `input`.
-    pub fn run_iteration(&mut self, input: &FuzzInput) -> IterationResult {
+    /// Runs one fuzzing iteration with `input` on the zero-allocation
+    /// hot path: coverage lands in the engine's reusable scratch and
+    /// the returned [`IterationResult`] borrows it (valid until the
+    /// next iteration).
+    pub fn run_iteration(&mut self, input: &FuzzInput) -> IterationResult<'_> {
+        self.execute(input);
+
+        // 6. Coverage collection, allocation-free: targeted bitmap
+        // wipe + trace swap + in-place line accounting.
+        self.engine.collect_coverage();
+        self.cumulative.union_with(&self.engine.scratch().lines);
+
+        // 7. Anomaly detection.
+        let feedback = self.drain_reports(input);
+
+        let scratch = self.engine.scratch();
+        IterationResult {
+            bitmap: &scratch.bitmap,
+            lines: &scratch.lines,
+            feedback,
+        }
+    }
+
+    /// The original allocating iteration — the "before" the `hotpath`
+    /// bench measures against and the oracle `tests/hotpath_equivalence.rs`
+    /// replays. Semantically bit-identical to [`Agent::run_iteration`]
+    /// (same executions, same coverage, same triage); it differs only
+    /// in buffer handling: a fresh trace, bitmap, and line set per
+    /// call.
+    pub fn run_iteration_alloc(&mut self, input: &FuzzInput) -> AllocIterationResult {
+        self.execute(input);
+
+        // 6. Coverage collection, one fresh buffer per exec (the
+        // pre-scratch sequence).
+        let trace = self.engine.hv_mut().take_trace();
+        let map = self.engine.hv().coverage_map();
+        let mut lines = LineSet::for_map(map);
+        lines.add_trace(map, &trace);
+        self.cumulative.union_with(&lines);
+        let mut bitmap = vec![0u8; MAP_SIZE];
+        trace.fill_afl_bitmap(&mut bitmap);
+
+        // 7. Anomaly detection.
+        let feedback = self.drain_reports(input);
+
+        AllocIterationResult {
+            bitmap,
+            lines,
+            feedback,
+        }
+    }
+
+    /// Steps 1–5 of the iteration loop: watchdog, vCPU configuration,
+    /// harness-VM generation, init phase, runtime phase. Shared by the
+    /// scratch and compat collection paths.
+    fn execute(&mut self, input: &FuzzInput) {
         self.execs += 1;
         let view = InputView::new(input);
 
@@ -264,50 +343,38 @@ impl Agent {
                     .run_runtime(self.engine.hv_mut(), view.runtime_bytes(), init.l2_live);
             } else {
                 // Fixed runtime template: a deterministic exit mix.
-                let fixed: Vec<u8> = [0u8, 1, 2, 4, 13, 14]
-                    .iter()
-                    .flat_map(|&s| [s, 0, 0, 0])
-                    .collect();
+                const FIXED: [u8; 24] = [
+                    0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 4, 0, 0, 0, 13, 0, 0, 0, 14, 0, 0, 0,
+                ];
                 self.harness
-                    .run_runtime(self.engine.hv_mut(), &fixed, init.l2_live);
+                    .run_runtime(self.engine.hv_mut(), &FIXED, init.l2_live);
             }
         }
+    }
 
-        // 6. Coverage collection.
-        let trace = self.engine.hv_mut().take_trace();
-        let map = self.engine.hv().coverage_map();
-        let mut lines = LineSet::for_map(map);
-        lines.add_trace(map, &trace);
-        self.cumulative.union_with(&lines);
-        let mut bitmap = vec![0u8; MAP_SIZE];
-        trace.fill_afl_bitmap(&mut bitmap);
-
-        // 7. Anomaly detection: drain sanitizer/log reports into the
-        // triage index (O(1) dedup by bug id, first-seen provenance).
-        let mut crashed = false;
-        let reports: Vec<_> = self
-            .engine
-            .hv_mut()
-            .health_mut()
-            .reports
-            .drain(..)
-            .collect();
-        for report in reports {
-            crashed = true;
+    /// Drains sanitizer/log reports into the triage index (O(1) dedup
+    /// by bug id, first-seen provenance) without an intermediate
+    /// collect: the report vector is moved out whole (the health side
+    /// gets the empty one back — no allocation on the crash-free
+    /// steady state) and the triggering input is cloned *once* and
+    /// shared across every report of the execution.
+    fn drain_reports(&mut self, input: &FuzzInput) -> ExecFeedback {
+        let health = self.engine.hv_mut().health_mut();
+        if health.reports.is_empty() {
+            return ExecFeedback { crashed: false };
+        }
+        let mut reports = std::mem::take(&mut health.reports);
+        let shared = Arc::new(input.clone());
+        for report in reports.drain(..) {
             self.triage.record(BugFind {
                 bug_id: report.bug_id.to_string(),
                 kind: report.kind,
                 message: report.message,
                 exec: self.execs,
-                input: input.clone(),
+                input: Arc::clone(&shared),
             });
         }
-
-        IterationResult {
-            bitmap,
-            lines,
-            feedback: ExecFeedback { crashed },
-        }
+        ExecFeedback { crashed: true }
     }
 
     /// Fast-forwards the validator to its converged state: every
@@ -485,6 +552,63 @@ mod tests {
             stats.validator_reuses >= 19,
             "same-caps flips must reuse the validator: {stats:?}"
         );
+    }
+
+    #[test]
+    fn scratch_and_alloc_iterations_are_bit_identical() {
+        // The borrowed (scratch) path and the compat allocating path
+        // must produce the same bitmaps, lines, feedback, and triage —
+        // the invariant `tests/hotpath_equivalence.rs` scales up to
+        // whole campaign grids.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let inputs: Vec<FuzzInput> = (0..120).map(|_| FuzzInput::random(&mut rng)).collect();
+        let mut scratch = agent(CpuVendor::Intel, ComponentMask::ALL);
+        let mut alloc = agent(CpuVendor::Intel, ComponentMask::ALL);
+        for (i, input) in inputs.iter().enumerate() {
+            let b = alloc.run_iteration_alloc(input);
+            let a = scratch.run_iteration(input);
+            assert_eq!(a.bitmap, &b.bitmap[..], "bitmap diverged at exec {i}");
+            assert_eq!(a.lines, &b.lines, "lines diverged at exec {i}");
+            assert_eq!(a.feedback.crashed, b.feedback.crashed, "exec {i}");
+        }
+        assert_eq!(scratch.triage(), alloc.triage());
+        assert_eq!(scratch.restarts(), alloc.restarts());
+        assert_eq!(scratch.coverage_fraction(), alloc.coverage_fraction());
+    }
+
+    #[test]
+    fn multi_report_exec_shares_one_input_buffer() {
+        // One execution can fire several detectors; the drain must
+        // clone the triggering input once and share it across every
+        // saved find (Arc), not clone per report.
+        let mut a = agent(CpuVendor::Intel, ComponentMask::ALL);
+        for (id, kind) in [
+            ("bug-a", nf_hv::CrashKind::Ubsan),
+            ("bug-b", nf_hv::CrashKind::Kasan),
+        ] {
+            a.engine
+                .hv_mut()
+                .health_mut()
+                .reports
+                .push(nf_hv::CrashReport {
+                    kind,
+                    bug_id: id,
+                    message: format!("report {id}"),
+                });
+        }
+        let input = FuzzInput::zeroed();
+        let feedback = a.drain_reports(&input);
+        assert!(feedback.crashed);
+        let finds = a.triage().finds();
+        assert_eq!(finds.len(), 2);
+        assert!(
+            std::sync::Arc::ptr_eq(&finds[0].input, &finds[1].input),
+            "both finds must hold the same shared buffer"
+        );
+        assert_eq!(*finds[0].input, input);
+        // The health vector was moved out whole; steady state is clean.
+        assert!(a.engine.hv().health().reports.is_empty());
+        assert!(!a.drain_reports(&input).crashed);
     }
 
     #[test]

@@ -170,6 +170,10 @@ pub struct Campaign {
     hourly: Vec<HourSample>,
     hour: u32,
     adopted: u64,
+    /// The reusable child buffer of the zero-allocation exec loop:
+    /// every iteration's input is generated into this scratch in place
+    /// (`Fuzzer::next_input_into`) instead of allocating per exec.
+    input: FuzzInput,
 }
 
 impl Campaign {
@@ -198,6 +202,7 @@ impl Campaign {
             hourly: Vec::with_capacity(cfg.hours as usize),
             hour: 0,
             adopted: 0,
+            input: FuzzInput::zeroed(),
         }
     }
 
@@ -216,6 +221,7 @@ impl Campaign {
             hourly: Vec::with_capacity(cfg.hours as usize),
             hour: 0,
             adopted: 0,
+            input: FuzzInput::zeroed(),
         }
     }
 
@@ -271,10 +277,18 @@ impl Campaign {
         let until = (self.hour + n).min(self.cfg.hours);
         while self.hour < until {
             for _ in 0..self.cfg.execs_per_hour {
-                let input: FuzzInput = self.fuzzer.next_input();
-                let result = self.agent.run_iteration(&input);
-                self.fuzzer
-                    .report_observed(&input, &result.bitmap, &result.lines, result.feedback);
+                // Zero-allocation exec loop: the child is generated
+                // into the reusable scratch, the iteration result
+                // borrows the engine's scratch buffers, and the fuzzer
+                // observes them in place.
+                self.fuzzer.next_input_into(&mut self.input);
+                let result = self.agent.run_iteration(&self.input);
+                self.fuzzer.report_observed(
+                    &self.input,
+                    result.bitmap,
+                    result.lines,
+                    result.feedback,
+                );
             }
             self.hour += 1;
             self.hourly.push(HourSample {
@@ -308,7 +322,7 @@ impl Campaign {
         for input in &inputs {
             let result = self.agent.run_iteration(input);
             self.fuzzer
-                .report_observed(input, &result.bitmap, &result.lines, result.feedback);
+                .report_observed(input, result.bitmap, result.lines, result.feedback);
         }
         self.adopted += inputs.len() as u64;
         inputs.len()

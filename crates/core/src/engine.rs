@@ -20,6 +20,14 @@
 //!   engine reuses the validator as-is instead of rebuilding it and
 //!   re-cloning its correction history.
 //!
+//! - **Reusable execution scratch.** The engine owns the
+//!   [`ExecScratch`] of the zero-allocation hot path: per iteration the
+//!   hypervisor's trace is *swapped* (not cloned) into the scratch,
+//!   projected onto the reusable AFL bitmap with a targeted wipe of the
+//!   previous projection, and the line set is cleared in place — the
+//!   steady-state loop performs no heap allocation (the `hotpath`
+//!   bench's counting allocator enforces this).
+//!
 //! [`EngineMode::Rebuild`] preserves the original full-rebuild
 //! semantics for A/B measurement (`necofuzz --engine rebuild`, the
 //! `throughput` bench). The two modes are **bit-identical** in
@@ -27,6 +35,8 @@
 //! [`crate::campaign::CampaignResult`] equality over the whole
 //! backend × mode × mask grid.
 
+use nf_coverage::ExecScratch;
+use nf_fuzz::MAP_SIZE;
 use nf_hv::{HvConfig, HvSnapshot, L0Hypervisor};
 use nf_vmx::VmxCapabilities;
 use nf_x86::FeatureSet;
@@ -136,6 +146,8 @@ pub struct ExecutionEngine {
     validator_features: Option<FeatureSet>,
     /// Parked validators, least-recently-used first (`Snapshot` mode).
     validator_pool: Vec<ParkedValidator>,
+    /// The reusable per-execution buffers (trace, AFL bitmap, lines).
+    scratch: ExecScratch,
     stats: EngineStats,
 }
 
@@ -159,6 +171,7 @@ impl ExecutionEngine {
         } else {
             None
         };
+        let scratch = ExecScratch::new(hv.coverage_map(), MAP_SIZE);
         ExecutionEngine {
             factory,
             mode,
@@ -169,6 +182,7 @@ impl ExecutionEngine {
             validator: VmStateValidator::new(validator_caps),
             validator_features,
             validator_pool: Vec::new(),
+            scratch,
             stats: EngineStats {
                 factory_builds: 1,
                 ..EngineStats::default()
@@ -213,6 +227,31 @@ impl ExecutionEngine {
     /// Mutable validator access (the generation pipeline learns).
     pub fn validator_mut(&mut self) -> &mut VmStateValidator {
         &mut self.validator
+    }
+
+    /// The per-execution scratch buffers. After
+    /// [`ExecutionEngine::collect_coverage`], `scratch.bitmap`,
+    /// `scratch.lines`, and `scratch.trace` describe the latest
+    /// execution; they stay valid until the next collection.
+    pub fn scratch(&self) -> &ExecScratch {
+        &self.scratch
+    }
+
+    /// Mutable scratch access (benches and tests that drive the
+    /// collection protocol by hand).
+    pub fn scratch_mut(&mut self) -> &mut ExecScratch {
+        &mut self.scratch
+    }
+
+    /// Collects the just-finished execution's coverage into the
+    /// reusable scratch, allocation-free: wipes the previous exec's
+    /// bitmap projection edge-by-edge, swaps the hypervisor's trace out
+    /// (handing the cleared one back in), and projects it onto the
+    /// scratch bitmap and line set.
+    pub fn collect_coverage(&mut self) {
+        self.scratch.begin_exec();
+        self.hv.swap_trace(&mut self.scratch.trace);
+        self.scratch.project(self.hv.coverage_map());
     }
 
     /// Watchdog slow path: fully reboots the active host, clearing its
@@ -505,6 +544,35 @@ mod tests {
             assert_eq!(via_restore, via_reset, "{}", hv.name());
             assert_eq!(via_restore, boot, "{}", hv.name());
         }
+    }
+
+    #[test]
+    fn collect_coverage_recycles_the_scratch() {
+        let mut e = engine(EngineMode::Snapshot);
+        let probe = nf_silicon::GuestInstr::Rdmsr(nf_x86::Msr::VmxBasic.index());
+        e.hv_mut().l1_exec(probe);
+        e.collect_coverage();
+        let first_bitmap = e.scratch().bitmap.clone();
+        let first_lines = e.scratch().lines.clone();
+        assert!(!e.scratch().trace.is_empty());
+        assert!(first_bitmap.iter().any(|&b| b != 0));
+        assert!(first_lines.count() > 0);
+
+        // A second identical exec reproduces the same scratch contents:
+        // the wipe left no residue and the swap handed a clean trace
+        // back to the hypervisor.
+        e.prepare(&HvConfig::default_for(CpuVendor::Intel));
+        e.hv_mut().l1_exec(probe);
+        e.collect_coverage();
+        assert_eq!(e.scratch().bitmap, first_bitmap);
+        assert_eq!(e.scratch().lines, first_lines);
+
+        // An empty exec leaves an all-zero bitmap and empty lines.
+        e.prepare(&HvConfig::default_for(CpuVendor::Intel));
+        e.collect_coverage();
+        assert!(e.scratch().bitmap.iter().all(|&b| b == 0));
+        assert_eq!(e.scratch().lines.count(), 0);
+        assert!(e.scratch().trace.is_empty());
     }
 
     #[test]

@@ -232,7 +232,7 @@ mod tests {
             kind: CrashKind::Ubsan,
             message: format!("report {id}"),
             exec,
-            input: FuzzInput::zeroed(),
+            input: std::sync::Arc::new(FuzzInput::zeroed()),
         }
     }
 

@@ -10,8 +10,15 @@
 //! coverage is span-weighted: `covered lines / total lines`, exactly the
 //! quantity Table 2 reports. Cross-tool set algebra (`A∩B`, `A−B`)
 //! operates on line sets.
-
-use std::collections::BTreeMap;
+//!
+//! Everything on the per-execution path is built for reuse: the
+//! [`ExecTrace`] hit index is dense and clears in O(touched blocks),
+//! [`ExecScratch`] bundles the buffers one fuzzing iteration needs so
+//! the steady-state loop performs no heap allocation, and the
+//! [`bitmap`] set algebra operates on `u64` words with early-exit
+//! skipping of uninteresting words (AFL++ `has_new_bits` style) while
+//! staying bit-identical to the byte-at-a-time reference kept in
+//! [`bitmap::bytewise`].
 
 /// Identifies one instrumented source file (e.g. `vmx/nested.c`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -108,11 +115,34 @@ impl CovMap {
 /// The basic-block trace of a single execution (one fuzzing iteration).
 ///
 /// Hit order is preserved for the AFL edge projection; hit sets feed the
-/// cumulative line accounting.
+/// cumulative line accounting. The hit index is *dense and reusable*:
+/// per-block counts live in a flat vector indexed by block id, and
+/// [`ExecTrace::clear`] resets only the touched slots, so a trace can be
+/// recycled across millions of executions without reallocating (the
+/// `BTreeMap` it replaced allocated a node per distinct block per exec).
 #[derive(Debug, Default, Clone)]
 pub struct ExecTrace {
     order: Vec<BlockId>,
-    seen: BTreeMap<u32, u32>, // block -> hit count
+    /// Dense per-block hit counts, indexed by block id.
+    counts: Vec<u32>,
+    /// Blocks with a non-zero count, in first-hit order.
+    uniq: Vec<u32>,
+}
+
+/// Walks the AFL++ edge projection of `order`: each (previous, current)
+/// block pair hashes to a bitmap index. The `% size` fold is
+/// strength-reduced to a mask when the map size is a power of two (the
+/// shipped `MAP_SIZE` always is; the modulo survives for odd sizes).
+#[inline]
+fn project_edges(order: &[BlockId], size: usize, mut visit: impl FnMut(usize)) {
+    let mask = size - 1;
+    let pow2 = size.is_power_of_two();
+    let mut prev: u32 = 0;
+    for &BlockId(cur) in order {
+        let hash = ((prev.wrapping_mul(0x9e37_79b9)) ^ cur.wrapping_mul(0x85eb_ca6b)) as usize;
+        visit(if pow2 { hash & mask } else { hash % size });
+        prev = cur.wrapping_shr(1).wrapping_add(cur << 7);
+    }
 }
 
 impl ExecTrace {
@@ -124,12 +154,24 @@ impl ExecTrace {
     /// Records a block hit.
     pub fn hit(&mut self, id: BlockId) {
         self.order.push(id);
-        *self.seen.entry(id.0).or_insert(0) += 1;
+        let idx = id.0 as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        if self.counts[idx] == 0 {
+            self.uniq.push(id.0);
+        }
+        self.counts[idx] += 1;
     }
 
-    /// Unique blocks hit.
+    /// Unique blocks hit, in first-hit order.
     pub fn unique_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.seen.keys().map(|&b| BlockId(b))
+        self.uniq.iter().map(|&b| BlockId(b))
+    }
+
+    /// Number of times `id` was hit.
+    pub fn hits_of(&self, id: BlockId) -> u32 {
+        self.counts.get(id.0 as usize).copied().unwrap_or(0)
     }
 
     /// Number of hits (including repeats).
@@ -142,10 +184,14 @@ impl ExecTrace {
         self.order.is_empty()
     }
 
-    /// Clears the trace for reuse.
+    /// Clears the trace for reuse, keeping every buffer's capacity.
+    /// O(touched blocks), not O(instrumented blocks).
     pub fn clear(&mut self) {
         self.order.clear();
-        self.seen.clear();
+        for &b in &self.uniq {
+            self.counts[b as usize] = 0;
+        }
+        self.uniq.clear();
     }
 
     /// Projects the trace onto an AFL++-style edge bitmap: each
@@ -157,13 +203,71 @@ impl ExecTrace {
         if size == 0 {
             return;
         }
-        let mut prev: u32 = 0;
-        for &BlockId(cur) in &self.order {
-            let edge =
-                ((prev.wrapping_mul(0x9e37_79b9)) ^ cur.wrapping_mul(0x85eb_ca6b)) as usize % size;
+        project_edges(&self.order, size, |edge| {
             bitmap[edge] = bitmap[edge].saturating_add(1);
-            prev = cur.wrapping_shr(1).wrapping_add(cur << 7);
+        });
+    }
+
+    /// Zeroes exactly the bytes [`ExecTrace::fill_afl_bitmap`] touched —
+    /// the reuse path: wiping a handful of edges beats a map-sized
+    /// memset by orders of magnitude. On a bitmap whose only non-zero
+    /// bytes came from this trace's projection, the result is the
+    /// all-zero map.
+    pub fn wipe_afl_bitmap(&self, bitmap: &mut [u8]) {
+        let size = bitmap.len();
+        if size == 0 {
+            return;
         }
+        project_edges(&self.order, size, |edge| bitmap[edge] = 0);
+    }
+}
+
+/// The reusable per-execution buffers of the zero-allocation hot path:
+/// one of these lives for a whole campaign and is recycled every
+/// iteration, so the steady-state execution loop performs no heap
+/// allocation at all.
+///
+/// Ownership protocol (see `nf_core::engine`): call
+/// [`ExecScratch::begin_exec`] before collecting a new execution, swap
+/// the hypervisor's trace into [`ExecScratch::trace`], then
+/// [`ExecScratch::project`] it. The invariant the targeted wipe relies
+/// on: `bitmap` is non-zero exactly on the projection of `trace`.
+#[derive(Debug, Clone)]
+pub struct ExecScratch {
+    /// Raw AFL hit-count bitmap of the latest execution.
+    pub bitmap: Vec<u8>,
+    /// Line coverage of the latest execution.
+    pub lines: LineSet,
+    /// The latest execution's trace (the swap target of
+    /// `L0Hypervisor::swap_trace`).
+    pub trace: ExecTrace,
+}
+
+impl ExecScratch {
+    /// A scratch sized for `map`'s line geometry and a `map_size`-byte
+    /// AFL bitmap.
+    pub fn new(map: &CovMap, map_size: usize) -> Self {
+        ExecScratch {
+            bitmap: vec![0; map_size],
+            lines: LineSet::for_map(map),
+            trace: ExecTrace::new(),
+        }
+    }
+
+    /// Rotates the scratch into a new execution: wipes the previous
+    /// trace's bitmap projection edge-by-edge and clears the per-exec
+    /// buffers in place (capacities kept).
+    pub fn begin_exec(&mut self) {
+        self.trace.wipe_afl_bitmap(&mut self.bitmap);
+        self.trace.clear();
+        self.lines.clear();
+    }
+
+    /// Projects [`ExecScratch::trace`] (typically just swapped out of a
+    /// hypervisor) into the line set and the AFL bitmap.
+    pub fn project(&mut self, map: &CovMap) {
+        self.lines.add_trace(map, &self.trace);
+        self.trace.fill_afl_bitmap(&mut self.bitmap);
     }
 }
 
@@ -176,6 +280,17 @@ pub mod bitmap {
     //! *classified maps* — `(byte index, bucket bits)` pairs — and
     //! combines virgin maps so that siblings stop re-exploring each
     //! other's territory.
+    //!
+    //! The scan/merge/novelty/delta operations process the maps as
+    //! `u64` words and skip whole words that cannot contribute (an
+    //! all-zero raw word, an all-seen virgin word, an unchanged delta
+    //! word) — the AFL++ `has_new_bits`/`classify_counts` trick. A raw
+    //! bitmap after one execution is almost entirely zero, so the word
+    //! loop touches bytes on a handful of words instead of all 64 Ki.
+    //! Results are bit-identical to the byte-at-a-time reference
+    //! implementations kept in [`bytewise`] (the compat mode of the
+    //! `hotpath` bench; `crates/coverage/tests/bitmap_words.rs` holds
+    //! the equivalence property suite).
 
     /// Classifies a raw hit count into its AFL bucket.
     pub fn bucket(count: u8) -> u8 {
@@ -192,14 +307,76 @@ pub mod bitmap {
         }
     }
 
+    /// Reads an 8-byte chunk as a little-endian word.
+    #[inline]
+    fn word(chunk: &[u8]) -> u64 {
+        u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
+    }
+
     /// Projects a raw hit-count bitmap onto its sparse classified form:
     /// `(index, bucket)` pairs for every non-zero byte, in index order.
+    /// Allocating wrapper around [`classify_into`].
     pub fn classify(raw: &[u8]) -> Vec<(u32, u8)> {
-        raw.iter()
-            .enumerate()
-            .filter(|(_, &b)| b != 0)
-            .map(|(i, &b)| (i as u32, bucket(b)))
-            .collect()
+        let mut out = Vec::new();
+        classify_into(raw, &mut out);
+        out
+    }
+
+    /// [`classify`] into a caller-owned buffer (cleared first), for
+    /// callers holding a long-lived scratch; paths whose result must be
+    /// owned (e.g. corpus promotion) reach the same word loop through
+    /// the allocating wrapper. Skips all-zero words.
+    pub fn classify_into(raw: &[u8], out: &mut Vec<(u32, u8)>) {
+        out.clear();
+        let mut chunks = raw.chunks_exact(8);
+        let mut base = 0usize;
+        for chunk in chunks.by_ref() {
+            if word(chunk) != 0 {
+                for (k, &b) in chunk.iter().enumerate() {
+                    if b != 0 {
+                        out.push(((base + k) as u32, bucket(b)));
+                    }
+                }
+            }
+            base += 8;
+        }
+        for (k, &b) in chunks.remainder().iter().enumerate() {
+            if b != 0 {
+                out.push(((base + k) as u32, bucket(b)));
+            }
+        }
+    }
+
+    /// The virgin-map novelty merge — the per-execution kernel of
+    /// `Corpus::observe`: buckets every raw count and clears the newly
+    /// seen bucket bits from `virgin`. Returns `true` when at least one
+    /// bit was still virgin. Word-skips: an all-zero raw word buckets
+    /// to nothing, an all-seen (zero) virgin word can learn nothing.
+    pub fn merge_raw(virgin: &mut [u8], raw: &[u8]) -> bool {
+        let n = virgin.len().min(raw.len());
+        let mut new_bits = false;
+        let words = n / 8;
+        for w in 0..words {
+            let i = w * 8;
+            if word(&raw[i..i + 8]) == 0 || word(&virgin[i..i + 8]) == 0 {
+                continue;
+            }
+            for k in i..i + 8 {
+                let bucketed = bucket(raw[k]);
+                if bucketed & virgin[k] != 0 {
+                    virgin[k] &= !bucketed;
+                    new_bits = true;
+                }
+            }
+        }
+        for k in words * 8..n {
+            let bucketed = bucket(raw[k]);
+            if bucketed & virgin[k] != 0 {
+                virgin[k] &= !bucketed;
+                new_bits = true;
+            }
+        }
+        new_bits
     }
 
     /// Returns `true` if any bit of the classified map `cov` is still
@@ -227,24 +404,62 @@ pub mod bitmap {
 
     /// Merges two virgin maps: after the call, `dst` treats as seen
     /// everything either map had seen (bitwise AND — virgin bits are
-    /// set while *unseen*).
+    /// set while *unseen*). Unconditionally word-parallel: a branchless
+    /// AND sweep vectorizes (no skip test — unlike the scans above,
+    /// every word costs one AND either way, so skipping would only add
+    /// a data-dependent branch).
     pub fn merge_virgin(dst: &mut [u8], src: &[u8]) {
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d &= s;
+        let n = dst.len().min(src.len());
+        let words = n / 8;
+        for (d, s) in dst[..words * 8]
+            .chunks_exact_mut(8)
+            .zip(src[..words * 8].chunks_exact(8))
+        {
+            let merged = word(d) & word(s);
+            d.copy_from_slice(&merged.to_le_bytes());
+        }
+        for k in words * 8..n {
+            dst[k] &= src[k];
         }
     }
 
     /// The sparse set of bits seen in `now` but not yet in `then`
     /// (both virgin maps): the coverage delta between two watermarks.
+    /// Allocating wrapper around [`cleared_since_into`].
     pub fn cleared_since(then: &[u8], now: &[u8]) -> Vec<(u32, u8)> {
-        then.iter()
-            .zip(now)
-            .enumerate()
-            .filter_map(|(i, (&t, &n))| {
-                let cleared = t & !n;
-                (cleared != 0).then_some((i as u32, cleared))
-            })
-            .collect()
+        let mut out = Vec::new();
+        cleared_since_into(then, now, &mut out);
+        out
+    }
+
+    /// [`cleared_since`] into a caller-owned buffer (cleared first),
+    /// for callers holding a long-lived scratch; the sync path's delta
+    /// owns its result and reaches the same word loop through the
+    /// allocating wrapper. Skips words where nothing was virgin or
+    /// nothing moved.
+    pub fn cleared_since_into(then: &[u8], now: &[u8], out: &mut Vec<(u32, u8)>) {
+        out.clear();
+        let n = then.len().min(now.len());
+        let words = n / 8;
+        for w in 0..words {
+            let i = w * 8;
+            let t = word(&then[i..i + 8]);
+            if t == 0 || t == word(&now[i..i + 8]) {
+                continue;
+            }
+            for k in i..i + 8 {
+                let cleared = then[k] & !now[k];
+                if cleared != 0 {
+                    out.push((k as u32, cleared));
+                }
+            }
+        }
+        for k in words * 8..n {
+            let cleared = then[k] & !now[k];
+            if cleared != 0 {
+                out.push((k as u32, cleared));
+            }
+        }
     }
 
     /// Applies a sparse cleared-bits delta to a virgin map.
@@ -253,6 +468,62 @@ pub mod bitmap {
             if let Some(v) = virgin.get_mut(i as usize) {
                 *v &= !bits;
             }
+        }
+    }
+
+    pub mod bytewise {
+        //! Byte-at-a-time reference implementations of the word-level
+        //! operations above — the semantics oracle.
+        //!
+        //! These are the original (pre-word-engine) loops, kept
+        //! callable forever: the `bitmap_words` property suite asserts
+        //! the word-level forms bit-identical to them, and the
+        //! `hotpath` bench's compat mode measures them as the "before"
+        //! in its speedup ratio. Not for production call sites.
+
+        use super::bucket;
+
+        /// Byte-wise [`super::classify`].
+        pub fn classify(raw: &[u8]) -> Vec<(u32, u8)> {
+            raw.iter()
+                .enumerate()
+                .filter(|(_, &b)| b != 0)
+                .map(|(i, &b)| (i as u32, bucket(b)))
+                .collect()
+        }
+
+        /// Byte-wise [`super::merge_raw`] (the original
+        /// `Corpus::observe` scan).
+        pub fn merge_raw(virgin: &mut [u8], raw: &[u8]) -> bool {
+            let mut new_bits = false;
+            let n = virgin.len().min(raw.len());
+            for (v, &b) in virgin[..n].iter_mut().zip(raw) {
+                let bucketed = bucket(b);
+                if bucketed & *v != 0 {
+                    *v &= !bucketed;
+                    new_bits = true;
+                }
+            }
+            new_bits
+        }
+
+        /// Byte-wise [`super::merge_virgin`].
+        pub fn merge_virgin(dst: &mut [u8], src: &[u8]) {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d &= s;
+            }
+        }
+
+        /// Byte-wise [`super::cleared_since`].
+        pub fn cleared_since(then: &[u8], now: &[u8]) -> Vec<(u32, u8)> {
+            then.iter()
+                .zip(now)
+                .enumerate()
+                .filter_map(|(i, (&t, &n))| {
+                    let cleared = t & !n;
+                    (cleared != 0).then_some((i as u32, cleared))
+                })
+                .collect()
         }
     }
 }
@@ -291,6 +562,12 @@ impl LineSet {
         for id in trace.unique_blocks() {
             self.add_block(map.block(id));
         }
+    }
+
+    /// Clears every bit in place, keeping the allocation — the scratch
+    /// reuse path ([`ExecScratch`]) calls this once per execution.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
     }
 
     /// Returns `true` if `line` is covered.
@@ -524,5 +801,116 @@ mod tests {
         assert_eq!(t.len(), 1);
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn dense_trace_index_counts_and_recycles() {
+        let mut t = ExecTrace::new();
+        t.hit(BlockId(7));
+        t.hit(BlockId(2));
+        t.hit(BlockId(7));
+        assert_eq!(t.hits_of(BlockId(7)), 2);
+        assert_eq!(t.hits_of(BlockId(2)), 1);
+        assert_eq!(t.hits_of(BlockId(100)), 0);
+        let uniq: Vec<BlockId> = t.unique_blocks().collect();
+        assert_eq!(uniq, vec![BlockId(7), BlockId(2)], "first-hit order");
+        t.clear();
+        assert_eq!(t.hits_of(BlockId(7)), 0);
+        assert_eq!(t.unique_blocks().count(), 0);
+        // Reuse after clear behaves like a fresh trace.
+        t.hit(BlockId(2));
+        assert_eq!(t.hits_of(BlockId(2)), 1);
+        assert_eq!(t.unique_blocks().collect::<Vec<_>>(), vec![BlockId(2)]);
+    }
+
+    #[test]
+    fn wipe_undoes_fill_exactly() {
+        let (_, _, ids) = small_map();
+        let mut t = ExecTrace::new();
+        for &id in &[ids[0], ids[1], ids[0], ids[2]] {
+            t.hit(id);
+        }
+        // Power-of-two and odd sizes exercise both index folds.
+        for size in [1usize << 16, 1000] {
+            let mut bitmap = vec![0u8; size];
+            t.fill_afl_bitmap(&mut bitmap);
+            assert!(bitmap.iter().any(|&b| b != 0));
+            t.wipe_afl_bitmap(&mut bitmap);
+            assert!(
+                bitmap.iter().all(|&b| b == 0),
+                "wipe must restore the all-zero map at size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_round_trips_executions_without_residue() {
+        let (map, _, ids) = small_map();
+        let mut scratch = ExecScratch::new(&map, 1 << 16);
+        scratch.begin_exec();
+        scratch.trace.hit(ids[0]);
+        scratch.trace.hit(ids[2]);
+        scratch.project(&map);
+        assert_eq!(scratch.lines.count(), 30);
+        let first_bitmap = scratch.bitmap.clone();
+        assert!(first_bitmap.iter().any(|&b| b != 0));
+
+        // Next exec hits a different block: no residue from the first.
+        scratch.begin_exec();
+        scratch.trace.hit(ids[1]);
+        scratch.project(&map);
+        assert_eq!(scratch.lines.count(), 5);
+        let mut expected = vec![0u8; 1 << 16];
+        let mut fresh = ExecTrace::new();
+        fresh.hit(ids[1]);
+        fresh.fill_afl_bitmap(&mut expected);
+        assert_eq!(scratch.bitmap, expected, "scratch equals a fresh buffer");
+    }
+
+    #[test]
+    fn lineset_clear_keeps_capacity() {
+        let (map, _, ids) = small_map();
+        let mut set = LineSet::for_map(&map);
+        set.add_block(map.block(ids[2]));
+        assert_eq!(set.count(), 20);
+        set.clear();
+        assert_eq!(set.count(), 0);
+        assert_eq!(set, LineSet::for_map(&map), "cleared == freshly sized");
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let mut raw = vec![0u8; 100]; // tail remainder (100 % 8 != 0)
+        raw[3] = 1;
+        raw[64] = 9;
+        raw[99] = 255;
+        let mut buf = Vec::new();
+        bitmap::classify_into(&raw, &mut buf);
+        assert_eq!(buf, bitmap::classify(&raw));
+
+        let then = vec![0xffu8; 100];
+        let mut now = then.clone();
+        now[5] &= !0x11;
+        now[99] &= !0x80;
+        bitmap::cleared_since_into(&then, &now, &mut buf);
+        assert_eq!(buf, bitmap::cleared_since(&then, &now));
+        assert_eq!(buf, vec![(5, 0x11), (99, 0x80)]);
+    }
+
+    #[test]
+    fn merge_raw_matches_bytewise_and_detects_novelty() {
+        let mut raw = vec![0u8; 96];
+        raw[0] = 1;
+        raw[42] = 7;
+        raw[95] = 200;
+        let mut word_virgin = vec![0xffu8; 96];
+        let mut byte_virgin = vec![0xffu8; 96];
+        assert!(bitmap::merge_raw(&mut word_virgin, &raw));
+        assert!(bitmap::bytewise::merge_raw(&mut byte_virgin, &raw));
+        assert_eq!(word_virgin, byte_virgin);
+        // Re-merging the same map finds nothing new in either form.
+        assert!(!bitmap::merge_raw(&mut word_virgin, &raw));
+        assert!(!bitmap::bytewise::merge_raw(&mut byte_virgin, &raw));
+        assert_eq!(word_virgin, byte_virgin);
     }
 }

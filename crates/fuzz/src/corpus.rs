@@ -215,19 +215,29 @@ impl Corpus {
 
     /// Picks the next parent input for mutation and advances the
     /// energy-driven cursor (AFL's queue cycling). Returns `None` on an
-    /// empty queue.
+    /// empty queue. Allocating wrapper around
+    /// [`Corpus::schedule_next_into`].
     pub fn schedule_next(&mut self) -> Option<FuzzInput> {
+        let mut parent = FuzzInput::zeroed();
+        self.schedule_next_into(&mut parent).then_some(parent)
+    }
+
+    /// [`Corpus::schedule_next`] into a caller-owned buffer: copies the
+    /// scheduled parent's bytes into `out` (no allocation — every queue
+    /// entry is input-length) and advances the cursor. Returns `false`
+    /// on an empty queue, leaving `out` untouched.
+    pub fn schedule_next_into(&mut self, out: &mut FuzzInput) -> bool {
         if self.entries.is_empty() {
-            return None;
+            return false;
         }
         let idx = self.cursor % self.entries.len();
-        let parent = self.entries[idx].input.clone();
+        out.copy_from(&self.entries[idx].input);
         self.entries[idx].fuzzed += 1;
         if self.entries[idx].fuzzed >= self.entries[idx].energy {
             self.entries[idx].fuzzed = 0;
             self.cursor += 1;
         }
-        Some(parent)
+        true
     }
 
     /// Borrows the input of entry `idx mod len` (splice donor).
@@ -249,19 +259,16 @@ impl Corpus {
         op: Option<Operator>,
         queue: bool,
     ) -> bool {
-        let mut new_bits = false;
-        for (i, &b) in raw_bitmap.iter().enumerate().take(self.virgin.len()) {
-            let bucketed = bitmap::bucket(b);
-            if bucketed & self.virgin[i] != 0 {
-                self.virgin[i] &= !bucketed;
-                new_bits = true;
-            }
-        }
+        // The per-execution novelty kernel: word-level with early-exit
+        // skipping of all-zero raw and all-seen virgin words.
+        let new_bits = bitmap::merge_raw(&mut self.virgin, raw_bitmap);
         if new_bits && queue {
             self.entries.push(CorpusEntry {
                 input: input.clone(),
                 energy: 8,
                 fuzzed: 0,
+                // The entry owns its evidence, so the allocation is
+                // inherent; classify still word-skips internally.
                 cov: bitmap::classify(raw_bitmap),
                 lines: lines.clone(),
                 provenance: Provenance {

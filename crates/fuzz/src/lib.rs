@@ -48,9 +48,24 @@ impl FuzzInput {
 
     /// A uniformly random input.
     pub fn random(rng: &mut SmallRng) -> Self {
-        let mut bytes = vec![0u8; INPUT_LEN];
-        rng.fill(&mut bytes[..]);
-        FuzzInput { bytes }
+        let mut input = FuzzInput::zeroed();
+        input.fill_random(rng);
+        input
+    }
+
+    /// Refills this input with uniformly random bytes in place — the
+    /// zero-allocation form of [`FuzzInput::random`]; both consume the
+    /// identical RNG stream, so the generated inputs are bit-equal.
+    pub fn fill_random(&mut self, rng: &mut SmallRng) {
+        rng.fill(&mut self.bytes[..]);
+    }
+
+    /// Overwrites this input with `other`'s bytes in place (no
+    /// allocation when the lengths already match — they always do on
+    /// the campaign path, where every input is [`INPUT_LEN`] bytes).
+    pub fn copy_from(&mut self, other: &FuzzInput) {
+        self.bytes.resize(other.bytes.len(), 0);
+        self.bytes.copy_from_slice(&other.bytes);
     }
 
     /// Reads a little-endian `u16` at `off` (zero beyond the end).
@@ -300,28 +315,49 @@ impl Fuzzer {
         self.corpus.set_worker(worker);
     }
 
-    /// Produces the next input to execute.
+    /// Produces the next input to execute. Allocating wrapper around
+    /// [`Fuzzer::next_input_into`]; the two consume identical RNG
+    /// streams and produce bit-equal inputs.
     pub fn next_input(&mut self) -> FuzzInput {
+        let mut out = FuzzInput::zeroed();
+        self.next_input_into(&mut out);
+        out
+    }
+
+    /// Writes the next input to execute into the caller's reusable
+    /// buffer — the zero-allocation generation path. The scheduled
+    /// parent is copied into `out` and the child is mutated in place
+    /// (no `clone` per child); unguided mode refills the buffer with
+    /// fresh random bytes.
+    pub fn next_input_into(&mut self, out: &mut FuzzInput) {
         self.last_op = None;
         match self.mode {
-            Mode::Unguided => FuzzInput::random(&mut self.rng),
-            Mode::Guided => match self.corpus.schedule_next() {
-                Some(parent) => match self.strategy {
-                    MutationStrategy::Havoc => self.havoc(parent),
+            Mode::Unguided => out.fill_random(&mut self.rng),
+            Mode::Guided => {
+                if !self.corpus.schedule_next_into(out) {
+                    // A minimized-to-nothing corpus degrades to random.
+                    out.fill_random(&mut self.rng);
+                    return;
+                }
+                match self.strategy {
+                    MutationStrategy::Havoc => self.havoc_in_place(out),
                     MutationStrategy::Structured => {
-                        let (child, op) = self.profile.mutate(parent, &mut self.rng);
+                        // The scenario engine works in its decoded IR,
+                        // which owns its buffers; only the final encode
+                        // is copied back into the caller's scratch.
+                        let (child, op) = self.profile.mutate(out, &mut self.rng);
                         self.last_op = Some(op);
-                        child
+                        out.copy_from(&child);
                     }
-                },
-                // A minimized-to-nothing corpus degrades to random.
-                None => FuzzInput::random(&mut self.rng),
-            },
+                }
+            }
         }
     }
 
-    /// AFL havoc stage: a stack of random small mutations.
-    fn havoc(&mut self, mut input: FuzzInput) -> FuzzInput {
+    /// AFL havoc stage, mutating the buffer in place: block copies move
+    /// within the buffer (`copy_within`) and splices copy straight from
+    /// the donor entry, so no arm allocates.
+    fn havoc_in_place(&mut self, input: &mut FuzzInput) {
         let stacking = 1 << self.rng.gen_range(1..6); // 2..32 mutations
         for _ in 0..stacking {
             let arm = self.rng.gen_range(0..HAVOC_ARMS);
@@ -354,12 +390,12 @@ impl Fuzzer {
                     }
                 }
                 4 => {
-                    // Block copy within the input.
+                    // Block copy within the input (memmove semantics —
+                    // identical to the staging copy it replaces).
                     let len = self.rng.gen_range(1..64usize);
                     let src = self.rng.gen_range(0..INPUT_LEN - len);
                     let dst = self.rng.gen_range(0..INPUT_LEN - len);
-                    let tmp: Vec<u8> = input.bytes[src..src + len].to_vec();
-                    input.bytes[dst..dst + len].copy_from_slice(&tmp);
+                    input.bytes.copy_within(src..src + len, dst);
                 }
                 5 => {
                     // Word overwrite with random value.
@@ -373,14 +409,12 @@ impl Fuzzer {
                         let other = self.rng.gen_range(0..self.corpus.len());
                         let len = self.rng.gen_range(16..256usize);
                         let off = self.rng.gen_range(0..INPUT_LEN - len);
-                        let donor: Vec<u8> =
-                            self.corpus.donor(other).bytes[off..off + len].to_vec();
-                        input.bytes[off..off + len].copy_from_slice(&donor);
+                        input.bytes[off..off + len]
+                            .copy_from_slice(&self.corpus.donor(other).bytes[off..off + len]);
                     }
                 }
             }
         }
-        input
     }
 
     /// Reports an execution's bitmap. Returns `true` when the input
@@ -573,10 +607,36 @@ mod tests {
     }
 
     #[test]
+    fn in_place_generation_is_bit_identical_to_allocating() {
+        // The scratch-buffer path must replay the allocating path's
+        // exact RNG stream for every mode × strategy combination —
+        // campaign determinism (and the committed BENCH files) rest on
+        // this.
+        for (mode, strategy) in [
+            (Mode::Unguided, MutationStrategy::Havoc),
+            (Mode::Guided, MutationStrategy::Havoc),
+            (Mode::Guided, MutationStrategy::Structured),
+        ] {
+            let mut alloc = Fuzzer::with_strategy(17, mode, strategy);
+            let mut scratch = Fuzzer::with_strategy(17, mode, strategy);
+            let mut buf = FuzzInput::zeroed();
+            for i in 0..25 {
+                let a = alloc.next_input();
+                scratch.next_input_into(&mut buf);
+                assert_eq!(a, buf, "{mode:?}/{strategy:?} diverged at input {i}");
+                report_novel(&mut alloc, &a, i + 1);
+                report_novel(&mut scratch, &buf, i + 1);
+            }
+            assert_eq!(alloc.corpus(), scratch.corpus());
+        }
+    }
+
+    #[test]
     fn havoc_preserves_length_and_changes_content() {
         let mut f = Fuzzer::new(3, Mode::Guided);
         let base = FuzzInput::zeroed();
-        let child = f.havoc(base.clone());
+        let mut child = base.clone();
+        f.havoc_in_place(&mut child);
         assert_eq!(child.bytes.len(), INPUT_LEN);
         assert_ne!(child, base, "havoc should change something");
     }

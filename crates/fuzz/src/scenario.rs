@@ -560,13 +560,13 @@ impl MutatorProfile {
     /// semantically aligned. Returns the child and the *lead* (first
     /// drawn) operator for entry provenance; every drawn operator is
     /// remembered for crediting via [`MutatorProfile::credit_last`].
-    pub fn mutate(&mut self, parent: FuzzInput, rng: &mut SmallRng) -> (FuzzInput, Operator) {
+    pub fn mutate(&mut self, parent: &FuzzInput, rng: &mut SmallRng) -> (FuzzInput, Operator) {
         let stacking = 1 << rng.gen_range(1..6); // 2..32 draws (AFL parity)
         self.last_stack.clear();
         // Stay in the IR across scenario draws — decode ∘ encode is the
         // identity, so hopping out only for the byte-level operator
         // composes losslessly while sparing a 2 KiB round-trip per draw.
-        let mut scenario = Scenario::decode(&parent);
+        let mut scenario = Scenario::decode(parent);
         for _ in 0..stacking {
             let op = self.pick(rng);
             self.generated[op.index()] += 1;
@@ -944,7 +944,7 @@ mod tests {
             let mut profile = MutatorProfile::balanced();
             let mut rng = SmallRng::seed_from_u64(9);
             (0..32)
-                .map(|_| profile.mutate(parent.clone(), &mut rng))
+                .map(|_| profile.mutate(&parent, &mut rng))
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());

@@ -46,7 +46,7 @@ proptest! {
         let mut profile = MutatorProfile::balanced();
         let mut current = parent;
         for _ in 0..8 {
-            let (child, _op) = profile.mutate(current, &mut rng);
+            let (child, _op) = profile.mutate(&current, &mut rng);
             prop_assert_eq!(child.bytes.len(), INPUT_LEN);
             prop_assert_eq!(Scenario::decode(&child).encode(), child.clone());
             current = child;
@@ -78,7 +78,7 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         let parent = FuzzInput::random(&mut rng);
         let mut profile = MutatorProfile::balanced();
-        let (child, _op) = profile.mutate(parent.clone(), &mut rng);
+        let (child, _op) = profile.mutate(&parent, &mut rng);
         let p = Scenario::decode(&parent);
         let c = Scenario::decode(&child);
         prop_assert_eq!(&p.tail, &c.tail, "tail bytes are never mutated");

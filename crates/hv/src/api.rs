@@ -195,8 +195,26 @@ pub trait L0Hypervisor {
     /// The instrumentation registry.
     fn coverage_map(&self) -> &CovMap;
 
+    /// Swaps the in-flight execution trace with `trace` — the
+    /// zero-allocation collection path. The caller hands in a *cleared*
+    /// trace (its buffers are reused for the next execution) and
+    /// receives the current one; see `nf_coverage::ExecScratch` for the
+    /// ownership protocol. Implemented by every backend as a plain
+    /// `std::mem::swap` on its trace field.
+    fn swap_trace(&mut self, trace: &mut ExecTrace);
+
     /// Takes (and clears) the block trace of the current execution.
-    fn take_trace(&mut self) -> ExecTrace;
+    ///
+    /// Allocating convenience form of [`Self::swap_trace`]: the
+    /// hypervisor is left with a fresh (empty, capacity-less) trace, so
+    /// per-exec callers should prefer the swap. Kept for one-shot
+    /// inspection and as the compat ("before") path of the `hotpath`
+    /// bench.
+    fn take_trace(&mut self) -> ExecTrace {
+        let mut trace = ExecTrace::new();
+        self.swap_trace(&mut trace);
+        trace
+    }
 
     /// The instrumented file holding Intel nested-virtualization code.
     fn intel_file(&self) -> FileId;

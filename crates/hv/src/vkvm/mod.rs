@@ -424,8 +424,8 @@ impl L0Hypervisor for Vkvm {
         &self.map
     }
 
-    fn take_trace(&mut self) -> ExecTrace {
-        std::mem::take(&mut self.trace)
+    fn swap_trace(&mut self, trace: &mut ExecTrace) {
+        std::mem::swap(&mut self.trace, trace);
     }
 
     fn intel_file(&self) -> FileId {
@@ -519,6 +519,21 @@ mod tests {
         assert_eq!(r, L1Result::Ok(VmxCapabilities::REVISION as u64));
         let trace = kvm.take_trace();
         assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn swap_trace_hands_over_and_recycles() {
+        let mut kvm = intel_kvm();
+        kvm.l1_exec(GuestInstr::Rdmsr(Msr::VmxBasic.index()));
+        let mut scratch = ExecTrace::new();
+        kvm.swap_trace(&mut scratch);
+        assert!(!scratch.is_empty(), "the exec's trace came out");
+        assert!(kvm.take_trace().is_empty(), "the hv got the cleared one");
+        // The swapped-out buffer is reusable: clear and swap back in.
+        scratch.clear();
+        kvm.l1_exec(GuestInstr::Rdmsr(Msr::VmxBasic.index()));
+        kvm.swap_trace(&mut scratch);
+        assert_eq!(scratch.len(), 1);
     }
 
     #[test]

@@ -500,8 +500,8 @@ impl L0Hypervisor for Vvbox {
         &self.map
     }
 
-    fn take_trace(&mut self) -> ExecTrace {
-        std::mem::take(&mut self.trace)
+    fn swap_trace(&mut self, trace: &mut ExecTrace) {
+        std::mem::swap(&mut self.trace, trace);
     }
 
     fn intel_file(&self) -> FileId {

@@ -813,8 +813,8 @@ impl L0Hypervisor for Vxen {
         &self.map
     }
 
-    fn take_trace(&mut self) -> ExecTrace {
-        std::mem::take(&mut self.trace)
+    fn swap_trace(&mut self, trace: &mut ExecTrace) {
+        std::mem::swap(&mut self.trace, trace);
     }
 
     fn intel_file(&self) -> FileId {
