@@ -1,0 +1,133 @@
+//! Differential oracle: divergences found and replay overhead at a
+//! fixed execution budget.
+//!
+//! Three deterministic arms (see [`nf_bench::diff_bench`]):
+//!
+//! - **seeded** — fuzzes a vkvm variant whose reflect path misreports
+//!   HLT exits as PAUSE (silent at host level: no sanitizer fires)
+//!   diffed against the `golden` bare-metal model. The oracle must
+//!   detect the planted misvirtualization, and the reproducer is
+//!   minimized under the signature-preserving minimizer and
+//!   replay-validated.
+//! - **conformance** — the same budget on clean `vkvm` + `golden`:
+//!   every divergent observation must fall under the documented
+//!   intentional-quirk allowlist, so reported findings stay zero.
+//! - **overhead** — the same campaign with the oracle off, proving
+//!   exploration is bit-identical either way and reporting the
+//!   deterministic replay-cost factor.
+//!
+//! Everything is a pure function of the budget — fixed seeds, no wall
+//! clock — so the emitted `BENCH_diff.json` is bit-reproducible and
+//! `tests/diff_determinism.rs` holds it byte-for-byte. Flags: `--out
+//! PATH` (default `BENCH_diff.json`), `--smoke` (tiny budget; exit 1
+//! unless the seeded signature is found, its minimized reproducer
+//! replays, and the conformance arm has zero false positives — the CI
+//! gate), `--jobs N` (accepted for CLI uniformity; the arms share
+//! state and run serially).
+
+use nf_bench::diff_bench::{self, SEEDED_SIGNATURE};
+use nf_bench::hr;
+
+fn usage() -> ! {
+    eprintln!("usage: diff_oracle [--smoke] [--jobs N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = "BENCH_diff.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().cloned().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                it.next().unwrap_or_else(|| usage());
+            }
+            j if j.starts_with("--jobs=") => {}
+            _ => usage(),
+        }
+    }
+    // The planted HLT misreport needs an input that reaches L2 with
+    // HLT exiting enabled and executes HLT there — roughly one random
+    // input in a few hundred — so even the smoke budget runs enough
+    // executions to make detection deterministic, not lucky.
+    let (hours, execs_per_hour) = if smoke { (24, 60) } else { (24, 120) };
+
+    let report = diff_bench::run(hours, execs_per_hour);
+
+    hr("Differential oracle: divergences found + replay overhead (equal budget)");
+    println!(
+        "budget: {hours}h x {execs_per_hour} execs/h = {} generation execs per arm",
+        u64::from(hours) * u64::from(execs_per_hour)
+    );
+
+    println!("\nseeded arm ({}+golden):", necofuzz::SEEDED_HLT_BACKEND);
+    for f in &report.seeded_finds {
+        println!(
+            "  [divergence] {} at exec {}: {}",
+            f.bug_id, f.exec, f.message
+        );
+    }
+    println!(
+        "  planted bug found: {} (sanitizer findings of it: 0 — host stays healthy)",
+        report.seeded_found
+    );
+    println!(
+        "  minimized reproducer: {} -> {} non-zero bytes, replay-validated: {}",
+        report.minimized_before, report.minimized_after, report.replay_validated
+    );
+
+    let c = &report.conformance;
+    println!(
+        "\nconformance arm (vkvm+golden): {} execs compared, {} non-allowlisted \
+         divergent observations, {} allowed as intentional quirks, {} crash-skipped \
+         -> {} findings",
+        c.execs_compared, c.divergences, c.allowed, c.crash_skipped, report.conformance_findings
+    );
+
+    println!(
+        "\noverhead: baseline {} execs, differential {} primary + {} replay execs \
+         = {:.2}x cost, exploration unchanged: {}",
+        report.baseline_execs,
+        report.primary_execs,
+        report.diff_execs,
+        report.overhead_factor,
+        report.exploration_unchanged
+    );
+
+    std::fs::write(&out, &report.json).expect("write bench output");
+    println!("\nwrote {out}");
+
+    if smoke {
+        // CI gate: the oracle must catch what the sanitizers cannot,
+        // with a replay-valid minimized reproducer, and must stay
+        // silent on the conformant pair.
+        let mut failures = Vec::new();
+        if !report.seeded_found {
+            failures.push(format!("seeded signature {SEEDED_SIGNATURE} not found"));
+        }
+        if !report.replay_validated {
+            failures.push("minimized reproducer did not replay the seeded signature".into());
+        }
+        if report.conformance.divergences != 0 || report.conformance_findings != 0 {
+            failures.push(format!(
+                "{} non-allowlisted divergences ({} findings) on the conformant pair \
+                 (false positives)",
+                report.conformance.divergences, report.conformance_findings
+            ));
+        }
+        if !report.exploration_unchanged {
+            failures.push("arming the oracle changed exploration".into());
+        }
+        if !failures.is_empty() {
+            eprintln!("FAIL: {failures:?}");
+            std::process::exit(1);
+        }
+        println!(
+            "smoke OK: seeded divergence found + minimized + replayed, \
+             zero false positives on the conformant pair"
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! reduced in deterministic plan order — so `--jobs 1` and `--jobs 32`
 //! print byte-identical tables.
 
+pub mod diff_bench;
 pub mod mutator_bench;
 pub mod sync_bench;
 

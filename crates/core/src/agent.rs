@@ -29,7 +29,7 @@ use nf_x86::CpuVendor;
 
 use crate::configurator::VcpuConfigurator;
 use crate::engine::{EngineMode, EngineStats, ExecutionEngine};
-use crate::harness::ExecutionHarness;
+use crate::harness::{ExecObserver, ExecutionHarness, NopObserver};
 use crate::input::InputView;
 use crate::triage::CrashTriage;
 use crate::validator::VmStateValidator;
@@ -167,6 +167,13 @@ impl Agent {
         self.engine.hv()
     }
 
+    /// The guest-visible architectural state after the last iteration —
+    /// the final-state half of the differential oracle's canonical
+    /// observation (see [`nf_hv::GuestObservation`]).
+    pub fn observe_guest(&self) -> nf_hv::GuestObservation {
+        self.engine.hv().observe_guest()
+    }
+
     /// The validator (exposes the oracle-correction state).
     pub fn validator(&self) -> &VmStateValidator {
         self.engine.validator()
@@ -211,7 +218,21 @@ impl Agent {
     /// the returned [`IterationResult`] borrows it (valid until the
     /// next iteration).
     pub fn run_iteration(&mut self, input: &FuzzInput) -> IterationResult<'_> {
-        self.execute(input);
+        self.run_iteration_with(input, &mut NopObserver)
+    }
+
+    /// [`run_iteration`](Self::run_iteration) with an [`ExecObserver`]
+    /// watching the harness-visible events of the execution — the
+    /// differential oracle's recording hook. The observed and plain
+    /// paths are the same monomorphized code (the plain path passes
+    /// [`NopObserver`]), so coverage, triage, and feedback are
+    /// bit-identical whether or not an observer is attached.
+    pub fn run_iteration_with<O: ExecObserver>(
+        &mut self,
+        input: &FuzzInput,
+        observer: &mut O,
+    ) -> IterationResult<'_> {
+        self.execute(input, observer);
 
         // 6. Coverage collection, allocation-free: targeted bitmap
         // wipe + trace swap + in-place line accounting.
@@ -236,7 +257,7 @@ impl Agent {
     /// in buffer handling: a fresh trace, bitmap, and line set per
     /// call.
     pub fn run_iteration_alloc(&mut self, input: &FuzzInput) -> AllocIterationResult {
-        self.execute(input);
+        self.execute(input, &mut NopObserver);
 
         // 6. Coverage collection, one fresh buffer per exec (the
         // pre-scratch sequence).
@@ -261,7 +282,7 @@ impl Agent {
     /// Steps 1–5 of the iteration loop: watchdog, vCPU configuration,
     /// harness-VM generation, init phase, runtime phase. Shared by the
     /// scratch and compat collection paths.
-    fn execute(&mut self, input: &FuzzInput) {
+    fn execute<O: ExecObserver>(&mut self, input: &FuzzInput, observer: &mut O) {
         self.execs += 1;
         let view = InputView::new(input);
 
@@ -332,22 +353,35 @@ impl Agent {
         } else {
             self.harness.canonical_plan(revision)
         };
-        let init = self
-            .harness
-            .run_init(self.engine.hv_mut(), &plan, &vmcs12, &vmcb12, &msr_area);
+        let init = self.harness.run_init_observed(
+            self.engine.hv_mut(),
+            &plan,
+            &vmcs12,
+            &vmcb12,
+            &msr_area,
+            observer,
+        );
 
         // 5. Runtime phase.
         if !init.host_dead {
             if self.mask.harness {
-                self.harness
-                    .run_runtime(self.engine.hv_mut(), view.runtime_bytes(), init.l2_live);
+                self.harness.run_runtime_observed(
+                    self.engine.hv_mut(),
+                    view.runtime_bytes(),
+                    init.l2_live,
+                    observer,
+                );
             } else {
                 // Fixed runtime template: a deterministic exit mix.
                 const FIXED: [u8; 24] = [
                     0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 4, 0, 0, 0, 13, 0, 0, 0, 14, 0, 0, 0,
                 ];
-                self.harness
-                    .run_runtime(self.engine.hv_mut(), &FIXED, init.l2_live);
+                self.harness.run_runtime_observed(
+                    self.engine.hv_mut(),
+                    &FIXED,
+                    init.l2_live,
+                    observer,
+                );
             }
         }
     }

@@ -6,6 +6,7 @@
 //!          [--jobs N] [--guided] [--mutator havoc|structured]
 //!          [--no-harness] [--no-validator]
 //!          [--no-configurator] [--engine snapshot|rebuild]
+//!          [--oracle sanitizer|differential] [--diff-backends LIST]
 //!          [--sync-interval N] [--corpus-dir DIR]
 //!          [--resume-corpus DIR] [--out DIR] [--bench-out PATH]
 //! necofuzz corpus stat DIR
@@ -49,12 +50,26 @@
 //! are bit-identical either way. `--bench-out PATH` records the run's
 //! throughput (total execs, wall-clock seconds, overall execs/sec,
 //! and per-run exec/restart counts) as JSON for offline comparison.
+//!
+//! `--oracle differential` arms the cross-backend differential oracle
+//! on top of the sanitizers: every executed input is replayed across
+//! `--diff-backends` (comma-separated; default `<target>,golden`) and
+//! the canonical L1-visible observations are diffed pairwise, turning
+//! silent misvirtualizations into `divergence` findings. Divergence
+//! crash files embed their backend pair in the bug id, and `corpus
+//! repro` detects them automatically: the input is replayed across the
+//! recorded pair and the first divergent exit is printed (with
+//! `--minimize`, truncation candidates must preserve the exact
+//! divergence signature, not merely still crash).
 
 use std::io::Write as _;
 
 use necofuzz::campaign::CampaignResult;
 use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignPlan};
-use necofuzz::{ComponentMask, EngineMode, ReplayOracle};
+use necofuzz::{
+    backend_factory, parse_divergence_pair, ComponentMask, DiffOracle, EngineMode, OracleMode,
+    ReplayOracle,
+};
 use nf_fuzz::corpus::Corpus;
 use nf_fuzz::{FuzzInput, Mode, MutationStrategy, Operator, INPUT_LEN};
 use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
@@ -67,6 +82,7 @@ fn usage() -> ! {
          \x20               [--guided] [--mutator havoc|structured]\n\
          \x20               [--no-harness] [--no-validator]\n\
          \x20               [--no-configurator] [--engine snapshot|rebuild]\n\
+         \x20               [--oracle sanitizer|differential] [--diff-backends LIST]\n\
          \x20               [--sync-interval N] [--corpus-dir DIR]\n\
          \x20               [--resume-corpus DIR] [--out DIR] [--bench-out PATH]\n\
          \x20      necofuzz corpus stat DIR\n\
@@ -104,6 +120,8 @@ fn main() {
     let mut mask = ComponentMask::ALL;
     let mut engine = EngineMode::Snapshot;
     let mut strategy = MutationStrategy::Havoc;
+    let mut oracle = OracleMode::Sanitizer;
+    let mut diff_backends: Vec<String> = Vec::new();
     let mut sync_interval = 0u32;
     let mut corpus_dir: Option<String> = None;
     let mut resume_corpus: Option<String> = None;
@@ -138,6 +156,10 @@ fn main() {
             "--no-validator" => mask.validator = false,
             "--no-configurator" => mask.configurator = false,
             "--engine" => engine = EngineMode::parse(&value()).unwrap_or_else(|| usage()),
+            "--oracle" => oracle = OracleMode::parse(&value()).unwrap_or_else(|| usage()),
+            "--diff-backends" => {
+                diff_backends = value().split(',').map(str::to_string).collect();
+            }
             "--sync-interval" => sync_interval = value().parse().unwrap_or_else(|_| usage()),
             "--corpus-dir" => corpus_dir = Some(value()),
             "--resume-corpus" => resume_corpus = Some(value()),
@@ -149,6 +171,33 @@ fn main() {
     }
     if runs == 0 {
         usage();
+    }
+    match oracle {
+        OracleMode::Sanitizer => {
+            if !diff_backends.is_empty() {
+                eprintln!("--diff-backends requires --oracle differential");
+                std::process::exit(2);
+            }
+        }
+        OracleMode::Differential => {
+            if diff_backends.is_empty() {
+                diff_backends = vec![target.clone(), "golden".to_string()];
+            }
+            if diff_backends.len() < 2 {
+                eprintln!("--diff-backends needs at least two backends to diff");
+                std::process::exit(2);
+            }
+            for name in &diff_backends {
+                if backend_factory(name).is_none() {
+                    eprintln!("--diff-backends: unknown backend {name:?}");
+                    std::process::exit(2);
+                }
+                if name == "vvbox" && vendor != CpuVendor::Intel {
+                    eprintln!("--diff-backends: vvbox supports only --vendor intel");
+                    std::process::exit(2);
+                }
+            }
+        }
     }
 
     let backend = backend_for(&target, vendor);
@@ -174,12 +223,15 @@ fn main() {
             loaded.len(),
             loaded.worker()
         );
+        let diff_refs: Vec<&str> = diff_backends.iter().map(String::as_str).collect();
         let cfg = necofuzz::campaign::CampaignConfig::necofuzz(vendor, hours, seed)
             .with_execs_per_hour(execs_per_hour)
             .with_mode(mode)
             .with_mask(mask)
             .with_engine(engine)
-            .with_strategy(strategy);
+            .with_strategy(strategy)
+            .with_oracle(oracle)
+            .with_diff_backends(&diff_refs);
         let campaign = necofuzz::campaign::Campaign::with_corpus(backend.factory(), &cfg, loaded);
         let result = campaign.into_result();
         report_run(seed, &result, false);
@@ -192,16 +244,22 @@ fn main() {
         std::process::exit(i32::from(!result.finds.is_empty()));
     }
 
+    let oracle_desc = match oracle {
+        OracleMode::Sanitizer => oracle.to_string(),
+        OracleMode::Differential => format!("{oracle}[{}]", diff_backends.join("+")),
+    };
     println!(
         "necofuzz: target={target} vendor={vendor} hours={hours} execs/h={execs_per_hour} \
          seeds={seed}..{} runs={runs} mode={mode:?} mutator={strategy} engine={engine} \
-         sync={sync_interval}h components[harness={} validator={} configurator={}]",
+         oracle={oracle_desc} sync={sync_interval}h \
+         components[harness={} validator={} configurator={}]",
         seed + runs,
         mask.harness,
         mask.validator,
         mask.configurator
     );
 
+    let diff_refs: Vec<&str> = diff_backends.iter().map(String::as_str).collect();
     let plan = CampaignPlan::new()
         .backend(backend)
         .vendors(&[vendor])
@@ -212,7 +270,9 @@ fn main() {
         .execs_per_hour(execs_per_hour)
         .engine(engine)
         .sync_interval(sync_interval)
-        .strategy(strategy);
+        .strategy(strategy)
+        .oracle(oracle)
+        .diff_backends(&diff_refs);
     let executor = CampaignExecutor::new()
         .jobs(jobs)
         .on_progress(|p| {
@@ -405,20 +465,47 @@ fn corpus_main(args: &[String]) {
             let n = bytes.len().min(INPUT_LEN);
             input.bytes[..n].copy_from_slice(&bytes[..n]);
 
-            let backend = backend_for(&target, vendor);
-            let factory = move |cfg: HvConfig| -> Box<dyn L0Hypervisor> { backend.factory()(cfg) };
-            let oracle = ReplayOracle::new(factory, vendor, ComponentMask::ALL, engine);
-            let bugs = oracle.replay(&input);
-            if bugs.is_empty() {
-                println!("{path}: no anomaly reproduced on {target}/{vendor}");
-                std::process::exit(1);
-            }
+            // Divergence findings carry their backend pair in the bug
+            // id — and therefore in the saved crash filename. Those
+            // replay across the recorded pair with the differential
+            // oracle (printing the first-divergent exit); everything
+            // else replays against the single --target sanitizer
+            // oracle as before.
+            let (bugs, minimized) = if let Some((a, b)) = parse_divergence_pair(&path) {
+                for name in [&a, &b] {
+                    if backend_factory(name).is_none() {
+                        eprintln!("corpus repro: unknown differential backend {name:?} in {path}");
+                        std::process::exit(2);
+                    }
+                }
+                println!("{path}: divergence finding, replaying across {a}+{b}");
+                let backends = [a.clone(), b.clone()];
+                let oracle = DiffOracle::new(&backends, vendor, ComponentMask::ALL, engine);
+                let bugs = oracle.replay(&input);
+                if bugs.is_empty() {
+                    println!("{path}: no divergence reproduced between {a} and {b}");
+                    std::process::exit(1);
+                }
+                let min = minimize.then(|| oracle.minimize(&bugs[0].0, &input));
+                (bugs, min)
+            } else {
+                let backend = backend_for(&target, vendor);
+                let factory =
+                    move |cfg: HvConfig| -> Box<dyn L0Hypervisor> { backend.factory()(cfg) };
+                let oracle = ReplayOracle::new(factory, vendor, ComponentMask::ALL, engine);
+                let bugs = oracle.replay(&input);
+                if bugs.is_empty() {
+                    println!("{path}: no anomaly reproduced on {target}/{vendor}");
+                    std::process::exit(1);
+                }
+                let min = minimize.then(|| oracle.minimize(&bugs[0].0, &input));
+                (bugs, min)
+            };
             for (id, kind, message) in &bugs {
                 println!("{path}: reproduced [{kind}] {id}: {message}");
             }
-            if minimize {
+            if let Some(minimized) = minimized {
                 let bug_id = &bugs[0].0;
-                let minimized = oracle.minimize(bug_id, &input);
                 let nonzero = minimized.bytes.iter().filter(|&&b| b != 0).count();
                 let dest = out.unwrap_or_else(|| format!("{path}.min.bin"));
                 std::fs::write(&dest, &minimized.bytes)
@@ -534,6 +621,18 @@ fn report_run(run_seed: u64, result: &CampaignResult, multi: bool) {
         result.execs,
         result.restarts,
     );
+    if result.diff_execs > 0 {
+        println!(
+            "{prefix}differential: {} execs diffed ({} backend replays), \
+             {} divergent observations, {} allowed as intentional quirks, \
+             {} crash-skipped",
+            result.divergence.execs_compared,
+            result.diff_execs,
+            result.divergence.divergences,
+            result.divergence.allowed,
+            result.divergence.crash_skipped,
+        );
+    }
 
     if result.finds.is_empty() {
         println!("{prefix}no anomalies detected");

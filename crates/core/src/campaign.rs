@@ -20,6 +20,7 @@ use nf_hv::{HvConfig, L0Hypervisor};
 use nf_x86::CpuVendor;
 
 use crate::agent::{Agent, BugFind, ComponentMask};
+use crate::differential::{DifferentialRunner, DivergenceStats, OracleMode};
 use crate::engine::EngineMode;
 
 /// Executions one virtual hour stands for. The paper's harness reaches
@@ -56,6 +57,17 @@ pub struct CampaignConfig {
     /// structured`). Unguided campaigns ignore the setting — random
     /// generation never consults a parent.
     pub strategy: MutationStrategy,
+    /// Anomaly oracle: sanitizers only (default), or sanitizers plus
+    /// the cross-backend differential oracle (`--oracle differential`).
+    pub oracle: OracleMode,
+    /// Backend set of the differential oracle (names as understood by
+    /// [`crate::differential::backend_factory`]); ignored in
+    /// [`OracleMode::Sanitizer`] campaigns. Every generated input is
+    /// additionally replayed on each of these and the observations
+    /// diffed pairwise — the primary agent's own execution stream is
+    /// untouched, so exploration is bit-identical with the oracle on
+    /// or off.
+    pub diff_backends: Vec<String>,
 }
 
 impl CampaignConfig {
@@ -75,6 +87,8 @@ impl CampaignConfig {
             engine: EngineMode::Snapshot,
             sync_interval: 0,
             strategy: MutationStrategy::Havoc,
+            oracle: OracleMode::Sanitizer,
+            diff_backends: Vec::new(),
         }
     }
 
@@ -111,6 +125,18 @@ impl CampaignConfig {
     /// Sets the guided-mode mutation strategy.
     pub fn with_strategy(mut self, strategy: MutationStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the anomaly oracle mode.
+    pub fn with_oracle(mut self, oracle: OracleMode) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Sets the differential-oracle backend set.
+    pub fn with_diff_backends(mut self, backends: &[&str]) -> Self {
+        self.diff_backends = backends.iter().map(|s| s.to_string()).collect();
         self
     }
 }
@@ -156,6 +182,14 @@ pub struct CampaignResult {
     /// (structured strategy) and the havoc arm counters — the source
     /// of `mutator_yield`'s per-operator table and its smoke gate.
     pub mutation: MutationStats,
+    /// Differential-oracle counters (all zero in sanitizer-only
+    /// campaigns). Divergence findings themselves are appended to
+    /// `finds` after the sanitizer findings, in discovery order.
+    pub divergence: DivergenceStats,
+    /// Executions spent replaying inputs on the differential backend
+    /// set (on top of `execs`) — the oracle's overhead denominator in
+    /// `BENCH_diff.json`.
+    pub diff_execs: u64,
 }
 
 /// A resumable campaign: agent + fuzzer + the virtual clock.
@@ -174,6 +208,11 @@ pub struct Campaign {
     /// every iteration's input is generated into this scratch in place
     /// (`Fuzzer::next_input_into`) instead of allocating per exec.
     input: FuzzInput,
+    /// The differential oracle's replay engine (`--oracle
+    /// differential` only). It owns its own agents — including one for
+    /// the primary backend's name — so the primary agent's stream, and
+    /// with it exploration, stays bit-identical either way.
+    diff: Option<DifferentialRunner>,
 }
 
 impl Campaign {
@@ -198,6 +237,7 @@ impl Campaign {
         Campaign {
             agent,
             fuzzer,
+            diff: Campaign::make_diff(cfg),
             cfg: cfg.clone(),
             hourly: Vec::with_capacity(cfg.hours as usize),
             hour: 0,
@@ -217,12 +257,18 @@ impl Campaign {
         Campaign {
             agent,
             fuzzer,
+            diff: Campaign::make_diff(cfg),
             cfg: cfg.clone(),
             hourly: Vec::with_capacity(cfg.hours as usize),
             hour: 0,
             adopted: 0,
             input: FuzzInput::zeroed(),
         }
+    }
+
+    fn make_diff(cfg: &CampaignConfig) -> Option<DifferentialRunner> {
+        (cfg.oracle == OracleMode::Differential)
+            .then(|| DifferentialRunner::new(&cfg.diff_backends, cfg.vendor, cfg.mask, cfg.engine))
     }
 
     /// Virtual hours completed so far.
@@ -289,6 +335,9 @@ impl Campaign {
                     result.lines,
                     result.feedback,
                 );
+                if let Some(diff) = &mut self.diff {
+                    diff.observe_exec(&self.input, self.agent.execs());
+                }
             }
             self.hour += 1;
             self.hourly.push(HourSample {
@@ -323,6 +372,9 @@ impl Campaign {
             let result = self.agent.run_iteration(input);
             self.fuzzer
                 .report_observed(input, result.bitmap, result.lines, result.feedback);
+            if let Some(diff) = &mut self.diff {
+                diff.observe_exec(input, self.agent.execs());
+            }
         }
         self.adopted += inputs.len() as u64;
         inputs.len()
@@ -338,18 +390,28 @@ impl Campaign {
         let (map, file) = self.coverage_geometry();
         let agent = &self.agent;
         let final_coverage = agent.coverage_fraction();
+        let mut finds = agent.triage().finds().to_vec();
+        let (divergence, diff_execs) = match &self.diff {
+            Some(diff) => {
+                finds.extend(diff.triage().finds().iter().cloned());
+                (diff.stats(), diff.backend_execs())
+            }
+            None => (DivergenceStats::default(), 0),
+        };
         CampaignResult {
             hourly: self.hourly,
             final_coverage,
             lines: agent.cumulative.clone(),
             map,
             file,
-            finds: agent.triage().finds().to_vec(),
+            finds,
             execs: agent.execs(),
             restarts: agent.restarts(),
             mutation: self.fuzzer.mutation_stats(),
             corpus: std::mem::take(self.fuzzer.corpus_mut()),
             adopted: self.adopted,
+            divergence,
+            diff_execs,
         }
     }
 }

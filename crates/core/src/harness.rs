@@ -73,6 +73,38 @@ pub struct InitOutcome {
     pub host_dead: bool,
 }
 
+/// Observes the L1-visible events of one harness execution — the seam
+/// the differential oracle records its canonical observation through
+/// (see `crate::differential`).
+///
+/// Every hook has a no-op default, and the plain
+/// [`ExecutionHarness::run_init`] / [`ExecutionHarness::run_runtime`]
+/// entry points go through [`NopObserver`]: the observed variants are
+/// monomorphized, so the unobserved hot path stays bit-identical to
+/// the pre-observer code.
+pub trait ExecObserver {
+    /// One initialization step completed with `result`.
+    fn on_init_step(&mut self, result: &L1Result) {
+        let _ = result;
+    }
+
+    /// The live L2 guest ran one instruction with `result`.
+    fn on_l2_result(&mut self, result: &L2Result) {
+        let _ = result;
+    }
+
+    /// The L1 exit handler executed one action with `result`.
+    fn on_l1_action(&mut self, result: &L1Result) {
+        let _ = result;
+    }
+}
+
+/// The observer behind the plain (unobserved) harness entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopObserver;
+
+impl ExecObserver for NopObserver {}
+
 /// The VM execution harness.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecutionHarness {
@@ -182,6 +214,21 @@ impl ExecutionHarness {
         vmcb12: &Vmcb,
         msr_area: &MsrArea,
     ) -> InitOutcome {
+        self.run_init_observed(hv, plan, vmcs12, vmcb12, msr_area, &mut NopObserver)
+    }
+
+    /// [`run_init`](Self::run_init) with an [`ExecObserver`] seeing the
+    /// [`L1Result`] of every step, including a terminal `HostDead`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_init_observed<O: ExecObserver>(
+        &self,
+        hv: &mut dyn L0Hypervisor,
+        plan: &InitPlan,
+        vmcs12: &Vmcs,
+        vmcb12: &Vmcb,
+        msr_area: &MsrArea,
+        observer: &mut O,
+    ) -> InitOutcome {
         let mut l2_live = false;
         for step in &plan.steps {
             let result = match *step {
@@ -228,6 +275,7 @@ impl ExecutionHarness {
                 }
                 InitStep::Vmrun(addr) => hv.l1_exec(GuestInstr::Vmrun(addr)),
             };
+            observer.on_init_step(&result);
             match result {
                 L1Result::L2Entered { runnable } => l2_live = runnable,
                 L1Result::HostDead => {
@@ -368,13 +416,27 @@ impl ExecutionHarness {
         &self,
         hv: &mut dyn L0Hypervisor,
         runtime_bytes: &[u8],
+        l2_live: bool,
+    ) -> u32 {
+        self.run_runtime_observed(hv, runtime_bytes, l2_live, &mut NopObserver)
+    }
+
+    /// [`run_runtime`](Self::run_runtime) with an [`ExecObserver`]
+    /// seeing every [`L2Result`] and L1-action [`L1Result`].
+    pub fn run_runtime_observed<O: ExecObserver>(
+        &self,
+        hv: &mut dyn L0Hypervisor,
+        runtime_bytes: &[u8],
         mut l2_live: bool,
+        observer: &mut O,
     ) -> u32 {
         let mut exits = 0;
         for step in runtime_bytes.chunks(4) {
             if l2_live {
                 let instr = self.decode_l2_instr(step);
-                match hv.l2_exec(instr) {
+                let result = hv.l2_exec(instr);
+                observer.on_l2_result(&result);
+                match result {
                     L2Result::NoExit => {}
                     L2Result::HandledByL0 => exits += 1,
                     L2Result::ReflectedToL1(_) => {
@@ -386,7 +448,9 @@ impl ExecutionHarness {
                 }
             } else {
                 let action = self.decode_l1_action(step);
-                match hv.l1_exec(action) {
+                let result = hv.l1_exec(action);
+                observer.on_l1_action(&result);
+                match result {
                     L1Result::L2Entered { runnable } => l2_live = runnable,
                     L1Result::HostDead => break,
                     _ => {}

@@ -66,6 +66,7 @@
 pub mod agent;
 pub mod campaign;
 pub mod configurator;
+pub mod differential;
 pub mod engine;
 pub mod harness;
 pub mod input;
@@ -79,8 +80,13 @@ pub use campaign::{
     EXECS_PER_HOUR,
 };
 pub use configurator::{HvAdapter, KvmAdapter, VboxAdapter, VcpuConfigurator, XenAdapter};
+pub use differential::{
+    allowed_by, backend_factory, diff_observations, parse_divergence_pair, AllowRule, DiffOracle,
+    DifferentialRunner, DivergenceSite, DivergenceStats, ExecObservation, ObsResult, OracleMode,
+    ALLOWLIST, SEEDED_HLT_BACKEND,
+};
 pub use engine::{EngineMode, EngineStats, ExecutionEngine};
-pub use harness::{ExecutionHarness, InitPlan, InitStep};
+pub use harness::{ExecObserver, ExecutionHarness, InitPlan, InitStep, NopObserver};
 pub use input::{InputLayout, InputView, SectionSpan};
 pub use nf_fuzz::{Corpus, CorpusDelta, MutationStrategy, SharedCorpus};
 pub use orchestrator::{

@@ -38,6 +38,7 @@ use crate::agent::ComponentMask;
 use crate::campaign::{
     run_campaign, run_campaign_group_observed, CampaignConfig, CampaignResult, EXECS_PER_HOUR,
 };
+use crate::differential::OracleMode;
 use crate::engine::EngineMode;
 
 /// A hypervisor factory shareable across worker threads.
@@ -122,8 +123,13 @@ impl CampaignJob {
             MutationStrategy::Havoc => "",
             MutationStrategy::Structured => "/structured",
         };
+        // Sanitizer mode (the default) likewise stays unlabeled.
+        let oracle = match self.cfg.oracle {
+            OracleMode::Sanitizer => String::new(),
+            OracleMode::Differential => format!("/diff[{}]", self.cfg.diff_backends.join("+")),
+        };
         format!(
-            "{}/{}/{mode}{mask}{engine}{strategy}",
+            "{}/{}/{mode}{mask}{engine}{strategy}{oracle}",
             self.backend.name, self.cfg.vendor
         )
     }
@@ -165,6 +171,8 @@ pub struct CampaignPlan {
     engine: EngineMode,
     sync_interval: u32,
     strategy: MutationStrategy,
+    oracle: OracleMode,
+    diff_backends: Vec<String>,
 }
 
 impl CampaignPlan {
@@ -182,6 +190,8 @@ impl CampaignPlan {
             engine: EngineMode::Snapshot,
             sync_interval: 0,
             strategy: MutationStrategy::Havoc,
+            oracle: OracleMode::Sanitizer,
+            diff_backends: Vec::new(),
         }
     }
 
@@ -252,6 +262,20 @@ impl CampaignPlan {
         self
     }
 
+    /// Selects the anomaly oracle for every campaign of the grid
+    /// (default: [`OracleMode::Sanitizer`]).
+    pub fn oracle(mut self, oracle: OracleMode) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Sets the differential-oracle backend set for every campaign of
+    /// the grid (ignored under [`OracleMode::Sanitizer`]).
+    pub fn diff_backends(mut self, backends: &[&str]) -> Self {
+        self.diff_backends = backends.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
     /// Number of jobs the grid expands to.
     pub fn len(&self) -> usize {
         self.backends.len()
@@ -286,6 +310,8 @@ impl CampaignPlan {
                                     engine: self.engine,
                                     sync_interval: self.sync_interval,
                                     strategy: self.strategy,
+                                    oracle: self.oracle,
+                                    diff_backends: self.diff_backends.clone(),
                                 },
                             });
                         }

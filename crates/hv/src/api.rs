@@ -84,6 +84,106 @@ pub enum L2Result {
     HostDead,
 }
 
+/// The guest-visible architectural state of the L1/L2 stack at the end
+/// of one execution — the per-backend half of the differential oracle's
+/// canonical observation.
+///
+/// Only state an L1 hypervisor could itself read is captured: control
+/// registers, VMX-operation status, and a digest of the *current*
+/// VMCS12 (every field, as `vmread` would return it). L0-internal
+/// bookkeeping (VMCS02 contents, shadow structures, health state) is
+/// deliberately excluded — two backends that present identical state to
+/// their guest must produce identical observations, whatever their
+/// internals do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuestObservation {
+    /// L1's CR0.
+    pub cr0: u64,
+    /// L1's CR4.
+    pub cr4: u64,
+    /// L1's EFER.
+    pub efer: u64,
+    /// Whether L1 is in VMX operation (`vmxon` without `vmxoff`).
+    pub vmx_on: bool,
+    /// The current-VMCS pointer (`vmptrst`); `u64::MAX` when none.
+    pub current_vmptr: u64,
+    /// Whether a nested guest is live.
+    pub in_l2: bool,
+    /// FNV-1a digest over `(encoding, value)` of every field of the
+    /// current VMCS12; `0` when no VMCS is current.
+    pub vmcs12_digest: u64,
+}
+
+impl GuestObservation {
+    /// Digests a VMCS the way every backend must: FNV-1a over
+    /// `(encoding, value)` of [`nf_vmx::VmcsField::ALL`] in order.
+    pub fn digest_vmcs(vmcs: &nf_vmx::Vmcs) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for &f in nf_vmx::VmcsField::ALL {
+            mix(u64::from(f.encoding()));
+            mix(vmcs.read(f));
+        }
+        h
+    }
+
+    /// Digests a VMCB's guest-visible scalar fields (AMD side of
+    /// [`Self::digest_vmcs`]): the save-area register file plus the
+    /// control fields an L1 hypervisor reads back after `#VMEXIT`.
+    pub fn digest_vmcb(vmcb: &nf_vmx::Vmcb) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let c = &vmcb.control;
+        for v in [
+            c.intercepts,
+            c.iopm_base_pa,
+            c.msrpm_base_pa,
+            c.tsc_offset,
+            u64::from(c.guest_asid),
+            c.int_ctl,
+            c.interrupt_shadow,
+            c.exitcode,
+            c.exitinfo1,
+            c.exitinfo2,
+            c.exitintinfo,
+            c.np_enable,
+            c.event_inj,
+            c.ncr3,
+            c.lbr_ctl,
+            c.nrip,
+        ] {
+            mix(v);
+        }
+        let s = &vmcb.save;
+        for v in [
+            s.efer,
+            s.cr0,
+            s.cr3,
+            s.cr4,
+            s.dr6,
+            s.dr7,
+            s.rflags,
+            s.rip,
+            s.rsp,
+            s.rax,
+            u64::from(s.cpl),
+        ] {
+            mix(v);
+        }
+        h
+    }
+}
+
 /// Host-side ioctl-style operations — the interface Syzkaller fuzzes and
 /// the paper's threat model excludes for NecoFuzz (§3.1, §5.2). Blocks
 /// reachable only through these calls form the coverage residue.
@@ -124,6 +224,8 @@ pub enum HvSnapshot {
     Vxen(crate::vxen::VxenSnapshot),
     /// State image of a [`crate::Vvbox`] instance.
     Vvbox(crate::vvbox::VvboxSnapshot),
+    /// State image of a [`crate::SiliconGolden`] instance.
+    Golden(crate::golden::GoldenSnapshot),
 }
 
 impl HvSnapshot {
@@ -133,6 +235,7 @@ impl HvSnapshot {
             HvSnapshot::Vkvm(_) => "vkvm",
             HvSnapshot::Vxen(_) => "vxen",
             HvSnapshot::Vvbox(_) => "vvbox",
+            HvSnapshot::Golden(_) => "golden",
         }
     }
 }
@@ -191,6 +294,11 @@ pub trait L0Hypervisor {
 
     /// Host-side ioctl interface (outside the NecoFuzz threat model).
     fn host_ioctl(&mut self, op: IoctlOp);
+
+    /// Captures the guest-visible architectural state for the
+    /// differential oracle (see [`GuestObservation`] for exactly what
+    /// is — and is not — comparable across backends).
+    fn observe_guest(&self) -> GuestObservation;
 
     /// The instrumentation registry.
     fn coverage_map(&self) -> &CovMap;

@@ -16,12 +16,14 @@
 //! | [`Vvbox`] | VirtualBox 7.0.12 | `VMXAllTemplate.cpp` (nested part) |
 
 pub mod api;
+pub mod golden;
 pub mod sanitizer;
 pub mod vkvm;
 pub mod vvbox;
 pub mod vxen;
 
-pub use api::{HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
+pub use api::{GuestObservation, HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
+pub use golden::{GoldenSnapshot, SiliconGolden};
 pub use sanitizer::{CrashKind, CrashReport, HostHealth, LogLine};
 pub use vkvm::{Vkvm, VkvmSnapshot};
 pub use vvbox::{Vvbox, VvboxSnapshot};

@@ -22,6 +22,10 @@ pub enum CrashKind {
     AssertFail,
     /// A kernel warning that the log monitor flags as anomalous.
     Warning,
+    /// Two backends disagreed on the guest-visible outcome of the same
+    /// scenario (the differential oracle's silent-misvirtualization
+    /// class; no sanitizer fires for these).
+    Divergence,
 }
 
 impl fmt::Display for CrashKind {
@@ -33,6 +37,7 @@ impl fmt::Display for CrashKind {
             CrashKind::Kasan => "KASAN",
             CrashKind::AssertFail => "assertion failure",
             CrashKind::Warning => "kernel warning",
+            CrashKind::Divergence => "divergence",
         };
         f.write_str(s)
     }

@@ -46,6 +46,14 @@ pub struct VkvmBugs {
     pub cve_2023_30456_fixed: bool,
     /// Apply the dummy-root fix (commit 0e3223d8d).
     pub dummy_root_fixed: bool,
+    /// Test-only misvirtualization switch (`true` = *inject* the bug):
+    /// a reflected HLT exit is misreported to L1 as a PAUSE exit, in
+    /// both the VMCS12 exit-reason field and the reflected reason. No
+    /// sanitizer fires — the exec completes with wrong guest-visible
+    /// state, exactly the class only the differential oracle can see.
+    /// Unreachable from any [`HvConfig`]; enabled only by differential
+    /// self-tests and the `diff_oracle` seeded-bug bench arm.
+    pub misreport_hlt_exit: bool,
 }
 
 /// The mutable-state image of a [`Vkvm`] instance (see
@@ -438,6 +446,36 @@ impl L0Hypervisor for Vkvm {
 
     fn health(&self) -> &HostHealth {
         &self.health
+    }
+
+    fn observe_guest(&self) -> crate::api::GuestObservation {
+        use crate::api::GuestObservation;
+        match self.config.vendor {
+            CpuVendor::Intel => GuestObservation {
+                cr0: self.l1_cr0,
+                cr4: self.l1_cr4,
+                efer: self.l1_efer,
+                vmx_on: self.vmxon_region.is_some(),
+                current_vmptr: self.current_vmptr.unwrap_or(u64::MAX),
+                in_l2: self.in_l2,
+                vmcs12_digest: self
+                    .current_vmptr
+                    .map(|p| GuestObservation::digest_vmcs(&self.vmcs12_mem[&p]))
+                    .unwrap_or(0),
+            },
+            CpuVendor::Amd => GuestObservation {
+                cr0: self.l1_cr0,
+                cr4: self.l1_cr4,
+                efer: self.l1_efer,
+                vmx_on: false,
+                current_vmptr: self.current_vmcb.unwrap_or(u64::MAX),
+                in_l2: self.in_l2,
+                vmcs12_digest: self
+                    .current_vmcb
+                    .map(|a| GuestObservation::digest_vmcb(&self.vmcb12_mem[&a]))
+                    .unwrap_or(0),
+            },
+        }
     }
 
     fn health_mut(&mut self) -> &mut HostHealth {

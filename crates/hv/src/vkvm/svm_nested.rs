@@ -149,15 +149,19 @@ impl Vkvm {
     /// Nested #VMEXIT dispatch for a live L2 (AMD side).
     pub(crate) fn l2_exec_svm(&mut self, instr: GuestInstr) -> L2Result {
         let vmcb02 = self.vmcb02.as_ref().expect("in_l2 implies vmcb02");
-        let Some(code) = svm_exit_for(instr, vmcb02) else {
+        let addr = self.current_vmcb.expect("in_l2 implies current vmcb12");
+        let vmcb12 = self.vmcb12_mem[&addr];
+        // Same merge as the Intel side: KVM folds every intercept L1
+        // programmed into VMCB02, so an L1-requested #VMEXIT always
+        // occurs and carries the code L1's intercepts produce.
+        let code12 = svm_exit_for(instr, &vmcb12);
+        let Some(code) = code12.or_else(|| svm_exit_for(instr, vmcb02)) else {
             return L2Result::NoExit;
         };
         self.cov_a(ABlk::ExitDispatchAmd);
         self.cov_a(ABlk::ReflectDecideAmd);
 
-        let addr = self.current_vmcb.expect("in_l2 implies current vmcb12");
-        let vmcb12 = self.vmcb12_mem[&addr];
-        let reflect = code.is_svm_instruction() || svm_exit_for(instr, &vmcb12).is_some();
+        let reflect = code12.is_some();
         if reflect {
             self.cov_a(ABlk::SyncVmcb12);
             let save02 = self.vmcb02.as_ref().expect("live").save;

@@ -566,18 +566,22 @@ impl Vkvm {
     pub(crate) fn l2_exec_vmx(&mut self, instr: GuestInstr) -> crate::api::L2Result {
         use crate::api::L2Result;
         let vmcs02 = self.vmcs02.as_ref().expect("in_l2 implies vmcs02");
-        let Some(reason) = vmx_exit_for(instr, vmcs02) else {
+        let ptr = self.current_vmptr.expect("in_l2 implies current vmcs12");
+        // KVM builds VMCS02 by merging its own exit policy with every
+        // exit control L1 programmed (MSR/IO bitmaps, CR masks, the
+        // exception bitmap), so an exit L1 asked for always occurs even
+        // where L0's own policy would let the instruction run natively.
+        // The model expresses that merge by consulting VMCS12 directly:
+        // its decision both forces the exit and names the reason L1
+        // observes.
+        let reason12 = vmx_exit_for(instr, &self.vmcs12_mem[&ptr]);
+        let Some(reason) = reason12.or_else(|| vmx_exit_for(instr, vmcs02)) else {
             return L2Result::NoExit;
         };
         self.cov_i(IBlk::ExitDispatchEntry);
         self.cov_i(IBlk::ReflectDecide);
 
-        let ptr = self.current_vmptr.expect("in_l2 implies current vmcs12");
-        let vmcs12 = &self.vmcs12_mem[&ptr];
-        let reflect = reason.is_vmx_instruction()
-            || reason == ExitReason::Cpuid
-            || reason == ExitReason::Xsetbv
-            || vmx_exit_for(instr, vmcs12).is_some();
+        let reflect = reason12.is_some();
 
         if reflect {
             let arm = match reason {
@@ -616,7 +620,14 @@ impl Vkvm {
                     guest_snapshot.push((f, vmcs02.read(f)));
                 }
             }
-            let encoded = reason.encode(false);
+            // Seeded misvirtualization (test-only, see `VkvmBugs`): the
+            // exit is delivered, the host stays healthy, but L1 is told
+            // the wrong reason.
+            let encoded = if self.bugs.misreport_hlt_exit && reason == ExitReason::Hlt {
+                ExitReason::Pause.encode(false)
+            } else {
+                reason.encode(false)
+            };
             let vmcs12 = self.vmcs12_mem.get_mut(&ptr).expect("staged");
             for (f, v) in guest_snapshot {
                 vmcs12.write(f, v);

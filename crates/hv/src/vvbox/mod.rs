@@ -516,6 +516,22 @@ impl L0Hypervisor for Vvbox {
         &self.health
     }
 
+    fn observe_guest(&self) -> crate::api::GuestObservation {
+        use crate::api::GuestObservation;
+        GuestObservation {
+            cr0: self.l1_cr0,
+            cr4: self.l1_cr4,
+            efer: self.l1_efer,
+            vmx_on: self.vmxon_region.is_some(),
+            current_vmptr: self.current_vmptr.unwrap_or(u64::MAX),
+            in_l2: self.in_l2,
+            vmcs12_digest: self
+                .current_vmptr
+                .map(|p| GuestObservation::digest_vmcs(&self.vmcs12_mem[&p]))
+                .unwrap_or(0),
+        }
+    }
+
     fn health_mut(&mut self) -> &mut HostHealth {
         &mut self.health
     }
