@@ -1,0 +1,346 @@
+//! Prefix cache: scenario units skipped per exec as a function of how
+//! much consecutive inputs share.
+//!
+//! The snapshot trie (engine prefix cache) restores the deepest cached
+//! ancestor of an input's scenario-prefix chain and executes only the
+//! suffix. This bench drives the product execution path
+//! (`Agent::run_iteration` with `--prefix-cache` semantics) over
+//! workloads with a controlled **prefix share**: every input in a cell
+//! keeps the first `share * RUNTIME_STEPS` runtime records of a fixed
+//! base scenario and randomizes the rest, so consecutive execs agree
+//! on exactly that much of the instruction stream (plus the whole init
+//! plan, which the cell holds constant).
+//!
+//! The reported speedup is a **deterministic model cost**, not wall
+//! clock: every scenario unit (init step or runtime record) costs 1,
+//! `units_total` is what full replay would execute, `units_skipped`
+//! comes from the engine's own counters, and
+//! `model_speedup = units_total / units_executed`. The virtual-time
+//! model keeps `BENCH_prefix.json` byte-reproducible across hosts;
+//! measured wall-clock rates go to stderr only.
+//!
+//! A separate **identical** check runs small campaigns — solo and
+//! sync-grouped, both strategies, both vendors — with the prefix cache
+//! on and off and asserts the `CampaignResult`s compare equal: the
+//! cache is a pure execution-cost optimization.
+//!
+//! Results are written to `BENCH_prefix.json` (schema in README.md).
+//! Flags: `--out PATH` (default `BENCH_prefix.json`), `--smoke` (tiny
+//! budget; exit 1 unless model speedup rises monotonically with the
+//! share, the high-share cell is ≥ 2x, and every A/B campaign pair is
+//! identical — the CI gate), `--jobs N` (accepted for CLI uniformity;
+//! the cells are sequential and deterministic).
+
+use std::time::Instant;
+
+use necofuzz::campaign::{run_campaign, run_campaign_group, CampaignConfig, GroupMember};
+use necofuzz::{Agent, ComponentMask, EngineMode, ExecutionHarness};
+use nf_bench::{hr, vkvm_factory, vxen_factory};
+use nf_fuzz::scenario::InputLayout;
+use nf_fuzz::{FuzzInput, Mode, MutationStrategy};
+use nf_x86::CpuVendor;
+
+/// The prefix-share grid: the fraction of the runtime record stream
+/// consecutive inputs have in common.
+const SHARES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.95];
+
+/// Capture at every boundary and never evict inside a cell: the cells
+/// measure the restore geometry, not the capture policy (the policy's
+/// hit/eviction behavior is exercised by the equivalence suite).
+const CELL_BUDGET: usize = 64 << 20;
+
+/// One share cell's deterministic model measurement.
+struct ShareCell {
+    share: f64,
+    execs: u32,
+    units_total: u64,
+    units_skipped: u64,
+    hits: u64,
+    misses: u64,
+    captures: u64,
+    evictions: u64,
+}
+
+impl ShareCell {
+    fn units_executed(&self) -> u64 {
+        self.units_total - self.units_skipped
+    }
+
+    fn model_speedup(&self) -> f64 {
+        self.units_total as f64 / self.units_executed() as f64
+    }
+}
+
+/// Runs one share cell: `execs` iterations on the product path, every
+/// input sharing the first `share` of the base scenario's runtime
+/// records. Deterministic in (share, execs).
+fn share_cell(share: f64, execs: u32) -> ShareCell {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut agent = Agent::with_engine(
+        vkvm_factory(),
+        CpuVendor::Intel,
+        ComponentMask::ALL,
+        EngineMode::Snapshot,
+    )
+    .with_prefix_cache(true)
+    .with_prefix_threshold(1)
+    .with_prefix_budget(CELL_BUDGET);
+
+    // One fixed base scenario per cell grid; the same seed for every
+    // share so the cells differ only in how much of it they keep.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let base = FuzzInput::random(&mut rng);
+
+    // Scenario units per exec: the (fixed) mutated init plan plus one
+    // unit per runtime record. The cell never touches the init section
+    // or the staged images, so the plan — and with it the chain length
+    // — is constant across the cell. The revision argument parameterizes
+    // a step's payload, never the step count.
+    let init_bytes = &base.bytes[InputLayout::INIT.range()];
+    let plan_units = ExecutionHarness::new(CpuVendor::Intel)
+        .mutated_plan(1, init_bytes)
+        .steps
+        .len() as u64;
+    let units_per_exec = plan_units + InputLayout::RUNTIME_STEPS as u64;
+
+    let shared_records = (share * InputLayout::RUNTIME_STEPS as f64).round() as usize;
+    let run = InputLayout::RUNTIME;
+    let tail_start = run.offset + shared_records * InputLayout::STEP_BYTES;
+
+    let mut input = base.clone();
+    let start = Instant::now();
+    for _ in 0..execs {
+        input.bytes[run.offset..run.range().end].copy_from_slice(&base.bytes[run.range()]);
+        rng.fill(&mut input.bytes[tail_start..run.range().end]);
+        agent.run_iteration(&input);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    eprintln!(
+        "share {share:.2}: {:.0} execs/sec wall-clock (model numbers are virtual)",
+        execs as f64 / elapsed
+    );
+
+    let stats = agent.engine_stats();
+    ShareCell {
+        share,
+        execs,
+        units_total: units_per_exec * execs as u64,
+        units_skipped: stats.prefix_units_skipped,
+        hits: stats.prefix_hits,
+        misses: stats.prefix_misses,
+        captures: stats.prefix_captures,
+        evictions: stats.prefix_evictions,
+    }
+}
+
+/// One A/B identity cell: the same campaign with the prefix cache on
+/// and off, compared with `CampaignResult`'s equality (which spans
+/// coverage curves, corpus, triage, divergence — everything except the
+/// engine counters).
+struct AbCell {
+    label: &'static str,
+    identical: bool,
+}
+
+fn ab_solo(
+    label: &'static str,
+    factory: fn() -> necofuzz::campaign::HvFactory,
+    cfg: CampaignConfig,
+) -> AbCell {
+    let cached = run_campaign(factory(), &cfg.clone().with_prefix_cache(true));
+    let full = run_campaign(factory(), &cfg.with_prefix_cache(false));
+    AbCell {
+        label,
+        identical: cached == full,
+    }
+}
+
+/// The synced-fleet A/B cell: a two-member vkvm sync group, prefix
+/// cache on vs off, every member's result compared.
+fn ab_group(label: &'static str, hours: u32, eph: u32) -> AbCell {
+    let run = |prefix: bool| {
+        let members: Vec<GroupMember> = (0..2)
+            .map(|seed| {
+                let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, hours, seed)
+                    .with_execs_per_hour(eph)
+                    .with_mode(Mode::Guided)
+                    .with_sync_interval(2)
+                    .with_prefix_cache(prefix);
+                (vkvm_factory(), cfg) as GroupMember
+            })
+            .collect();
+        run_campaign_group(members)
+    };
+    AbCell {
+        label,
+        identical: run(true) == run(false),
+    }
+}
+
+fn identity_cells(hours: u32, eph: u32) -> Vec<AbCell> {
+    let base = |vendor, seed| {
+        CampaignConfig::necofuzz(vendor, hours, seed)
+            .with_execs_per_hour(eph)
+            .with_mode(Mode::Guided)
+    };
+    vec![
+        ab_solo("vkvm/intel/guided", vkvm_factory, base(CpuVendor::Intel, 1)),
+        ab_solo(
+            "vxen/amd/structured",
+            vxen_factory,
+            base(CpuVendor::Amd, 2).with_strategy(MutationStrategy::Structured),
+        ),
+        ab_group("vkvm/intel/synced-x2", hours, eph),
+    ]
+}
+
+fn write_json(path: &str, cells: &[ShareCell], ab: &[AbCell]) {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"share\": {:.2}, \"execs\": {}, \"units_total\": {}, \
+                 \"units_executed\": {}, \"units_skipped\": {}, \"model_speedup\": {:.2}, \
+                 \"hits\": {}, \"misses\": {}, \"captures\": {}, \"evictions\": {}}}",
+                c.share,
+                c.execs,
+                c.units_total,
+                c.units_executed(),
+                c.units_skipped,
+                c.model_speedup(),
+                c.hits,
+                c.misses,
+                c.captures,
+                c.evictions,
+            )
+        })
+        .collect();
+    let ab_rows: Vec<String> = ab
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"campaign\": \"{}\", \"identical\": {}}}",
+                c.label, c.identical
+            )
+        })
+        .collect();
+    let high = cells.last().expect("share grid");
+    let json = format!(
+        "{{\n  \"bench\": \"prefix_speedup\",\n  \"unit\": \"model_scenario_units\",\n  \
+         \"description\": \"snapshot-trie prefix cache: every scenario unit (init step or \
+         runtime record) costs 1; units_skipped are restored from cached mid-scenario \
+         snapshots instead of re-executed; model_speedup = units_total / units_executed. \
+         Virtual cost model, byte-reproducible; wall-clock goes to stderr.\",\n  \
+         \"cells\": [\n{}\n  ],\n  \"identity\": [\n{}\n  ],\n  \
+         \"summary\": {{\"high_share_speedup\": {:.2}, \"monotone\": {}, \
+         \"results_identical\": {}}}\n}}\n",
+        rows.join(",\n"),
+        ab_rows.join(",\n"),
+        high.model_speedup(),
+        cells
+            .windows(2)
+            .all(|w| w[1].model_speedup() > w[0].model_speedup()),
+        ab.iter().all(|c| c.identical),
+    );
+    std::fs::write(path, json).expect("write bench output");
+}
+
+fn usage() -> ! {
+    eprintln!("usage: prefix_speedup [--smoke] [--jobs N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = "BENCH_prefix.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().cloned().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                it.next().unwrap_or_else(|| usage());
+            }
+            j if j.starts_with("--jobs=") => {}
+            _ => usage(),
+        }
+    }
+    let (execs, hours, eph) = if smoke {
+        (80u32, 3, 60)
+    } else {
+        (400u32, 6, 120)
+    };
+
+    let cells: Vec<ShareCell> = SHARES.iter().map(|&s| share_cell(s, execs)).collect();
+    let ab = identity_cells(hours, eph);
+
+    hr("Prefix cache: scenario units skipped vs prefix share (model cost)");
+    println!(
+        "{:<7} {:>6} {:>12} {:>14} {:>14} {:>9} {:>7} {:>8}",
+        "share",
+        "execs",
+        "units_total",
+        "units_executed",
+        "units_skipped",
+        "speedup",
+        "hits",
+        "misses"
+    );
+    for c in &cells {
+        println!(
+            "{:<7.2} {:>6} {:>12} {:>14} {:>14} {:>8.2}x {:>7} {:>8}",
+            c.share,
+            c.execs,
+            c.units_total,
+            c.units_executed(),
+            c.units_skipped,
+            c.model_speedup(),
+            c.hits,
+            c.misses
+        );
+    }
+    println!();
+    for c in &ab {
+        println!("identical {:<22} {}", c.label, c.identical);
+    }
+
+    write_json(&out, &cells, &ab);
+    println!("\nwrote {out}");
+
+    let broken: Vec<&str> = ab
+        .iter()
+        .filter(|c| !c.identical)
+        .map(|c| c.label)
+        .collect();
+    if !broken.is_empty() {
+        eprintln!("FAIL: prefix-cached campaigns diverged from full replay on {broken:?}");
+        std::process::exit(1);
+    }
+    if smoke {
+        let mut failures = Vec::new();
+        if !cells
+            .windows(2)
+            .all(|w| w[1].model_speedup() > w[0].model_speedup())
+        {
+            failures.push("model speedup is not monotone in the prefix share".to_string());
+        }
+        let high = cells.last().expect("share grid");
+        if high.model_speedup() < 2.0 {
+            failures.push(format!(
+                "high-share model speedup {:.2}x below the 2x gate",
+                high.model_speedup()
+            ));
+        }
+        if cells.iter().any(|c| c.hits == 0) {
+            failures.push("a share cell never hit the prefix cache".to_string());
+        }
+        if !failures.is_empty() {
+            eprintln!("FAIL: {failures:?}");
+            std::process::exit(1);
+        }
+        println!("smoke OK: monotone model speedup, >=2x at high share, A/B identical");
+    }
+}

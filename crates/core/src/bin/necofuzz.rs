@@ -6,13 +6,15 @@
 //!          [--jobs N] [--guided] [--mutator havoc|structured]
 //!          [--no-harness] [--no-validator]
 //!          [--no-configurator] [--engine snapshot|rebuild]
+//!          [--prefix-cache] [--cache-capacity N]
 //!          [--oracle sanitizer|differential] [--diff-backends LIST]
 //!          [--sync-interval N] [--corpus-dir DIR]
 //!          [--resume-corpus DIR] [--out DIR] [--bench-out PATH]
 //! necofuzz corpus stat DIR
 //! necofuzz corpus minimize DIR [--out DIR]
 //! necofuzz corpus repro FILE [--target T] [--vendor V]
-//!          [--engine E] [--minimize] [--out FILE]
+//!          [--engine E] [--prefix-cache] [--cache-capacity N]
+//!          [--minimize] [--out FILE]
 //! ```
 //!
 //! Runs one campaign — or, with `--runs N`, a whole grid of campaigns
@@ -51,6 +53,15 @@
 //! throughput (total execs, wall-clock seconds, overall execs/sec,
 //! and per-run exec/restart counts) as JSON for offline comparison.
 //!
+//! `--prefix-cache` (snapshot engine only) arms the incremental
+//! snapshot trie: mid-scenario snapshots are captured at hot
+//! instruction boundaries, and each execution resumes from the deepest
+//! cached ancestor of its scenario prefix, executing only the suffix.
+//! Full replay is the built-in A/B oracle — campaign results are
+//! bit-identical with the cache on or off; only wall-clock changes.
+//! `--cache-capacity N` sizes the engine's booted-image cache (parked
+//! config → booted-hypervisor images; default 16).
+//!
 //! `--oracle differential` arms the cross-backend differential oracle
 //! on top of the sanitizers: every executed input is replayed across
 //! `--diff-backends` (comma-separated; default `<target>,golden`) and
@@ -82,13 +93,15 @@ fn usage() -> ! {
          \x20               [--guided] [--mutator havoc|structured]\n\
          \x20               [--no-harness] [--no-validator]\n\
          \x20               [--no-configurator] [--engine snapshot|rebuild]\n\
+         \x20               [--prefix-cache] [--cache-capacity N]\n\
          \x20               [--oracle sanitizer|differential] [--diff-backends LIST]\n\
          \x20               [--sync-interval N] [--corpus-dir DIR]\n\
          \x20               [--resume-corpus DIR] [--out DIR] [--bench-out PATH]\n\
          \x20      necofuzz corpus stat DIR\n\
          \x20      necofuzz corpus minimize DIR [--out DIR]\n\
          \x20      necofuzz corpus repro FILE [--target T] [--vendor V]\n\
-         \x20               [--engine E] [--minimize] [--out FILE]"
+         \x20               [--engine E] [--prefix-cache] [--cache-capacity N]\n\
+         \x20               [--minimize] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -119,6 +132,8 @@ fn main() {
     let mut mode = Mode::Unguided;
     let mut mask = ComponentMask::ALL;
     let mut engine = EngineMode::Snapshot;
+    let mut prefix_cache = false;
+    let mut cache_capacity = necofuzz::DEFAULT_CACHE_CAPACITY;
     let mut strategy = MutationStrategy::Havoc;
     let mut oracle = OracleMode::Sanitizer;
     let mut diff_backends: Vec<String> = Vec::new();
@@ -156,6 +171,8 @@ fn main() {
             "--no-validator" => mask.validator = false,
             "--no-configurator" => mask.configurator = false,
             "--engine" => engine = EngineMode::parse(&value()).unwrap_or_else(|| usage()),
+            "--prefix-cache" => prefix_cache = true,
+            "--cache-capacity" => cache_capacity = value().parse().unwrap_or_else(|_| usage()),
             "--oracle" => oracle = OracleMode::parse(&value()).unwrap_or_else(|| usage()),
             "--diff-backends" => {
                 diff_backends = value().split(',').map(str::to_string).collect();
@@ -171,6 +188,14 @@ fn main() {
     }
     if runs == 0 {
         usage();
+    }
+    if prefix_cache && engine != EngineMode::Snapshot {
+        eprintln!("--prefix-cache requires --engine snapshot (the trie restores snapshots)");
+        std::process::exit(2);
+    }
+    if cache_capacity == 0 {
+        eprintln!("--cache-capacity must be at least 1");
+        std::process::exit(2);
     }
     match oracle {
         OracleMode::Sanitizer => {
@@ -229,6 +254,8 @@ fn main() {
             .with_mode(mode)
             .with_mask(mask)
             .with_engine(engine)
+            .with_prefix_cache(prefix_cache)
+            .with_cache_capacity(cache_capacity)
             .with_strategy(strategy)
             .with_oracle(oracle)
             .with_diff_backends(&diff_refs);
@@ -248,9 +275,14 @@ fn main() {
         OracleMode::Sanitizer => oracle.to_string(),
         OracleMode::Differential => format!("{oracle}[{}]", diff_backends.join("+")),
     };
+    let engine_desc = if prefix_cache {
+        format!("{engine}+prefix(cap {cache_capacity})")
+    } else {
+        engine.to_string()
+    };
     println!(
         "necofuzz: target={target} vendor={vendor} hours={hours} execs/h={execs_per_hour} \
-         seeds={seed}..{} runs={runs} mode={mode:?} mutator={strategy} engine={engine} \
+         seeds={seed}..{} runs={runs} mode={mode:?} mutator={strategy} engine={engine_desc} \
          oracle={oracle_desc} sync={sync_interval}h \
          components[harness={} validator={} configurator={}]",
         seed + runs,
@@ -269,6 +301,8 @@ fn main() {
         .hours(hours)
         .execs_per_hour(execs_per_hour)
         .engine(engine)
+        .prefix_cache(prefix_cache)
+        .cache_capacity(cache_capacity)
         .sync_interval(sync_interval)
         .strategy(strategy)
         .oracle(oracle)
@@ -351,6 +385,8 @@ fn corpus_main(args: &[String]) {
     let mut target = "vkvm".to_string();
     let mut vendor = CpuVendor::Intel;
     let mut engine = EngineMode::Snapshot;
+    let mut prefix_cache = false;
+    let mut cache_capacity = necofuzz::DEFAULT_CACHE_CAPACITY;
     let mut minimize = false;
     let mut out: Option<String> = None;
     while let Some(arg) = it.next() {
@@ -380,6 +416,14 @@ fn corpus_main(args: &[String]) {
                 only_repro("--engine");
                 engine = EngineMode::parse(&value()).unwrap_or_else(|| usage());
             }
+            "--prefix-cache" => {
+                only_repro("--prefix-cache");
+                prefix_cache = true;
+            }
+            "--cache-capacity" => {
+                only_repro("--cache-capacity");
+                cache_capacity = value().parse().unwrap_or_else(|_| usage());
+            }
             "--minimize" => {
                 only_repro("--minimize");
                 minimize = true;
@@ -395,6 +439,14 @@ fn corpus_main(args: &[String]) {
         }
     }
 
+    if prefix_cache && engine != EngineMode::Snapshot {
+        eprintln!("corpus repro: --prefix-cache requires --engine snapshot");
+        std::process::exit(2);
+    }
+    if cache_capacity == 0 {
+        eprintln!("corpus repro: --cache-capacity must be at least 1");
+        std::process::exit(2);
+    }
     let path = match action {
         "stat" | "minimize" => resolve_corpus_dir(&path),
         _ => path,
@@ -480,7 +532,9 @@ fn corpus_main(args: &[String]) {
                 }
                 println!("{path}: divergence finding, replaying across {a}+{b}");
                 let backends = [a.clone(), b.clone()];
-                let oracle = DiffOracle::new(&backends, vendor, ComponentMask::ALL, engine);
+                let oracle = DiffOracle::new(&backends, vendor, ComponentMask::ALL, engine)
+                    .with_prefix_cache(prefix_cache)
+                    .with_cache_capacity(cache_capacity);
                 let bugs = oracle.replay(&input);
                 if bugs.is_empty() {
                     println!("{path}: no divergence reproduced between {a} and {b}");
@@ -492,7 +546,9 @@ fn corpus_main(args: &[String]) {
                 let backend = backend_for(&target, vendor);
                 let factory =
                     move |cfg: HvConfig| -> Box<dyn L0Hypervisor> { backend.factory()(cfg) };
-                let oracle = ReplayOracle::new(factory, vendor, ComponentMask::ALL, engine);
+                let oracle = ReplayOracle::new(factory, vendor, ComponentMask::ALL, engine)
+                    .with_prefix_cache(prefix_cache)
+                    .with_cache_capacity(cache_capacity);
                 let bugs = oracle.replay(&input);
                 if bugs.is_empty() {
                     println!("{path}: no anomaly reproduced on {target}/{vendor}");
@@ -621,6 +677,18 @@ fn report_run(run_seed: u64, result: &CampaignResult, multi: bool) {
         result.execs,
         result.restarts,
     );
+    let es = &result.engine_stats;
+    if es.prefix_hits + es.prefix_misses > 0 {
+        println!(
+            "{prefix}prefix cache: {} hits / {} misses, {} scenario units skipped, \
+             {} snapshots captured, {} evicted",
+            es.prefix_hits,
+            es.prefix_misses,
+            es.prefix_units_skipped,
+            es.prefix_captures,
+            es.prefix_evictions,
+        );
+    }
     if result.diff_execs > 0 {
         println!(
             "{prefix}differential: {} execs diffed ({} backend replays), \

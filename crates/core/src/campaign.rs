@@ -21,7 +21,7 @@ use nf_x86::CpuVendor;
 
 use crate::agent::{Agent, BugFind, ComponentMask};
 use crate::differential::{DifferentialRunner, DivergenceStats, OracleMode};
-use crate::engine::EngineMode;
+use crate::engine::{EngineMode, EngineStats, DEFAULT_CACHE_CAPACITY};
 
 /// Executions one virtual hour stands for. The paper's harness reaches
 /// hundreds of executions per second on bare metal; the simulation
@@ -47,6 +47,17 @@ pub struct CampaignConfig {
     /// `Rebuild` keeps the original full-reboot semantics for A/B
     /// measurement — results are bit-identical either way).
     pub engine: EngineMode,
+    /// Prefix-cached execution (`--prefix-cache`): mid-scenario
+    /// snapshots are captured at hot instruction boundaries and each
+    /// exec resumes from the deepest cached ancestor of its scenario
+    /// prefix, executing only the suffix. Off by default; results are
+    /// bit-identical with the cache on or off — full replay is the A/B
+    /// oracle. Requires [`EngineMode::Snapshot`].
+    pub prefix_cache: bool,
+    /// Booted-image cache capacity of the execution engine
+    /// (`--cache-capacity`): how many (config → booted hypervisor +
+    /// boot snapshot) images the engine parks across config flips.
+    pub cache_capacity: usize,
     /// Corpus-sync epoch length in virtual hours. `0` (the default)
     /// never syncs; `n` exchanges [`CorpusDelta`]s with the sync group
     /// every `n` virtual hours. A lone campaign ignores the setting.
@@ -85,6 +96,8 @@ impl CampaignConfig {
             mode: Mode::Unguided,
             mask: ComponentMask::ALL,
             engine: EngineMode::Snapshot,
+            prefix_cache: false,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
             sync_interval: 0,
             strategy: MutationStrategy::Havoc,
             oracle: OracleMode::Sanitizer,
@@ -113,6 +126,18 @@ impl CampaignConfig {
     /// Sets the iteration hot-path engine.
     pub fn with_engine(mut self, engine: EngineMode) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Enables (or disables) prefix-cached execution.
+    pub fn with_prefix_cache(mut self, prefix_cache: bool) -> Self {
+        self.prefix_cache = prefix_cache;
+        self
+    }
+
+    /// Sets the booted-image cache capacity.
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
         self
     }
 
@@ -152,10 +177,14 @@ pub struct HourSample {
 
 /// Result of one campaign run.
 ///
-/// `PartialEq` compares every field; the orchestrator's equivalence
-/// tests rely on it to show parallel execution is bit-identical to
-/// serial.
-#[derive(Debug, Clone, PartialEq)]
+/// `PartialEq` compares every *semantic* field; the orchestrator's
+/// equivalence tests rely on it to show parallel execution is
+/// bit-identical to serial, and the prefix-cache equivalence suite
+/// relies on it to show cached execution matches full replay. The
+/// [`EngineStats`] counters are excluded: they describe *how* the
+/// engine serviced the run (cache hits, snapshots restored), which
+/// legitimately differs between equivalent executions.
+#[derive(Debug, Clone)]
 pub struct CampaignResult {
     /// Hourly coverage samples (index 0 = after the first hour).
     pub hourly: Vec<HourSample>,
@@ -190,6 +219,29 @@ pub struct CampaignResult {
     /// set (on top of `execs`) — the oracle's overhead denominator in
     /// `BENCH_diff.json`.
     pub diff_execs: u64,
+    /// Execution-engine counters (boot-image cache, snapshot restores,
+    /// prefix-trie hits/evictions). Diagnostic only: excluded from
+    /// `PartialEq`, since equivalent campaigns may service the same
+    /// execution stream through different cache paths.
+    pub engine_stats: EngineStats,
+}
+
+impl PartialEq for CampaignResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.hourly == other.hourly
+            && self.final_coverage == other.final_coverage
+            && self.lines == other.lines
+            && self.map == other.map
+            && self.file == other.file
+            && self.finds == other.finds
+            && self.execs == other.execs
+            && self.restarts == other.restarts
+            && self.corpus == other.corpus
+            && self.adopted == other.adopted
+            && self.mutation == other.mutation
+            && self.divergence == other.divergence
+            && self.diff_execs == other.diff_execs
+    }
 }
 
 /// A resumable campaign: agent + fuzzer + the virtual clock.
@@ -231,7 +283,9 @@ impl Campaign {
         cfg: &CampaignConfig,
         worker: u32,
     ) -> Self {
-        let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine);
+        let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine)
+            .with_prefix_cache(cfg.prefix_cache)
+            .with_cache_capacity(cfg.cache_capacity);
         let mut fuzzer = Fuzzer::with_strategy(cfg.seed, cfg.mode, cfg.strategy);
         fuzzer.set_worker(worker);
         Campaign {
@@ -252,7 +306,9 @@ impl Campaign {
         cfg: &CampaignConfig,
         corpus: nf_fuzz::Corpus,
     ) -> Self {
-        let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine);
+        let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine)
+            .with_prefix_cache(cfg.prefix_cache)
+            .with_cache_capacity(cfg.cache_capacity);
         let fuzzer = Fuzzer::with_corpus_strategy(cfg.seed, cfg.mode, cfg.strategy, corpus);
         Campaign {
             agent,
@@ -267,8 +323,11 @@ impl Campaign {
     }
 
     fn make_diff(cfg: &CampaignConfig) -> Option<DifferentialRunner> {
-        (cfg.oracle == OracleMode::Differential)
-            .then(|| DifferentialRunner::new(&cfg.diff_backends, cfg.vendor, cfg.mask, cfg.engine))
+        (cfg.oracle == OracleMode::Differential).then(|| {
+            DifferentialRunner::new(&cfg.diff_backends, cfg.vendor, cfg.mask, cfg.engine)
+                .with_prefix_cache(cfg.prefix_cache)
+                .with_cache_capacity(cfg.cache_capacity)
+        })
     }
 
     /// Virtual hours completed so far.
@@ -398,6 +457,7 @@ impl Campaign {
             }
             None => (DivergenceStats::default(), 0),
         };
+        let engine_stats = agent.engine_stats();
         CampaignResult {
             hourly: self.hourly,
             final_coverage,
@@ -412,6 +472,7 @@ impl Campaign {
             adopted: self.adopted,
             divergence,
             diff_execs,
+            engine_stats,
         }
     }
 }

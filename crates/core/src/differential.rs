@@ -51,10 +51,7 @@
 use std::sync::Arc;
 
 use nf_fuzz::FuzzInput;
-use nf_hv::{
-    CrashKind, GuestObservation, L1Result, L2Result, SiliconGolden, Vkvm,
-    Vvbox, Vxen,
-};
+use nf_hv::{CrashKind, GuestObservation, L1Result, L2Result, SiliconGolden, Vkvm, Vvbox, Vxen};
 use nf_x86::CpuVendor;
 
 use crate::agent::{Agent, BugFind, ComponentMask};
@@ -492,6 +489,29 @@ impl DifferentialRunner {
         }
     }
 
+    /// Enables prefix-cached execution on every backend agent. The
+    /// 1+N replay structure of the oracle makes the trie especially
+    /// effective: each backend replays the *same* input, so the shared
+    /// scenario prefix is hot on every agent after the first exec.
+    pub fn with_prefix_cache(mut self, enabled: bool) -> Self {
+        self.agents = self
+            .agents
+            .into_iter()
+            .map(|a| a.with_prefix_cache(enabled))
+            .collect();
+        self
+    }
+
+    /// Sets the booted-image cache capacity of every backend agent.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.agents = self
+            .agents
+            .into_iter()
+            .map(|a| a.with_cache_capacity(capacity))
+            .collect();
+        self
+    }
+
     /// The configured backend names, in order.
     pub fn backends(&self) -> &[String] {
         &self.names
@@ -607,6 +627,8 @@ pub struct DiffOracle {
     vendor: CpuVendor,
     mask: ComponentMask,
     engine: EngineMode,
+    prefix_cache: bool,
+    cache_capacity: usize,
 }
 
 impl DiffOracle {
@@ -623,7 +645,23 @@ impl DiffOracle {
             vendor,
             mask,
             engine,
+            prefix_cache: false,
+            cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
         }
+    }
+
+    /// Routes every replay through the prefix-cached execution path,
+    /// matching the engine configuration the campaign ran with
+    /// (divergence signatures reproduce bit-identically either way).
+    pub fn with_prefix_cache(mut self, enabled: bool) -> Self {
+        self.prefix_cache = enabled;
+        self
+    }
+
+    /// Sets the booted-image cache capacity of the replay agents.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
     }
 
     /// Replays `input` from clean runners; returns the divergence
@@ -674,7 +712,9 @@ impl DiffOracle {
 
     fn runner(&self, converged: bool) -> DifferentialRunner {
         let mut runner =
-            DifferentialRunner::new(&self.backends, self.vendor, self.mask, self.engine);
+            DifferentialRunner::new(&self.backends, self.vendor, self.mask, self.engine)
+                .with_prefix_cache(self.prefix_cache)
+                .with_cache_capacity(self.cache_capacity);
         if converged {
             runner.converge_validators();
         }

@@ -35,12 +35,13 @@
 //! [`crate::campaign::CampaignResult`] equality over the whole
 //! backend × mode × mask grid.
 
-use nf_coverage::ExecScratch;
+use nf_coverage::{ExecScratch, ExecTrace};
 use nf_fuzz::MAP_SIZE;
 use nf_hv::{HvConfig, HvSnapshot, L0Hypervisor};
 use nf_vmx::VmxCapabilities;
 use nf_x86::FeatureSet;
 
+use crate::harness::{ExecEvent, ExecPhase};
 use crate::validator::VmStateValidator;
 
 /// How the engine turns a config change / iteration boundary into a
@@ -86,6 +87,22 @@ impl std::fmt::Display for EngineMode {
 /// small; a handful of images covers the vast majority of flips.
 pub const DEFAULT_CACHE_CAPACITY: usize = 16;
 
+/// Default byte budget of the mid-scenario snapshot trie. Nodes are a
+/// few kilobytes each (a [`HvSnapshot`] plus the partial trace and
+/// event log), so the default holds a deep working set while still
+/// exercising eviction on long campaigns.
+pub const DEFAULT_PREFIX_BUDGET: usize = 8 << 20;
+
+/// Default hotness threshold before a scenario boundary is captured
+/// into the trie: a prefix must be seen this many times before it pays
+/// for a snapshot. `1` captures at every boundary (the exhaustive
+/// setting the equivalence tests use).
+pub const DEFAULT_PREFIX_THRESHOLD: u32 = 2;
+
+/// Slots in the fixed-size direct-mapped prefix-hotness table (a power
+/// of two; collisions replace, so the table never allocates or grows).
+const HOT_SLOTS: usize = 4096;
+
 /// Counters describing how the engine serviced the hot path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -101,6 +118,18 @@ pub struct EngineStats {
     /// Config flips where the validator was rebuilt (new capabilities,
     /// corrections carried over).
     pub validator_rebuilds: u64,
+    /// Executions that restored a mid-scenario snapshot from the
+    /// prefix trie (deepest cached ancestor).
+    pub prefix_hits: u64,
+    /// Prefix-cache lookups that found no cached ancestor.
+    pub prefix_misses: u64,
+    /// Scenario units (init steps + runtime steps) whose re-execution
+    /// was skipped by restoring a cached prefix.
+    pub prefix_units_skipped: u64,
+    /// Mid-scenario snapshots captured into the trie.
+    pub prefix_captures: u64,
+    /// Trie nodes evicted by the byte-budgeted LRU policy.
+    pub prefix_evictions: u64,
 }
 
 /// One parked booted image: the instance plus its boot snapshot.
@@ -128,6 +157,84 @@ struct ParkedValidator {
     validator: VmStateValidator,
 }
 
+/// One mid-scenario checkpoint: the VM state, in-flight trace, and
+/// observable event log of a scenario prefix, keyed by the prefix's
+/// rolling hash.
+///
+/// The key is the whole identity: it covers the hypervisor config, the
+/// generated VMCS/VMCB/MSR-area image digests, and every scenario unit
+/// up to the boundary (see `Agent`'s chain construction), so a node can
+/// only ever be restored into an execution whose prefix is
+/// bit-identical to the one that captured it. Config flips and learned
+/// validator corrections change the key's root — stale nodes become
+/// unreachable and age out through the LRU budget.
+struct PrefixNode {
+    key: u64,
+    /// Scenario units (init steps + runtime steps) the prefix covers.
+    depth: usize,
+    snapshot: Box<HvSnapshot>,
+    /// The in-flight coverage trace at the boundary ([`HvSnapshot`]
+    /// excludes instrumentation, so it is captured separately).
+    trace: ExecTrace,
+    /// The observer-visible events of the prefix, replayed on restore.
+    events: Vec<ExecEvent>,
+    /// The phase machine at the boundary (guest liveness, exit count).
+    phase: ExecPhase,
+    /// Approximate heap footprint (budget accounting).
+    bytes: usize,
+    /// LRU stamp (monotone clock; smallest = evict first).
+    stamp: u64,
+}
+
+/// The snapshot trie and its policy state. Logically a trie over
+/// scenario prefixes; physically a flat node list — prefix hashes
+/// already encode the path, so lookup is a key scan from the deepest
+/// requested boundary downward.
+struct PrefixCache {
+    enabled: bool,
+    budget: usize,
+    threshold: u32,
+    nodes: Vec<PrefixNode>,
+    /// Total approximate bytes across `nodes`.
+    bytes: usize,
+    /// Monotone LRU clock (deterministic: bumps on touch/insert only).
+    clock: u64,
+    /// Direct-mapped `(key, count)` hotness table (fixed size, replace
+    /// on collision): a boundary is captured once its prefix has been
+    /// seen `threshold` times.
+    hot: Vec<(u64, u32)>,
+    /// Reusable trace buffer for restores (the hypervisor's cleared
+    /// trace is parked here between them).
+    spare: ExecTrace,
+}
+
+impl PrefixCache {
+    fn new() -> Self {
+        PrefixCache {
+            enabled: false,
+            budget: DEFAULT_PREFIX_BUDGET,
+            threshold: DEFAULT_PREFIX_THRESHOLD,
+            nodes: Vec::new(),
+            bytes: 0,
+            clock: 0,
+            hot: vec![(0, 0); HOT_SLOTS],
+            spare: ExecTrace::new(),
+        }
+    }
+
+    /// Bumps the hotness of `key`; `true` once it crossed the capture
+    /// threshold.
+    fn note_hot(&mut self, key: u64) -> bool {
+        let slot = &mut self.hot[(key as usize) & (HOT_SLOTS - 1)];
+        if slot.0 != key {
+            *slot = (key, 1);
+        } else {
+            slot.1 = slot.1.saturating_add(1);
+        }
+        slot.1 >= self.threshold
+    }
+}
+
 /// The engine: owns the active hypervisor instance, the booted-image
 /// cache, and the (memoized) VM state validator.
 pub struct ExecutionEngine {
@@ -148,6 +255,8 @@ pub struct ExecutionEngine {
     validator_pool: Vec<ParkedValidator>,
     /// The reusable per-execution buffers (trace, AFL bitmap, lines).
     scratch: ExecScratch,
+    /// The mid-scenario snapshot trie (`Snapshot` mode, off by default).
+    prefix: PrefixCache,
     stats: EngineStats,
 }
 
@@ -183,6 +292,7 @@ impl ExecutionEngine {
             validator_features,
             validator_pool: Vec::new(),
             scratch,
+            prefix: PrefixCache::new(),
             stats: EngineStats {
                 factory_builds: 1,
                 ..EngineStats::default()
@@ -195,8 +305,164 @@ impl ExecutionEngine {
     /// flip becomes a cold boot, and every capability-changing flip a
     /// validator rebuild (only the active-features shortcut survives).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.capacity = capacity;
+        self.set_cache_capacity(capacity);
         self
+    }
+
+    /// Non-consuming form of
+    /// [`with_cache_capacity`](Self::with_cache_capacity).
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// Enables (or disables) the mid-scenario snapshot trie. Only
+    /// effective in `Snapshot` mode — prefix restores are snapshot
+    /// restores, and `Rebuild` exists precisely to measure life without
+    /// them.
+    pub fn with_prefix_cache(mut self, enabled: bool) -> Self {
+        self.set_prefix_cache(enabled);
+        self
+    }
+
+    /// Non-consuming form of [`with_prefix_cache`](Self::with_prefix_cache).
+    pub fn set_prefix_cache(&mut self, enabled: bool) {
+        self.prefix.enabled = enabled;
+    }
+
+    /// Sets the trie's byte budget (LRU-evicted past it). `0` keeps the
+    /// trie permanently empty — every capture is immediately evicted.
+    pub fn set_prefix_budget(&mut self, bytes: usize) {
+        self.prefix.budget = bytes;
+    }
+
+    /// Sets the capture hotness threshold (`1` = snapshot at every
+    /// scenario boundary).
+    pub fn set_prefix_threshold(&mut self, threshold: u32) {
+        self.prefix.threshold = threshold.max(1);
+    }
+
+    /// `true` when the prefix trie is active (enabled and in `Snapshot`
+    /// mode).
+    pub fn prefix_enabled(&self) -> bool {
+        self.prefix.enabled && self.mode == EngineMode::Snapshot
+    }
+
+    /// Looks up the deepest cached ancestor of a prefix-hash chain and
+    /// restores it: VM state from the node's snapshot, the in-flight
+    /// trace from the node's recorded partial trace. `chain[k]` must be
+    /// the rolling hash after `k` scenario units (`chain[0]` = the
+    /// post-boot root, which is never a node — that case is the plain
+    /// boot restore [`prepare`](Self::prepare) already performed).
+    ///
+    /// Returns the restored node's index for
+    /// [`prefix_node_events`](Self::prefix_node_events) /
+    /// [`prefix_node_phase`](Self::prefix_node_phase) /
+    /// [`prefix_node_depth`](Self::prefix_node_depth); the index stays
+    /// valid until the next capture or eviction.
+    pub fn prefix_restore(&mut self, chain: &[u64]) -> Option<usize> {
+        if !self.prefix_enabled() {
+            return None;
+        }
+        let mut found = None;
+        'deepest: for k in (1..chain.len()).rev() {
+            for (i, node) in self.prefix.nodes.iter().enumerate() {
+                if node.key == chain[k] {
+                    found = Some(i);
+                    break 'deepest;
+                }
+            }
+        }
+        let Some(i) = found else {
+            self.stats.prefix_misses += 1;
+            return None;
+        };
+        let node = &mut self.prefix.nodes[i];
+        self.hv.restore(&node.snapshot);
+        // The hypervisor's trace is empty at execution start (the last
+        // collection swapped a cleared one in); park it as the next
+        // spare and hand the prefix's partial trace over.
+        self.prefix.spare.copy_from(&node.trace);
+        self.hv.swap_trace(&mut self.prefix.spare);
+        node.stamp = self.prefix.clock;
+        self.prefix.clock += 1;
+        self.stats.prefix_hits += 1;
+        self.stats.prefix_units_skipped += node.depth as u64;
+        Some(i)
+    }
+
+    /// The recorded observer events of a restored node (replay these
+    /// into the execution's observer before running the suffix).
+    pub fn prefix_node_events(&self, idx: usize) -> &[ExecEvent] {
+        &self.prefix.nodes[idx].events
+    }
+
+    /// The phase machine at a restored node's boundary.
+    pub fn prefix_node_phase(&self, idx: usize) -> ExecPhase {
+        self.prefix.nodes[idx].phase
+    }
+
+    /// The number of scenario units a restored node covers.
+    pub fn prefix_node_depth(&self, idx: usize) -> usize {
+        self.prefix.nodes[idx].depth
+    }
+
+    /// Notes that live execution crossed a scenario boundary whose
+    /// prefix hash is `key`: bumps the boundary's hotness and, once hot
+    /// and absent from the trie, captures a node (snapshot + partial
+    /// trace + the `events` recorded so far) under the byte-budgeted
+    /// LRU policy.
+    ///
+    /// Never called for boundaries past a host death — execution stops
+    /// there, so the state is not a resumable prefix.
+    pub fn prefix_note_boundary(
+        &mut self,
+        key: u64,
+        depth: usize,
+        phase: ExecPhase,
+        events: &[ExecEvent],
+    ) {
+        if !self.prefix_enabled() || !self.prefix.note_hot(key) {
+            return;
+        }
+        if self.prefix.nodes.iter().any(|n| n.key == key) {
+            return;
+        }
+        let mut trace = ExecTrace::new();
+        trace.copy_from(self.hv.trace());
+        let node = PrefixNode {
+            key,
+            depth,
+            snapshot: Box::new(self.hv.snapshot()),
+            trace,
+            events: events.to_vec(),
+            phase,
+            bytes: 0,
+            stamp: self.prefix.clock,
+        };
+        self.prefix.clock += 1;
+        let bytes = std::mem::size_of::<PrefixNode>()
+            + std::mem::size_of::<HvSnapshot>()
+            + node.trace.approx_bytes()
+            + node.events.len() * std::mem::size_of::<ExecEvent>();
+        self.prefix.nodes.push(PrefixNode { bytes, ..node });
+        self.prefix.bytes += bytes;
+        self.stats.prefix_captures += 1;
+        // Byte-budgeted LRU: evict stalest-stamp nodes until the trie
+        // fits (possibly including the one just captured when the
+        // budget is smaller than a single node).
+        while self.prefix.bytes > self.prefix.budget && !self.prefix.nodes.is_empty() {
+            let stalest = self
+                .prefix
+                .nodes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| n.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let evicted = self.prefix.nodes.remove(stalest);
+            self.prefix.bytes -= evicted.bytes;
+            self.stats.prefix_evictions += 1;
+        }
     }
 
     /// The engine's mode.
@@ -581,5 +847,104 @@ mod tests {
             assert_eq!(EngineMode::parse(mode.name()), Some(mode));
         }
         assert_eq!(EngineMode::parse("warp"), None);
+    }
+
+    #[test]
+    fn prefix_cache_requires_snapshot_mode() {
+        let mut rebuild = engine(EngineMode::Rebuild);
+        rebuild.set_prefix_cache(true);
+        assert!(!rebuild.prefix_enabled(), "rebuild mode has no snapshots");
+        assert_eq!(rebuild.prefix_restore(&[1, 2, 3]), None);
+        assert_eq!(rebuild.stats().prefix_misses, 0, "disabled != miss");
+
+        let mut snapshot = engine(EngineMode::Snapshot);
+        assert!(!snapshot.prefix_enabled(), "off by default");
+        snapshot.set_prefix_cache(true);
+        assert!(snapshot.prefix_enabled());
+    }
+
+    #[test]
+    fn hotness_threshold_gates_capture() {
+        let mut e = engine(EngineMode::Snapshot);
+        e.set_prefix_cache(true);
+        e.set_prefix_threshold(2);
+        let phase = crate::harness::ExecPhase::boot();
+        e.prefix_note_boundary(0xabc, 1, phase, &[]);
+        assert_eq!(e.stats().prefix_captures, 0, "first sighting is cold");
+        e.prefix_note_boundary(0xabc, 1, phase, &[]);
+        assert_eq!(e.stats().prefix_captures, 1, "second sighting is hot");
+        e.prefix_note_boundary(0xabc, 1, phase, &[]);
+        assert_eq!(e.stats().prefix_captures, 1, "already cached");
+        assert_eq!(e.prefix.nodes.len(), 1);
+    }
+
+    #[test]
+    fn prefix_restore_picks_the_deepest_cached_ancestor() {
+        let mut e = engine(EngineMode::Snapshot);
+        e.set_prefix_cache(true);
+        e.set_prefix_threshold(1);
+        let phase = crate::harness::ExecPhase::boot();
+        // chain[k] is the rolling hash after k units; cache depths 2
+        // and 5 of a 7-unit scenario.
+        let chain: Vec<u64> = (0..8).map(|k| 0x1000 + k).collect();
+        e.prefix_note_boundary(chain[2], 2, phase, &[]);
+        e.prefix_note_boundary(chain[5], 5, phase, &[]);
+        let idx = e.prefix_restore(&chain).expect("ancestor cached");
+        assert_eq!(e.prefix_node_depth(idx), 5, "deepest wins");
+        assert_eq!(e.stats().prefix_hits, 1);
+        assert_eq!(e.stats().prefix_units_skipped, 5);
+        // A chain sharing only the shallow prefix restores depth 2.
+        let mut short = chain[..3].to_vec();
+        short.push(0x9999);
+        let idx = e.prefix_restore(&short).expect("shallow ancestor");
+        assert_eq!(e.prefix_node_depth(idx), 2);
+        // chain[0] is the boot root — never a node, so a chain that
+        // shares nothing is a miss.
+        assert_eq!(e.prefix_restore(&[chain[0], 0x7777]), None);
+        assert_eq!(e.stats().prefix_misses, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_the_stalest_node() {
+        let mut e = engine(EngineMode::Snapshot);
+        e.set_prefix_cache(true);
+        e.set_prefix_threshold(1);
+        let phase = crate::harness::ExecPhase::boot();
+        e.prefix_note_boundary(1, 1, phase, &[]);
+        let node_bytes = e.prefix.bytes;
+        assert!(node_bytes > 0);
+        // Room for exactly two nodes.
+        e.set_prefix_budget(node_bytes * 2);
+        e.prefix_note_boundary(2, 2, phase, &[]);
+        assert_eq!(e.prefix.nodes.len(), 2);
+        assert_eq!(e.stats().prefix_evictions, 0);
+        // Freshen node 1, then overflow: node 2 is now the stalest.
+        e.prefix_restore(&[0, 1]);
+        e.prefix_note_boundary(3, 3, phase, &[]);
+        assert_eq!(e.stats().prefix_evictions, 1);
+        let keys: Vec<u64> = e.prefix.nodes.iter().map(|n| n.key).collect();
+        assert_eq!(keys, vec![1, 3], "LRU evicts the least recently used");
+        assert_eq!(e.prefix.bytes, node_bytes * 2);
+    }
+
+    #[test]
+    fn prefix_restore_round_trips_hypervisor_state() {
+        let mut e = engine(EngineMode::Snapshot);
+        e.set_prefix_cache(true);
+        e.set_prefix_threshold(1);
+        // Perturb the hypervisor past boot, capture, reset and perturb
+        // differently, then restore: the captured state must come back
+        // exactly.
+        use nf_silicon::{CrIndex, GuestInstr};
+        use nf_x86::Cr4;
+        e.hv_mut()
+            .l1_exec(GuestInstr::MovToCr(CrIndex::Cr4, Cr4::VMXE | Cr4::PAE));
+        let captured = e.hv().observe_guest();
+        e.prefix_note_boundary(0x55, 3, crate::harness::ExecPhase::boot(), &[]);
+        e.prepare(&HvConfig::default_for(CpuVendor::Intel));
+        e.hv_mut().l1_exec(GuestInstr::MovToCr(CrIndex::Cr4, 0));
+        let idx = e.prefix_restore(&[0, 0x55]).expect("cached");
+        assert_eq!(e.prefix_node_depth(idx), 3);
+        assert_eq!(e.hv().observe_guest(), captured);
     }
 }

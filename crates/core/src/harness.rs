@@ -57,6 +57,113 @@ pub enum InitStep {
     Vmrun(u64),
 }
 
+impl InitStep {
+    /// Folds this step's canonical encoding (discriminant + argument)
+    /// into a rolling scenario-prefix hash (see
+    /// [`nf_fuzz::scenario::prefix_extend`]). Argument-less steps whose
+    /// effect depends on generated state (`WriteVmcs`, `StageMsrArea`,
+    /// `StageVmcb`) hash only their discriminant — the prefix root is
+    /// expected to already cover the generated image digests.
+    pub fn fold_prefix(self, h: u64) -> u64 {
+        use nf_fuzz::scenario::prefix_extend_u64 as ext;
+        match self {
+            InitStep::EnableVmx => ext(h, 0),
+            InitStep::EnableVmxBadCr0 => ext(h, 1),
+            InitStep::EnableSvm => ext(h, 2),
+            InitStep::Vmxon(addr) => ext(ext(h, 3), addr),
+            InitStep::Vmclear(addr) => ext(ext(h, 4), addr),
+            InitStep::StageRevision(rev) => ext(ext(h, 5), rev as u64),
+            InitStep::Vmptrld(addr) => ext(ext(h, 6), addr),
+            InitStep::WriteVmcs => ext(h, 7),
+            InitStep::StageMsrArea => ext(h, 8),
+            InitStep::Launch => ext(h, 9),
+            InitStep::StageVmcb => ext(h, 10),
+            InitStep::Vmrun(addr) => ext(ext(h, 11), addr),
+        }
+    }
+}
+
+/// One observable unit of a harness execution: the result of an init
+/// step, an L2 instruction, or an L1 exit-handler action.
+///
+/// Events are what a mid-scenario snapshot records alongside the VM
+/// state: restoring a cached prefix replays its events into the
+/// caller's [`ExecObserver`] (via [`ExecEvent::replay`]) so the
+/// observed stream — the differential oracle's comparison unit — is
+/// bit-identical to a full replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecEvent {
+    /// An initialization step completed (fires
+    /// [`ExecObserver::on_init_step`]).
+    Init(L1Result),
+    /// A live L2 guest ran one instruction (fires
+    /// [`ExecObserver::on_l2_result`]).
+    L2(L2Result),
+    /// The L1 exit handler ran one action (fires
+    /// [`ExecObserver::on_l1_action`]).
+    L1(L1Result),
+}
+
+impl ExecEvent {
+    /// Fires the observer hook this event corresponds to — the same
+    /// hook live execution fires, so replaying a recorded prefix is
+    /// indistinguishable from re-executing it.
+    pub fn replay<O: ExecObserver>(&self, observer: &mut O) {
+        match self {
+            ExecEvent::Init(r) => observer.on_init_step(r),
+            ExecEvent::L2(r) => observer.on_l2_result(r),
+            ExecEvent::L1(r) => observer.on_l1_action(r),
+        }
+    }
+}
+
+/// The harness phase machine threaded across scenario units: whether a
+/// nested guest is live, whether the host died, and the VM-exit count.
+/// [`ExecPhase::apply`] is the single transition function both the
+/// full-replay loops and the prefix-cached driver use, so the two paths
+/// cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPhase {
+    /// A nested guest is live.
+    pub l2_live: bool,
+    /// The host died (execution stops).
+    pub host_dead: bool,
+    /// VM exits triggered so far in the runtime phase.
+    pub exits: u32,
+}
+
+impl ExecPhase {
+    /// The phase at the start of an execution (no guest, host alive).
+    pub fn boot() -> Self {
+        ExecPhase {
+            l2_live: false,
+            host_dead: false,
+            exits: 0,
+        }
+    }
+
+    /// Applies one event's phase transition.
+    pub fn apply(&mut self, event: &ExecEvent) {
+        match event {
+            ExecEvent::Init(r) | ExecEvent::L1(r) => match r {
+                L1Result::L2Entered { runnable } => self.l2_live = *runnable,
+                L1Result::HostDead => self.host_dead = true,
+                _ => {}
+            },
+            ExecEvent::L2(r) => match r {
+                L2Result::NoExit => {}
+                L2Result::HandledByL0 => self.exits += 1,
+                L2Result::ReflectedToL1(_) => {
+                    self.exits += 1;
+                    self.l2_live = false;
+                }
+                L2Result::NoGuest => self.l2_live = false,
+                L2Result::HostDead => self.host_dead = true,
+            },
+        }
+    }
+}
+
 /// The executable initialization plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InitPlan {
@@ -229,67 +336,78 @@ impl ExecutionHarness {
         msr_area: &MsrArea,
         observer: &mut O,
     ) -> InitOutcome {
-        let mut l2_live = false;
+        let mut phase = ExecPhase::boot();
         for step in &plan.steps {
-            let result = match *step {
-                InitStep::EnableVmx => {
-                    hv.l1_exec(GuestInstr::MovToCr(CrIndex::Cr4, Cr4::VMXE | Cr4::PAE));
-                    hv.l1_exec(GuestInstr::MovToCr(
-                        CrIndex::Cr0,
-                        Cr0::PE | Cr0::PG | Cr0::NE,
-                    ))
-                }
-                InitStep::EnableVmxBadCr0 => {
-                    hv.l1_exec(GuestInstr::MovToCr(CrIndex::Cr4, Cr4::VMXE | Cr4::PAE));
-                    // CR0.NE clear: vmxon must #GP.
-                    hv.l1_exec(GuestInstr::MovToCr(CrIndex::Cr0, Cr0::PE | Cr0::PG))
-                }
-                InitStep::EnableSvm => hv.l1_exec(GuestInstr::Wrmsr(
-                    nf_x86::Msr::Efer.index(),
-                    Efer::LME | Efer::LMA | Efer::SVME,
-                )),
-                InitStep::Vmxon(addr) => hv.l1_exec(GuestInstr::Vmxon(addr)),
-                InitStep::Vmclear(addr) => hv.l1_exec(GuestInstr::Vmclear(addr)),
-                InitStep::StageRevision(rev) => {
-                    hv.l1_stage_vmcs_region(VMCS12_GPA, rev);
-                    L1Result::Ok(0)
-                }
-                InitStep::Vmptrld(addr) => hv.l1_exec(GuestInstr::Vmptrld(addr)),
-                InitStep::WriteVmcs => {
-                    let mut last = L1Result::Ok(0);
-                    for &f in VmcsField::ALL {
-                        if f.writable() {
-                            last = hv.l1_exec(GuestInstr::Vmwrite(f.encoding(), vmcs12.read(f)));
-                        }
-                    }
-                    last
-                }
-                InitStep::StageMsrArea => {
-                    hv.l1_stage_msr_area(MSR_AREA_GPA, msr_area.clone());
-                    L1Result::Ok(0)
-                }
-                InitStep::Launch => hv.l1_exec(GuestInstr::Vmlaunch),
-                InitStep::StageVmcb => {
-                    hv.l1_stage_vmcb(VMCB12_GPA, *vmcb12);
-                    L1Result::Ok(0)
-                }
-                InitStep::Vmrun(addr) => hv.l1_exec(GuestInstr::Vmrun(addr)),
-            };
+            let result = self.exec_init_step(hv, *step, vmcs12, vmcb12, msr_area);
             observer.on_init_step(&result);
-            match result {
-                L1Result::L2Entered { runnable } => l2_live = runnable,
-                L1Result::HostDead => {
-                    return InitOutcome {
-                        l2_live: false,
-                        host_dead: true,
-                    }
-                }
-                _ => {}
+            phase.apply(&ExecEvent::Init(result));
+            if phase.host_dead {
+                return InitOutcome {
+                    l2_live: false,
+                    host_dead: true,
+                };
             }
         }
         InitOutcome {
-            l2_live,
+            l2_live: phase.l2_live,
             host_dead: false,
+        }
+    }
+
+    /// Executes one initialization step — the per-unit kernel both
+    /// [`run_init_observed`](Self::run_init_observed) and the
+    /// prefix-cached driver step through.
+    pub fn exec_init_step(
+        &self,
+        hv: &mut dyn L0Hypervisor,
+        step: InitStep,
+        vmcs12: &Vmcs,
+        vmcb12: &Vmcb,
+        msr_area: &MsrArea,
+    ) -> L1Result {
+        match step {
+            InitStep::EnableVmx => {
+                hv.l1_exec(GuestInstr::MovToCr(CrIndex::Cr4, Cr4::VMXE | Cr4::PAE));
+                hv.l1_exec(GuestInstr::MovToCr(
+                    CrIndex::Cr0,
+                    Cr0::PE | Cr0::PG | Cr0::NE,
+                ))
+            }
+            InitStep::EnableVmxBadCr0 => {
+                hv.l1_exec(GuestInstr::MovToCr(CrIndex::Cr4, Cr4::VMXE | Cr4::PAE));
+                // CR0.NE clear: vmxon must #GP.
+                hv.l1_exec(GuestInstr::MovToCr(CrIndex::Cr0, Cr0::PE | Cr0::PG))
+            }
+            InitStep::EnableSvm => hv.l1_exec(GuestInstr::Wrmsr(
+                nf_x86::Msr::Efer.index(),
+                Efer::LME | Efer::LMA | Efer::SVME,
+            )),
+            InitStep::Vmxon(addr) => hv.l1_exec(GuestInstr::Vmxon(addr)),
+            InitStep::Vmclear(addr) => hv.l1_exec(GuestInstr::Vmclear(addr)),
+            InitStep::StageRevision(rev) => {
+                hv.l1_stage_vmcs_region(VMCS12_GPA, rev);
+                L1Result::Ok(0)
+            }
+            InitStep::Vmptrld(addr) => hv.l1_exec(GuestInstr::Vmptrld(addr)),
+            InitStep::WriteVmcs => {
+                let mut last = L1Result::Ok(0);
+                for &f in VmcsField::ALL {
+                    if f.writable() {
+                        last = hv.l1_exec(GuestInstr::Vmwrite(f.encoding(), vmcs12.read(f)));
+                    }
+                }
+                last
+            }
+            InitStep::StageMsrArea => {
+                hv.l1_stage_msr_area(MSR_AREA_GPA, msr_area.clone());
+                L1Result::Ok(0)
+            }
+            InitStep::Launch => hv.l1_exec(GuestInstr::Vmlaunch),
+            InitStep::StageVmcb => {
+                hv.l1_stage_vmcb(VMCB12_GPA, *vmcb12);
+                L1Result::Ok(0)
+            }
+            InitStep::Vmrun(addr) => hv.l1_exec(GuestInstr::Vmrun(addr)),
         }
     }
 
@@ -427,37 +545,40 @@ impl ExecutionHarness {
         &self,
         hv: &mut dyn L0Hypervisor,
         runtime_bytes: &[u8],
-        mut l2_live: bool,
+        l2_live: bool,
         observer: &mut O,
     ) -> u32 {
-        let mut exits = 0;
-        for step in runtime_bytes.chunks(4) {
-            if l2_live {
-                let instr = self.decode_l2_instr(step);
-                let result = hv.l2_exec(instr);
-                observer.on_l2_result(&result);
-                match result {
-                    L2Result::NoExit => {}
-                    L2Result::HandledByL0 => exits += 1,
-                    L2Result::ReflectedToL1(_) => {
-                        exits += 1;
-                        l2_live = false;
-                    }
-                    L2Result::NoGuest => l2_live = false,
-                    L2Result::HostDead => break,
-                }
-            } else {
-                let action = self.decode_l1_action(step);
-                let result = hv.l1_exec(action);
-                observer.on_l1_action(&result);
-                match result {
-                    L1Result::L2Entered { runnable } => l2_live = runnable,
-                    L1Result::HostDead => break,
-                    _ => {}
-                }
+        let mut phase = ExecPhase {
+            l2_live,
+            host_dead: false,
+            exits: 0,
+        };
+        for step in runtime_bytes.chunks(InputLayout::STEP_BYTES) {
+            let event = self.exec_runtime_step(hv, step, phase.l2_live);
+            event.replay(observer);
+            phase.apply(&event);
+            if phase.host_dead {
+                break;
             }
         }
-        exits
+        phase.exits
+    }
+
+    /// Executes one 4-byte runtime step record — an L2 instruction when
+    /// a nested guest is live, an L1 exit-handler action otherwise. The
+    /// per-unit kernel both [`run_runtime_observed`](Self::run_runtime_observed)
+    /// and the prefix-cached driver step through.
+    pub fn exec_runtime_step(
+        &self,
+        hv: &mut dyn L0Hypervisor,
+        step: &[u8],
+        l2_live: bool,
+    ) -> ExecEvent {
+        if l2_live {
+            ExecEvent::L2(hv.l2_exec(self.decode_l2_instr(step)))
+        } else {
+            ExecEvent::L1(hv.l1_exec(self.decode_l1_action(step)))
+        }
     }
 }
 
@@ -475,6 +596,74 @@ mod tests {
         let caps = VmxCapabilities::from_features(FeatureSet::default_for(CpuVendor::Intel));
         let vmcs = golden_vmcs(&caps);
         (kvm, harness, vmcs)
+    }
+
+    #[test]
+    fn exec_phase_tracks_the_scenario_state_machine() {
+        let mut phase = ExecPhase::boot();
+        assert!(!phase.l2_live && !phase.host_dead && phase.exits == 0);
+        phase.apply(&ExecEvent::Init(L1Result::L2Entered { runnable: true }));
+        assert!(phase.l2_live);
+        phase.apply(&ExecEvent::L2(L2Result::HandledByL0));
+        assert_eq!(phase.exits, 1);
+        phase.apply(&ExecEvent::L2(L2Result::ReflectedToL1(0x28)));
+        assert_eq!(phase.exits, 2);
+        assert!(!phase.l2_live, "a reflected exit returns control to L1");
+        phase.apply(&ExecEvent::L1(L1Result::L2Entered { runnable: false }));
+        assert!(!phase.l2_live, "a stalled entry is not live");
+        phase.apply(&ExecEvent::L2(L2Result::HostDead));
+        assert!(phase.host_dead);
+    }
+
+    #[test]
+    fn exec_event_replay_fires_the_matching_observer_hook() {
+        #[derive(Default)]
+        struct Counts(u32, u32, u32);
+        impl ExecObserver for Counts {
+            fn on_init_step(&mut self, _: &L1Result) {
+                self.0 += 1;
+            }
+            fn on_l2_result(&mut self, _: &L2Result) {
+                self.1 += 1;
+            }
+            fn on_l1_action(&mut self, _: &L1Result) {
+                self.2 += 1;
+            }
+        }
+        let mut counts = Counts::default();
+        ExecEvent::Init(L1Result::Ok(0)).replay(&mut counts);
+        ExecEvent::L2(L2Result::NoExit).replay(&mut counts);
+        ExecEvent::L2(L2Result::NoGuest).replay(&mut counts);
+        ExecEvent::L1(L1Result::Ok(1)).replay(&mut counts);
+        assert_eq!((counts.0, counts.1, counts.2), (1, 2, 1));
+    }
+
+    #[test]
+    fn init_step_prefix_folds_are_injective_over_the_plan_vocabulary() {
+        use nf_fuzz::scenario::prefix_root;
+        // Every distinct step must fold the rolling hash to a distinct
+        // value — a collision would alias two different scenario
+        // prefixes into one trie node.
+        let steps = [
+            InitStep::EnableVmx,
+            InitStep::EnableVmxBadCr0,
+            InitStep::EnableSvm,
+            InitStep::Vmxon(0x1000),
+            InitStep::Vmxon(0x2000),
+            InitStep::Vmclear(0x2000),
+            InitStep::StageRevision(1),
+            InitStep::StageRevision(2),
+            InitStep::Vmptrld(0x2000),
+            InitStep::WriteVmcs,
+            InitStep::StageMsrArea,
+            InitStep::Launch,
+            InitStep::StageVmcb,
+            InitStep::Vmrun(0x5000),
+        ];
+        let mut folded: Vec<u64> = steps.iter().map(|s| s.fold_prefix(prefix_root())).collect();
+        folded.sort_unstable();
+        folded.dedup();
+        assert_eq!(folded.len(), steps.len(), "prefix fold collision");
     }
 
     #[test]

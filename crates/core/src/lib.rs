@@ -85,8 +85,13 @@ pub use differential::{
     DifferentialRunner, DivergenceSite, DivergenceStats, ExecObservation, ObsResult, OracleMode,
     ALLOWLIST, SEEDED_HLT_BACKEND,
 };
-pub use engine::{EngineMode, EngineStats, ExecutionEngine};
-pub use harness::{ExecObserver, ExecutionHarness, InitPlan, InitStep, NopObserver};
+pub use engine::{
+    EngineMode, EngineStats, ExecutionEngine, DEFAULT_CACHE_CAPACITY, DEFAULT_PREFIX_BUDGET,
+    DEFAULT_PREFIX_THRESHOLD,
+};
+pub use harness::{
+    ExecEvent, ExecObserver, ExecPhase, ExecutionHarness, InitPlan, InitStep, NopObserver,
+};
 pub use input::{InputLayout, InputView, SectionSpan};
 pub use nf_fuzz::{Corpus, CorpusDelta, MutationStrategy, SharedCorpus};
 pub use orchestrator::{

@@ -117,6 +117,9 @@ impl CampaignJob {
             EngineMode::Snapshot => "",
             EngineMode::Rebuild => "/rebuild",
         };
+        // Prefix-cached cells are labeled; the default (off) stays
+        // unlabeled so existing labels are unchanged.
+        let prefix = if self.cfg.prefix_cache { "/prefix" } else { "" };
         // Havoc (the default) stays unlabeled so existing labels — and
         // the determinism suites diffing them — are unchanged.
         let strategy = match self.cfg.strategy {
@@ -129,7 +132,7 @@ impl CampaignJob {
             OracleMode::Differential => format!("/diff[{}]", self.cfg.diff_backends.join("+")),
         };
         format!(
-            "{}/{}/{mode}{mask}{engine}{strategy}{oracle}",
+            "{}/{}/{mode}{mask}{engine}{prefix}{strategy}{oracle}",
             self.backend.name, self.cfg.vendor
         )
     }
@@ -169,6 +172,8 @@ pub struct CampaignPlan {
     hours: u32,
     execs_per_hour: u32,
     engine: EngineMode,
+    prefix_cache: bool,
+    cache_capacity: usize,
     sync_interval: u32,
     strategy: MutationStrategy,
     oracle: OracleMode,
@@ -188,6 +193,8 @@ impl CampaignPlan {
             hours: 24,
             execs_per_hour: EXECS_PER_HOUR,
             engine: EngineMode::Snapshot,
+            prefix_cache: false,
+            cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
             sync_interval: 0,
             strategy: MutationStrategy::Havoc,
             oracle: OracleMode::Sanitizer,
@@ -242,6 +249,21 @@ impl CampaignPlan {
     /// bit-identical across engines; only wall-clock time changes.
     pub fn engine(mut self, engine: EngineMode) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Enables prefix-cached execution for every campaign of the grid
+    /// (default: off). Results are bit-identical with the cache on or
+    /// off; only wall-clock time changes.
+    pub fn prefix_cache(mut self, prefix_cache: bool) -> Self {
+        self.prefix_cache = prefix_cache;
+        self
+    }
+
+    /// Sets the booted-image cache capacity for every campaign of the
+    /// grid (default: [`crate::engine::DEFAULT_CACHE_CAPACITY`]).
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
         self
     }
 
@@ -308,6 +330,8 @@ impl CampaignPlan {
                                     mode,
                                     mask,
                                     engine: self.engine,
+                                    prefix_cache: self.prefix_cache,
+                                    cache_capacity: self.cache_capacity,
                                     sync_interval: self.sync_interval,
                                     strategy: self.strategy,
                                     oracle: self.oracle,

@@ -128,6 +128,8 @@ pub struct ReplayOracle {
     vendor: CpuVendor,
     mask: ComponentMask,
     engine: EngineMode,
+    prefix_cache: bool,
+    cache_capacity: usize,
 }
 
 impl ReplayOracle {
@@ -144,7 +146,24 @@ impl ReplayOracle {
             vendor,
             mask,
             engine,
+            prefix_cache: false,
+            cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
         }
+    }
+
+    /// Routes replays through the prefix-cached execution path, so
+    /// `corpus repro` exercises exactly the engine configuration the
+    /// campaign ran with; findings reproduce bit-identically with the
+    /// cache on or off.
+    pub fn with_prefix_cache(mut self, enabled: bool) -> Self {
+        self.prefix_cache = enabled;
+        self
+    }
+
+    /// Sets the booted-image cache capacity of the replay agents.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
     }
 
     /// Replays `input` from a clean agent; returns the bugs it
@@ -214,7 +233,9 @@ impl ReplayOracle {
             self.vendor,
             self.mask,
             self.engine,
-        );
+        )
+        .with_prefix_cache(self.prefix_cache)
+        .with_cache_capacity(self.cache_capacity);
         if converged {
             agent.converge_validator();
         }

@@ -208,6 +208,31 @@ impl ExecTrace {
         });
     }
 
+    /// Overwrites this trace with the contents of `other`, reusing this
+    /// trace's buffers (no allocation once capacities are warm). This is
+    /// the prefix-cache restore path: a mid-scenario snapshot's recorded
+    /// trace is copied back into the hypervisor's in-flight trace so the
+    /// suffix extends it exactly as a full replay would have.
+    pub fn copy_from(&mut self, other: &ExecTrace) {
+        self.clear();
+        self.order.extend_from_slice(&other.order);
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for &b in &other.uniq {
+            self.uniq.push(b);
+            self.counts[b as usize] = other.counts[b as usize];
+        }
+    }
+
+    /// Approximate heap footprint of the trace's buffers in bytes (the
+    /// prefix cache's byte-budget accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.order.len() * std::mem::size_of::<BlockId>()
+            + self.counts.len() * std::mem::size_of::<u32>()
+            + self.uniq.len() * std::mem::size_of::<u32>()
+    }
+
     /// Zeroes exactly the bytes [`ExecTrace::fill_afl_bitmap`] touched —
     /// the reuse path: wiping a handful of edges beats a map-sized
     /// memset by orders of magnitude. On a bitmap whose only non-zero
@@ -678,6 +703,42 @@ mod tests {
         assert_eq!(map.file_lines(f), 35);
         assert_eq!(map.block(BlockId(1)).line_start, 10);
         assert_eq!(map.block_count(), 3);
+    }
+
+    #[test]
+    fn trace_copy_from_replicates_hits_and_order() {
+        let (_, _, ids) = small_map();
+        let mut src = ExecTrace::new();
+        src.hit(ids[1]);
+        src.hit(ids[0]);
+        src.hit(ids[1]);
+        // The destination carries unrelated residue that copy_from must
+        // clear, including counts for blocks the source never touched.
+        let mut dst = ExecTrace::new();
+        dst.hit(ids[2]);
+        dst.copy_from(&src);
+        // The full hit sequence (with repeats and order) survives: the
+        // AFL edge projection is order-sensitive, so identical bitmaps
+        // mean identical sequences.
+        let (mut bm_src, mut bm_dst) = ([0u8; 64], [0u8; 64]);
+        src.fill_afl_bitmap(&mut bm_src);
+        dst.fill_afl_bitmap(&mut bm_dst);
+        assert_eq!(bm_src, bm_dst);
+        assert_eq!(
+            dst.unique_blocks().collect::<Vec<_>>(),
+            src.unique_blocks().collect::<Vec<_>>()
+        );
+        assert_eq!(dst.hits_of(ids[1]), 2);
+        assert_eq!(dst.hits_of(ids[0]), 1);
+        assert_eq!(dst.hits_of(ids[2]), 0, "residue must be cleared");
+        assert_eq!(dst.len(), src.len());
+        // Restored traces keep accumulating normally.
+        dst.hit(ids[1]);
+        assert_eq!(dst.hits_of(ids[1]), 3);
+        assert!(dst.approx_bytes() > 0);
+        let empty = ExecTrace::new();
+        dst.copy_from(&empty);
+        assert!(dst.is_empty());
     }
 
     #[test]

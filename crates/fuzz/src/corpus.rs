@@ -30,7 +30,7 @@ use std::sync::{Arc, RwLock};
 
 use nf_coverage::{bitmap, LineSet};
 
-use crate::scenario::Operator;
+use crate::scenario::{prefix_affinity, Operator};
 use crate::{FuzzInput, INPUT_LEN, MAP_SIZE};
 
 /// Where a corpus entry came from: the worker that discovered it, the
@@ -235,9 +235,41 @@ impl Corpus {
         self.entries[idx].fuzzed += 1;
         if self.entries[idx].fuzzed >= self.entries[idx].energy {
             self.entries[idx].fuzzed = 0;
+            self.batch_by_affinity(idx);
             self.cursor += 1;
         }
         true
+    }
+
+    /// Prefix-affinity batching: when the cursor leaves an entry, pull
+    /// the nearest queued entry sharing its [`prefix_affinity`] key into
+    /// the next slot, so consecutive parents share deep snapshot
+    /// ancestors and the engine's prefix cache stays hot. The key is
+    /// computed on the fly (never stored or persisted), the scan is a
+    /// small fixed window, and the reorder is a single swap strictly
+    /// above the sync watermark — published entries never move, every
+    /// entry is still scheduled exactly as often, and the result is a
+    /// pure function of the corpus state.
+    fn batch_by_affinity(&mut self, idx: usize) {
+        const WINDOW: usize = 8;
+        let next = idx + 1;
+        // Entries at or below the watermark were already shared; moving
+        // them would corrupt the next sync delta. Wraparound also keeps
+        // the queue untouched: the cycle restart is a natural batch
+        // boundary.
+        if next >= self.entries.len() || next < self.synced_entries {
+            return;
+        }
+        let key = prefix_affinity(&self.entries[idx].input);
+        if prefix_affinity(&self.entries[next].input) == key {
+            return;
+        }
+        let end = (next + 1 + WINDOW).min(self.entries.len());
+        if let Some(found) =
+            (next + 1..end).find(|&j| prefix_affinity(&self.entries[j].input) == key)
+        {
+            self.entries.swap(next, found);
+        }
     }
 
     /// Borrows the input of entry `idx mod len` (splice donor).
@@ -788,6 +820,49 @@ mod tests {
         assert!(observed(&mut c, 11, 4..8, 3));
         assert_eq!(c.len(), 2);
         assert_eq!(c.line_union().count(), 8);
+    }
+
+    #[test]
+    fn scheduling_batches_queue_neighbors_by_prefix_affinity() {
+        use crate::scenario::InputLayout;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let base = FuzzInput::random(&mut rng);
+        // Same early prefix as `base`: only the runtime tail differs.
+        let mut kin = base.clone();
+        let run = InputLayout::RUNTIME;
+        kin.bytes[run.offset + run.len - 1] ^= 0xff;
+        // Different init directives, so different affinity keys.
+        let mut other_a = base.clone();
+        other_a.bytes[InputLayout::INIT.offset] ^= 0x11;
+        let mut other_b = base.clone();
+        other_b.bytes[InputLayout::INIT.offset] ^= 0x22;
+        assert_eq!(prefix_affinity(&base), prefix_affinity(&kin));
+        assert_ne!(prefix_affinity(&base), prefix_affinity(&other_a));
+
+        let mut c = Corpus::new();
+        for (i, input) in [&base, &other_a, &other_b, &kin].into_iter().enumerate() {
+            let mut bitmap = vec![0u8; MAP_SIZE];
+            bitmap[10 + i] = 1;
+            assert!(c.observe(input, &bitmap, &lines_over(0..1), i as u64, None, true));
+        }
+        // Drain the head entry's energy; when the cursor advances, the
+        // nearest affinity sibling (queued last) is pulled into the
+        // next slot so consecutive parents share deep snapshot
+        // ancestors.
+        for _ in 0..8 {
+            assert_eq!(c.schedule_next().unwrap(), base);
+        }
+        let order: Vec<&FuzzInput> = c.entries().map(|e| &e.input).collect();
+        assert_eq!(order, vec![&base, &kin, &other_b, &other_a]);
+
+        // Published entries never move: past the sync watermark the
+        // same drain leaves the queue untouched.
+        c.take_delta();
+        for _ in 0..8 {
+            assert_eq!(c.schedule_next().unwrap(), kin);
+        }
+        let order: Vec<&FuzzInput> = c.entries().map(|e| &e.input).collect();
+        assert_eq!(order, vec![&base, &kin, &other_b, &other_a]);
     }
 
     #[test]

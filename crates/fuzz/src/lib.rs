@@ -23,7 +23,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 pub use corpus::{Corpus, CorpusDelta, CorpusEntry, Provenance, SharedCorpus};
-pub use scenario::{InputLayout, MutatorProfile, Operator, OperatorStats, Scenario, SectionSpan};
+pub use scenario::{
+    prefix_affinity, prefix_extend, prefix_extend_u64, prefix_root, InputLayout, MutatorProfile,
+    Operator, OperatorStats, Scenario, SectionSpan,
+};
 
 /// Size of one fuzzing input (paper §4.1: "2KiB of binary data").
 pub const INPUT_LEN: usize = 2048;
@@ -104,7 +107,7 @@ pub enum Mode {
 }
 
 /// Execution feedback the agent reports back to the fuzzer.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecFeedback {
     /// The execution produced a crash/anomaly report.
     pub crashed: bool,

@@ -125,6 +125,63 @@ impl InputLayout {
     pub const INIT_REST: usize = Self::INIT_DROP + 2;
 }
 
+/// FNV-1a offset basis: the root of every scenario-prefix hash chain
+/// (the same constants as the hypervisor state digests, so the two
+/// hash families stay consistent across the workspace).
+const PREFIX_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PREFIX_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The root of a scenario-prefix hash chain (the empty prefix).
+///
+/// The prefix cache keys mid-scenario snapshots by a rolling hash over
+/// everything that shapes execution up to an instruction boundary:
+/// callers fold the execution context (hypervisor config, generated
+/// VMCS/VMCB/MSR images) into the root first, then extend once per
+/// scenario instruction. Two inputs share a cached ancestor exactly
+/// when their chains agree through that boundary.
+pub const fn prefix_root() -> u64 {
+    PREFIX_OFFSET
+}
+
+/// Extends a rolling scenario-prefix hash with one canonical byte unit.
+///
+/// Pure FNV-1a over the bytes, seeded by `h` — associative-free and
+/// order-sensitive, so `prefix_extend(prefix_extend(root, a), b)`
+/// differs from any reordering. Callers frame variable-length units
+/// with [`prefix_extend_u64`] discriminants to keep encodings
+/// prefix-free.
+pub fn prefix_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(PREFIX_PRIME);
+    }
+    h
+}
+
+/// Extends a rolling scenario-prefix hash with one little-endian `u64`
+/// (discriminants, lengths, digests).
+pub fn prefix_extend_u64(h: u64, v: u64) -> u64 {
+    prefix_extend(h, &v.to_le_bytes())
+}
+
+/// The scheduling affinity key of an input: a hash of every section
+/// that shapes the *early* execution prefix (init directives, VMCS
+/// seed, invalidation directives, vCPU config, MSR area, and the first
+/// half of the runtime steps). Corpus scheduling batches consecutive
+/// parents by this key so back-to-back executions share deep snapshot
+/// ancestors; it is a pure function of the input bytes and is never
+/// persisted.
+pub fn prefix_affinity(input: &FuzzInput) -> u64 {
+    let sec = |s: SectionSpan| &input.bytes[s.range()];
+    let mut h = prefix_root();
+    h = prefix_extend(h, sec(InputLayout::INIT));
+    h = prefix_extend(h, sec(InputLayout::VMCS_SEED));
+    h = prefix_extend(h, sec(InputLayout::MUTATE));
+    h = prefix_extend(h, sec(InputLayout::VCPU_CFG));
+    h = prefix_extend(h, sec(InputLayout::MSR_AREA));
+    let runtime = sec(InputLayout::RUNTIME);
+    prefix_extend(h, &runtime[..runtime.len() / 2])
+}
+
 /// The init section, decoded: the knobs `ExecutionHarness::mutated_plan`
 /// reads, each in its own field.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -810,6 +867,42 @@ mod tests {
         assert_eq!(InputLayout::VMCS_SEED.len, Vmcs::BYTES);
         // Compile-time: the init sub-geometry fits inside the section.
         const _: () = assert!(InputLayout::INIT_REST < InputLayout::INIT.len);
+    }
+
+    #[test]
+    fn prefix_hash_is_deterministic_and_order_sensitive() {
+        let a = prefix_extend(prefix_root(), &[1, 2, 3]);
+        assert_eq!(a, prefix_extend(prefix_root(), &[1, 2, 3]));
+        assert_ne!(a, prefix_extend(prefix_root(), &[3, 2, 1]));
+        assert_ne!(a, prefix_root());
+        // Extending is associative over concatenation: hashing a full
+        // chain equals hashing its pieces in sequence — the property
+        // the rolling per-unit chain relies on.
+        let ab = prefix_extend(prefix_extend(prefix_root(), &[1, 2]), &[3]);
+        assert_eq!(a, ab);
+        assert_eq!(
+            prefix_extend_u64(prefix_root(), 7),
+            prefix_extend(prefix_root(), &7u64.to_le_bytes())
+        );
+    }
+
+    #[test]
+    fn prefix_affinity_keys_on_scenario_shape_not_runtime_tail() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let base = FuzzInput::random(&mut rng);
+        let key = prefix_affinity(&base);
+        assert_eq!(key, prefix_affinity(&base), "deterministic");
+        // The back half of the runtime section — the part a deep trie
+        // hit never re-executes differently — must not split affinity
+        // groups.
+        let mut tail = base.clone();
+        let run = InputLayout::RUNTIME;
+        tail.bytes[run.offset + run.len - 1] ^= 0xff;
+        assert_eq!(prefix_affinity(&tail), key);
+        // The init plan *is* the prefix: changing it changes the key.
+        let mut init = base.clone();
+        init.bytes[InputLayout::INIT.offset] ^= 0xff;
+        assert_ne!(prefix_affinity(&init), key);
     }
 
     #[test]

@@ -303,6 +303,15 @@ pub trait L0Hypervisor {
     /// The instrumentation registry.
     fn coverage_map(&self) -> &CovMap;
 
+    /// Read-only view of the in-flight execution trace.
+    ///
+    /// [`Self::snapshot`] deliberately excludes instrumentation, so a
+    /// mid-scenario checkpoint (the prefix cache's snapshot-at-an-
+    /// instruction-boundary path) must capture the trace separately;
+    /// this accessor is that capture point. Implemented by every
+    /// backend as a plain borrow of its trace field.
+    fn trace(&self) -> &ExecTrace;
+
     /// Swaps the in-flight execution trace with `trace` — the
     /// zero-allocation collection path. The caller hands in a *cleared*
     /// trace (its buffers are reused for the next execution) and

@@ -624,6 +624,10 @@ impl L0Hypervisor for SiliconGolden {
         &self.map
     }
 
+    fn trace(&self) -> &ExecTrace {
+        &self.trace
+    }
+
     fn swap_trace(&mut self, trace: &mut ExecTrace) {
         std::mem::swap(&mut self.trace, trace);
     }

@@ -432,6 +432,10 @@ impl L0Hypervisor for Vkvm {
         &self.map
     }
 
+    fn trace(&self) -> &ExecTrace {
+        &self.trace
+    }
+
     fn swap_trace(&mut self, trace: &mut ExecTrace) {
         std::mem::swap(&mut self.trace, trace);
     }

@@ -500,6 +500,10 @@ impl L0Hypervisor for Vvbox {
         &self.map
     }
 
+    fn trace(&self) -> &ExecTrace {
+        &self.trace
+    }
+
     fn swap_trace(&mut self, trace: &mut ExecTrace) {
         std::mem::swap(&mut self.trace, trace);
     }
