@@ -3,46 +3,65 @@
 //!
 //! The paper runs its grids as fleets of independent campaigns; the
 //! shared-corpus runtime lets a fleet behave like one AFL++
-//! main/secondary group: every sync epoch, workers exchange their
-//! novel corpus entries and *replay* adopted ones, importing sibling
-//! discoveries into their own coverage. This bench quantifies the
-//! payoff:
+//! main/secondary group. This bench quantifies the payoff of the two
+//! sync protocols:
 //!
 //! - the **baseline** is the product configuration — one unguided
 //!   worker spending the whole budget; its final coverage is the
 //!   *target level*;
-//! - each **cell** runs `n` workers (`n` ∈ 1/2/4/8, unguided, seeds
-//!   `0..n`) at budget `total/n` generation execs each, synced (corpus
-//!   deltas exchanged every virtual hour through a `SharedCorpus`) or
-//!   unsynced, and records the total executions until **every**
-//!   worker's own coverage reaches the target level — a fleet is only
-//!   as reproducible as its weakest member — plus the worst member's
-//!   coverage at budget exhaustion.
+//! - each **cell** runs `n` workers (`n` ∈ 1/2/4/8/16/32/64, unguided,
+//!   seeds `0..n`) splitting the same total generation budget
+//!   (`fleet_layout` slices it into whole virtual hours), and records
+//!   the total executions until **every** worker's own coverage
+//!   reaches the target level — a fleet is only as reproducible as its
+//!   weakest member — plus the worst member's coverage at budget
+//!   exhaustion. Cells come in three variants: **unsynced**,
+//!   **lockstep** (corpus deltas exchanged all-to-all at every hourly
+//!   barrier, adopted entries replayed), and **async** (watermark
+//!   gossip over the tree topology: sharded deltas published on
+//!   novelty, absorbed at iteration boundaries without replay).
 //!
 //! Unsynced fleets cannot reach the level: each member is capped by
 //! its own `1/n` budget. Synced fleets converge every member to the
 //! fleet union, crossing the level while the single-worker baseline
-//! is still crawling along its plateau — i.e. in measurably fewer
-//! total executions.
+//! is still crawling along its plateau. Lockstep pays for that with
+//! O(n²) whole-map merges and adoption replays per epoch — visible in
+//! the `total_execs` and `words_scanned` columns — while async pays
+//! O(n) segment-sharded merges spread over the run, which is what
+//! keeps the 64-worker cell ahead of lockstep's 8-worker one.
 //!
 //! The whole pipeline lives in [`nf_bench::sync_bench`] (fleets run on
 //! the product sync path, the loop behind `necofuzz --sync-interval`),
 //! so the bench measures the shipped protocol and
 //! `tests/hotpath_equivalence.rs` can regenerate `BENCH_sync.json` and
 //! hold it byte-for-byte. Everything is deterministic (fixed seeds,
-//! worker-id-ordered merges), so the emitted file is bit-reproducible.
-//! Flags: `--out PATH` (default `BENCH_sync.json`), `--smoke` (tiny
-//! budget; exit 1 unless every synced cell covers at least as much as
-//! its unsynced twin at equal budget and some synced multi-worker
-//! fleet reaches the level — the CI gate), `--jobs N` (accepted for
-//! CLI uniformity; cells run serially because each is itself a fleet).
+//! worker-id-ordered merges, deterministic gossip schedule), so the
+//! emitted file is bit-reproducible. Flags: `--out PATH` (default
+//! `BENCH_sync.json`), `--smoke` (tiny budget over the 1/2/4/8 sizes
+//! plus an async 8-worker cell; exit 1 unless every lockstep cell
+//! covers at least as much as its unsynced twin at equal budget, some
+//! synced multi-worker fleet reaches the level, and async is no
+//! slower than lockstep at ≥ 8 workers — the CI gate), `--jobs N`
+//! (accepted for CLI uniformity; cells run serially because each is
+//! itself a fleet).
 
 use nf_bench::hr;
-use nf_bench::sync_bench::{self, FLEET_SIZES};
+use nf_bench::sync_bench::{self, SyncReport, SMOKE_FLEET_SIZES};
+use nf_fuzz::SyncMode;
 
 fn usage() -> ! {
     eprintln!("usage: sync_speedup [--smoke] [--jobs N] [--out PATH]");
     std::process::exit(2);
+}
+
+fn mode_desc(cell: &sync_bench::SyncCell) -> &'static str {
+    if !cell.synced {
+        return "-";
+    }
+    match cell.mode {
+        SyncMode::Lockstep => "lockstep",
+        SyncMode::Async => "async",
+    }
 }
 
 fn main() {
@@ -62,14 +81,18 @@ fn main() {
         }
     }
     // The smoke budget must give the largest fleet at least two hours
-    // per member — exchanges happen strictly *between* hours, so an
-    // 8-worker cell under 16 total hours would never sync and the CI
-    // gate's n=8 comparison would be vacuously true. 24 virtual hours
-    // at half the full exec rate keeps every cell syncing while the
-    // whole gate still finishes in seconds.
+    // per member — lockstep exchanges happen strictly *between* hours,
+    // so an 8-worker cell under 16 total hours would never sync and
+    // the CI gate's n=8 comparison would be vacuously true. 24 virtual
+    // hours at half the full exec rate keeps every cell syncing while
+    // the whole gate still finishes in seconds.
     let (hours, execs_per_hour) = if smoke { (24, 60) } else { (24, 120) };
 
-    let report = sync_bench::run(hours, execs_per_hour);
+    let report: SyncReport = if smoke {
+        sync_bench::run_smoke(hours, execs_per_hour)
+    } else {
+        sync_bench::run(hours, execs_per_hour)
+    };
 
     hr("Sync speedup: corpus-synced fleets vs unsynced (equal total budget)");
     println!(
@@ -79,20 +102,28 @@ fn main() {
         report.target * 100.0
     );
     println!(
-        "\n{:<8} {:<7} {:>16} {:>14} {:>14} {:>10} {:>12}",
-        "workers", "synced", "execs_to_target", "min_cov", "union_cov", "adoptions", "total_execs"
+        "\n{:<8} {:<9} {:>16} {:>10} {:>11} {:>10} {:>12} {:>13}",
+        "workers",
+        "sync",
+        "execs_to_target",
+        "min_cov",
+        "union_cov",
+        "adoptions",
+        "total_execs",
+        "words_scanned"
     );
     for cell in &report.cells {
         println!(
-            "{:<8} {:<7} {:>16} {:>13.1}% {:>13.1}% {:>10} {:>12}",
+            "{:<8} {:<9} {:>16} {:>9.1}% {:>10.1}% {:>10} {:>12} {:>13}",
             cell.workers,
-            cell.synced,
+            mode_desc(cell),
             cell.execs_to_target
                 .map_or("-".to_string(), |e| e.to_string()),
             cell.final_min * 100.0,
             cell.final_union * 100.0,
             cell.adoptions,
-            cell.total_execs
+            cell.total_execs,
+            cell.sync.words_scanned
         );
     }
 
@@ -101,12 +132,17 @@ fn main() {
 
     if smoke {
         // CI gate: at equal total budget, syncing must never cost the
-        // fleet coverage, and some synced multi-worker fleet must
-        // reach the baseline level before exhausting the budget.
+        // fleet coverage, some synced multi-worker fleet must reach
+        // the baseline level before exhausting the budget, and from 8
+        // workers up async must reach it in no more executions than
+        // lockstep.
         let cells = &report.cells;
         let mut failures = Vec::new();
-        for n in FLEET_SIZES {
-            let synced = cells.iter().find(|c| c.workers == n && c.synced).unwrap();
+        for n in SMOKE_FLEET_SIZES {
+            let synced = cells
+                .iter()
+                .find(|c| c.workers == n && c.synced && c.mode == SyncMode::Lockstep)
+                .unwrap();
             let unsynced = cells.iter().find(|c| c.workers == n && !c.synced).unwrap();
             if synced.final_min < unsynced.final_min {
                 failures.push(format!(
@@ -121,10 +157,27 @@ fn main() {
         {
             failures.push("no synced multi-worker fleet reached the baseline level".into());
         }
+        for cell in cells.iter().filter(|c| c.mode == SyncMode::Async) {
+            let lockstep = cells
+                .iter()
+                .find(|c| c.workers == cell.workers && c.synced && c.mode == SyncMode::Lockstep)
+                .unwrap();
+            match (cell.execs_to_target, lockstep.execs_to_target) {
+                (Some(a), Some(l)) if a <= l => {}
+                (Some(_), None) => {}
+                (a, l) => failures.push(format!(
+                    "{} workers: async execs-to-target {a:?} not <= lockstep {l:?}",
+                    cell.workers
+                )),
+            }
+        }
         if !failures.is_empty() {
             eprintln!("FAIL: {failures:?}");
             std::process::exit(1);
         }
-        println!("smoke OK: synced >= unsynced on every fleet size, target level reached");
+        println!(
+            "smoke OK: synced >= unsynced on every fleet size, target level reached, \
+             async <= lockstep at 8 workers"
+        );
     }
 }

@@ -9,10 +9,17 @@
 //! through this module and compares byte-for-byte against the
 //! committed file. The binary adds only CLI parsing, table printing,
 //! and the CI smoke gate.
+//!
+//! Each fleet size is measured in three variants: unsynced, hourly
+//! lockstep sync (the original barrier protocol, kept as the A/B
+//! oracle), and asynchronous watermark gossip (`SyncMode::Async` over
+//! the default tree topology). Lockstep rows keep the original JSON
+//! row shape byte-for-byte; async rows add a `"mode"` discriminator
+//! and the per-fleet sync-cost counters.
 
 use necofuzz::campaign::{run_campaign_group_observed, Campaign, CampaignConfig, GroupMember};
 use nf_coverage::{CovMap, FileId, LineSet};
-use nf_fuzz::Mode;
+use nf_fuzz::{Mode, SyncMode, SyncStats, SyncTopology};
 use nf_x86::CpuVendor;
 
 use crate::vkvm_factory;
@@ -20,14 +27,49 @@ use crate::vkvm_factory;
 /// Fleet sizes measured — the single source for the main loop, the
 /// JSON summary, and the smoke gate, so adding a size cannot silently
 /// escape the CI comparison.
-pub const FLEET_SIZES: [u32; 4] = [1, 2, 4, 8];
+pub const FLEET_SIZES: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// The subset the CI smoke gate runs: small enough to finish in
+/// seconds, large enough to include the 8-worker cell where the
+/// async-vs-lockstep comparison is asserted.
+pub const SMOKE_FLEET_SIZES: [u32; 4] = [1, 2, 4, 8];
+
+/// Large fleets sliced off a fixed total budget would get zero whole
+/// virtual hours under the legacy `hours / n` layout, so from this
+/// size up the budget is re-laid-out as `LARGE_FLEET_HOURS` hours at
+/// `budget / (hours * n)` execs per hour instead.
+const LARGE_FLEET_MIN: u32 = 16;
+
+/// Hours per member in the large-fleet layout: enough hourly sync
+/// boundaries for lockstep to matter, and `9 * 64` divides the
+/// standard 2880-exec budget exactly.
+const LARGE_FLEET_HOURS: u32 = 9;
+
+/// The virtual-time layout of an `n`-worker fleet splitting the
+/// `hours * execs_per_hour` budget: members run `.0` hours at `.1`
+/// execs per hour. Sizes up to 8 keep the original `hours / n` slicing
+/// (so their cells reproduce the historical numbers exactly); larger
+/// fleets hold `LARGE_FLEET_HOURS` (9) hours and shrink the hourly rate.
+pub fn fleet_layout(n: u32, hours: u32, execs_per_hour: u32) -> (u32, u32) {
+    if n < LARGE_FLEET_MIN {
+        (hours / n, execs_per_hour)
+    } else {
+        (
+            LARGE_FLEET_HOURS,
+            hours * execs_per_hour / (LARGE_FLEET_HOURS * n),
+        )
+    }
+}
 
 /// One fleet measurement.
 pub struct SyncCell {
     /// Fleet size.
     pub workers: u32,
-    /// Whether the fleet exchanged corpus deltas every virtual hour.
+    /// Whether the fleet exchanged corpus deltas at all.
     pub synced: bool,
+    /// Sync protocol of the fleet (lockstep for unsynced cells too —
+    /// the field only distinguishes rows when `synced` is true).
+    pub mode: SyncMode,
     /// Total executions (across workers, replays included) when every
     /// member's own coverage first reached the target level; `None` if
     /// the budget ran out first.
@@ -36,13 +78,18 @@ pub struct SyncCell {
     pub final_min: f64,
     /// Union coverage of the fleet at budget exhaustion.
     pub final_union: f64,
-    /// Corpus entries adopted (and replayed) from siblings.
+    /// Corpus entries adopted from siblings (replayed under lockstep,
+    /// evidence-merged under async).
     pub adoptions: u64,
     /// Actual executions at budget exhaustion: the generation budget
-    /// plus adoption replays. Synced cells run more total executions
-    /// than their unsynced twins — the JSON reports this so coverage
-    /// comparisons can be read against each cell's real cost.
+    /// plus adoption replays. Lockstep cells run more total executions
+    /// than their unsynced twins — async cells do not, because
+    /// adoption merges recorded evidence instead of replaying — and
+    /// the JSON reports this so coverage comparisons can be read
+    /// against each cell's real cost.
     pub total_execs: u64,
+    /// Fleet-summed sync-cost counters.
+    pub sync: SyncStats,
 }
 
 /// The complete bench output: the baseline target, every cell, and the
@@ -56,7 +103,8 @@ pub struct SyncReport {
     pub hours: u32,
     /// Executions per virtual hour.
     pub execs_per_hour: u32,
-    /// Every fleet cell, in `FLEET_SIZES` × (unsynced, synced) order.
+    /// Every fleet cell, in fleet-size-major, (unsynced, lockstep,
+    /// async) order.
     pub cells: Vec<SyncCell>,
     /// The JSON document (what the binary writes to disk).
     pub json: String,
@@ -70,11 +118,13 @@ pub struct SyncReport {
 /// --sync-interval` ships — with the hourly observer doing the
 /// time-to-coverage bookkeeping, so the bench measures exactly the
 /// protocol users get.
+#[allow(clippy::too_many_arguments)]
 fn run_fleet(
     n: u32,
     hours_each: u32,
     execs_per_hour: u32,
     synced: bool,
+    mode: SyncMode,
     target: f64,
     map: &CovMap,
     file: FileId,
@@ -84,7 +134,9 @@ fn run_fleet(
             let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, hours_each, worker as u64)
                 .with_execs_per_hour(execs_per_hour)
                 .with_mode(Mode::Unguided)
-                .with_sync_interval(u32::from(synced));
+                .with_sync_interval(u32::from(synced))
+                .with_sync_mode(mode)
+                .with_sync_topology(SyncTopology::Tree);
             (vkvm_factory(), cfg)
         })
         .collect();
@@ -107,14 +159,20 @@ fn run_fleet(
             execs_to_target = Some(members.iter().map(Campaign::execs).sum());
         }
     });
+    let mut sync = SyncStats::default();
+    for r in &results {
+        sync.absorb(&r.sync);
+    }
     SyncCell {
         workers: n,
         synced,
+        mode,
         execs_to_target,
         final_min,
         final_union,
         adoptions: results.iter().map(|r| r.adopted).sum(),
         total_execs: results.iter().map(|r| r.execs).sum(),
+        sync,
     }
 }
 
@@ -123,6 +181,7 @@ fn build_json(
     budget: u64,
     baseline_hours: u32,
     execs_per_hour: u32,
+    sizes: &[u32],
     cells: &[SyncCell],
 ) -> String {
     let rows: Vec<String> = cells
@@ -132,28 +191,96 @@ fn build_json(
                 Some(execs) => format!("\"execs_to_target\": {execs}, \"reached\": true"),
                 None => "\"execs_to_target\": null, \"reached\": false".to_string(),
             };
-            format!(
-                "    {{\"workers\": {}, \"synced\": {}, {reached}, \
-                 \"final_min_coverage\": {:.4}, \"final_union_coverage\": {:.4}, \
-                 \"adoptions\": {}, \"total_execs\": {}}}",
-                c.workers, c.synced, c.final_min, c.final_union, c.adoptions, c.total_execs
-            )
+            match c.mode {
+                // Lockstep rows keep the historical row shape so the
+                // pre-async file's cells stay byte-identical.
+                SyncMode::Lockstep => format!(
+                    "    {{\"workers\": {}, \"synced\": {}, {reached}, \
+                     \"final_min_coverage\": {:.4}, \"final_union_coverage\": {:.4}, \
+                     \"adoptions\": {}, \"total_execs\": {}}}",
+                    c.workers, c.synced, c.final_min, c.final_union, c.adoptions, c.total_execs
+                ),
+                SyncMode::Async => format!(
+                    "    {{\"workers\": {}, \"synced\": {}, \"mode\": \"async-tree\", {reached}, \
+                     \"final_min_coverage\": {:.4}, \"final_union_coverage\": {:.4}, \
+                     \"adoptions\": {}, \"total_execs\": {}, \"deltas_published\": {}, \
+                     \"deltas_applied\": {}, \"segments_merged\": {}, \"words_scanned\": {}}}",
+                    c.workers,
+                    c.synced,
+                    c.final_min,
+                    c.final_union,
+                    c.adoptions,
+                    c.total_execs,
+                    c.sync.deltas_published,
+                    c.sync.deltas_applied,
+                    c.sync.segments_merged,
+                    c.sync.words_scanned
+                ),
+            }
         })
         .collect();
-    let synced_beats_unsynced = FLEET_SIZES.iter().all(|&n| {
-        let synced = cells.iter().find(|c| c.workers == n && c.synced);
+    let lockstep = |n: u32| {
+        cells
+            .iter()
+            .find(|c| c.workers == n && c.synced && c.mode == SyncMode::Lockstep)
+    };
+    let asynced = |n: u32| {
+        cells
+            .iter()
+            .find(|c| c.workers == n && c.synced && c.mode == SyncMode::Async)
+    };
+    let synced_beats_unsynced = sizes.iter().all(|&n| {
         let unsynced = cells.iter().find(|c| c.workers == n && !c.synced);
-        match (synced, unsynced) {
+        match (lockstep(n), unsynced) {
             (Some(s), Some(u)) => s.final_min >= u.final_min,
             _ => true,
         }
     });
     let best_multi = cells
         .iter()
-        .filter(|c| c.synced && c.workers > 1)
+        .filter(|c| c.synced && c.mode == SyncMode::Lockstep && c.workers > 1)
         .filter_map(|c| c.execs_to_target)
         .min();
     let speedup = best_multi.map(|e| budget as f64 / e as f64).unwrap_or(0.0);
+    let best_async = cells
+        .iter()
+        .filter(|c| c.mode == SyncMode::Async)
+        .filter_map(|c| c.execs_to_target)
+        .min();
+    let async_speedup = best_async.map(|e| budget as f64 / e as f64).unwrap_or(0.0);
+    // The scaling claim: from 8 workers up, async reaches the level in
+    // no more executions than lockstep at the same fleet size. A cell
+    // that never reaches counts as infinitely slow — so a null-null
+    // pair (the fleet union itself falls short of the baseline level,
+    // a property of the seed split, not of the protocol) is a tie.
+    let async_no_slower =
+        sizes
+            .iter()
+            .filter(|&&n| n >= 8)
+            .all(|&n| match (asynced(n), lockstep(n)) {
+                (Some(a), Some(l)) => match (a.execs_to_target, l.execs_to_target) {
+                    (Some(ae), Some(le)) => ae <= le,
+                    (Some(_), None) | (None, None) => true,
+                    (None, Some(_)) => false,
+                },
+                _ => true,
+            });
+    // The headline scaling result: the widest async fleet reaches the
+    // level in fewer executions than the widest lockstep fleet that
+    // reaches it at all.
+    let async_widest = sizes
+        .iter()
+        .rev()
+        .find_map(|&n| asynced(n).and_then(|c| c.execs_to_target.map(|e| (n, e))));
+    let lockstep_widest = sizes
+        .iter()
+        .rev()
+        .find_map(|&n| lockstep(n).and_then(|c| c.execs_to_target.map(|e| (n, e))));
+    let widest_async_beats_widest_lockstep = match (async_widest, lockstep_widest) {
+        (Some((an, ae)), Some((ln, le))) => an >= ln && ae < le,
+        (Some(_), None) => true,
+        _ => false,
+    };
     format!(
         "{{\n  \"bench\": \"sync_speedup\",\n  \"unit\": \"total_execs\",\n  \
          \"metric\": \"total executions until every fleet member's own coverage \
@@ -164,16 +291,22 @@ fn build_json(
          \"cells\": [\n{}\n  ],\n  \"summary\": {{\
          \"synced_beats_unsynced_at_equal_budget\": {synced_beats_unsynced}, \
          \"best_synced_multi_execs_to_target\": {}, \
-         \"speedup_vs_baseline_budget\": {speedup:.2}}}\n}}\n",
+         \"speedup_vs_baseline_budget\": {speedup:.2}, \
+         \"best_async_execs_to_target\": {}, \
+         \"async_speedup_vs_baseline_budget\": {async_speedup:.2}, \
+         \"async_no_slower_than_lockstep_from_8_workers\": {async_no_slower}, \
+         \"widest_async_beats_widest_lockstep\": {widest_async_beats_widest_lockstep}}}\n}}\n",
         rows.join(",\n"),
         best_multi.map_or("null".to_string(), |e| e.to_string()),
+        best_async.map_or("null".to_string(), |e| e.to_string()),
     )
 }
 
-/// Runs the whole bench pipeline: the single-worker unguided baseline
-/// (whose endpoint is the level every fleet must reach), then every
-/// `FLEET_SIZES` × {unsynced, synced} cell.
-pub fn run(hours: u32, execs_per_hour: u32) -> SyncReport {
+/// The shared pipeline: the single-worker unguided baseline (whose
+/// endpoint is the level every fleet must reach), then for every size
+/// in `sizes` an unsynced cell, a lockstep-synced cell, and — for the
+/// sizes in `async_sizes` — an async-gossip cell.
+fn run_sizes(hours: u32, execs_per_hour: u32, sizes: &[u32], async_sizes: &[u32]) -> SyncReport {
     let budget = u64::from(hours) * u64::from(execs_per_hour);
     let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, hours, 0)
         .with_execs_per_hour(execs_per_hour)
@@ -184,21 +317,22 @@ pub fn run(hours: u32, execs_per_hour: u32) -> SyncReport {
     let (map, file) = baseline.coverage_geometry();
 
     let mut cells = Vec::new();
-    for n in FLEET_SIZES {
-        let hours_each = hours / n;
-        for synced in [false, true] {
+    for &n in sizes {
+        let (hours_each, eph) = fleet_layout(n, hours, execs_per_hour);
+        for (synced, mode) in [
+            (false, SyncMode::Lockstep),
+            (true, SyncMode::Lockstep),
+            (true, SyncMode::Async),
+        ] {
+            if mode == SyncMode::Async && !async_sizes.contains(&n) {
+                continue;
+            }
             cells.push(run_fleet(
-                n,
-                hours_each,
-                execs_per_hour,
-                synced,
-                target,
-                &map,
-                file,
+                n, hours_each, eph, synced, mode, target, &map, file,
             ));
         }
     }
-    let json = build_json(target, budget, hours, execs_per_hour, &cells);
+    let json = build_json(target, budget, hours, execs_per_hour, sizes, &cells);
     SyncReport {
         target,
         budget,
@@ -207,4 +341,18 @@ pub fn run(hours: u32, execs_per_hour: u32) -> SyncReport {
         cells,
         json,
     }
+}
+
+/// Runs the whole bench pipeline over [`FLEET_SIZES`], with async
+/// cells at every multi-worker size (a 1-worker "fleet" has no peers
+/// to gossip with).
+pub fn run(hours: u32, execs_per_hour: u32) -> SyncReport {
+    run_sizes(hours, execs_per_hour, &FLEET_SIZES, &FLEET_SIZES[1..])
+}
+
+/// The CI smoke variant: [`SMOKE_FLEET_SIZES`] only, with a single
+/// async cell at the largest size — enough for the gate to assert
+/// async is no slower than lockstep at 8 workers.
+pub fn run_smoke(hours: u32, execs_per_hour: u32) -> SyncReport {
+    run_sizes(hours, execs_per_hour, &SMOKE_FLEET_SIZES, &[8])
 }

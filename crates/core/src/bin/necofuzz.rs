@@ -8,7 +8,8 @@
 //!          [--no-configurator] [--engine snapshot|rebuild]
 //!          [--prefix-cache] [--cache-capacity N]
 //!          [--oracle sanitizer|differential] [--diff-backends LIST]
-//!          [--sync-interval N] [--corpus-dir DIR]
+//!          [--sync-interval N] [--sync-mode lockstep|async]
+//!          [--sync-topology ring|tree] [--corpus-dir DIR]
 //!          [--resume-corpus DIR] [--out DIR] [--bench-out PATH]
 //! necofuzz corpus stat DIR
 //! necofuzz corpus minimize DIR [--out DIR]
@@ -27,7 +28,13 @@
 //! `--sync-interval N` makes the runs an AFL++-style sync group: every
 //! `N` virtual hours the campaigns exchange corpus deltas (novel queue
 //! entries + virgin-bitmap knowledge) through a shared pool, merged in
-//! deterministic seed order. `--corpus-dir DIR` persists each run's
+//! deterministic seed order. `--sync-mode async` replaces that hourly
+//! lockstep barrier with watermark-based asynchronous gossip: workers
+//! publish sharded deltas the moment they observe novelty and absorb
+//! their neighbours' deltas at iteration boundaries, exactly once,
+//! over the `--sync-topology` graph (`tree`, the default, or `ring`).
+//! Both modes are deterministic for a fixed seed set; lockstep remains
+//! the A/B oracle. `--corpus-dir DIR` persists each run's
 //! final corpus to `DIR/seedNNN/` for the `corpus` subcommand:
 //! `stat` summarizes a saved corpus, `minimize` runs the
 //! afl-cmin-style greedy set cover over line coverage, and `repro`
@@ -82,7 +89,7 @@ use necofuzz::{
     ReplayOracle,
 };
 use nf_fuzz::corpus::Corpus;
-use nf_fuzz::{FuzzInput, Mode, MutationStrategy, Operator, INPUT_LEN};
+use nf_fuzz::{FuzzInput, Mode, MutationStrategy, Operator, SyncMode, SyncTopology, INPUT_LEN};
 use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
 use nf_x86::CpuVendor;
 
@@ -95,7 +102,8 @@ fn usage() -> ! {
          \x20               [--no-configurator] [--engine snapshot|rebuild]\n\
          \x20               [--prefix-cache] [--cache-capacity N]\n\
          \x20               [--oracle sanitizer|differential] [--diff-backends LIST]\n\
-         \x20               [--sync-interval N] [--corpus-dir DIR]\n\
+         \x20               [--sync-interval N] [--sync-mode lockstep|async]\n\
+         \x20               [--sync-topology ring|tree] [--corpus-dir DIR]\n\
          \x20               [--resume-corpus DIR] [--out DIR] [--bench-out PATH]\n\
          \x20      necofuzz corpus stat DIR\n\
          \x20      necofuzz corpus minimize DIR [--out DIR]\n\
@@ -138,6 +146,8 @@ fn main() {
     let mut oracle = OracleMode::Sanitizer;
     let mut diff_backends: Vec<String> = Vec::new();
     let mut sync_interval = 0u32;
+    let mut sync_mode = SyncMode::Lockstep;
+    let mut sync_topology = SyncTopology::Tree;
     let mut corpus_dir: Option<String> = None;
     let mut resume_corpus: Option<String> = None;
     let mut out: Option<String> = None;
@@ -178,6 +188,10 @@ fn main() {
                 diff_backends = value().split(',').map(str::to_string).collect();
             }
             "--sync-interval" => sync_interval = value().parse().unwrap_or_else(|_| usage()),
+            "--sync-mode" => sync_mode = SyncMode::parse(&value()).unwrap_or_else(|| usage()),
+            "--sync-topology" => {
+                sync_topology = SyncTopology::parse(&value()).unwrap_or_else(|| usage());
+            }
             "--corpus-dir" => corpus_dir = Some(value()),
             "--resume-corpus" => resume_corpus = Some(value()),
             "--out" => out = Some(value()),
@@ -195,6 +209,10 @@ fn main() {
     }
     if cache_capacity == 0 {
         eprintln!("--cache-capacity must be at least 1");
+        std::process::exit(2);
+    }
+    if sync_mode == SyncMode::Async && sync_interval == 0 {
+        eprintln!("--sync-mode async needs --sync-interval N (any N > 0 switches gossip on)");
         std::process::exit(2);
     }
     match oracle {
@@ -280,10 +298,14 @@ fn main() {
     } else {
         engine.to_string()
     };
+    let sync_desc = match sync_mode {
+        SyncMode::Lockstep => format!("{sync_interval}h"),
+        SyncMode::Async => format!("async-{sync_topology}"),
+    };
     println!(
         "necofuzz: target={target} vendor={vendor} hours={hours} execs/h={execs_per_hour} \
          seeds={seed}..{} runs={runs} mode={mode:?} mutator={strategy} engine={engine_desc} \
-         oracle={oracle_desc} sync={sync_interval}h \
+         oracle={oracle_desc} sync={sync_desc} \
          components[harness={} validator={} configurator={}]",
         seed + runs,
         mask.harness,
@@ -304,6 +326,8 @@ fn main() {
         .prefix_cache(prefix_cache)
         .cache_capacity(cache_capacity)
         .sync_interval(sync_interval)
+        .sync_mode(sync_mode)
+        .sync_topology(sync_topology)
         .strategy(strategy)
         .oracle(oracle)
         .diff_backends(&diff_refs);
@@ -687,6 +711,18 @@ fn report_run(run_seed: u64, result: &CampaignResult, multi: bool) {
             es.prefix_units_skipped,
             es.prefix_captures,
             es.prefix_evictions,
+        );
+    }
+    let sync = &result.sync;
+    if sync.deltas_published + sync.deltas_applied > 0 {
+        println!(
+            "{prefix}sync: {} deltas published / {} applied, {} entries adopted, \
+             {} segments merged, {} words scanned",
+            sync.deltas_published,
+            sync.deltas_applied,
+            sync.adoptions,
+            sync.segments_merged,
+            sync.words_scanned,
         );
     }
     if result.diff_execs > 0 {

@@ -14,7 +14,8 @@
 //! `SyncGroup` seam feeds it whole grid cells.
 
 use nf_fuzz::{
-    CorpusDelta, FuzzInput, Fuzzer, Mode, MutationStats, MutationStrategy, SharedCorpus,
+    CorpusDelta, DeltaBus, FuzzInput, Fuzzer, GossipNode, Mode, MutationStats, MutationStrategy,
+    SeqDelta, SharedCorpus, SyncMode, SyncStats, SyncTopology, MAP_SIZE,
 };
 use nf_hv::{HvConfig, L0Hypervisor};
 use nf_x86::CpuVendor;
@@ -61,7 +62,17 @@ pub struct CampaignConfig {
     /// Corpus-sync epoch length in virtual hours. `0` (the default)
     /// never syncs; `n` exchanges [`CorpusDelta`]s with the sync group
     /// every `n` virtual hours. A lone campaign ignores the setting.
+    /// In [`SyncMode::Async`] the value only switches syncing on
+    /// (`> 0`) or off (`0`) — publication is novelty-driven, not
+    /// clocked.
     pub sync_interval: u32,
+    /// How the sync group exchanges knowledge: the hourly lockstep
+    /// epoch barrier (default; the A/B determinism oracle) or
+    /// watermark-based asynchronous gossip (`--sync-mode async`).
+    pub sync_mode: SyncMode,
+    /// Gossip graph of an async group (`--sync-topology`); lockstep
+    /// groups ignore the setting.
+    pub sync_topology: SyncTopology,
     /// How guided mode turns queue parents into children: the classic
     /// byte-blind havoc stack (default, bit-identical to the original
     /// engine) or the structure-aware scenario operators (`--mutator
@@ -99,6 +110,8 @@ impl CampaignConfig {
             prefix_cache: false,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             sync_interval: 0,
+            sync_mode: SyncMode::Lockstep,
+            sync_topology: SyncTopology::Tree,
             strategy: MutationStrategy::Havoc,
             oracle: OracleMode::Sanitizer,
             diff_backends: Vec::new(),
@@ -144,6 +157,18 @@ impl CampaignConfig {
     /// Sets the corpus-sync epoch length (hours; `0` = never).
     pub fn with_sync_interval(mut self, sync_interval: u32) -> Self {
         self.sync_interval = sync_interval;
+        self
+    }
+
+    /// Sets the sync mode (lockstep epochs or async gossip).
+    pub fn with_sync_mode(mut self, sync_mode: SyncMode) -> Self {
+        self.sync_mode = sync_mode;
+        self
+    }
+
+    /// Sets the async gossip topology.
+    pub fn with_sync_topology(mut self, sync_topology: SyncTopology) -> Self {
+        self.sync_topology = sync_topology;
         self
     }
 
@@ -224,6 +249,11 @@ pub struct CampaignResult {
     /// `PartialEq`, since equivalent campaigns may service the same
     /// execution stream through different cache paths.
     pub engine_stats: EngineStats,
+    /// Sync-cost counters (deltas published/applied, segments merged,
+    /// words scanned, adoptions). Diagnostic only: excluded from
+    /// `PartialEq` like `engine_stats` — they describe how knowledge
+    /// moved, not what was learned.
+    pub sync: SyncStats,
 }
 
 impl PartialEq for CampaignResult {
@@ -255,7 +285,12 @@ pub struct Campaign {
     cfg: CampaignConfig,
     hourly: Vec<HourSample>,
     hour: u32,
+    /// Executions already run inside the current (incomplete) virtual
+    /// hour — the async runner advances campaigns in sub-hour steps.
+    hour_execs: u32,
     adopted: u64,
+    /// Sync-cost counters for this worker (diagnostic).
+    sync_stats: SyncStats,
     /// The reusable child buffer of the zero-allocation exec loop:
     /// every iteration's input is generated into this scratch in place
     /// (`Fuzzer::next_input_into`) instead of allocating per exec.
@@ -295,7 +330,9 @@ impl Campaign {
             cfg: cfg.clone(),
             hourly: Vec::with_capacity(cfg.hours as usize),
             hour: 0,
+            hour_execs: 0,
             adopted: 0,
+            sync_stats: SyncStats::default(),
             input: FuzzInput::zeroed(),
         }
     }
@@ -317,7 +354,9 @@ impl Campaign {
             cfg: cfg.clone(),
             hourly: Vec::with_capacity(cfg.hours as usize),
             hour: 0,
+            hour_execs: 0,
             adopted: 0,
+            sync_stats: SyncStats::default(),
             input: FuzzInput::zeroed(),
         }
     }
@@ -381,28 +420,51 @@ impl Campaign {
     pub fn run_hours(&mut self, n: u32) {
         let until = (self.hour + n).min(self.cfg.hours);
         while self.hour < until {
-            for _ in 0..self.cfg.execs_per_hour {
-                // Zero-allocation exec loop: the child is generated
-                // into the reusable scratch, the iteration result
-                // borrows the engine's scratch buffers, and the fuzzer
-                // observes them in place.
-                self.fuzzer.next_input_into(&mut self.input);
-                let result = self.agent.run_iteration(&self.input);
-                self.fuzzer.report_observed(
-                    &self.input,
-                    result.bitmap,
-                    result.lines,
-                    result.feedback,
-                );
-                if let Some(diff) = &mut self.diff {
-                    diff.observe_exec(&self.input, self.agent.execs());
-                }
+            if self.cfg.execs_per_hour == 0 {
+                // An hour that carries no executions still ticks the
+                // clock and samples.
+                self.hour += 1;
+                self.hourly.push(HourSample {
+                    hour: self.hour,
+                    coverage: self.agent.coverage_fraction(),
+                });
+                continue;
             }
-            self.hour += 1;
-            self.hourly.push(HourSample {
-                hour: self.hour,
-                coverage: self.agent.coverage_fraction(),
-            });
+            self.run_execs(self.cfg.execs_per_hour - self.hour_execs);
+        }
+    }
+
+    /// Advances the campaign by up to `n` executions (clamped to the
+    /// configured budget), sampling coverage whenever the exec count
+    /// crosses an hour boundary. The exec sequence is identical to
+    /// [`Campaign::run_hours`]'s — the async sync loop uses sub-hour
+    /// steps to consume gossip at iteration boundaries, without
+    /// changing what any single worker executes.
+    pub fn run_execs(&mut self, n: u32) {
+        for _ in 0..n {
+            if self.hour >= self.cfg.hours {
+                return;
+            }
+            // Zero-allocation exec loop: the child is generated into
+            // the reusable scratch, the iteration result borrows the
+            // engine's scratch buffers, and the fuzzer observes them
+            // in place.
+            self.fuzzer.next_input_into(&mut self.input);
+            let result = self.agent.run_iteration(&self.input);
+            self.fuzzer
+                .report_observed(&self.input, result.bitmap, result.lines, result.feedback);
+            if let Some(diff) = &mut self.diff {
+                diff.observe_exec(&self.input, self.agent.execs());
+            }
+            self.hour_execs += 1;
+            if self.hour_execs >= self.cfg.execs_per_hour {
+                self.hour_execs = 0;
+                self.hour += 1;
+                self.hourly.push(HourSample {
+                    hour: self.hour,
+                    coverage: self.agent.coverage_fraction(),
+                });
+            }
         }
     }
 
@@ -417,6 +479,13 @@ impl Campaign {
     /// Takes the corpus delta since the last sync watermark (locally
     /// discovered entries + virgin bits cleared).
     pub fn take_delta(&mut self) -> CorpusDelta {
+        // Lockstep's delta scan sweeps the whole virgin map; record
+        // the full cost so the counters compare fairly with the
+        // sharded async path.
+        self.sync_stats.deltas_published += 1;
+        self.sync_stats.segments_merged +=
+            nf_coverage::bitmap::segments::segment_count(MAP_SIZE) as u64;
+        self.sync_stats.words_scanned += (MAP_SIZE / 8) as u64;
         self.fuzzer.corpus_mut().take_delta()
     }
 
@@ -436,7 +505,59 @@ impl Campaign {
             }
         }
         self.adopted += inputs.len() as u64;
+        // The pool adoption folds the group's whole virgin map in.
+        self.sync_stats.deltas_applied += 1;
+        self.sync_stats.adoptions += inputs.len() as u64;
+        self.sync_stats.segments_merged +=
+            nf_coverage::bitmap::segments::segment_count(MAP_SIZE) as u64;
+        self.sync_stats.words_scanned += (MAP_SIZE / 8) as u64;
         inputs.len()
+    }
+
+    /// `true` when this worker has observed novelty it has not yet
+    /// published — the async publish-on-novelty trigger.
+    pub fn has_unpublished_novelty(&self) -> bool {
+        self.fuzzer.corpus().has_unpublished()
+    }
+
+    /// Publishes this worker's accumulated novelty onto the async
+    /// delta bus (sharded watermark scan) and self-watermarks the
+    /// record so topology echoes terminate. Returns `true` when a
+    /// record was actually published (an all-foreign watermark window
+    /// can produce an empty delta, which is dropped).
+    pub fn publish_async(&mut self, bus: &mut DeltaBus, node: &mut GossipNode) -> bool {
+        let delta = self
+            .fuzzer
+            .corpus_mut()
+            .take_delta_async(&mut self.sync_stats);
+        if delta.is_empty() {
+            return false;
+        }
+        let rec = bus.publish_own(delta);
+        node.note_published(&rec);
+        self.sync_stats.deltas_published += 1;
+        true
+    }
+
+    /// Applies one inbound gossip record by *evidence merge*: foreign
+    /// entries join the queue with their classified bitmaps, and
+    /// their line evidence is folded straight into this campaign's
+    /// coverage accounting — no replay, so adoption costs zero
+    /// executions (lockstep's replay-on-adopt remains the A/B
+    /// oracle). Returns the number of entries adopted.
+    pub fn apply_async(&mut self, rec: &SeqDelta) -> usize {
+        let before = self.fuzzer.corpus().len();
+        let adopted = self
+            .fuzzer
+            .corpus_mut()
+            .apply_delta(&rec.delta, &mut self.sync_stats);
+        if adopted > 0 {
+            for entry in self.fuzzer.corpus().entries().skip(before) {
+                self.agent.cumulative.union_with(&entry.lines);
+            }
+            self.adopted += adopted as u64;
+        }
+        adopted
     }
 
     /// Finishes the campaign (running any remaining budget) and
@@ -473,6 +594,7 @@ impl Campaign {
             divergence,
             diff_execs,
             engine_stats,
+            sync: self.sync_stats,
         }
     }
 }
@@ -526,6 +648,8 @@ pub fn run_campaign_group_observed(
     };
     let hours = first.1.hours;
     let interval = first.1.sync_interval;
+    let sync_mode = first.1.sync_mode;
+    let topology = first.1.sync_topology;
     // A hard assert: in release builds a mismatched member would
     // silently finish its surplus hours unsynced, voiding the group's
     // determinism guarantee.
@@ -535,6 +659,17 @@ pub fn run_campaign_group_observed(
             .all(|(_, cfg)| cfg.hours == hours && cfg.sync_interval == interval),
         "sync-group members must share hours and sync_interval"
     );
+    assert!(
+        members
+            .iter()
+            .all(|(_, cfg)| cfg.sync_mode == sync_mode && cfg.sync_topology == topology),
+        "sync-group members must share sync_mode and sync_topology"
+    );
+    // Async gossip has no epoch clock: any non-zero interval turns it
+    // on. Lockstep keeps its exact historical gating below.
+    if sync_mode == SyncMode::Async && interval > 0 && members.len() > 1 {
+        return run_campaign_group_async_observed(members, observe);
+    }
     // A group only *syncs* when an exchange can still influence an
     // execution: at least two members and a boundary strictly inside
     // the budget. Otherwise members must be bit-identical to isolated
@@ -569,6 +704,80 @@ pub fn run_campaign_group_observed(
             shared.commit_epoch();
             for c in &mut campaigns {
                 c.adopt(&shared);
+            }
+        }
+        observe(&campaigns);
+    }
+    campaigns.into_iter().map(Campaign::into_result).collect()
+}
+
+/// The asynchronous sync-group runner: no epoch barrier, no shared
+/// pool. Workers advance in single-execution steps; after each step a
+/// worker publishes its unpublished novelty onto the [`DeltaBus`]
+/// (watermark-sequenced), drains its topology peers' fresh records,
+/// evidence-merges them, and relays them onward. At the end of the
+/// final hour the group gossips to quiescence, so the last hourly
+/// observation — and the results — see a converged fleet.
+///
+/// Determinism: workers step in worker-id order (the group is one
+/// scheduling unit, exactly like lockstep groups), the bus assigns
+/// sequence numbers in publish order, and drains scan peers in fixed
+/// order — the whole run is a pure function of (member list,
+/// topology), reproducible at any host parallelism.
+fn run_campaign_group_async_observed(
+    members: Vec<GroupMember>,
+    mut observe: impl FnMut(&[Campaign]),
+) -> Vec<CampaignResult> {
+    let hours = members[0].1.hours;
+    let execs_per_hour = members[0].1.execs_per_hour;
+    let topology = members[0].1.sync_topology;
+    let n = members.len() as u32;
+    let mut campaigns: Vec<Campaign> = members
+        .into_iter()
+        .enumerate()
+        .map(|(worker, (factory, cfg))| Campaign::with_worker(factory, &cfg, worker as u32))
+        .collect();
+    for c in &mut campaigns {
+        c.enable_sync_recording();
+    }
+    let mut bus = DeltaBus::new(n as usize);
+    let mut nodes: Vec<GossipNode> = (0..n).map(|w| GossipNode::new(w, n, topology)).collect();
+
+    // One gossip turn for worker `w`: publish on novelty, then drain,
+    // apply, and relay the fresh inbound records. Returns how many
+    // records moved (the quiescence signal).
+    let turn = |c: &mut Campaign, node: &mut GossipNode, bus: &mut DeltaBus, w: u32| {
+        let mut moved = 0usize;
+        if c.has_unpublished_novelty() && c.publish_async(bus, node) {
+            moved += 1;
+        }
+        for rec in node.drain(bus) {
+            c.apply_async(&rec);
+            bus.relay(w, rec);
+            moved += 1;
+        }
+        moved
+    };
+
+    for done in 0..hours {
+        for _ in 0..execs_per_hour {
+            for (w, c) in campaigns.iter_mut().enumerate() {
+                c.run_execs(1);
+                turn(c, &mut nodes[w], &mut bus, w as u32);
+            }
+        }
+        if done + 1 == hours {
+            // Final drain: keep gossiping (no more executions) until a
+            // full round moves nothing, so in-flight knowledge lands
+            // before the last observation.
+            loop {
+                let mut moved = 0;
+                for (w, c) in campaigns.iter_mut().enumerate() {
+                    moved += turn(c, &mut nodes[w], &mut bus, w as u32);
+                }
+                if moved == 0 {
+                    break;
+                }
             }
         }
         observe(&campaigns);

@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use nf_fuzz::{Mode, MutationStrategy};
+use nf_fuzz::{Mode, MutationStrategy, SyncMode, SyncTopology};
 use nf_hv::{HvConfig, L0Hypervisor};
 use nf_x86::CpuVendor;
 
@@ -131,8 +131,15 @@ impl CampaignJob {
             OracleMode::Sanitizer => String::new(),
             OracleMode::Differential => format!("/diff[{}]", self.cfg.diff_backends.join("+")),
         };
+        // Lockstep (the default) stays unlabeled; async cells carry
+        // their topology, which also keys them into distinct sync
+        // groups via `cell_key`.
+        let sync = match self.cfg.sync_mode {
+            SyncMode::Lockstep => String::new(),
+            SyncMode::Async => format!("/async-{}", self.cfg.sync_topology),
+        };
         format!(
-            "{}/{}/{mode}{mask}{engine}{prefix}{strategy}{oracle}",
+            "{}/{}/{mode}{mask}{engine}{prefix}{strategy}{oracle}{sync}",
             self.backend.name, self.cfg.vendor
         )
     }
@@ -175,6 +182,8 @@ pub struct CampaignPlan {
     prefix_cache: bool,
     cache_capacity: usize,
     sync_interval: u32,
+    sync_mode: SyncMode,
+    sync_topology: SyncTopology,
     strategy: MutationStrategy,
     oracle: OracleMode,
     diff_backends: Vec<String>,
@@ -196,6 +205,8 @@ impl CampaignPlan {
             prefix_cache: false,
             cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
             sync_interval: 0,
+            sync_mode: SyncMode::Lockstep,
+            sync_topology: SyncTopology::Tree,
             strategy: MutationStrategy::Havoc,
             oracle: OracleMode::Sanitizer,
             diff_backends: Vec::new(),
@@ -276,6 +287,22 @@ impl CampaignPlan {
         self
     }
 
+    /// Selects how sync groups exchange corpora (default:
+    /// [`SyncMode::Lockstep`], the hourly epoch barrier). Under
+    /// [`SyncMode::Async`] any non-zero `sync_interval` switches on
+    /// watermark-based gossip.
+    pub fn sync_mode(mut self, sync_mode: SyncMode) -> Self {
+        self.sync_mode = sync_mode;
+        self
+    }
+
+    /// Selects the async gossip topology (default:
+    /// [`SyncTopology::Tree`]); lockstep grids ignore it.
+    pub fn sync_topology(mut self, sync_topology: SyncTopology) -> Self {
+        self.sync_topology = sync_topology;
+        self
+    }
+
     /// Selects the guided-mode mutation strategy for every campaign of
     /// the grid (default: [`MutationStrategy::Havoc`], bit-identical to
     /// the original engine).
@@ -333,6 +360,8 @@ impl CampaignPlan {
                                     prefix_cache: self.prefix_cache,
                                     cache_capacity: self.cache_capacity,
                                     sync_interval: self.sync_interval,
+                                    sync_mode: self.sync_mode,
+                                    sync_topology: self.sync_topology,
                                     strategy: self.strategy,
                                     oracle: self.oracle,
                                     diff_backends: self.diff_backends.clone(),
@@ -379,7 +408,12 @@ impl SyncGroup {
         let mut groups: Vec<SyncGroup> = Vec::new();
         let mut cell_group: BTreeMap<String, usize> = BTreeMap::new();
         for (index, job) in jobs.into_iter().enumerate() {
-            if job.cfg.sync_interval == 0 || job.cfg.sync_interval >= job.cfg.hours {
+            // Async gossip is novelty-clocked: any non-zero interval
+            // syncs, so only the lockstep epoch clock can run out of
+            // boundaries inside the budget.
+            let barren =
+                job.cfg.sync_mode == SyncMode::Lockstep && job.cfg.sync_interval >= job.cfg.hours;
+            if job.cfg.sync_interval == 0 || barren {
                 groups.push(SyncGroup {
                     jobs: vec![(index, job)],
                 });
@@ -416,7 +450,8 @@ impl SyncGroup {
     pub fn is_synced(&self) -> bool {
         self.jobs.len() > 1 && {
             let cfg = &self.jobs[0].1.cfg;
-            cfg.sync_interval > 0 && cfg.sync_interval < cfg.hours
+            cfg.sync_interval > 0
+                && (cfg.sync_mode == SyncMode::Async || cfg.sync_interval < cfg.hours)
         }
     }
 

@@ -496,6 +496,176 @@ pub mod bitmap {
         }
     }
 
+    pub mod segments {
+        //! Sharded virgin-map algebra for the async sync path.
+        //!
+        //! The map is cut into fixed [`SEGMENT_BYTES`]-byte segments —
+        //! 64 of them for the 64 KiB AFL map, so the set of *dirty*
+        //! segments (touched since the last delta) fits one `u64` mask.
+        //! `Corpus::observe` marks segments as it clears virgin bits;
+        //! the delta/merge sweeps then visit only masked segments and
+        //! skip the untouched ones wholesale, on top of the word-level
+        //! skips inside each segment. A map longer than 64 segments
+        //! saturates into the last mask bit (bit 63 covers the tail),
+        //! which only costs precision, never correctness.
+        //!
+        //! `crates/coverage/tests/bitmap_segments.rs` holds the
+        //! property suite pinning every masked sweep bit-identical to
+        //! its whole-map counterpart.
+
+        /// Bytes per virgin-map segment: 64 KiB / 64 mask bits.
+        pub const SEGMENT_BYTES: usize = 1024;
+
+        /// Number of segments covering a `len`-byte map (at least 1 for
+        /// a non-empty map, capped at the 64 mask bits).
+        pub fn segment_count(len: usize) -> usize {
+            len.div_ceil(SEGMENT_BYTES).clamp(usize::from(len > 0), 64)
+        }
+
+        /// Byte range of segment `seg` within a `len`-byte map. The
+        /// last segment absorbs any tail (remainder bytes and, on
+        /// oversized maps, everything past the 64th segment).
+        pub fn segment_range(seg: usize, len: usize) -> core::ops::Range<usize> {
+            let start = (seg * SEGMENT_BYTES).min(len);
+            let end = if seg + 1 >= segment_count(len) {
+                len
+            } else {
+                ((seg + 1) * SEGMENT_BYTES).min(len)
+            };
+            start..end
+        }
+
+        /// The mask bit covering byte index `i`.
+        fn segment_of_byte(i: usize) -> u64 {
+            1u64 << (i / SEGMENT_BYTES).min(63)
+        }
+
+        /// [`super::merge_raw`] that additionally marks every segment
+        /// it cleared a virgin bit in. Mutations and return value are
+        /// bit-identical to the unmarked kernel; `dirty` only ever
+        /// gains bits.
+        pub fn merge_raw_marking(virgin: &mut [u8], raw: &[u8], dirty: &mut u64) -> bool {
+            let n = virgin.len().min(raw.len());
+            let mut new_bits = false;
+            let words = n / 8;
+            for w in 0..words {
+                let i = w * 8;
+                if super::word(&raw[i..i + 8]) == 0 || super::word(&virgin[i..i + 8]) == 0 {
+                    continue;
+                }
+                for k in i..i + 8 {
+                    let bucketed = super::bucket(raw[k]);
+                    if bucketed & virgin[k] != 0 {
+                        virgin[k] &= !bucketed;
+                        *dirty |= segment_of_byte(k);
+                        new_bits = true;
+                    }
+                }
+            }
+            for k in words * 8..n {
+                let bucketed = super::bucket(raw[k]);
+                if bucketed & virgin[k] != 0 {
+                    virgin[k] &= !bucketed;
+                    *dirty |= segment_of_byte(k);
+                    new_bits = true;
+                }
+            }
+            new_bits
+        }
+
+        /// [`super::cleared_since_into`] restricted to the segments in
+        /// `dirty` — bit-identical output when `dirty` covers every
+        /// segment that moved (which the marking merge guarantees).
+        /// Returns the number of bytes actually scanned, the async
+        /// path's `words_scanned` cost signal (in bytes, folded to
+        /// words by the caller).
+        pub fn cleared_since_segments(
+            then: &[u8],
+            now: &[u8],
+            dirty: u64,
+            out: &mut Vec<(u32, u8)>,
+        ) -> u64 {
+            out.clear();
+            let n = then.len().min(now.len());
+            let mut scanned = 0u64;
+            for seg in 0..segment_count(n) {
+                if dirty & (1u64 << seg.min(63)) == 0 {
+                    continue;
+                }
+                let range = segment_range(seg, n);
+                scanned += range.len() as u64;
+                append_cleared(&then[range.clone()], &now[range.clone()], range.start, out);
+            }
+            scanned
+        }
+
+        /// The [`super::cleared_since_into`] word loop over one
+        /// segment, emitting indices rebased by `base`.
+        fn append_cleared(then: &[u8], now: &[u8], base: usize, out: &mut Vec<(u32, u8)>) {
+            let n = then.len();
+            let words = n / 8;
+            for w in 0..words {
+                let i = w * 8;
+                let t = super::word(&then[i..i + 8]);
+                if t == 0 || t == super::word(&now[i..i + 8]) {
+                    continue;
+                }
+                for k in i..i + 8 {
+                    let cleared = then[k] & !now[k];
+                    if cleared != 0 {
+                        out.push(((base + k) as u32, cleared));
+                    }
+                }
+            }
+            for k in words * 8..n {
+                let cleared = then[k] & !now[k];
+                if cleared != 0 {
+                    out.push(((base + k) as u32, cleared));
+                }
+            }
+        }
+
+        /// [`super::merge_virgin`] restricted to the segments in
+        /// `dirty`; untouched segments of `dst` keep their bytes.
+        /// Returns the number of bytes swept.
+        pub fn merge_virgin_segments(dst: &mut [u8], src: &[u8], dirty: u64) -> u64 {
+            let n = dst.len().min(src.len());
+            let mut scanned = 0u64;
+            for seg in 0..segment_count(n) {
+                if dirty & (1u64 << seg.min(63)) == 0 {
+                    continue;
+                }
+                let range = segment_range(seg, n);
+                scanned += range.len() as u64;
+                super::merge_virgin(&mut dst[range.clone()], &src[range]);
+            }
+            scanned
+        }
+
+        /// Copies the segments in `dirty` from `src` into `dst` — the
+        /// watermark snapshot after a delta, touching only the bytes
+        /// the delta could have moved.
+        pub fn copy_segments(dst: &mut [u8], src: &[u8], dirty: u64) {
+            let n = dst.len().min(src.len());
+            for seg in 0..segment_count(n) {
+                if dirty & (1u64 << seg.min(63)) == 0 {
+                    continue;
+                }
+                let range = segment_range(seg, n);
+                dst[range.clone()].copy_from_slice(&src[range]);
+            }
+        }
+
+        /// The segment mask touched by a sparse cleared-bits delta —
+        /// how a receiver learns which of its segments an inbound
+        /// [`super::apply_cleared`] moved.
+        pub fn segments_of(cleared: &[(u32, u8)]) -> u64 {
+            cleared
+                .iter()
+                .fold(0u64, |m, &(i, _)| m | segment_of_byte(i as usize))
+        }
+    }
+
     pub mod bytewise {
         //! Byte-at-a-time reference implementations of the word-level
         //! operations above — the semantics oracle.

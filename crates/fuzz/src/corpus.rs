@@ -28,9 +28,11 @@ use std::io;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
 
+use nf_coverage::bitmap::segments;
 use nf_coverage::{bitmap, LineSet};
 
 use crate::scenario::{prefix_affinity, Operator};
+use crate::sync::SyncStats;
 use crate::{FuzzInput, INPUT_LEN, MAP_SIZE};
 
 /// Where a corpus entry came from: the worker that discovered it, the
@@ -98,6 +100,11 @@ pub struct Corpus {
     synced_entries: usize,
     /// Snapshot of the virgin map at the last watermark.
     synced_virgin: Vec<u8>,
+    /// Virgin-map segments this worker's own observations touched
+    /// since the watermark ([`segments`] mask). The async delta path
+    /// scans only these; inbound foreign knowledge moves `virgin` and
+    /// `synced_virgin` in step, so it never needs a mark.
+    dirty_segs: u64,
     /// Pool entries already scanned during adoption. Transient: the
     /// index is relative to one live [`SharedCorpus`], so it is reset
     /// by persistence and minimization rather than carried over —
@@ -120,6 +127,7 @@ impl Corpus {
             worker: 0,
             synced_entries: 0,
             synced_virgin: vec![0xff; MAP_SIZE],
+            dirty_segs: 0,
             pool_cursor: 0,
         }
     }
@@ -292,8 +300,11 @@ impl Corpus {
         queue: bool,
     ) -> bool {
         // The per-execution novelty kernel: word-level with early-exit
-        // skipping of all-zero raw and all-seen virgin words.
-        let new_bits = bitmap::merge_raw(&mut self.virgin, raw_bitmap);
+        // skipping of all-zero raw and all-seen virgin words, marking
+        // the touched segments for the sharded async delta scan
+        // (mutations bit-identical to the unmarked `merge_raw`).
+        let new_bits =
+            segments::merge_raw_marking(&mut self.virgin, raw_bitmap, &mut self.dirty_segs);
         if new_bits && queue {
             self.entries.push(CorpusEntry {
                 input: input.clone(),
@@ -334,7 +345,86 @@ impl Corpus {
         };
         self.synced_entries = self.entries.len();
         self.synced_virgin.copy_from_slice(&self.virgin);
+        self.dirty_segs = 0;
         delta
+    }
+
+    /// `true` when this worker has observed novelty it has not yet
+    /// published — the async publish-on-novelty signal. Foreign
+    /// knowledge applied via [`Corpus::apply_delta`] never raises it
+    /// (the topology relays the original records instead).
+    pub fn has_unpublished(&self) -> bool {
+        self.dirty_segs != 0
+    }
+
+    /// [`Corpus::take_delta`] for the async path: the cleared-bits
+    /// scan and the watermark snapshot sweep only the virgin-map
+    /// segments local observations touched, skipping the rest of the
+    /// 64 KiB wholesale. Scan costs are recorded into `stats`. The
+    /// emitted delta is identical to the whole-map scan's (the marking
+    /// merge guarantees the mask covers every moved byte, pinned by
+    /// `bitmap_segments` proptests).
+    pub fn take_delta_async(&mut self, stats: &mut SyncStats) -> CorpusDelta {
+        let mut cleared = Vec::new();
+        let scanned = segments::cleared_since_segments(
+            &self.synced_virgin,
+            &self.virgin,
+            self.dirty_segs,
+            &mut cleared,
+        );
+        stats.segments_merged += u64::from(self.dirty_segs.count_ones());
+        stats.words_scanned += scanned / 8;
+        let delta = CorpusDelta {
+            worker: self.worker,
+            entries: self.entries[self.synced_entries..]
+                .iter()
+                .filter(|e| e.provenance.worker == self.worker)
+                .cloned()
+                .collect(),
+            cleared,
+        };
+        segments::copy_segments(&mut self.synced_virgin, &self.virgin, self.dirty_segs);
+        self.synced_entries = self.entries.len();
+        self.dirty_segs = 0;
+        delta
+    }
+
+    /// Merges one inbound async delta: foreign entries still novel to
+    /// this worker join the queue with their coverage evidence
+    /// (*evidence merge* — no replay; the async loop folds the
+    /// entries' line sets into the campaign's accounting instead), and
+    /// the delta's cleared bits are applied to `virgin` *and*
+    /// `synced_virgin` in step, so adopted knowledge is never
+    /// re-published — downstream propagation is the relay's job.
+    /// Returns the number of entries adopted.
+    pub fn apply_delta(&mut self, delta: &CorpusDelta, stats: &mut SyncStats) -> usize {
+        if delta.worker == self.worker {
+            return 0; // own echo: the watermark should have caught it
+        }
+        let mut adopted = 0;
+        for entry in &delta.entries {
+            if entry.provenance.worker == self.worker {
+                continue; // our discovery, relayed back around
+            }
+            if !bitmap::is_novel_against(&entry.cov, &self.virgin) {
+                continue; // already covered locally
+            }
+            bitmap::merge_classified(&mut self.virgin, &entry.cov);
+            bitmap::merge_classified(&mut self.synced_virgin, &entry.cov);
+            self.entries.push(CorpusEntry {
+                energy: 8,
+                fuzzed: 0,
+                ..entry.clone()
+            });
+            adopted += 1;
+        }
+        bitmap::apply_cleared(&mut self.virgin, &delta.cleared);
+        bitmap::apply_cleared(&mut self.synced_virgin, &delta.cleared);
+        stats.deltas_applied += 1;
+        stats.adoptions += adopted as u64;
+        stats.segments_merged += u64::from(segments::segments_of(&delta.cleared).count_ones());
+        stats.words_scanned += delta.cleared.len() as u64;
+        adopted
     }
 
     /// Adopts foreign pool entries that are still novel to this worker
@@ -367,6 +457,7 @@ impl Corpus {
         // fold them into the watermark so the next delta stays local.
         self.synced_entries = self.entries.len();
         self.synced_virgin.copy_from_slice(&self.virgin);
+        self.dirty_segs = 0;
         adopted
     }
 
@@ -433,6 +524,7 @@ impl Corpus {
             worker: self.worker,
             synced_entries: synced,
             synced_virgin: self.virgin.clone(),
+            dirty_segs: 0,
             pool_cursor: 0,
         }
     }
@@ -465,10 +557,11 @@ impl Corpus {
             dir.join("MANIFEST"),
             format!(
                 "necofuzz-corpus v{FORMAT_VERSION}\nworker {}\ncursor {}\n\
-                 synced_entries {}\nmap_size {}\nentries {}\n",
+                 synced_entries {}\ndirty_segs {}\nmap_size {}\nentries {}\n",
                 self.worker,
                 self.cursor,
                 self.synced_entries,
+                self.dirty_segs,
                 self.virgin.len(),
                 self.entries.len()
             ),
@@ -540,6 +633,13 @@ impl Corpus {
             let mut f = std::fs::File::open(dir.join("entries").join(format!("{i:06}.bin")))?;
             entries.push(read_entry(&mut f, version)?);
         }
+        // Saves from before the sharded async path lack the mask;
+        // reconstruct it from the watermark diff so the invariant
+        // "the mask covers every moved segment" holds on load too.
+        let dirty_segs = match fields.get("dirty_segs") {
+            Some(&mask) => mask,
+            None => segments::segments_of(&bitmap::cleared_since(&synced_virgin, &virgin)),
+        };
         Ok(Corpus {
             entries,
             virgin,
@@ -547,6 +647,7 @@ impl Corpus {
             worker: field("worker")? as u32,
             synced_entries: field("synced_entries")? as usize,
             synced_virgin,
+            dirty_segs,
             pool_cursor: 0,
         })
     }
@@ -878,6 +979,51 @@ mod tests {
         assert!(empty.is_empty(), "watermark advanced: {empty:?}");
         observed(&mut c, 11, 4..8, 2);
         assert_eq!(c.take_delta().entries.len(), 1);
+    }
+
+    #[test]
+    fn async_delta_equals_whole_map_delta() {
+        let mut a = Corpus::new();
+        a.push_seed(FuzzInput::zeroed());
+        observed(&mut a, 10, 0..4, 1); // segment 0
+        observed(&mut a, 5000, 4..8, 2); // segment 4
+        let mut b = a.clone();
+        let mut stats = SyncStats::default();
+        let sharded = a.take_delta_async(&mut stats);
+        let whole = b.take_delta();
+        assert_eq!(sharded, whole, "masked scan must equal the whole-map scan");
+        assert_eq!(a, b, "watermark state must agree");
+        assert_eq!(stats.segments_merged, 2, "only touched segments swept");
+        assert!(!a.has_unpublished());
+    }
+
+    #[test]
+    fn apply_delta_adopts_exactly_once_and_stays_local() {
+        let mut src = Corpus::new();
+        src.set_worker(1);
+        observed(&mut src, 10, 0..4, 1);
+        let mut pub_stats = SyncStats::default();
+        let delta = src.take_delta_async(&mut pub_stats);
+
+        let mut dst = Corpus::new(); // worker 0
+        let mut stats = SyncStats::default();
+        assert_eq!(dst.apply_delta(&delta, &mut stats), 1);
+        assert_eq!(dst.len(), 1);
+        assert!(
+            !dst.has_unpublished(),
+            "adoption must not trigger publication — relays forward the original"
+        );
+        assert!(
+            dst.take_delta_async(&mut stats).is_empty(),
+            "adopted knowledge is never re-published"
+        );
+        assert_eq!(
+            dst.apply_delta(&delta, &mut stats),
+            0,
+            "re-apply is a no-op"
+        );
+        assert_eq!(stats.adoptions, 1);
+        assert_eq!(stats.deltas_applied, 2);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 pub mod corpus;
 pub mod scenario;
+pub mod sync;
 
 use nf_coverage::LineSet;
 use rand::rngs::SmallRng;
@@ -27,6 +28,7 @@ pub use scenario::{
     prefix_affinity, prefix_extend, prefix_extend_u64, prefix_root, InputLayout, MutatorProfile,
     Operator, OperatorStats, Scenario, SectionSpan,
 };
+pub use sync::{DeltaBus, GossipNode, SeqDelta, SyncMode, SyncStats, SyncTopology};
 
 /// Size of one fuzzing input (paper §4.1: "2KiB of binary data").
 pub const INPUT_LEN: usize = 2048;
