@@ -19,22 +19,35 @@
 //! model keeps `BENCH_prefix.json` byte-reproducible across hosts;
 //! measured wall-clock rates go to stderr only.
 //!
+//! A second, **budget-constrained** grid compares the trie's two
+//! snapshot stores head-to-head: the content-addressed copy-on-write
+//! store (`cow`, the default) against self-contained deep copies
+//! (`deep`, PR 7 semantics). Each cell rotates a working set of
+//! distinct base scenarios under a fixed byte budget, so the store
+//! that fits more boundaries into the budget serves more restores.
+//! The CoW store charges each unique blob once (event-log chains cost
+//! their suffix, snapshot components and traces dedup across nodes),
+//! so at tight budgets it strictly out-speeds the deep store — the
+//! `cow_beats_deep` gate.
+//!
 //! A separate **identical** check runs small campaigns — solo and
 //! sync-grouped, both strategies, both vendors — with the prefix cache
 //! on and off and asserts the `CampaignResult`s compare equal: the
 //! cache is a pure execution-cost optimization.
 //!
-//! Results are written to `BENCH_prefix.json` (schema in README.md).
-//! Flags: `--out PATH` (default `BENCH_prefix.json`), `--smoke` (tiny
-//! budget; exit 1 unless model speedup rises monotonically with the
-//! share, the high-share cell is ≥ 2x, and every A/B campaign pair is
-//! identical — the CI gate), `--jobs N` (accepted for CLI uniformity;
-//! the cells are sequential and deterministic).
+//! Results are written to `BENCH_prefix.json` (v2 schema in
+//! README.md). Flags: `--out PATH` (default `BENCH_prefix.json`),
+//! `--smoke` (tiny budget; exit 1 unless model speedup rises
+//! monotonically with the share, the high-share cell is ≥ 2x, the CoW
+//! store dedups (ratio > 1.0) and strictly beats the deep store at the
+//! smallest budget, and every A/B campaign pair is identical — the CI
+//! gate), `--jobs N` (accepted for CLI uniformity; the cells are
+//! sequential and deterministic).
 
 use std::time::Instant;
 
 use necofuzz::campaign::{run_campaign, run_campaign_group, CampaignConfig, GroupMember};
-use necofuzz::{Agent, ComponentMask, EngineMode, ExecutionHarness};
+use necofuzz::{Agent, ComponentMask, EngineMode, ExecutionHarness, PrefixStoreMode};
 use nf_bench::{hr, vkvm_factory, vxen_factory};
 use nf_fuzz::scenario::InputLayout;
 use nf_fuzz::{FuzzInput, Mode, MutationStrategy};
@@ -48,6 +61,19 @@ const SHARES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.95];
 /// measure the restore geometry, not the capture policy (the policy's
 /// hit/eviction behavior is exercised by the equivalence suite).
 const CELL_BUDGET: usize = 64 << 20;
+
+/// The byte-budget grid of the store comparison, smallest first. The
+/// smallest budget is the `cow_beats_deep` gate cell.
+const BUDGETS: [usize; 3] = [256 << 10, 1 << 20, 8 << 20];
+
+/// The (prefix share, rotating base count) pairs of the budget grid.
+/// Deeper chains get fewer bases so every cell's working set lands in
+/// the same byte range: small enough that the CoW store (charging
+/// unique blobs once) holds every chain at the smallest budget, large
+/// enough that the deep-copy store cannot — under round-robin access
+/// an LRU trie that cannot hold the full set serves no restores at
+/// all, so the smallest budget is where the stores separate.
+const BUDGET_GRID: [(f64, usize); 2] = [(0.25, 4), (0.5, 3)];
 
 /// One share cell's deterministic model measurement.
 struct ShareCell {
@@ -135,6 +161,143 @@ fn share_cell(share: f64, execs: u32) -> ShareCell {
     }
 }
 
+/// One budget-constrained store-comparison cell.
+struct BudgetCell {
+    store: PrefixStoreMode,
+    budget: usize,
+    share: f64,
+    execs: u32,
+    units_total: u64,
+    units_skipped: u64,
+    hits: u64,
+    misses: u64,
+    captures: u64,
+    evictions: u64,
+    bytes_resident: u64,
+    nodes_resident: u64,
+    dedup_ratio: f64,
+    max_hit_depth: u64,
+}
+
+impl BudgetCell {
+    fn units_executed(&self) -> u64 {
+        self.units_total - self.units_skipped
+    }
+
+    fn model_speedup(&self) -> f64 {
+        self.units_total as f64 / self.units_executed() as f64
+    }
+}
+
+/// Runs one budget cell: `execs` iterations rotating through `bases`
+/// distinct base scenarios, each exec keeping the first `share` of its
+/// base's runtime records and randomizing the rest, under `budget`
+/// bytes of trie with the given snapshot store. Deterministic in
+/// (store, budget, share, bases, execs).
+fn budget_cell(
+    store: PrefixStoreMode,
+    budget: usize,
+    share: f64,
+    bases: usize,
+    execs: u32,
+) -> BudgetCell {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut agent = Agent::with_engine(
+        vkvm_factory(),
+        CpuVendor::Intel,
+        ComponentMask::ALL,
+        EngineMode::Snapshot,
+    )
+    .with_prefix_cache(true)
+    .with_prefix_threshold(2)
+    .with_prefix_budget(budget)
+    .with_prefix_store(store);
+
+    // The same base working set for every (store, budget) pair: the
+    // seed covers base generation only, so cells differ in nothing but
+    // the store policy under test.
+    let mut rng = SmallRng::seed_from_u64(11);
+    let bases: Vec<FuzzInput> = (0..bases).map(|_| FuzzInput::random(&mut rng)).collect();
+    let harness = ExecutionHarness::new(CpuVendor::Intel);
+    let plan_units: Vec<u64> = bases
+        .iter()
+        .map(|b| {
+            harness
+                .mutated_plan(1, &b.bytes[InputLayout::INIT.range()])
+                .steps
+                .len() as u64
+        })
+        .collect();
+
+    let shared_records = (share * InputLayout::RUNTIME_STEPS as f64).round() as usize;
+    let run = InputLayout::RUNTIME;
+    let tail_start = run.offset + shared_records * InputLayout::STEP_BYTES;
+
+    let mut units_total = 0u64;
+    let mut input = FuzzInput::zeroed();
+    let start = Instant::now();
+    for i in 0..execs {
+        let slot = i as usize % bases.len();
+        input.bytes.copy_from_slice(&bases[slot].bytes);
+        rng.fill(&mut input.bytes[tail_start..run.range().end]);
+        agent.run_iteration(&input);
+        units_total += plan_units[slot] + InputLayout::RUNTIME_STEPS as u64;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    eprintln!(
+        "store {store} budget {budget} share {share:.2}: {:.0} execs/sec wall-clock",
+        execs as f64 / elapsed
+    );
+
+    let stats = agent.engine_stats();
+    BudgetCell {
+        store,
+        budget,
+        share,
+        execs,
+        units_total,
+        units_skipped: stats.prefix_units_skipped,
+        hits: stats.prefix_hits,
+        misses: stats.prefix_misses,
+        captures: stats.prefix_captures,
+        evictions: stats.prefix_evictions,
+        bytes_resident: stats.prefix_bytes_resident,
+        nodes_resident: stats.prefix_nodes,
+        dedup_ratio: stats.prefix_dedup_ratio(),
+        max_hit_depth: stats.prefix_max_hit_depth,
+    }
+}
+
+fn budget_cells(execs: u32) -> Vec<BudgetCell> {
+    let mut cells = Vec::new();
+    for &budget in &BUDGETS {
+        for &(share, bases) in &BUDGET_GRID {
+            for store in [PrefixStoreMode::Cow, PrefixStoreMode::DeepCopy] {
+                cells.push(budget_cell(store, budget, share, bases, execs));
+            }
+        }
+    }
+    cells
+}
+
+/// The gate comparison: at the smallest budget, the CoW store's model
+/// speedup must strictly exceed the deep store's at every share.
+fn cow_beats_deep(cells: &[BudgetCell]) -> bool {
+    let min_budget = BUDGETS[0];
+    BUDGET_GRID.iter().all(|&(share, _)| {
+        let at = |store: PrefixStoreMode| {
+            cells
+                .iter()
+                .find(|c| c.store == store && c.budget == min_budget && c.share == share)
+                .expect("grid covers the gate cell")
+                .model_speedup()
+        };
+        at(PrefixStoreMode::Cow) > at(PrefixStoreMode::DeepCopy)
+    })
+}
+
 /// One A/B identity cell: the same campaign with the prefix cache on
 /// and off, compared with `CampaignResult`'s equality (which spans
 /// coverage curves, corpus, triage, divergence — everything except the
@@ -196,7 +359,7 @@ fn identity_cells(hours: u32, eph: u32) -> Vec<AbCell> {
     ]
 }
 
-fn write_json(path: &str, cells: &[ShareCell], ab: &[AbCell]) {
+fn write_json(path: &str, cells: &[ShareCell], budget: &[BudgetCell], ab: &[AbCell]) {
     let rows: Vec<String> = cells
         .iter()
         .map(|c| {
@@ -217,6 +380,34 @@ fn write_json(path: &str, cells: &[ShareCell], ab: &[AbCell]) {
             )
         })
         .collect();
+    let budget_rows: Vec<String> = budget
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"store\": \"{}\", \"budget\": {}, \"share\": {:.2}, \"execs\": {}, \
+                 \"units_total\": {}, \"units_executed\": {}, \"units_skipped\": {}, \
+                 \"model_speedup\": {:.2}, \"hits\": {}, \"misses\": {}, \"captures\": {}, \
+                 \"evictions\": {}, \"bytes_resident\": {}, \"nodes_resident\": {}, \
+                 \"dedup_ratio\": {:.2}, \"max_hit_depth\": {}}}",
+                c.store,
+                c.budget,
+                c.share,
+                c.execs,
+                c.units_total,
+                c.units_executed(),
+                c.units_skipped,
+                c.model_speedup(),
+                c.hits,
+                c.misses,
+                c.captures,
+                c.evictions,
+                c.bytes_resident,
+                c.nodes_resident,
+                c.dedup_ratio,
+                c.max_hit_depth,
+            )
+        })
+        .collect();
     let ab_rows: Vec<String> = ab
         .iter()
         .map(|c| {
@@ -227,21 +418,34 @@ fn write_json(path: &str, cells: &[ShareCell], ab: &[AbCell]) {
         })
         .collect();
     let high = cells.last().expect("share grid");
+    let max_dedup = budget
+        .iter()
+        .filter(|c| c.store == PrefixStoreMode::Cow)
+        .map(|c| c.dedup_ratio)
+        .fold(1.0f64, f64::max);
     let json = format!(
-        "{{\n  \"bench\": \"prefix_speedup\",\n  \"unit\": \"model_scenario_units\",\n  \
+        "{{\n  \"bench\": \"prefix_speedup\",\n  \"version\": 2,\n  \
+         \"unit\": \"model_scenario_units\",\n  \
          \"description\": \"snapshot-trie prefix cache: every scenario unit (init step or \
          runtime record) costs 1; units_skipped are restored from cached mid-scenario \
          snapshots instead of re-executed; model_speedup = units_total / units_executed. \
-         Virtual cost model, byte-reproducible; wall-clock goes to stderr.\",\n  \
-         \"cells\": [\n{}\n  ],\n  \"identity\": [\n{}\n  ],\n  \
+         budget_cells compare the content-addressed CoW store against deep-copied nodes \
+         under tight byte budgets over a rotating base working set. Virtual cost model, \
+         byte-reproducible; wall-clock goes to stderr.\",\n  \
+         \"cells\": [\n{}\n  ],\n  \"budget_cells\": [\n{}\n  ],\n  \
+         \"identity\": [\n{}\n  ],\n  \
          \"summary\": {{\"high_share_speedup\": {:.2}, \"monotone\": {}, \
+         \"cow_beats_deep_at_min_budget\": {}, \"max_cow_dedup_ratio\": {:.2}, \
          \"results_identical\": {}}}\n}}\n",
         rows.join(",\n"),
+        budget_rows.join(",\n"),
         ab_rows.join(",\n"),
         high.model_speedup(),
         cells
             .windows(2)
             .all(|w| w[1].model_speedup() > w[0].model_speedup()),
+        cow_beats_deep(budget),
+        max_dedup,
         ab.iter().all(|c| c.identical),
     );
     std::fs::write(path, json).expect("write bench output");
@@ -268,13 +472,14 @@ fn main() {
             _ => usage(),
         }
     }
-    let (execs, hours, eph) = if smoke {
-        (80u32, 3, 60)
+    let (execs, budget_execs, hours, eph) = if smoke {
+        (80u32, 64u32, 3, 60)
     } else {
-        (400u32, 6, 120)
+        (400u32, 240u32, 6, 120)
     };
 
     let cells: Vec<ShareCell> = SHARES.iter().map(|&s| share_cell(s, execs)).collect();
+    let bcells = budget_cells(budget_execs);
     let ab = identity_cells(hours, eph);
 
     hr("Prefix cache: scenario units skipped vs prefix share (model cost)");
@@ -303,11 +508,41 @@ fn main() {
         );
     }
     println!();
+    hr("Snapshot store under byte budgets: CoW vs deep copy (model cost)");
+    println!(
+        "{:<6} {:>9} {:<6} {:>6} {:>9} {:>6} {:>10} {:>6} {:>6} {:>10}",
+        "store",
+        "budget",
+        "share",
+        "execs",
+        "speedup",
+        "hits",
+        "evictions",
+        "nodes",
+        "dedup",
+        "hit_depth"
+    );
+    for c in &bcells {
+        println!(
+            "{:<6} {:>9} {:<6.2} {:>6} {:>8.2}x {:>6} {:>10} {:>6} {:>6.2} {:>10}",
+            c.store.name(),
+            c.budget,
+            c.share,
+            c.execs,
+            c.model_speedup(),
+            c.hits,
+            c.evictions,
+            c.nodes_resident,
+            c.dedup_ratio,
+            c.max_hit_depth
+        );
+    }
+    println!();
     for c in &ab {
         println!("identical {:<22} {}", c.label, c.identical);
     }
 
-    write_json(&out, &cells, &ab);
+    write_json(&out, &cells, &bcells, &ab);
     println!("\nwrote {out}");
 
     let broken: Vec<&str> = ab
@@ -337,10 +572,28 @@ fn main() {
         if cells.iter().any(|c| c.hits == 0) {
             failures.push("a share cell never hit the prefix cache".to_string());
         }
+        for c in bcells
+            .iter()
+            .filter(|c| c.store == PrefixStoreMode::Cow && c.dedup_ratio <= 1.0)
+        {
+            failures.push(format!(
+                "cow cell (budget {}, share {:.2}) dedup ratio {:.2} is not > 1.0",
+                c.budget, c.share, c.dedup_ratio
+            ));
+        }
+        if !cow_beats_deep(&bcells) {
+            failures.push(format!(
+                "cow store does not strictly beat deep copies at the {} B budget",
+                BUDGETS[0]
+            ));
+        }
         if !failures.is_empty() {
             eprintln!("FAIL: {failures:?}");
             std::process::exit(1);
         }
-        println!("smoke OK: monotone model speedup, >=2x at high share, A/B identical");
+        println!(
+            "smoke OK: monotone model speedup, >=2x at high share, \
+             cow dedups and beats deep at min budget, A/B identical"
+        );
     }
 }

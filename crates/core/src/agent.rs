@@ -204,6 +204,13 @@ impl Agent {
         self
     }
 
+    /// Selects the prefix trie's snapshot store (benches: the CoW /
+    /// deep-copy A/B).
+    pub fn with_prefix_store(mut self, mode: crate::engine::PrefixStoreMode) -> Self {
+        self.engine.set_prefix_store(mode);
+        self
+    }
+
     /// The hypervisor under test (for inspection in tests/benches).
     pub fn hv(&self) -> &dyn L0Hypervisor {
         self.engine.hv()

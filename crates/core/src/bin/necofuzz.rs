@@ -6,7 +6,7 @@
 //!          [--jobs N] [--guided] [--mutator havoc|structured]
 //!          [--no-harness] [--no-validator]
 //!          [--no-configurator] [--engine snapshot|rebuild]
-//!          [--prefix-cache] [--cache-capacity N]
+//!          [--prefix-cache] [--prefix-budget BYTES] [--cache-capacity N]
 //!          [--oracle sanitizer|differential] [--diff-backends LIST]
 //!          [--sync-interval N] [--sync-mode lockstep|async]
 //!          [--sync-topology ring|tree] [--corpus-dir DIR]
@@ -14,8 +14,8 @@
 //! necofuzz corpus stat DIR
 //! necofuzz corpus minimize DIR [--out DIR]
 //! necofuzz corpus repro FILE [--target T] [--vendor V]
-//!          [--engine E] [--prefix-cache] [--cache-capacity N]
-//!          [--minimize] [--out FILE]
+//!          [--engine E] [--prefix-cache] [--prefix-budget BYTES]
+//!          [--cache-capacity N] [--minimize] [--out FILE]
 //! ```
 //!
 //! Runs one campaign — or, with `--runs N`, a whole grid of campaigns
@@ -66,6 +66,11 @@
 //! cached ancestor of its scenario prefix, executing only the suffix.
 //! Full replay is the built-in A/B oracle — campaign results are
 //! bit-identical with the cache on or off; only wall-clock changes.
+//! `--prefix-budget BYTES` (requires `--prefix-cache`) sets the trie's
+//! byte budget (default 8 MiB); past it the stalest nodes are evicted,
+//! and results stay bit-identical at any budget — the trie's
+//! content-addressed store charges each unique blob once, so the same
+//! budget holds far more boundaries than a deep-copy store would.
 //! `--cache-capacity N` sizes the engine's booted-image cache (parked
 //! config → booted-hypervisor images; default 16).
 //!
@@ -100,7 +105,8 @@ fn usage() -> ! {
          \x20               [--guided] [--mutator havoc|structured]\n\
          \x20               [--no-harness] [--no-validator]\n\
          \x20               [--no-configurator] [--engine snapshot|rebuild]\n\
-         \x20               [--prefix-cache] [--cache-capacity N]\n\
+         \x20               [--prefix-cache] [--prefix-budget BYTES]\n\
+         \x20               [--cache-capacity N]\n\
          \x20               [--oracle sanitizer|differential] [--diff-backends LIST]\n\
          \x20               [--sync-interval N] [--sync-mode lockstep|async]\n\
          \x20               [--sync-topology ring|tree] [--corpus-dir DIR]\n\
@@ -108,7 +114,8 @@ fn usage() -> ! {
          \x20      necofuzz corpus stat DIR\n\
          \x20      necofuzz corpus minimize DIR [--out DIR]\n\
          \x20      necofuzz corpus repro FILE [--target T] [--vendor V]\n\
-         \x20               [--engine E] [--prefix-cache] [--cache-capacity N]\n\
+         \x20               [--engine E] [--prefix-cache] [--prefix-budget BYTES]\n\
+         \x20               [--cache-capacity N]\n\
          \x20               [--minimize] [--out FILE]"
     );
     std::process::exit(2);
@@ -141,6 +148,8 @@ fn main() {
     let mut mask = ComponentMask::ALL;
     let mut engine = EngineMode::Snapshot;
     let mut prefix_cache = false;
+    let mut prefix_budget = necofuzz::DEFAULT_PREFIX_BUDGET;
+    let mut prefix_budget_set = false;
     let mut cache_capacity = necofuzz::DEFAULT_CACHE_CAPACITY;
     let mut strategy = MutationStrategy::Havoc;
     let mut oracle = OracleMode::Sanitizer;
@@ -182,6 +191,10 @@ fn main() {
             "--no-configurator" => mask.configurator = false,
             "--engine" => engine = EngineMode::parse(&value()).unwrap_or_else(|| usage()),
             "--prefix-cache" => prefix_cache = true,
+            "--prefix-budget" => {
+                prefix_budget = value().parse().unwrap_or_else(|_| usage());
+                prefix_budget_set = true;
+            }
             "--cache-capacity" => cache_capacity = value().parse().unwrap_or_else(|_| usage()),
             "--oracle" => oracle = OracleMode::parse(&value()).unwrap_or_else(|| usage()),
             "--diff-backends" => {
@@ -205,6 +218,10 @@ fn main() {
     }
     if prefix_cache && engine != EngineMode::Snapshot {
         eprintln!("--prefix-cache requires --engine snapshot (the trie restores snapshots)");
+        std::process::exit(2);
+    }
+    if prefix_budget_set && !prefix_cache {
+        eprintln!("--prefix-budget requires --prefix-cache (it sizes the prefix trie)");
         std::process::exit(2);
     }
     if cache_capacity == 0 {
@@ -273,6 +290,7 @@ fn main() {
             .with_mask(mask)
             .with_engine(engine)
             .with_prefix_cache(prefix_cache)
+            .with_prefix_budget(prefix_budget)
             .with_cache_capacity(cache_capacity)
             .with_strategy(strategy)
             .with_oracle(oracle)
@@ -294,7 +312,7 @@ fn main() {
         OracleMode::Differential => format!("{oracle}[{}]", diff_backends.join("+")),
     };
     let engine_desc = if prefix_cache {
-        format!("{engine}+prefix(cap {cache_capacity})")
+        format!("{engine}+prefix(cap {cache_capacity}, budget {prefix_budget} B)")
     } else {
         engine.to_string()
     };
@@ -324,6 +342,7 @@ fn main() {
         .execs_per_hour(execs_per_hour)
         .engine(engine)
         .prefix_cache(prefix_cache)
+        .prefix_budget(prefix_budget)
         .cache_capacity(cache_capacity)
         .sync_interval(sync_interval)
         .sync_mode(sync_mode)
@@ -410,6 +429,8 @@ fn corpus_main(args: &[String]) {
     let mut vendor = CpuVendor::Intel;
     let mut engine = EngineMode::Snapshot;
     let mut prefix_cache = false;
+    let mut prefix_budget = necofuzz::DEFAULT_PREFIX_BUDGET;
+    let mut prefix_budget_set = false;
     let mut cache_capacity = necofuzz::DEFAULT_CACHE_CAPACITY;
     let mut minimize = false;
     let mut out: Option<String> = None;
@@ -444,6 +465,11 @@ fn corpus_main(args: &[String]) {
                 only_repro("--prefix-cache");
                 prefix_cache = true;
             }
+            "--prefix-budget" => {
+                only_repro("--prefix-budget");
+                prefix_budget = value().parse().unwrap_or_else(|_| usage());
+                prefix_budget_set = true;
+            }
             "--cache-capacity" => {
                 only_repro("--cache-capacity");
                 cache_capacity = value().parse().unwrap_or_else(|_| usage());
@@ -465,6 +491,10 @@ fn corpus_main(args: &[String]) {
 
     if prefix_cache && engine != EngineMode::Snapshot {
         eprintln!("corpus repro: --prefix-cache requires --engine snapshot");
+        std::process::exit(2);
+    }
+    if prefix_budget_set && !prefix_cache {
+        eprintln!("corpus repro: --prefix-budget requires --prefix-cache");
         std::process::exit(2);
     }
     if cache_capacity == 0 {
@@ -558,6 +588,7 @@ fn corpus_main(args: &[String]) {
                 let backends = [a.clone(), b.clone()];
                 let oracle = DiffOracle::new(&backends, vendor, ComponentMask::ALL, engine)
                     .with_prefix_cache(prefix_cache)
+                    .with_prefix_budget(prefix_budget)
                     .with_cache_capacity(cache_capacity);
                 let bugs = oracle.replay(&input);
                 if bugs.is_empty() {
@@ -572,6 +603,7 @@ fn corpus_main(args: &[String]) {
                     move |cfg: HvConfig| -> Box<dyn L0Hypervisor> { backend.factory()(cfg) };
                 let oracle = ReplayOracle::new(factory, vendor, ComponentMask::ALL, engine)
                     .with_prefix_cache(prefix_cache)
+                    .with_prefix_budget(prefix_budget)
                     .with_cache_capacity(cache_capacity);
                 let bugs = oracle.replay(&input);
                 if bugs.is_empty() {
@@ -711,6 +743,14 @@ fn report_run(run_seed: u64, result: &CampaignResult, multi: bool) {
             es.prefix_units_skipped,
             es.prefix_captures,
             es.prefix_evictions,
+        );
+        println!(
+            "{prefix}prefix trie: {} nodes resident ({} B), dedup ratio {:.2}, \
+             max restored hit depth {}",
+            es.prefix_nodes,
+            es.prefix_bytes_resident,
+            es.prefix_dedup_ratio(),
+            es.prefix_max_hit_depth,
         );
     }
     let sync = &result.sync;

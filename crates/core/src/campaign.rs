@@ -22,7 +22,9 @@ use nf_x86::CpuVendor;
 
 use crate::agent::{Agent, BugFind, ComponentMask};
 use crate::differential::{DifferentialRunner, DivergenceStats, OracleMode};
-use crate::engine::{EngineMode, EngineStats, DEFAULT_CACHE_CAPACITY};
+use crate::engine::{
+    EngineMode, EngineStats, PrefixStoreMode, DEFAULT_CACHE_CAPACITY, DEFAULT_PREFIX_BUDGET,
+};
 
 /// Executions one virtual hour stands for. The paper's harness reaches
 /// hundreds of executions per second on bare metal; the simulation
@@ -59,6 +61,16 @@ pub struct CampaignConfig {
     /// (`--cache-capacity`): how many (config → booted hypervisor +
     /// boot snapshot) images the engine parks across config flips.
     pub cache_capacity: usize,
+    /// Byte budget of the prefix trie (`--prefix-budget`): the LRU
+    /// evicts stalest nodes past it. Ignored unless `prefix_cache` is
+    /// on. Results are bit-identical at any budget — the budget only
+    /// moves work between restore and re-execution.
+    pub prefix_budget: usize,
+    /// How the prefix trie stores captured nodes: the content-addressed
+    /// CoW store (default) or self-contained deep copies (the A/B
+    /// baseline `prefix_speedup` measures against). Bit-identical
+    /// either way.
+    pub prefix_store: PrefixStoreMode,
     /// Corpus-sync epoch length in virtual hours. `0` (the default)
     /// never syncs; `n` exchanges [`CorpusDelta`]s with the sync group
     /// every `n` virtual hours. A lone campaign ignores the setting.
@@ -109,6 +121,8 @@ impl CampaignConfig {
             engine: EngineMode::Snapshot,
             prefix_cache: false,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            prefix_budget: DEFAULT_PREFIX_BUDGET,
+            prefix_store: PrefixStoreMode::Cow,
             sync_interval: 0,
             sync_mode: SyncMode::Lockstep,
             sync_topology: SyncTopology::Tree,
@@ -151,6 +165,18 @@ impl CampaignConfig {
     /// Sets the booted-image cache capacity.
     pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
         self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Sets the prefix trie's byte budget.
+    pub fn with_prefix_budget(mut self, prefix_budget: usize) -> Self {
+        self.prefix_budget = prefix_budget;
+        self
+    }
+
+    /// Selects the prefix trie's snapshot store.
+    pub fn with_prefix_store(mut self, prefix_store: PrefixStoreMode) -> Self {
+        self.prefix_store = prefix_store;
         self
     }
 
@@ -320,7 +346,9 @@ impl Campaign {
     ) -> Self {
         let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine)
             .with_prefix_cache(cfg.prefix_cache)
-            .with_cache_capacity(cfg.cache_capacity);
+            .with_cache_capacity(cfg.cache_capacity)
+            .with_prefix_budget(cfg.prefix_budget)
+            .with_prefix_store(cfg.prefix_store);
         let mut fuzzer = Fuzzer::with_strategy(cfg.seed, cfg.mode, cfg.strategy);
         fuzzer.set_worker(worker);
         Campaign {
@@ -345,7 +373,9 @@ impl Campaign {
     ) -> Self {
         let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine)
             .with_prefix_cache(cfg.prefix_cache)
-            .with_cache_capacity(cfg.cache_capacity);
+            .with_cache_capacity(cfg.cache_capacity)
+            .with_prefix_budget(cfg.prefix_budget)
+            .with_prefix_store(cfg.prefix_store);
         let fuzzer = Fuzzer::with_corpus_strategy(cfg.seed, cfg.mode, cfg.strategy, corpus);
         Campaign {
             agent,
@@ -366,6 +396,8 @@ impl Campaign {
             DifferentialRunner::new(&cfg.diff_backends, cfg.vendor, cfg.mask, cfg.engine)
                 .with_prefix_cache(cfg.prefix_cache)
                 .with_cache_capacity(cfg.cache_capacity)
+                .with_prefix_budget(cfg.prefix_budget)
+                .with_prefix_store(cfg.prefix_store)
         })
     }
 

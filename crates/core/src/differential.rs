@@ -512,6 +512,26 @@ impl DifferentialRunner {
         self
     }
 
+    /// Sets the prefix trie's byte budget on every backend agent.
+    pub fn with_prefix_budget(mut self, bytes: usize) -> Self {
+        self.agents = self
+            .agents
+            .into_iter()
+            .map(|a| a.with_prefix_budget(bytes))
+            .collect();
+        self
+    }
+
+    /// Selects the prefix trie's snapshot store on every backend agent.
+    pub fn with_prefix_store(mut self, mode: crate::engine::PrefixStoreMode) -> Self {
+        self.agents = self
+            .agents
+            .into_iter()
+            .map(|a| a.with_prefix_store(mode))
+            .collect();
+        self
+    }
+
     /// The configured backend names, in order.
     pub fn backends(&self) -> &[String] {
         &self.names
@@ -629,6 +649,7 @@ pub struct DiffOracle {
     engine: EngineMode,
     prefix_cache: bool,
     cache_capacity: usize,
+    prefix_budget: usize,
 }
 
 impl DiffOracle {
@@ -647,6 +668,7 @@ impl DiffOracle {
             engine,
             prefix_cache: false,
             cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
+            prefix_budget: crate::engine::DEFAULT_PREFIX_BUDGET,
         }
     }
 
@@ -661,6 +683,12 @@ impl DiffOracle {
     /// Sets the booted-image cache capacity of the replay agents.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the prefix trie's byte budget of the replay agents.
+    pub fn with_prefix_budget(mut self, bytes: usize) -> Self {
+        self.prefix_budget = bytes;
         self
     }
 
@@ -714,7 +742,8 @@ impl DiffOracle {
         let mut runner =
             DifferentialRunner::new(&self.backends, self.vendor, self.mask, self.engine)
                 .with_prefix_cache(self.prefix_cache)
-                .with_cache_capacity(self.cache_capacity);
+                .with_cache_capacity(self.cache_capacity)
+                .with_prefix_budget(self.prefix_budget);
         if converged {
             runner.converge_validators();
         }

@@ -86,8 +86,8 @@ pub use differential::{
     ALLOWLIST, SEEDED_HLT_BACKEND,
 };
 pub use engine::{
-    EngineMode, EngineStats, ExecutionEngine, DEFAULT_CACHE_CAPACITY, DEFAULT_PREFIX_BUDGET,
-    DEFAULT_PREFIX_THRESHOLD,
+    EngineMode, EngineStats, ExecutionEngine, PrefixStoreMode, DEFAULT_CACHE_CAPACITY,
+    DEFAULT_PREFIX_BUDGET, DEFAULT_PREFIX_THRESHOLD,
 };
 pub use harness::{
     ExecEvent, ExecObserver, ExecPhase, ExecutionHarness, InitPlan, InitStep, NopObserver,

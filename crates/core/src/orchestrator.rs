@@ -39,7 +39,7 @@ use crate::campaign::{
     run_campaign, run_campaign_group_observed, CampaignConfig, CampaignResult, EXECS_PER_HOUR,
 };
 use crate::differential::OracleMode;
-use crate::engine::EngineMode;
+use crate::engine::{EngineMode, PrefixStoreMode};
 
 /// A hypervisor factory shareable across worker threads.
 pub type SharedFactory = Arc<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor> + Send + Sync>;
@@ -181,6 +181,7 @@ pub struct CampaignPlan {
     engine: EngineMode,
     prefix_cache: bool,
     cache_capacity: usize,
+    prefix_budget: usize,
     sync_interval: u32,
     sync_mode: SyncMode,
     sync_topology: SyncTopology,
@@ -204,6 +205,7 @@ impl CampaignPlan {
             engine: EngineMode::Snapshot,
             prefix_cache: false,
             cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
+            prefix_budget: crate::engine::DEFAULT_PREFIX_BUDGET,
             sync_interval: 0,
             sync_mode: SyncMode::Lockstep,
             sync_topology: SyncTopology::Tree,
@@ -275,6 +277,14 @@ impl CampaignPlan {
     /// grid (default: [`crate::engine::DEFAULT_CACHE_CAPACITY`]).
     pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
         self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Sets the prefix trie's byte budget for every campaign of the
+    /// grid (default: [`crate::engine::DEFAULT_PREFIX_BUDGET`]).
+    /// Results are bit-identical at any budget.
+    pub fn prefix_budget(mut self, prefix_budget: usize) -> Self {
+        self.prefix_budget = prefix_budget;
         self
     }
 
@@ -359,6 +369,8 @@ impl CampaignPlan {
                                     engine: self.engine,
                                     prefix_cache: self.prefix_cache,
                                     cache_capacity: self.cache_capacity,
+                                    prefix_budget: self.prefix_budget,
+                                    prefix_store: PrefixStoreMode::Cow,
                                     sync_interval: self.sync_interval,
                                     sync_mode: self.sync_mode,
                                     sync_topology: self.sync_topology,

@@ -130,6 +130,7 @@ pub struct ReplayOracle {
     engine: EngineMode,
     prefix_cache: bool,
     cache_capacity: usize,
+    prefix_budget: usize,
 }
 
 impl ReplayOracle {
@@ -148,6 +149,7 @@ impl ReplayOracle {
             engine,
             prefix_cache: false,
             cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
+            prefix_budget: crate::engine::DEFAULT_PREFIX_BUDGET,
         }
     }
 
@@ -163,6 +165,12 @@ impl ReplayOracle {
     /// Sets the booted-image cache capacity of the replay agents.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the prefix trie's byte budget of the replay agents.
+    pub fn with_prefix_budget(mut self, bytes: usize) -> Self {
+        self.prefix_budget = bytes;
         self
     }
 
@@ -235,7 +243,8 @@ impl ReplayOracle {
             self.engine,
         )
         .with_prefix_cache(self.prefix_cache)
-        .with_cache_capacity(self.cache_capacity);
+        .with_cache_capacity(self.cache_capacity)
+        .with_prefix_budget(self.prefix_budget);
         if converged {
             agent.converge_validator();
         }

@@ -129,6 +129,18 @@ pub struct ExecTrace {
     uniq: Vec<u32>,
 }
 
+/// Semantic equality: two traces are equal when they recorded the same
+/// hit sequence. `counts` and `uniq` are derived from `order` (and
+/// `counts` may carry trailing-zero capacity from [`ExecTrace::copy_from`]
+/// on a recycled buffer), so only the sequence is compared.
+impl PartialEq for ExecTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.order == other.order
+    }
+}
+
+impl Eq for ExecTrace {}
+
 /// Walks the AFL++ edge projection of `order`: each (previous, current)
 /// block pair hashes to a bitmap index. The `% size` fold is
 /// strength-reduced to a mask when the map size is a power of two (the
@@ -223,6 +235,21 @@ impl ExecTrace {
             self.uniq.push(b);
             self.counts[b as usize] = other.counts[b as usize];
         }
+    }
+
+    /// 128-bit FNV-1a digest of the hit sequence — the content key the
+    /// prefix cache's blob store interns recorded traces under. Equal
+    /// traces (see the [`PartialEq`] impl) digest equal regardless of
+    /// buffer capacities.
+    pub fn content_digest(&self) -> u128 {
+        let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        for &BlockId(b) in &self.order {
+            for byte in b.to_le_bytes() {
+                h ^= u128::from(byte);
+                h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+            }
+        }
+        h
     }
 
     /// Approximate heap footprint of the trace's buffers in bytes (the

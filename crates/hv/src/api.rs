@@ -238,6 +238,20 @@ impl HvSnapshot {
             HvSnapshot::Golden(_) => "golden",
         }
     }
+
+    /// Heap footprint of the snapshot's heavy components (VMCS/VMCB
+    /// images, MSR areas) as if each were owned outright — what a
+    /// deep-copied snapshot costs. The content-addressed store's budget
+    /// accounting (see [`crate::store`]) charges only the unique subset
+    /// instead.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            HvSnapshot::Vkvm(s) => s.heap_bytes(),
+            HvSnapshot::Vxen(s) => s.heap_bytes(),
+            HvSnapshot::Vvbox(s) => s.heap_bytes(),
+            HvSnapshot::Golden(s) => s.heap_bytes(),
+        }
+    }
 }
 
 /// The L0 hypervisor under test.

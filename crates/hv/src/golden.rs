@@ -34,11 +34,17 @@ use nf_silicon::{
 use nf_vmx::{ExitReason, MsrArea, SvmExitCode, Vmcb, Vmcs, VmcsField, VmcsState, VmxCapabilities};
 use nf_x86::{CpuFeature, CpuVendor, Cr0, Cr4, Efer, Msr};
 
+use std::sync::Arc;
+
 use crate::api::{
     GuestObservation, HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result,
 };
 use crate::restore_fields;
 use crate::sanitizer::HostHealth;
+use crate::store::{
+    digest_msr_area, digest_vmcb, digest_vmcs, msr_area_bytes, share_map, vmcb_bytes, vmcs_bytes,
+    SnapshotStore,
+};
 
 crate::hv_blocks! {
     /// Instrumented blocks of the golden model. Coverage here is not a
@@ -69,14 +75,64 @@ pub struct GoldenSnapshot {
     l1_cr4: u64,
     l1_efer: u64,
     vmxon_region: Option<u64>,
-    vmcs12_mem: BTreeMap<u64, Vmcs>,
+    vmcs12_mem: BTreeMap<u64, Arc<Vmcs>>,
     current_vmptr: Option<u64>,
-    msr_area_mem: BTreeMap<u64, MsrArea>,
+    msr_area_mem: BTreeMap<u64, Arc<MsrArea>>,
     in_l2: bool,
     l2_runnable: bool,
-    vmcb12_mem: BTreeMap<u64, Vmcb>,
+    vmcb12_mem: BTreeMap<u64, Arc<Vmcb>>,
     current_vmcb: Option<u64>,
     health: HostHealth,
+}
+
+impl GoldenSnapshot {
+    /// Interns every `Arc`-held component into `store`, canonicalizing
+    /// the handles; returns the bytes newly resident.
+    pub(crate) fn intern_into(&mut self, store: &mut SnapshotStore) -> usize {
+        let mut new = 0;
+        for v in self.vmcs12_mem.values_mut() {
+            let d = digest_vmcs(v);
+            new += store.vmcs.intern(v, d, vmcs_bytes());
+        }
+        for a in self.msr_area_mem.values_mut() {
+            let d = digest_msr_area(a);
+            let bytes = msr_area_bytes(a);
+            new += store.msr.intern(a, d, bytes);
+        }
+        for b in self.vmcb12_mem.values_mut() {
+            let d = digest_vmcb(b);
+            new += store.vmcb.intern(b, d, vmcb_bytes());
+        }
+        new
+    }
+
+    /// Releases every `Arc`-held component from `store`; returns the
+    /// bytes freed.
+    pub(crate) fn release_from(&self, store: &mut SnapshotStore) -> usize {
+        let mut freed = 0;
+        for v in self.vmcs12_mem.values() {
+            freed += store.vmcs.release(v, digest_vmcs(v));
+        }
+        for a in self.msr_area_mem.values() {
+            freed += store.msr.release(a, digest_msr_area(a));
+        }
+        for b in self.vmcb12_mem.values() {
+            freed += store.vmcb.release(b, digest_vmcb(b));
+        }
+        freed
+    }
+
+    /// Heap footprint of the heavy components as if each were owned
+    /// outright (the deep-copy baseline's budget accounting).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.vmcs12_mem.len() * vmcs_bytes()
+            + self
+                .msr_area_mem
+                .values()
+                .map(|a| msr_area_bytes(a))
+                .sum::<usize>()
+            + self.vmcb12_mem.len() * vmcb_bytes()
+    }
 }
 
 /// The bare-metal reference backend (see the module docs).
@@ -341,12 +397,12 @@ impl L0Hypervisor for SiliconGolden {
             l1_cr4: self.l1_cr4,
             l1_efer: self.l1_efer,
             vmxon_region: self.vmxon_region,
-            vmcs12_mem: self.vmcs12_mem.clone(),
+            vmcs12_mem: share_map(&self.vmcs12_mem),
             current_vmptr: self.current_vmptr,
-            msr_area_mem: self.msr_area_mem.clone(),
+            msr_area_mem: share_map(&self.msr_area_mem),
             in_l2: self.in_l2,
             l2_runnable: self.l2_runnable,
-            vmcb12_mem: self.vmcb12_mem.clone(),
+            vmcb12_mem: share_map(&self.vmcb12_mem),
             current_vmcb: self.current_vmcb,
             health: self.health.clone(),
         })
@@ -360,9 +416,8 @@ impl L0Hypervisor for SiliconGolden {
             l1_cr0, l1_cr4, l1_efer, vmxon_region, current_vmptr,
             in_l2, l2_runnable, current_vmcb,
         ]);
-        restore_fields!(clone: self, s, [
-            vmcs12_mem, msr_area_mem, vmcb12_mem, health,
-        ]);
+        restore_fields!(clone: self, s, [health]);
+        restore_fields!(shared: self, s, [vmcs12_mem, msr_area_mem, vmcb12_mem]);
     }
 
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result {

@@ -18,6 +18,7 @@
 pub mod api;
 pub mod golden;
 pub mod sanitizer;
+pub mod store;
 pub mod vkvm;
 pub mod vvbox;
 pub mod vxen;
@@ -25,6 +26,7 @@ pub mod vxen;
 pub use api::{GuestObservation, HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
 pub use golden::{GoldenSnapshot, SiliconGolden};
 pub use sanitizer::{CrashKind, CrashReport, HostHealth, LogLine};
+pub use store::{Digest128, InternStore, SharedRestore, SnapshotStore};
 pub use vkvm::{Vkvm, VkvmSnapshot};
 pub use vvbox::{Vvbox, VvboxSnapshot};
 pub use vxen::{Vxen, VxenSnapshot};
@@ -34,13 +36,19 @@ pub use vxen::{Vxen, VxenSnapshot};
 /// clean instance does no allocation or deep copying.
 ///
 /// `copy:` fields are plain-`Copy` scalars; `clone:` fields own heap
-/// state (maps, vectors, health) and are cloned only when dirtied.
+/// state (maps, vectors, health) and are cloned only when dirtied;
+/// `shared:` fields hold `Arc`-interned blobs on the snapshot side
+/// (see [`store::SharedRestore`]) and delta-restore per entry, so a
+/// boundary that touched one VMCS clones one VMCS, not the whole map.
 macro_rules! restore_fields {
     (copy: $hv:expr, $snap:expr, [$($f:ident),* $(,)?]) => {
         $( if $hv.$f != $snap.$f { $hv.$f = $snap.$f; } )*
     };
     (clone: $hv:expr, $snap:expr, [$($f:ident),* $(,)?]) => {
         $( if $hv.$f != $snap.$f { $hv.$f = $snap.$f.clone(); } )*
+    };
+    (shared: $hv:expr, $snap:expr, [$($f:ident),* $(,)?]) => {
+        $( $crate::store::SharedRestore::restore_from(&mut $hv.$f, &$snap.$f); )*
     };
 }
 pub(crate) use restore_fields;

@@ -22,9 +22,14 @@ use nf_vmx::{ExitReason, MsrArea, Vmcb, Vmcs, VmcsField, VmcsState, VmxCapabilit
 use nf_x86::addr::VirtAddr;
 use nf_x86::{CpuFeature, CpuVendor, Cr0, Cr4, Efer, FeatureSet, Msr};
 
+use std::sync::Arc;
+
 use crate::api::{HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
 use crate::restore_fields;
 use crate::sanitizer::HostHealth;
+use crate::store::{
+    digest_msr_area, digest_vmcs, msr_area_bytes, share_map, share_opt, vmcs_bytes, SnapshotStore,
+};
 
 /// Seeded-bug switch; `false` = vulnerable (as evaluated).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,13 +49,63 @@ pub struct VvboxSnapshot {
     l1_cr4: u64,
     l1_efer: u64,
     vmxon_region: Option<u64>,
-    vmcs12_mem: BTreeMap<u64, Vmcs>,
+    vmcs12_mem: BTreeMap<u64, Arc<Vmcs>>,
     current_vmptr: Option<u64>,
-    msr_area_mem: BTreeMap<u64, MsrArea>,
-    vmcs02: Option<Vmcs>,
+    msr_area_mem: BTreeMap<u64, Arc<MsrArea>>,
+    vmcs02: Option<Arc<Vmcs>>,
     in_l2: bool,
     pending_host_msrs: Vec<(u32, u64)>,
     health: HostHealth,
+}
+
+impl VvboxSnapshot {
+    /// Interns every `Arc`-held component into `store`, canonicalizing
+    /// the handles; returns the bytes newly resident.
+    pub(crate) fn intern_into(&mut self, store: &mut SnapshotStore) -> usize {
+        let mut new = 0;
+        for v in self.vmcs12_mem.values_mut() {
+            let d = digest_vmcs(v);
+            new += store.vmcs.intern(v, d, vmcs_bytes());
+        }
+        for a in self.msr_area_mem.values_mut() {
+            let d = digest_msr_area(a);
+            let bytes = msr_area_bytes(a);
+            new += store.msr.intern(a, d, bytes);
+        }
+        if let Some(v) = self.vmcs02.as_mut() {
+            let d = digest_vmcs(v);
+            new += store.vmcs.intern(v, d, vmcs_bytes());
+        }
+        new
+    }
+
+    /// Releases every `Arc`-held component from `store`; returns the
+    /// bytes freed.
+    pub(crate) fn release_from(&self, store: &mut SnapshotStore) -> usize {
+        let mut freed = 0;
+        for v in self.vmcs12_mem.values() {
+            freed += store.vmcs.release(v, digest_vmcs(v));
+        }
+        for a in self.msr_area_mem.values() {
+            freed += store.msr.release(a, digest_msr_area(a));
+        }
+        if let Some(v) = self.vmcs02.as_ref() {
+            freed += store.vmcs.release(v, digest_vmcs(v));
+        }
+        freed
+    }
+
+    /// Heap footprint of the heavy components as if each were owned
+    /// outright (the deep-copy baseline's budget accounting).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.vmcs12_mem.len() * vmcs_bytes()
+            + self
+                .msr_area_mem
+                .values()
+                .map(|a| msr_area_bytes(a))
+                .sum::<usize>()
+            + self.vmcs02.as_ref().map_or(0, |_| vmcs_bytes())
+    }
 }
 
 /// The VirtualBox model.
@@ -299,10 +354,10 @@ impl L0Hypervisor for Vvbox {
             l1_cr4: self.l1_cr4,
             l1_efer: self.l1_efer,
             vmxon_region: self.vmxon_region,
-            vmcs12_mem: self.vmcs12_mem.clone(),
+            vmcs12_mem: share_map(&self.vmcs12_mem),
             current_vmptr: self.current_vmptr,
-            msr_area_mem: self.msr_area_mem.clone(),
-            vmcs02: self.vmcs02.clone(),
+            msr_area_mem: share_map(&self.msr_area_mem),
+            vmcs02: share_opt(&self.vmcs02),
             in_l2: self.in_l2,
             pending_host_msrs: self.pending_host_msrs.clone(),
             health: self.health.clone(),
@@ -316,9 +371,8 @@ impl L0Hypervisor for Vvbox {
         restore_fields!(copy: self, s, [
             bugs, l1_cr0, l1_cr4, l1_efer, vmxon_region, current_vmptr, in_l2,
         ]);
-        restore_fields!(clone: self, s, [
-            vmcs12_mem, msr_area_mem, vmcs02, pending_host_msrs, health,
-        ]);
+        restore_fields!(clone: self, s, [pending_host_msrs, health]);
+        restore_fields!(shared: self, s, [vmcs12_mem, msr_area_mem, vmcs02]);
     }
 
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result {

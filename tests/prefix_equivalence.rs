@@ -16,7 +16,7 @@
 
 use necofuzz::campaign::CampaignResult;
 use necofuzz::orchestrator::{Backend, CampaignExecutor, CampaignPlan};
-use necofuzz::{Agent, ComponentMask, EngineMode, ReplayOracle};
+use necofuzz::{Agent, ComponentMask, EngineMode, PrefixStoreMode, ReplayOracle};
 use nf_fuzz::{FuzzInput, Mode, MutationStrategy};
 use nf_hv::{HvConfig, L0Hypervisor, L1Result, L2Result, Vkvm, Vvbox, Vxen};
 use nf_x86::CpuVendor;
@@ -138,6 +138,7 @@ fn agent_pair(
     mask: ComponentMask,
     threshold: u32,
     budget: usize,
+    store: PrefixStoreMode,
 ) -> (Agent, Agent) {
     let factory = || {
         Box::new(|c: HvConfig| Box::new(Vkvm::new(c)) as Box<dyn L0Hypervisor>)
@@ -146,7 +147,8 @@ fn agent_pair(
     let cached = Agent::with_engine(factory(), vendor, mask, EngineMode::Snapshot)
         .with_prefix_cache(true)
         .with_prefix_threshold(threshold)
-        .with_prefix_budget(budget);
+        .with_prefix_budget(budget)
+        .with_prefix_store(store);
     let full = Agent::with_engine(factory(), vendor, mask, EngineMode::Snapshot);
     (cached, full)
 }
@@ -157,8 +159,9 @@ fn assert_streams_match(
     mask: ComponentMask,
     threshold: u32,
     budget: usize,
+    store: PrefixStoreMode,
 ) {
-    let (mut cached, mut full) = agent_pair(vendor, mask, threshold, budget);
+    let (mut cached, mut full) = agent_pair(vendor, mask, threshold, budget, store);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut input = FuzzInput::zeroed();
     let mut base = FuzzInput::zeroed();
@@ -185,7 +188,7 @@ fn assert_streams_match(
         assert_eq!(
             trace_cached, trace_full,
             "event streams diverged at exec {exec} (seed={seed} vendor={vendor} \
-             mask={mask:?} threshold={threshold} budget={budget})"
+             mask={mask:?} threshold={threshold} budget={budget} store={store})"
         );
         assert_eq!(fb_cached, fb_full, "feedback diverged at exec {exec}");
         assert_eq!(
@@ -219,7 +222,8 @@ proptest! {
 
     /// Randomized agent-level sweep: threshold 1 snapshots at *every*
     /// boundary, and the 4 KiB budget cannot hold even one node, so
-    /// insertion and eviction churn on every execution.
+    /// insertion and eviction churn on every execution — under both
+    /// snapshot stores (content-addressed CoW and deep copy).
     #[test]
     fn prefix_restored_streams_equal_full_replay(
         seed in any::<u64>(),
@@ -227,34 +231,86 @@ proptest! {
         mask_idx in 0usize..4,
         threshold in 1u32..4,
         tiny_budget in any::<bool>(),
+        deep_store in any::<bool>(),
     ) {
         let vendor = if amd { CpuVendor::Amd } else { CpuVendor::Intel };
         let budget = if tiny_budget { 4 << 10 } else { 8 << 20 };
-        assert_streams_match(seed, vendor, masks()[mask_idx], threshold, budget);
+        let store = if deep_store {
+            PrefixStoreMode::DeepCopy
+        } else {
+            PrefixStoreMode::Cow
+        };
+        assert_streams_match(seed, vendor, masks()[mask_idx], threshold, budget, store);
     }
 }
 
 #[test]
 fn adversarial_eviction_stays_equivalent_and_actually_evicts() {
-    let (mut cached, mut full) = agent_pair(CpuVendor::Intel, ComponentMask::ALL, 1, 4 << 10);
-    let mut rng = SmallRng::seed_from_u64(42);
+    for store in [PrefixStoreMode::Cow, PrefixStoreMode::DeepCopy] {
+        let (mut cached, mut full) =
+            agent_pair(CpuVendor::Intel, ComponentMask::ALL, 1, 4 << 10, store);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut input = FuzzInput::zeroed();
+        input.fill_random(&mut rng);
+        for _ in 0..20 {
+            let mut a = FullTrace::default();
+            let mut b = FullTrace::default();
+            cached.run_iteration_with(&input, &mut a);
+            full.run_iteration_with(&input, &mut b);
+            assert_eq!(a, b, "store {store} diverged from full replay");
+        }
+        let stats = cached.engine_stats();
+        assert!(
+            stats.prefix_evictions > 0,
+            "a 4 KiB budget must evict under {store}: {stats:?}"
+        );
+        assert!(
+            stats.prefix_captures > stats.prefix_evictions / 2,
+            "capture should keep retrying under churn ({store}): {stats:?}"
+        );
+    }
+}
+
+/// The two snapshot stores must be execution-equivalent to *each
+/// other* under tiny-budget churn — same event streams, same hit and
+/// eviction counters — differing only in byte accounting (the CoW
+/// store charges unique blobs once, so it retains at least as many
+/// nodes in the same budget).
+#[test]
+fn cow_and_deep_stores_are_execution_equivalent_under_churn() {
+    let pair = |store| agent_pair(CpuVendor::Intel, ComponentMask::ALL, 1, 48 << 10, store).0;
+    let mut cow = pair(PrefixStoreMode::Cow);
+    let mut deep = pair(PrefixStoreMode::DeepCopy);
+    let mut rng = SmallRng::seed_from_u64(7);
     let mut input = FuzzInput::zeroed();
-    input.fill_random(&mut rng);
-    for _ in 0..20 {
+    let mut base = FuzzInput::zeroed();
+    base.fill_random(&mut rng);
+    for exec in 0..30u64 {
+        if exec % 5 == 0 {
+            input.fill_random(&mut rng);
+        } else {
+            input.bytes.copy_from_slice(&base.bytes);
+            let i = rng.gen_range(0..input.bytes.len());
+            input.bytes[i] = rng.gen();
+        }
         let mut a = FullTrace::default();
         let mut b = FullTrace::default();
-        cached.run_iteration_with(&input, &mut a);
-        full.run_iteration_with(&input, &mut b);
-        assert_eq!(a, b);
+        let fa = cow.run_iteration_with(&input, &mut a).feedback;
+        let fb = deep.run_iteration_with(&input, &mut b).feedback;
+        assert_eq!(a, b, "stores diverged at exec {exec}");
+        assert_eq!(fa, fb, "feedback diverged at exec {exec}");
     }
-    let stats = cached.engine_stats();
+    assert_eq!(cow.coverage_fraction(), deep.coverage_fraction());
+    assert_eq!(cow.triage(), deep.triage());
+    let (cs, ds) = (cow.engine_stats(), deep.engine_stats());
+    assert!(cs.prefix_captures > 0, "churn must capture: {cs:?}");
     assert!(
-        stats.prefix_evictions > 0,
-        "a 4 KiB budget must evict: {stats:?}"
+        cs.prefix_bytes_resident <= ds.prefix_bytes_resident || cs.prefix_nodes >= ds.prefix_nodes,
+        "CoW must not retain less per byte than deep copies: {cs:?} vs {ds:?}"
     );
     assert!(
-        stats.prefix_captures > stats.prefix_evictions / 2,
-        "capture should keep retrying under churn: {stats:?}"
+        cs.prefix_dedup_ratio() >= 1.0 && (ds.prefix_dedup_ratio() - 1.0).abs() < f64::EPSILON,
+        "only the CoW store dedups: {cs:?} vs {ds:?}"
     );
 }
 
