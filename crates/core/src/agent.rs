@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use nf_coverage::LineSet;
 use nf_fuzz::{ExecFeedback, FuzzInput, MAP_SIZE};
-use nf_hv::{CrashKind, HvConfig, L0Hypervisor};
+use nf_hv::{CrashKind, FaultPlan, HvConfig, L0Hypervisor, SharedFaults, DEFAULT_WATCHDOG_FUEL};
 use nf_vmx::VmxCapabilities;
 use nf_x86::CpuVendor;
 
@@ -130,6 +130,13 @@ pub struct Agent {
     /// Reusable event log of the current execution (prefix mode only):
     /// what a boundary capture records, and what a restore replays.
     events: Vec<ExecEvent>,
+    /// The engine's shared fault injector, when a plan is installed:
+    /// the agent opens every execution on it (exec index + input
+    /// digest), which is what keeps the fault schedule a pure function
+    /// of the campaign position.
+    faults: Option<SharedFaults>,
+    /// Per-exec instruction-fuel budget of the exec watchdog.
+    watchdog_fuel: u64,
 }
 
 impl Agent {
@@ -174,6 +181,38 @@ impl Agent {
             triage: CrashTriage::new(),
             chain: Vec::new(),
             events: Vec::new(),
+            faults: None,
+            watchdog_fuel: DEFAULT_WATCHDOG_FUEL,
+        }
+    }
+
+    /// Installs a deterministic fault plan (`--fault-plan`): the engine
+    /// builds the shared injector, hands it to every hypervisor
+    /// instance, and the agent opens each execution on it.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.engine.set_fault_plan(plan);
+        self.faults = self.engine.faults();
+        self
+    }
+
+    /// Sets the exec watchdog's per-execution instruction-fuel budget
+    /// (`--watchdog-fuel`; [`DEFAULT_WATCHDOG_FUEL`] by default). Only
+    /// consulted when a fault plan is installed — the injector is the
+    /// fuel meter.
+    pub fn with_watchdog_fuel(mut self, fuel: u64) -> Self {
+        self.watchdog_fuel = fuel;
+        self
+    }
+
+    /// Total injected faults fired so far as `(hangs, host deaths)` —
+    /// zero when no plan is installed.
+    pub fn faults_fired(&self) -> (u64, u64) {
+        match &self.faults {
+            Some(f) => {
+                let f = f.borrow();
+                (f.hangs_fired, f.deaths_fired)
+            }
+            None => (0, 0),
         }
     }
 
@@ -246,6 +285,45 @@ impl Agent {
     /// The crash-triage index (unique finds in discovery order).
     pub fn triage(&self) -> &CrashTriage {
         &self.triage
+    }
+
+    /// Mutable triage access — checkpoint resume replays the persisted
+    /// find records back into the index.
+    pub fn triage_mut(&mut self) -> &mut CrashTriage {
+        &mut self.triage
+    }
+
+    /// Restores the lifetime counters from a checkpoint. The exec
+    /// index drives the watchdog-restart schedule and the fault
+    /// injector's exec-indexed draws, so resume continuity depends on
+    /// it.
+    pub fn restore_counters(&mut self, execs: u64, restarts: u64) {
+        self.execs = execs;
+        self.restarts = restarts;
+    }
+
+    /// Restores the fault injector's fire counters from a checkpoint,
+    /// so the campaign's final [`crate::campaign::FaultCounters`] keep
+    /// counting from where the interrupted run stood. A no-op without
+    /// an installed plan.
+    pub fn restore_faults_fired(&mut self, hangs: u64, deaths: u64) {
+        if let Some(faults) = &self.faults {
+            let mut f = faults.borrow_mut();
+            f.hangs_fired = hangs;
+            f.deaths_fired = deaths;
+        }
+    }
+
+    /// Re-learns persisted oracle corrections into the validator
+    /// (checkpoint resume): each `(rule, detail)` pair re-applies its
+    /// state fix and re-records the correction, so post-resume
+    /// generation matches the interrupted run's. Unknown rules are
+    /// ignored (forward compatibility).
+    pub fn restore_corrections(&mut self, corrections: &[(String, String)]) {
+        let v = self.engine.validator_mut();
+        for (rule, detail) in corrections {
+            v.restore_correction(rule, detail.clone());
+        }
     }
 
     /// Coverage fraction of the vendor-matching nested file.
@@ -341,6 +419,17 @@ impl Agent {
         if self.engine.hv().health().dead {
             self.engine.reboot();
             self.restarts += 1;
+        }
+
+        // 1b. Open the execution on the fault injector: the agent's own
+        // exec counter indexes schedule-driven faults (so a resumed
+        // campaign continues the schedule exactly) and the input's
+        // content digest indexes hangs (so a hanging input hangs again
+        // on replay). Also re-arms the exec watchdog's fuel budget.
+        if let Some(faults) = &self.faults {
+            faults
+                .borrow_mut()
+                .begin_exec(self.execs, input_digest(input), self.watchdog_fuel);
         }
 
         // 2. vCPU configuration. The engine services a changed config
@@ -612,6 +701,16 @@ impl Agent {
             });
         }
     }
+}
+
+/// FNV-1a content digest of a fuzz input — the hang-fault index, so it
+/// must depend on nothing but the bytes.
+fn input_digest(input: &FuzzInput) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &input.bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl VmStateValidator {

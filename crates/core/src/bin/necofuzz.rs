@@ -11,6 +11,9 @@
 //!          [--sync-interval N] [--sync-mode lockstep|async]
 //!          [--sync-topology ring|tree] [--corpus-dir DIR]
 //!          [--resume-corpus DIR] [--out DIR] [--bench-out PATH]
+//!          [--fault-plan SEED:RATE] [--watchdog-fuel N]
+//!          [--checkpoint-dir DIR] [--checkpoint-interval N]
+//!          [--resume-checkpoint DIR]
 //! necofuzz corpus stat DIR
 //! necofuzz corpus minimize DIR [--out DIR]
 //! necofuzz corpus repro FILE [--target T] [--vendor V]
@@ -84,6 +87,27 @@
 //! recorded pair and the first divergent exit is printed (with
 //! `--minimize`, truncation candidates must preserve the exact
 //! divergence signature, not merely still crash).
+//!
+//! `--fault-plan SEED:RATE` arms deterministic fault injection in
+//! every backend the run touches: `RATE` (a fraction in `[0, 1]`) is
+//! split across hung vmexit loops, transient and permanent restore
+//! failures, snapshot-capture corruption, and silent host deaths,
+//! all scheduled by `SEED` independently of the fuzzing seed. The
+//! same plan against the same campaign reproduces the same faults,
+//! fault counters, and findings, byte for byte. `--watchdog-fuel N`
+//! sets the per-execution fuel budget after which the exec watchdog
+//! reaps a runaway execution as a `hung_exec` finding (default
+//! 1 Mi instruction-cost units).
+//!
+//! `--checkpoint-dir DIR` (single campaign only) persists a crash-safe
+//! checkpoint — corpus, RNG position, scheduler state, coverage,
+//! corrections, findings — to `DIR` every `--checkpoint-interval`
+//! virtual hours (default every hour), each write atomic via a
+//! stage-and-swap. `--resume-checkpoint DIR` restarts a killed
+//! campaign from its last checkpoint and converges to the exact
+//! result the uninterrupted run would have produced. Differential
+//! oracle campaigns are not checkpointable (the oracle's replay
+//! agents hold unpersisted state).
 
 use std::io::Write as _;
 
@@ -95,7 +119,7 @@ use necofuzz::{
 };
 use nf_fuzz::corpus::Corpus;
 use nf_fuzz::{FuzzInput, Mode, MutationStrategy, Operator, SyncMode, SyncTopology, INPUT_LEN};
-use nf_hv::{HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
+use nf_hv::{FaultPlan, HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
 use nf_x86::CpuVendor;
 
 fn usage() -> ! {
@@ -111,6 +135,9 @@ fn usage() -> ! {
          \x20               [--sync-interval N] [--sync-mode lockstep|async]\n\
          \x20               [--sync-topology ring|tree] [--corpus-dir DIR]\n\
          \x20               [--resume-corpus DIR] [--out DIR] [--bench-out PATH]\n\
+         \x20               [--fault-plan SEED:RATE] [--watchdog-fuel N]\n\
+         \x20               [--checkpoint-dir DIR] [--checkpoint-interval N]\n\
+         \x20               [--resume-checkpoint DIR]\n\
          \x20      necofuzz corpus stat DIR\n\
          \x20      necofuzz corpus minimize DIR [--out DIR]\n\
          \x20      necofuzz corpus repro FILE [--target T] [--vendor V]\n\
@@ -161,6 +188,11 @@ fn main() {
     let mut resume_corpus: Option<String> = None;
     let mut out: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut fault_plan: Option<(u64, f64)> = None;
+    let mut watchdog_fuel: Option<u64> = None;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut checkpoint_interval = 0u32; // 0 = unset; defaults to 1 with --checkpoint-dir
+    let mut resume_checkpoint: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("corpus") {
@@ -209,6 +241,19 @@ fn main() {
             "--resume-corpus" => resume_corpus = Some(value()),
             "--out" => out = Some(value()),
             "--bench-out" => bench_out = Some(value()),
+            "--fault-plan" => {
+                let v = value();
+                let (s, r) = v.split_once(':').unwrap_or_else(|| usage());
+                let plan_seed: u64 = s.parse().unwrap_or_else(|_| usage());
+                let rate: f64 = r.parse().unwrap_or_else(|_| usage());
+                fault_plan = Some((plan_seed, rate));
+            }
+            "--watchdog-fuel" => watchdog_fuel = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--checkpoint-dir" => checkpoint_dir = Some(value()),
+            "--checkpoint-interval" => {
+                checkpoint_interval = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--resume-checkpoint" => resume_checkpoint = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -230,6 +275,47 @@ fn main() {
     }
     if sync_mode == SyncMode::Async && sync_interval == 0 {
         eprintln!("--sync-mode async needs --sync-interval N (any N > 0 switches gossip on)");
+        std::process::exit(2);
+    }
+    if let Some((_, rate)) = fault_plan {
+        if !(0.0..=1.0).contains(&rate) {
+            eprintln!("--fault-plan: RATE must be a fraction within [0, 1]");
+            std::process::exit(2);
+        }
+    }
+    if watchdog_fuel == Some(0) {
+        eprintln!("--watchdog-fuel must be at least 1 (a zero budget starves every exec)");
+        std::process::exit(2);
+    }
+    if checkpoint_interval != 0 && checkpoint_dir.is_none() {
+        eprintln!("--checkpoint-interval requires --checkpoint-dir (it paces checkpoint writes)");
+        std::process::exit(2);
+    }
+    if checkpoint_dir.is_some() || resume_checkpoint.is_some() {
+        let flag = if resume_checkpoint.is_some() {
+            "--resume-checkpoint"
+        } else {
+            "--checkpoint-dir"
+        };
+        if runs != 1 {
+            eprintln!("{flag} drives exactly one campaign; drop --runs");
+            std::process::exit(2);
+        }
+        if sync_interval != 0 {
+            eprintln!("{flag} runs a lone campaign; drop --sync-interval");
+            std::process::exit(2);
+        }
+        if oracle == OracleMode::Differential {
+            eprintln!("{flag} does not support the differential oracle (its replay agents hold unpersisted state)");
+            std::process::exit(2);
+        }
+        if bench_out.is_some() {
+            eprintln!("{flag} does not record throughput; drop --bench-out");
+            std::process::exit(2);
+        }
+    }
+    if resume_checkpoint.is_some() && resume_corpus.is_some() {
+        eprintln!("--resume-checkpoint restores its own corpus; drop --resume-corpus");
         std::process::exit(2);
     }
     match oracle {
@@ -284,7 +370,7 @@ fn main() {
             loaded.worker()
         );
         let diff_refs: Vec<&str> = diff_backends.iter().map(String::as_str).collect();
-        let cfg = necofuzz::campaign::CampaignConfig::necofuzz(vendor, hours, seed)
+        let mut cfg = necofuzz::campaign::CampaignConfig::necofuzz(vendor, hours, seed)
             .with_execs_per_hour(execs_per_hour)
             .with_mode(mode)
             .with_mask(mask)
@@ -295,7 +381,74 @@ fn main() {
             .with_strategy(strategy)
             .with_oracle(oracle)
             .with_diff_backends(&diff_refs);
-        let campaign = necofuzz::campaign::Campaign::with_corpus(backend.factory(), &cfg, loaded);
+        if let Some((plan_seed, rate)) = fault_plan {
+            cfg = cfg.with_fault_plan(FaultPlan::uniform(plan_seed, rate));
+        }
+        if let Some(fuel) = watchdog_fuel {
+            cfg = cfg.with_watchdog_fuel(fuel);
+        }
+        let mut campaign =
+            necofuzz::campaign::Campaign::with_corpus(backend.factory(), &cfg, loaded);
+        if let Some(ck_dir) = &checkpoint_dir {
+            campaign.set_checkpoint(ck_dir, checkpoint_interval.max(1));
+        }
+        let result = campaign.into_result();
+        report_run(seed, &result, false);
+        if let Some(dir) = &out {
+            save_crashes(dir, seed, &result);
+        }
+        if let Some(dir) = &corpus_dir {
+            save_corpus(dir, seed, &result);
+        }
+        std::process::exit(i32::from(!result.finds.is_empty()));
+    }
+
+    if checkpoint_dir.is_some() || resume_checkpoint.is_some() {
+        // Checkpointed (and resumed) campaigns run the single-campaign
+        // path directly: the checkpoint seam lives on `Campaign`, not
+        // on the orchestrator's grid.
+        let mut cfg = necofuzz::campaign::CampaignConfig::necofuzz(vendor, hours, seed)
+            .with_execs_per_hour(execs_per_hour)
+            .with_mode(mode)
+            .with_mask(mask)
+            .with_engine(engine)
+            .with_prefix_cache(prefix_cache)
+            .with_prefix_budget(prefix_budget)
+            .with_cache_capacity(cache_capacity)
+            .with_strategy(strategy)
+            .with_oracle(oracle);
+        if let Some((plan_seed, rate)) = fault_plan {
+            cfg = cfg.with_fault_plan(FaultPlan::uniform(plan_seed, rate));
+        }
+        if let Some(fuel) = watchdog_fuel {
+            cfg = cfg.with_watchdog_fuel(fuel);
+        }
+        let mut campaign = if let Some(dir) = &resume_checkpoint {
+            let campaign =
+                necofuzz::campaign::Campaign::resume_from_checkpoint(backend.factory(), &cfg, dir)
+                    .unwrap_or_else(|e| {
+                        eprintln!("--resume-checkpoint {dir}: {e}");
+                        std::process::exit(2);
+                    });
+            println!(
+                "necofuzz: resumed checkpoint {dir} at hour {}/{} — target={target} \
+                 vendor={vendor} seed={seed} mode={mode:?}",
+                campaign.hours_done(),
+                campaign.hours_total()
+            );
+            campaign
+        } else {
+            println!(
+                "necofuzz: target={target} vendor={vendor} hours={hours} \
+                 execs/h={execs_per_hour} seed={seed} mode={mode:?} \
+                 checkpointing every {}h",
+                checkpoint_interval.max(1)
+            );
+            necofuzz::campaign::Campaign::new(backend.factory(), &cfg)
+        };
+        if let Some(ck_dir) = &checkpoint_dir {
+            campaign.set_checkpoint(ck_dir, checkpoint_interval.max(1));
+        }
         let result = campaign.into_result();
         report_run(seed, &result, false);
         if let Some(dir) = &out {
@@ -320,10 +473,14 @@ fn main() {
         SyncMode::Lockstep => format!("{sync_interval}h"),
         SyncMode::Async => format!("async-{sync_topology}"),
     };
+    let fault_desc = match fault_plan {
+        Some((plan_seed, rate)) => format!("{plan_seed}:{rate}"),
+        None => "off".to_string(),
+    };
     println!(
         "necofuzz: target={target} vendor={vendor} hours={hours} execs/h={execs_per_hour} \
          seeds={seed}..{} runs={runs} mode={mode:?} mutator={strategy} engine={engine_desc} \
-         oracle={oracle_desc} sync={sync_desc} \
+         oracle={oracle_desc} sync={sync_desc} faults={fault_desc} \
          components[harness={} validator={} configurator={}]",
         seed + runs,
         mask.harness,
@@ -332,7 +489,7 @@ fn main() {
     );
 
     let diff_refs: Vec<&str> = diff_backends.iter().map(String::as_str).collect();
-    let plan = CampaignPlan::new()
+    let mut plan = CampaignPlan::new()
         .backend(backend)
         .vendors(&[vendor])
         .modes(&[mode])
@@ -350,6 +507,12 @@ fn main() {
         .strategy(strategy)
         .oracle(oracle)
         .diff_backends(&diff_refs);
+    if let Some((plan_seed, rate)) = fault_plan {
+        plan = plan.fault_plan(FaultPlan::uniform(plan_seed, rate));
+    }
+    if let Some(fuel) = watchdog_fuel {
+        plan = plan.watchdog_fuel(fuel);
+    }
     let executor = CampaignExecutor::new()
         .jobs(jobs)
         .on_progress(|p| {
@@ -775,6 +938,27 @@ fn report_run(run_seed: u64, result: &CampaignResult, multi: bool) {
             result.divergence.divergences,
             result.divergence.allowed,
             result.divergence.crash_skipped,
+        );
+    }
+    let faults = &result.faults;
+    if faults.hangs + faults.deaths > 0 {
+        println!(
+            "{prefix}faults: {} hung exec(s) reaped by the watchdog, \
+             {} silent host death(s) injected",
+            faults.hangs, faults.deaths,
+        );
+    }
+    if result.alarms.coverage_plateau {
+        println!(
+            "{prefix}alarm: coverage plateaued — no new lines for the \
+             trailing {} virtual hour(s)",
+            result.alarms.plateau_hours,
+        );
+    }
+    if result.alarms.yield_degraded {
+        println!(
+            "{prefix}alarm: corpus yield degraded — the last quarter of \
+             the run queued under a quarter of what the first quarter did",
         );
     }
 

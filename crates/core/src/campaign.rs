@@ -17,7 +17,7 @@ use nf_fuzz::{
     CorpusDelta, DeltaBus, FuzzInput, Fuzzer, GossipNode, Mode, MutationStats, MutationStrategy,
     SeqDelta, SharedCorpus, SyncMode, SyncStats, SyncTopology, MAP_SIZE,
 };
-use nf_hv::{HvConfig, L0Hypervisor};
+use nf_hv::{FaultPlan, HvConfig, L0Hypervisor, DEFAULT_WATCHDOG_FUEL};
 use nf_x86::CpuVendor;
 
 use crate::agent::{Agent, BugFind, ComponentMask};
@@ -102,6 +102,16 @@ pub struct CampaignConfig {
     /// untouched, so exploration is bit-identical with the oracle on
     /// or off.
     pub diff_backends: Vec<String>,
+    /// Deterministic fault plan (`--fault-plan`): injected hangs,
+    /// restore/capture failures, and host deaths, scheduled as a pure
+    /// function of (plan, exec index, input content). `None` (the
+    /// default) installs nothing; a zero-rate plan is bit-identical to
+    /// `None`.
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-execution instruction-fuel budget of the exec watchdog
+    /// (`--watchdog-fuel`); only metered when a fault plan is
+    /// installed.
+    pub watchdog_fuel: u64,
 }
 
 impl CampaignConfig {
@@ -129,6 +139,8 @@ impl CampaignConfig {
             strategy: MutationStrategy::Havoc,
             oracle: OracleMode::Sanitizer,
             diff_backends: Vec::new(),
+            fault_plan: None,
+            watchdog_fuel: DEFAULT_WATCHDOG_FUEL,
         }
     }
 
@@ -215,6 +227,18 @@ impl CampaignConfig {
         self.diff_backends = backends.iter().map(|s| s.to_string()).collect();
         self
     }
+
+    /// Installs a deterministic fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the exec watchdog's per-execution fuel budget.
+    pub fn with_watchdog_fuel(mut self, fuel: u64) -> Self {
+        self.watchdog_fuel = fuel;
+        self
+    }
 }
 
 /// One hourly coverage sample.
@@ -224,6 +248,63 @@ pub struct HourSample {
     pub hour: u32,
     /// Coverage fraction of the vendor-matching nested file.
     pub coverage: f64,
+}
+
+/// Injected faults that actually fired during a campaign. Semantic —
+/// the schedule is a pure function of (plan, exec stream) — so equal
+/// configurations must produce equal counters, and the determinism
+/// suites compare them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Hung execs the watchdog classified (content-indexed hang faults
+    /// plus genuine fuel exhaustion).
+    pub hangs: u64,
+    /// Silent host deaths injected mid-exec.
+    pub deaths: u64,
+}
+
+/// Trailing zero-coverage-delta hours before the plateau alarm trips.
+pub const PLATEAU_ALARM_HOURS: u32 = 6;
+
+/// End-of-campaign health alarms, derived from the hourly samples (so
+/// they are as deterministic as the samples themselves).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthAlarms {
+    /// Coverage made no progress for the trailing
+    /// [`PLATEAU_ALARM_HOURS`] virtual hours or more.
+    pub coverage_plateau: bool,
+    /// Length of the trailing zero-delta streak, in virtual hours.
+    pub plateau_hours: u32,
+    /// Corpus yield collapsed: the last quarter of the run queued less
+    /// than a quarter of what the first quarter did (only judged once
+    /// the first quarter queued enough to be meaningful).
+    pub yield_degraded: bool,
+}
+
+/// Derives the end-of-campaign alarms from the hourly coverage samples
+/// and the per-hour corpus-size marks.
+fn compute_alarms(hourly: &[HourSample], corpus_marks: &[u64]) -> HealthAlarms {
+    let mut plateau_hours = 0u32;
+    for w in hourly.windows(2).rev() {
+        if w[1].coverage == w[0].coverage {
+            plateau_hours += 1;
+        } else {
+            break;
+        }
+    }
+    let mut yield_degraded = false;
+    let n = corpus_marks.len();
+    if n >= 8 {
+        let quarter = n / 4;
+        let first = corpus_marks[quarter - 1];
+        let last = corpus_marks[n - 1] - corpus_marks[n - 1 - quarter];
+        yield_degraded = first >= 8 && last * 4 < first;
+    }
+    HealthAlarms {
+        coverage_plateau: plateau_hours >= PLATEAU_ALARM_HOURS,
+        plateau_hours,
+        yield_degraded,
+    }
 }
 
 /// Result of one campaign run.
@@ -280,6 +361,14 @@ pub struct CampaignResult {
     /// `PartialEq` like `engine_stats` — they describe how knowledge
     /// moved, not what was learned.
     pub sync: SyncStats,
+    /// Injected faults that fired. Semantic (schedule-determined) and
+    /// therefore *included* in `PartialEq`: equal configurations must
+    /// observe the identical fault sequence.
+    pub faults: FaultCounters,
+    /// End-of-campaign health alarms (coverage plateau, yield
+    /// degradation), derived from the hourly samples; included in
+    /// `PartialEq`.
+    pub alarms: HealthAlarms,
 }
 
 impl PartialEq for CampaignResult {
@@ -297,6 +386,8 @@ impl PartialEq for CampaignResult {
             && self.mutation == other.mutation
             && self.divergence == other.divergence
             && self.diff_execs == other.diff_execs
+            && self.faults == other.faults
+            && self.alarms == other.alarms
     }
 }
 
@@ -314,6 +405,8 @@ pub struct Campaign {
     /// Executions already run inside the current (incomplete) virtual
     /// hour — the async runner advances campaigns in sub-hour steps.
     hour_execs: u32,
+    /// Corpus size at each completed hour (yield-degradation input).
+    corpus_marks: Vec<u64>,
     adopted: u64,
     /// Sync-cost counters for this worker (diagnostic).
     sync_stats: SyncStats,
@@ -326,6 +419,12 @@ pub struct Campaign {
     /// the primary backend's name — so the primary agent's stream, and
     /// with it exploration, stays bit-identical either way.
     diff: Option<DifferentialRunner>,
+    /// Periodic checkpointing: `(directory, interval-in-hours)`.
+    /// Runtime state, not configuration — set via
+    /// [`Campaign::set_checkpoint`], never part of [`CampaignConfig`]
+    /// (a campaign's result is a pure function of its config; where it
+    /// checkpoints is not allowed to influence that).
+    checkpoint: Option<(std::path::PathBuf, u32)>,
 }
 
 impl Campaign {
@@ -344,11 +443,7 @@ impl Campaign {
         cfg: &CampaignConfig,
         worker: u32,
     ) -> Self {
-        let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine)
-            .with_prefix_cache(cfg.prefix_cache)
-            .with_cache_capacity(cfg.cache_capacity)
-            .with_prefix_budget(cfg.prefix_budget)
-            .with_prefix_store(cfg.prefix_store);
+        let agent = Campaign::make_agent(factory, cfg);
         let mut fuzzer = Fuzzer::with_strategy(cfg.seed, cfg.mode, cfg.strategy);
         fuzzer.set_worker(worker);
         Campaign {
@@ -359,9 +454,11 @@ impl Campaign {
             hourly: Vec::with_capacity(cfg.hours as usize),
             hour: 0,
             hour_execs: 0,
+            corpus_marks: Vec::with_capacity(cfg.hours as usize),
             adopted: 0,
             sync_stats: SyncStats::default(),
             input: FuzzInput::zeroed(),
+            checkpoint: None,
         }
     }
 
@@ -371,11 +468,7 @@ impl Campaign {
         cfg: &CampaignConfig,
         corpus: nf_fuzz::Corpus,
     ) -> Self {
-        let agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine)
-            .with_prefix_cache(cfg.prefix_cache)
-            .with_cache_capacity(cfg.cache_capacity)
-            .with_prefix_budget(cfg.prefix_budget)
-            .with_prefix_store(cfg.prefix_store);
+        let agent = Campaign::make_agent(factory, cfg);
         let fuzzer = Fuzzer::with_corpus_strategy(cfg.seed, cfg.mode, cfg.strategy, corpus);
         Campaign {
             agent,
@@ -385,10 +478,32 @@ impl Campaign {
             hourly: Vec::with_capacity(cfg.hours as usize),
             hour: 0,
             hour_execs: 0,
+            corpus_marks: Vec::with_capacity(cfg.hours as usize),
             adopted: 0,
             sync_stats: SyncStats::default(),
             input: FuzzInput::zeroed(),
+            checkpoint: None,
         }
+    }
+
+    /// Builds the campaign's agent, applying every engine/fault knob
+    /// the config carries — shared by all constructors so fresh and
+    /// resumed campaigns run identically-configured agents.
+    fn make_agent(
+        factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
+        cfg: &CampaignConfig,
+    ) -> Agent {
+        let mut agent = Agent::with_engine(factory, cfg.vendor, cfg.mask, cfg.engine)
+            .with_prefix_cache(cfg.prefix_cache)
+            .with_cache_capacity(cfg.cache_capacity)
+            .with_prefix_budget(cfg.prefix_budget)
+            .with_prefix_store(cfg.prefix_store);
+        if let Some(plan) = cfg.fault_plan {
+            agent = agent
+                .with_fault_plan(plan)
+                .with_watchdog_fuel(cfg.watchdog_fuel);
+        }
+        agent
     }
 
     fn make_diff(cfg: &CampaignConfig) -> Option<DifferentialRunner> {
@@ -455,11 +570,7 @@ impl Campaign {
             if self.cfg.execs_per_hour == 0 {
                 // An hour that carries no executions still ticks the
                 // clock and samples.
-                self.hour += 1;
-                self.hourly.push(HourSample {
-                    hour: self.hour,
-                    coverage: self.agent.coverage_fraction(),
-                });
+                self.sample_hour();
                 continue;
             }
             self.run_execs(self.cfg.execs_per_hour - self.hour_execs);
@@ -491,13 +602,148 @@ impl Campaign {
             self.hour_execs += 1;
             if self.hour_execs >= self.cfg.execs_per_hour {
                 self.hour_execs = 0;
-                self.hour += 1;
-                self.hourly.push(HourSample {
-                    hour: self.hour,
-                    coverage: self.agent.coverage_fraction(),
-                });
+                self.sample_hour();
             }
         }
+    }
+
+    /// Ticks the virtual clock one hour: samples coverage, marks the
+    /// corpus size (the yield-degradation series), and writes a
+    /// checkpoint when one is due.
+    fn sample_hour(&mut self) {
+        self.hour += 1;
+        self.hourly.push(HourSample {
+            hour: self.hour,
+            coverage: self.agent.coverage_fraction(),
+        });
+        self.corpus_marks.push(self.fuzzer.corpus().len() as u64);
+        self.maybe_checkpoint();
+    }
+
+    /// Arms periodic checkpointing: every `interval` virtual hours the
+    /// campaign's full resumable state is written to `dir` (atomically:
+    /// a sibling temp directory is renamed into place). Checkpointing
+    /// is runtime plumbing, not campaign identity — it never enters
+    /// [`CampaignConfig`] and has no effect on the exec sequence.
+    pub fn set_checkpoint(&mut self, dir: impl Into<std::path::PathBuf>, interval: u32) {
+        self.checkpoint = Some((dir.into(), interval.max(1)));
+    }
+
+    /// Writes a checkpoint if one is armed and due this hour. Write
+    /// failures are reported on stderr and disarm further attempts
+    /// rather than aborting the campaign.
+    fn maybe_checkpoint(&mut self) {
+        let Some((dir, interval)) = self.checkpoint.clone() else {
+            return;
+        };
+        if !self.hour.is_multiple_of(interval) && self.hour < self.cfg.hours {
+            return;
+        }
+        if let Err(error) = crate::checkpoint::write_checkpoint(self, &dir) {
+            eprintln!(
+                "necofuzz: checkpoint to {} failed at hour {}: {error}; disabling checkpoints",
+                dir.display(),
+                self.hour
+            );
+            self.checkpoint = None;
+        }
+    }
+
+    /// The live corpus (queue + virgin bitmap + provenance) — the
+    /// checkpoint writer persists it via [`nf_fuzz::Corpus::save_to`].
+    pub fn corpus(&self) -> &nf_fuzz::Corpus {
+        self.fuzzer.corpus()
+    }
+
+    /// Gathers everything a resume needs into a
+    /// [`crate::checkpoint::CampaignCheckpoint`]. Called at hour
+    /// boundaries only, where no generated input is pending a report.
+    pub(crate) fn checkpoint_snapshot(&self) -> crate::checkpoint::CampaignCheckpoint {
+        let (fault_hangs, fault_deaths) = self.agent.faults_fired();
+        crate::checkpoint::CampaignCheckpoint {
+            seed: self.cfg.seed,
+            hour: self.hour,
+            hour_execs: self.hour_execs,
+            adopted: self.adopted,
+            hourly: self.hourly.clone(),
+            corpus_marks: self.corpus_marks.clone(),
+            fuzzer: self.fuzzer.checkpoint_state(),
+            agent_execs: self.agent.execs(),
+            agent_restarts: self.agent.restarts(),
+            cumulative: self.agent.cumulative.as_words().to_vec(),
+            corrections: self
+                .agent
+                .validator()
+                .corrections
+                .iter()
+                .map(|c| (c.rule.to_string(), c.detail.clone()))
+                .collect(),
+            finds: self
+                .agent
+                .triage()
+                .finds()
+                .iter()
+                .map(crate::checkpoint::FindRecord::of)
+                .collect(),
+            fault_hangs,
+            fault_deaths,
+        }
+    }
+
+    /// Reconstructs a campaign from a checkpoint directory and
+    /// continues it under `cfg`. The resumed campaign's remaining exec
+    /// stream — and with it the final [`CampaignResult`] — is
+    /// *identical* to what the interrupted run would have produced:
+    /// every piece of state the stream depends on is restored exactly.
+    ///
+    /// `cfg` must be the interrupted campaign's configuration (the CLI
+    /// re-derives it from the same flags); a mismatched seed is
+    /// rejected. Differential-oracle campaigns are not resumable — the
+    /// oracle's replay agents hold their own unpersisted state.
+    pub fn resume_from_checkpoint(
+        factory: Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>>,
+        cfg: &CampaignConfig,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Campaign> {
+        if cfg.oracle == OracleMode::Differential {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "checkpoint resume does not support the differential oracle",
+            ));
+        }
+        let (ck, corpus) = crate::checkpoint::read_checkpoint(dir.as_ref())?;
+        if ck.seed != cfg.seed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "checkpoint was taken under seed {}, not {} — refusing to mix streams",
+                    ck.seed, cfg.seed
+                ),
+            ));
+        }
+        let mut agent = Campaign::make_agent(factory, cfg);
+        agent.restore_counters(ck.agent_execs, ck.agent_restarts);
+        agent.cumulative = nf_coverage::LineSet::from_words(ck.cumulative);
+        agent.restore_corrections(&ck.corrections);
+        agent.restore_faults_fired(ck.fault_hangs, ck.fault_deaths);
+        for find in ck.finds {
+            agent.triage_mut().record(find.into_find());
+        }
+        let fuzzer = Fuzzer::from_checkpoint(cfg.mode, cfg.strategy, corpus, ck.fuzzer);
+        Ok(Campaign {
+            agent,
+            fuzzer,
+            diff: None,
+            cfg: cfg.clone(),
+            hourly: ck.hourly,
+            hour: ck.hour,
+            hour_execs: ck.hour_execs,
+            corpus_marks: ck.corpus_marks,
+            adopted: ck.adopted,
+            sync_stats: SyncStats::default(),
+            input: FuzzInput::zeroed(),
+            checkpoint: None,
+        })
     }
 
     /// Turns on corpus recording regardless of feedback mode, so an
@@ -611,7 +857,11 @@ impl Campaign {
             None => (DivergenceStats::default(), 0),
         };
         let engine_stats = agent.engine_stats();
+        let (hangs, deaths) = agent.faults_fired();
+        let alarms = compute_alarms(&self.hourly, &self.corpus_marks);
         CampaignResult {
+            faults: FaultCounters { hangs, deaths },
+            alarms,
             hourly: self.hourly,
             final_coverage,
             lines: agent.cumulative.clone(),
@@ -919,6 +1169,66 @@ mod tests {
         stepped.run_hours(1);
         assert!(stepped.is_complete());
         assert_eq!(stepped.into_result(), one_shot);
+    }
+
+    #[test]
+    fn checkpoint_resume_converges_to_uninterrupted_result() {
+        // Guided mode + an aggressive fault plan, so every piece of
+        // checkpointed state is live: queue, scheduler, triage finds,
+        // learned corrections, and fault counters.
+        let dir = std::env::temp_dir().join(format!(
+            "nf-checkpoint-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 4, 5)
+            .with_execs_per_hour(40)
+            .with_mode(Mode::Guided)
+            .with_fault_plan(FaultPlan::uniform(9, 0.05));
+        let baseline = run_campaign(kvm_factory(), &cfg);
+
+        let mut interrupted = Campaign::new(kvm_factory(), &cfg);
+        interrupted.set_checkpoint(&dir, 1);
+        interrupted.run_hours(2);
+        // The "kill": every in-memory structure is lost; only the
+        // hour-2 checkpoint on disk survives.
+        drop(interrupted);
+
+        let mut resumed =
+            Campaign::resume_from_checkpoint(kvm_factory(), &cfg, &dir).expect("resume");
+        assert_eq!(resumed.hours_done(), 2, "resume continues at hour 2");
+        resumed.run_hours(cfg.hours);
+        let result = resumed.into_result();
+        assert_eq!(
+            result, baseline,
+            "kill+resume must converge to the uninterrupted result"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_seed_mismatch_and_missing_dirs() {
+        let dir = std::env::temp_dir().join(format!(
+            "nf-checkpoint-guard-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 2, 5).with_execs_per_hour(20);
+        assert!(
+            Campaign::resume_from_checkpoint(kvm_factory(), &cfg, &dir).is_err(),
+            "missing checkpoint dir must fail loudly"
+        );
+        let mut campaign = Campaign::new(kvm_factory(), &cfg);
+        campaign.set_checkpoint(&dir, 1);
+        campaign.run_hours(1);
+        let other = CampaignConfig::necofuzz(CpuVendor::Intel, 2, 6).with_execs_per_hour(20);
+        assert!(
+            Campaign::resume_from_checkpoint(kvm_factory(), &other, &dir).is_err(),
+            "a different seed is a different stream, not a continuation"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

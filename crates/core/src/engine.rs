@@ -41,7 +41,7 @@ use std::sync::Arc;
 use nf_coverage::{ExecScratch, ExecTrace};
 use nf_fuzz::MAP_SIZE;
 use nf_hv::store::{Digest128, InternStore, SnapshotStore};
-use nf_hv::{HvConfig, HvSnapshot, L0Hypervisor};
+use nf_hv::{FaultPlan, HvConfig, HvSnapshot, L0Hypervisor, RestoreFault, SharedFaults};
 use nf_vmx::VmxCapabilities;
 use nf_x86::FeatureSet;
 
@@ -106,6 +106,36 @@ pub const DEFAULT_PREFIX_THRESHOLD: u32 = 2;
 /// Slots in the fixed-size direct-mapped prefix-hotness table (a power
 /// of two; collisions replace, so the table never allocates or grows).
 const HOT_SLOTS: usize = 4096;
+
+/// Bounded retry budget for a faulted snapshot restore: transient
+/// faults clear under retry; a restore still failing after this many
+/// attempts is treated as permanent and the image is quarantined.
+pub const MAX_RESTORE_RETRIES: u32 = 3;
+
+/// A fault the engine surfaced as a value instead of a panic. The
+/// engine's own `prepare` path *services* these (retry, then quarantine
+/// and degrade) — the type exists so callers and tests can observe what
+/// happened rather than unwinding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// A snapshot restore failed past the retry budget; the image was
+    /// quarantined and serviced by a factory rebuild.
+    RestoreFailed(RestoreFault),
+    /// The engine needed a boot image that was missing (snapshot-mode
+    /// invariant broken); serviced by a guest reset.
+    MissingBootImage,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::RestoreFailed(fault) => write!(f, "boot restore failed: {fault}"),
+            EngineError::MissingBootImage => write!(f, "snapshot mode lost its boot image"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// How the prefix trie stores the state a node captures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +238,22 @@ pub struct EngineStats {
     pub prefix_blob_bytes_unique: u64,
     /// Deepest prefix (in scenario units) ever restored from the trie.
     pub prefix_max_hit_depth: u64,
+    /// Boot restores retried after a transient restore fault.
+    pub restore_retries: u64,
+    /// Transient restore faults observed (each cleared by a retry).
+    pub restore_transient_faults: u64,
+    /// Virtual backoff units waited across restore retries (exponential:
+    /// 2, 4, 8, ... per successive attempt of one restore).
+    pub restore_backoff_units: u64,
+    /// Boot images quarantined after an unrecoverable restore fault.
+    pub quarantined_images: u64,
+    /// Prefix-trie nodes quarantined after their restore faulted.
+    pub quarantined_prefix_nodes: u64,
+    /// Mid-scenario snapshot captures discarded for a corrupt digest.
+    pub captures_corrupted: u64,
+    /// Executions serviced in degraded mode: the boot image was
+    /// quarantined and the instance rebuilt from the factory.
+    pub degraded_mode: u64,
 }
 
 impl EngineStats {
@@ -428,6 +474,10 @@ pub struct ExecutionEngine {
     scratch: ExecScratch,
     /// The mid-scenario snapshot trie (`Snapshot` mode, off by default).
     prefix: PrefixCache,
+    /// The shared fault injector, when a plan is installed; handed to
+    /// the active instance, every cached image, and every instance the
+    /// factory builds later.
+    faults: Option<SharedFaults>,
     stats: EngineStats,
 }
 
@@ -472,6 +522,7 @@ impl ExecutionEngine {
             validator_pool: Vec::new(),
             scratch,
             prefix,
+            faults: None,
             stats: EngineStats {
                 factory_builds: 1,
                 ..EngineStats::default()
@@ -492,6 +543,32 @@ impl ExecutionEngine {
     /// [`with_cache_capacity`](Self::with_cache_capacity).
     pub fn set_cache_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
+    }
+
+    /// Installs a deterministic fault plan: builds the shared
+    /// [`FaultInjector`](nf_hv::FaultInjector) and hands it to the
+    /// active instance, every cached image, and every instance booted
+    /// from here on. A zero plan installs an injector that never fires.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// Non-consuming form of [`with_fault_plan`](Self::with_fault_plan).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let faults = nf_hv::fault::shared(plan);
+        self.hv.install_faults(faults.clone());
+        for image in &mut self.cache {
+            image.hv.install_faults(faults.clone());
+        }
+        self.faults = Some(faults);
+    }
+
+    /// The shared fault-injector handle, when a plan is installed (the
+    /// agent opens each execution on it; campaign summaries read its
+    /// fired counters).
+    pub fn faults(&self) -> Option<SharedFaults> {
+        self.faults.clone()
     }
 
     /// Enables (or disables) the mid-scenario snapshot trie. Only
@@ -593,7 +670,38 @@ impl ExecutionEngine {
             return None;
         };
         let node = self.prefix.nodes.get_mut(&key).expect("just found");
-        self.hv.restore(&node.snapshot);
+        // Prefix restores share the boot path's retry budget; a node
+        // whose restore still faults is quarantined (evicted and
+        // released) and the lookup degrades to a miss — the hypervisor
+        // is untouched on failure (`try_restore` asks the injector
+        // before mutating), so it still holds the boot state `prepare`
+        // established and a full replay is safe.
+        let mut attempt = 0u32;
+        let quarantine = loop {
+            match self.hv.try_restore(&node.snapshot) {
+                Ok(()) => break false,
+                Err(RestoreFault::Transient) if attempt < MAX_RESTORE_RETRIES => {
+                    attempt += 1;
+                    self.stats.restore_transient_faults += 1;
+                    self.stats.restore_retries += 1;
+                    self.stats.restore_backoff_units += 1u64 << attempt;
+                }
+                Err(_) => break true,
+            }
+        };
+        if quarantine {
+            let stamp = node.stamp;
+            self.prefix.by_stamp.remove(&stamp);
+            let node = self.prefix.nodes.remove(&key).expect("just found");
+            let refund = self.prefix.release_node(node);
+            self.prefix.bytes = self.prefix.bytes.saturating_sub(refund);
+            self.stats.quarantined_prefix_nodes += 1;
+            self.stats.prefix_bytes_resident = self.prefix.bytes as u64;
+            self.stats.prefix_nodes = self.prefix.nodes.len() as u64;
+            self.stats.prefix_misses += 1;
+            return None;
+        }
+        let node = self.prefix.nodes.get_mut(&key).expect("just found");
         // The hypervisor's trace is empty at execution start (the last
         // collection swapped a cleared one in); park it as the next
         // spare and hand the prefix's partial trace over.
@@ -663,6 +771,15 @@ impl ExecutionEngine {
         }
         if self.prefix.nodes.contains_key(&key) {
             return;
+        }
+        // Injected capture corruption: the snapshot would come back
+        // with a bad digest, so discard the capture (perf-only — the
+        // boundary is simply not cached this time around).
+        if let Some(faults) = &self.faults {
+            if faults.borrow_mut().check_capture() {
+                self.stats.captures_corrupted += 1;
+                return;
+            }
         }
         let mut trace = ExecTrace::new();
         trace.copy_from(self.hv.trace());
@@ -852,11 +969,75 @@ impl ExecutionEngine {
         match self.mode {
             EngineMode::Rebuild => self.hv.reset_guest(),
             EngineMode::Snapshot => {
-                let boot = self.boot.as_ref().expect("snapshot mode has a boot image");
-                self.hv.restore(boot);
-                self.stats.snapshot_restores += 1;
+                if let Err(error) = self.restore_boot() {
+                    self.service_restore_failure(error);
+                }
             }
         }
+    }
+
+    /// Restores the boot image with bounded retry: transient restore
+    /// faults re-roll under retry (with exponential virtual backoff,
+    /// counted in [`EngineStats::restore_backoff_units`]); a permanent
+    /// fault — or a transient one outlasting [`MAX_RESTORE_RETRIES`] —
+    /// surfaces as a value for
+    /// [`service_restore_failure`](Self::service_restore_failure) to
+    /// degrade on.
+    fn restore_boot(&mut self) -> Result<(), EngineError> {
+        let mut attempt = 0u32;
+        loop {
+            let Some(boot) = self.boot.as_ref() else {
+                return Err(EngineError::MissingBootImage);
+            };
+            match self.hv.try_restore(boot) {
+                Ok(()) => {
+                    self.stats.snapshot_restores += 1;
+                    return Ok(());
+                }
+                Err(RestoreFault::Transient) if attempt < MAX_RESTORE_RETRIES => {
+                    attempt += 1;
+                    self.stats.restore_transient_faults += 1;
+                    self.stats.restore_retries += 1;
+                    self.stats.restore_backoff_units += 1u64 << attempt;
+                }
+                Err(fault) => return Err(EngineError::RestoreFailed(fault)),
+            }
+        }
+    }
+
+    /// Graceful degradation after [`restore_boot`](Self::restore_boot)
+    /// gave up: quarantine the poisoned boot image, rebuild the
+    /// instance from the factory (re-entering snapshot servicing with a
+    /// fresh boot capture), and count the degraded execution. A missing
+    /// boot image (broken invariant, not a fault) degrades to a plain
+    /// guest reset instead of panicking.
+    fn service_restore_failure(&mut self, error: EngineError) {
+        self.stats.degraded_mode += 1;
+        match error {
+            EngineError::MissingBootImage => self.hv.reset_guest(),
+            EngineError::RestoreFailed(_) => {
+                if let Some(poisoned) = self.boot.take() {
+                    self.prefix.snapshots.release(&poisoned);
+                    self.stats.quarantined_images += 1;
+                }
+                let config = self.hv.config().clone();
+                self.hv = self.build_instance(config);
+                let mut boot = Box::new(self.hv.snapshot());
+                self.prefix.snapshots.intern(&mut boot);
+                self.boot = Some(boot);
+            }
+        }
+    }
+
+    /// Runs the factory and installs the fault injector (when present)
+    /// into the new instance — the single path every boot goes through.
+    fn build_instance(&mut self, config: HvConfig) -> Box<dyn L0Hypervisor> {
+        let mut hv = (self.factory)(config);
+        if let Some(faults) = &self.faults {
+            hv.install_faults(faults.clone());
+        }
+        self.stats.factory_builds += 1;
+        hv
     }
 
     /// Services a config flip: swap (or rebuild) the instance, then
@@ -864,8 +1045,7 @@ impl ExecutionEngine {
     fn switch_config(&mut self, config: &HvConfig) {
         match self.mode {
             EngineMode::Rebuild => {
-                self.hv = (self.factory)(config.clone());
-                self.stats.factory_builds += 1;
+                self.hv = self.build_instance(config.clone());
                 // Parity with the original path: reset the (already
                 // fresh) guest state unconditionally.
                 self.hv.reset_guest();
@@ -877,8 +1057,7 @@ impl ExecutionEngine {
                         self.cache.remove(i)
                     }
                     None => {
-                        let hv = (self.factory)(config.clone());
-                        self.stats.factory_builds += 1;
+                        let hv = self.build_instance(config.clone());
                         let mut boot = Box::new(hv.snapshot());
                         self.prefix.snapshots.intern(&mut boot);
                         CachedImage {
@@ -888,28 +1067,32 @@ impl ExecutionEngine {
                         }
                     }
                 };
-                let outgoing = CachedImage {
-                    config: self.hv.config().clone(),
-                    hv: std::mem::replace(&mut self.hv, incoming.hv),
-                    boot: self
-                        .boot
-                        .replace(incoming.boot)
-                        .expect("snapshot mode has a boot image"),
-                };
-                if self.capacity > 0 {
-                    self.cache.push(outgoing);
-                    if self.cache.len() > self.capacity {
-                        let dropped = self.cache.remove(0);
-                        self.prefix.snapshots.release(&dropped.boot);
+                let outgoing_config = self.hv.config().clone();
+                let outgoing_hv = std::mem::replace(&mut self.hv, incoming.hv);
+                // A missing outgoing boot image (broken invariant, e.g.
+                // mid-quarantine) just means the outgoing instance is
+                // not parkable; drop it instead of panicking.
+                if let Some(boot) = self.boot.replace(incoming.boot) {
+                    let outgoing = CachedImage {
+                        config: outgoing_config,
+                        hv: outgoing_hv,
+                        boot,
+                    };
+                    if self.capacity > 0 {
+                        self.cache.push(outgoing);
+                        if self.cache.len() > self.capacity {
+                            let dropped = self.cache.remove(0);
+                            self.prefix.snapshots.release(&dropped.boot);
+                        }
+                    } else {
+                        self.prefix.snapshots.release(&outgoing.boot);
                     }
-                } else {
-                    self.prefix.snapshots.release(&outgoing.boot);
                 }
                 // The cached image was parked mid-campaign (or is
                 // freshly booted): restore its boot state either way.
-                let boot = self.boot.as_ref().expect("just replaced");
-                self.hv.restore(boot);
-                self.stats.snapshot_restores += 1;
+                if let Err(error) = self.restore_boot() {
+                    self.service_restore_failure(error);
+                }
             }
         }
         match self.mode {

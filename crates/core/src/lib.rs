@@ -65,6 +65,7 @@
 
 pub mod agent;
 pub mod campaign;
+pub mod checkpoint;
 pub mod configurator;
 pub mod differential;
 pub mod engine;
@@ -76,9 +77,10 @@ pub mod validator;
 
 pub use agent::{Agent, BugFind, ComponentMask};
 pub use campaign::{
-    run_campaign, run_campaign_group, Campaign, CampaignConfig, CampaignResult, HourSample,
-    EXECS_PER_HOUR,
+    run_campaign, run_campaign_group, Campaign, CampaignConfig, CampaignResult, FaultCounters,
+    HealthAlarms, HourSample, EXECS_PER_HOUR, PLATEAU_ALARM_HOURS,
 };
+pub use checkpoint::{read_checkpoint, write_checkpoint, CampaignCheckpoint, FindRecord};
 pub use configurator::{HvAdapter, KvmAdapter, VboxAdapter, VcpuConfigurator, XenAdapter};
 pub use differential::{
     allowed_by, backend_factory, diff_observations, parse_divergence_pair, AllowRule, DiffOracle,
@@ -86,8 +88,8 @@ pub use differential::{
     ALLOWLIST, SEEDED_HLT_BACKEND,
 };
 pub use engine::{
-    EngineMode, EngineStats, ExecutionEngine, PrefixStoreMode, DEFAULT_CACHE_CAPACITY,
-    DEFAULT_PREFIX_BUDGET, DEFAULT_PREFIX_THRESHOLD,
+    EngineError, EngineMode, EngineStats, ExecutionEngine, PrefixStoreMode, DEFAULT_CACHE_CAPACITY,
+    DEFAULT_PREFIX_BUDGET, DEFAULT_PREFIX_THRESHOLD, MAX_RESTORE_RETRIES,
 };
 pub use harness::{
     ExecEvent, ExecObserver, ExecPhase, ExecutionHarness, InitPlan, InitStep, NopObserver,
@@ -96,7 +98,7 @@ pub use input::{InputLayout, InputView, SectionSpan};
 pub use nf_fuzz::{Corpus, CorpusDelta, MutationStrategy, SharedCorpus};
 pub use orchestrator::{
     default_jobs, Backend, CampaignExecutor, CampaignJob, CampaignPlan, Progress, SharedFactory,
-    SyncGroup, Task,
+    SyncGroup, Task, MAX_TASK_RESTARTS,
 };
 pub use triage::{minimize_input, CrashTriage, ReplayOracle};
 pub use validator::{Correction, OracleVerdict, VmStateValidator};

@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use nf_fuzz::{Mode, MutationStrategy, SyncMode, SyncTopology};
-use nf_hv::{HvConfig, L0Hypervisor};
+use nf_hv::{FaultPlan, HvConfig, L0Hypervisor};
 use nf_x86::CpuVendor;
 
 use crate::agent::ComponentMask;
@@ -188,6 +188,8 @@ pub struct CampaignPlan {
     strategy: MutationStrategy,
     oracle: OracleMode,
     diff_backends: Vec<String>,
+    fault_plan: Option<FaultPlan>,
+    watchdog_fuel: u64,
 }
 
 impl CampaignPlan {
@@ -212,6 +214,8 @@ impl CampaignPlan {
             strategy: MutationStrategy::Havoc,
             oracle: OracleMode::Sanitizer,
             diff_backends: Vec::new(),
+            fault_plan: None,
+            watchdog_fuel: nf_hv::DEFAULT_WATCHDOG_FUEL,
         }
     }
 
@@ -335,6 +339,23 @@ impl CampaignPlan {
         self
     }
 
+    /// Installs a deterministic fault plan into every campaign of the
+    /// grid (default: none). A zero-rate plan is bit-identical to no
+    /// plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the exec watchdog's per-execution fuel budget for every
+    /// campaign of the grid (default:
+    /// [`nf_hv::DEFAULT_WATCHDOG_FUEL`]; metered only when a fault
+    /// plan is installed).
+    pub fn watchdog_fuel(mut self, fuel: u64) -> Self {
+        self.watchdog_fuel = fuel;
+        self
+    }
+
     /// Number of jobs the grid expands to.
     pub fn len(&self) -> usize {
         self.backends.len()
@@ -377,6 +398,8 @@ impl CampaignPlan {
                                     strategy: self.strategy,
                                     oracle: self.oracle,
                                     diff_backends: self.diff_backends.clone(),
+                                    fault_plan: self.fault_plan,
+                                    watchdog_fuel: self.watchdog_fuel,
                                 },
                             });
                         }
@@ -527,6 +550,7 @@ pub struct Progress {
 pub struct Task<T> {
     label: String,
     run: Box<dyn FnOnce() -> T + Send>,
+    retry: Option<Box<dyn Fn() -> T + Send>>,
     summarize: Box<dyn Fn(&T) -> String + Send>,
 }
 
@@ -536,8 +560,21 @@ impl<T> Task<T> {
         Task {
             label: label.into(),
             run: Box::new(run),
+            retry: None,
             summarize: Box::new(|_| String::new()),
         }
+    }
+
+    /// Attaches a restart path: if `run` (or a previous retry) panics,
+    /// the executor discards the wreckage and calls `retry` on the
+    /// same worker — up to [`MAX_TASK_RESTARTS`] times, after which
+    /// the panic propagates. Campaigns are pure functions of their
+    /// config, so a retry that rebuilds from config is a
+    /// *deterministic* restart: the rerun's result is identical to
+    /// what the panicked attempt would have produced.
+    pub fn with_retry(mut self, retry: impl Fn() -> T + Send + 'static) -> Self {
+        self.retry = Some(Box::new(retry));
+        self
     }
 
     /// Attaches a result summarizer for progress events.
@@ -546,6 +583,12 @@ impl<T> Task<T> {
         self
     }
 }
+
+/// How many times the executor restarts a panicked task before letting
+/// the panic propagate: transient wreckage (a poisoned allocation, a
+/// fault-injection test harness gone wrong) gets a second chance; a
+/// deterministic crash still fails loudly instead of looping.
+pub const MAX_TASK_RESTARTS: u32 = 2;
 
 type ProgressFn = dyn Fn(&Progress) + Send + Sync;
 type EpochFn = dyn Fn(&EpochProgress) + Send + Sync;
@@ -574,6 +617,9 @@ pub struct CampaignExecutor {
     workers: usize,
     progress: Option<Arc<ProgressFn>>,
     epoch: Option<Arc<EpochFn>>,
+    /// Panicked tasks restarted so far (across every `run`/`execute`
+    /// call on this executor) — the supervision observability counter.
+    restarts: std::sync::atomic::AtomicU64,
 }
 
 impl CampaignExecutor {
@@ -583,7 +629,14 @@ impl CampaignExecutor {
             workers: default_jobs(),
             progress: None,
             epoch: None,
+            restarts: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Panicked tasks this executor has restarted (a worker panic with
+    /// a retry path attached counts once per restart attempt).
+    pub fn worker_restarts(&self) -> u64 {
+        self.restarts.load(Ordering::SeqCst)
     }
 
     /// Sets the worker-pool width; `0` restores the default (all
@@ -635,6 +688,12 @@ impl CampaignExecutor {
                 let epoch = self.epoch.clone().filter(|_| group.len() > 1);
                 let label = group.label();
                 let task_label = label.clone();
+                // The restart path: campaigns are pure functions of
+                // their configs, so re-running the whole group from a
+                // cloned job list reproduces exactly what the panicked
+                // attempt would have returned (the hourly heartbeat is
+                // skipped on reruns — it is observational only).
+                let retry_jobs = group.jobs.clone();
                 let run = move || match epoch {
                     Some(epoch) => group.run_observed(|members| {
                         epoch(&EpochProgress {
@@ -649,27 +708,34 @@ impl CampaignExecutor {
                     }),
                     None => group.run(),
                 };
-                Task::new(task_label, run).with_summary(|results: &Vec<(usize, CampaignResult)>| {
-                    match results.as_slice() {
-                        [(_, r)] => format!(
-                            "cov {:.1}%, {} finds",
-                            r.final_coverage * 100.0,
-                            r.finds.len()
-                        ),
-                        many => {
-                            let adopted: u64 = many.iter().map(|(_, r)| r.adopted).sum();
-                            let best = many
-                                .iter()
-                                .map(|(_, r)| r.final_coverage)
-                                .fold(0.0, f64::max);
-                            format!(
-                                "{} members, best cov {:.1}%, {adopted} adoptions",
-                                many.len(),
-                                best * 100.0
-                            )
+                Task::new(task_label, run)
+                    .with_retry(move || {
+                        SyncGroup {
+                            jobs: retry_jobs.clone(),
                         }
-                    }
-                })
+                        .run()
+                    })
+                    .with_summary(|results: &Vec<(usize, CampaignResult)>| {
+                        match results.as_slice() {
+                            [(_, r)] => format!(
+                                "cov {:.1}%, {} finds",
+                                r.final_coverage * 100.0,
+                                r.finds.len()
+                            ),
+                            many => {
+                                let adopted: u64 = many.iter().map(|(_, r)| r.adopted).sum();
+                                let best = many
+                                    .iter()
+                                    .map(|(_, r)| r.final_coverage)
+                                    .fold(0.0, f64::max);
+                                format!(
+                                    "{} members, best cov {:.1}%, {adopted} adoptions",
+                                    many.len(),
+                                    best * 100.0
+                                )
+                            }
+                        }
+                    })
             })
             .collect();
         let mut slots: Vec<Option<CampaignResult>> = (0..total).map(|_| None).collect();
@@ -705,7 +771,38 @@ impl CampaignExecutor {
                         .expect("task queue poisoned")
                         .take()
                         .expect("task claimed twice");
-                    let result = (task.run)();
+                    // Worker supervision: a panicking task is caught,
+                    // its wreckage dropped whole, and — when the task
+                    // carries a retry path — deterministically
+                    // restarted on this worker. AssertUnwindSafe is
+                    // sound here because each task owns all of its
+                    // state: nothing half-mutated survives the drop.
+                    let label = task.label.clone();
+                    let retry = task.retry;
+                    let mut outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(task.run));
+                    let mut attempt = 0;
+                    let result = loop {
+                        match outcome {
+                            Ok(result) => break result,
+                            Err(payload) => {
+                                let Some(retry) = &retry else {
+                                    std::panic::resume_unwind(payload);
+                                };
+                                attempt += 1;
+                                if attempt > MAX_TASK_RESTARTS {
+                                    std::panic::resume_unwind(payload);
+                                }
+                                eprintln!(
+                                    "necofuzz: worker task {label:?} panicked; \
+                                     restarting ({attempt}/{MAX_TASK_RESTARTS})"
+                                );
+                                self.restarts.fetch_add(1, Ordering::SeqCst);
+                                outcome =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(retry));
+                            }
+                        }
+                    };
                     if let Some(progress) = &self.progress {
                         progress(&Progress {
                             index,
@@ -861,6 +958,66 @@ mod tests {
         for (index, (s, p)) in serial.iter().zip(&parallel).enumerate() {
             assert_eq!(s, p, "structured job {index} diverged across jobs=1/4");
         }
+    }
+
+    #[test]
+    fn panicked_tasks_with_a_retry_path_restart_deterministically() {
+        use std::sync::atomic::AtomicU64;
+        // Task 3 panics on its first attempt and computes normally on
+        // retry; every other task is healthy. The pool must deliver
+        // the full in-order result set and count exactly one restart.
+        let trips = Arc::new(AtomicU64::new(0));
+        let tasks: Vec<Task<usize>> = (0..8)
+            .map(|i| {
+                let trips = Arc::clone(&trips);
+                Task::new(format!("t{i}"), move || {
+                    if i == 3 && trips.fetch_add(1, Ordering::SeqCst) == 0 {
+                        panic!("injected worker death");
+                    }
+                    i * 10
+                })
+                .with_retry(move || i * 10)
+            })
+            .collect();
+        let executor = CampaignExecutor::new().jobs(4);
+        let results = executor.execute(tasks);
+        assert_eq!(results, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(executor.worker_restarts(), 1);
+    }
+
+    #[test]
+    fn retry_exhaustion_and_retryless_panics_propagate() {
+        // A task that keeps dying must not loop forever — after
+        // MAX_TASK_RESTARTS attempts the panic propagates to the
+        // caller. Same for a panic with no retry path at all.
+        let hopeless: Vec<Task<usize>> =
+            vec![Task::new("doomed", || panic!("always")).with_retry(|| panic!("still dead"))];
+        let executor = CampaignExecutor::new().jobs(1);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| executor.execute(hopeless)));
+        assert!(outcome.is_err(), "exhausted retries must propagate");
+        assert_eq!(executor.worker_restarts() as u32, MAX_TASK_RESTARTS);
+
+        let bare: Vec<Task<usize>> = vec![Task::new("no-retry", || panic!("gone"))];
+        let executor = CampaignExecutor::new().jobs(1);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| executor.execute(bare)));
+        assert!(outcome.is_err(), "retryless panics must propagate");
+        assert_eq!(executor.worker_restarts(), 0);
+    }
+
+    #[test]
+    fn campaign_jobs_carry_a_retry_path_through_run_jobs() {
+        // run_jobs attaches a rebuild-from-config retry to every
+        // scheduled group; this test can't crash a real campaign
+        // mid-flight, but it can pin the deterministic-restart
+        // contract the retry path rests on: re-running a cloned job
+        // list reproduces the original results exactly.
+        let plan = small_plan().seeds(0..1);
+        let jobs = plan.jobs();
+        let first = CampaignExecutor::new().jobs(2).run_jobs(jobs.clone());
+        let second = CampaignExecutor::new().jobs(2).run_jobs(jobs);
+        assert_eq!(first, second, "a rebuilt job list must reproduce results");
     }
 
     #[test]

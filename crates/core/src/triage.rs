@@ -131,6 +131,8 @@ pub struct ReplayOracle {
     prefix_cache: bool,
     cache_capacity: usize,
     prefix_budget: usize,
+    fault_plan: Option<nf_hv::FaultPlan>,
+    watchdog_fuel: u64,
 }
 
 impl ReplayOracle {
@@ -150,7 +152,26 @@ impl ReplayOracle {
             prefix_cache: false,
             cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
             prefix_budget: crate::engine::DEFAULT_PREFIX_BUDGET,
+            fault_plan: None,
+            watchdog_fuel: nf_hv::DEFAULT_WATCHDOG_FUEL,
         }
+    }
+
+    /// Replays under the *content-indexed subset* of a campaign's fault
+    /// plan ([`nf_hv::FaultPlan::replay_subset`]): an input that hung
+    /// under injection hangs again here (so `HungExec` finds reproduce
+    /// and minimize), while schedule-indexed faults — tied to the
+    /// original campaign's exec positions — never fire spuriously.
+    pub fn with_fault_plan(mut self, plan: nf_hv::FaultPlan) -> Self {
+        self.fault_plan = Some(plan.replay_subset());
+        self
+    }
+
+    /// Matches the campaign's exec-watchdog fuel budget so hang replays
+    /// exhaust it the same way.
+    pub fn with_watchdog_fuel(mut self, fuel: u64) -> Self {
+        self.watchdog_fuel = fuel;
+        self
     }
 
     /// Routes replays through the prefix-cached execution path, so
@@ -245,6 +266,11 @@ impl ReplayOracle {
         .with_prefix_cache(self.prefix_cache)
         .with_cache_capacity(self.cache_capacity)
         .with_prefix_budget(self.prefix_budget);
+        if let Some(plan) = self.fault_plan {
+            agent = agent
+                .with_fault_plan(plan)
+                .with_watchdog_fuel(self.watchdog_fuel);
+        }
         if converged {
             agent.converge_validator();
         }

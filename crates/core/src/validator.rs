@@ -105,6 +105,31 @@ impl VmStateValidator {
         self.bochs_bug_tr_type = false;
     }
 
+    /// Re-applies one persisted correction by rule name and re-records
+    /// it — the checkpoint-resume path re-learning what the
+    /// interrupted campaign's oracle loop already learned. Returns
+    /// `false` for unknown rule names (which are skipped, keeping old
+    /// checkpoints loadable).
+    pub fn restore_correction(&mut self, rule: &str, detail: String) -> bool {
+        let rule: &'static str = match rule {
+            "cr4_pae_quirk" => {
+                self.apply_known_quirk();
+                "cr4_pae_quirk"
+            }
+            "guest.ss_rpl" => {
+                self.apply_ss_rpl_fix();
+                "guest.ss_rpl"
+            }
+            "tr_type_legacy" => {
+                self.apply_tr_type_fix();
+                "tr_type_legacy"
+            }
+            _ => return false,
+        };
+        self.corrections.push(Correction { rule, detail });
+        true
+    }
+
     // --- Rounding (Bochs-derived `VMenterLoadCheck*` + corrections) ----
 
     /// Rounds the control-field group (`VMenterLoadCheckVmControls`).

@@ -1,0 +1,151 @@
+//! Process-spawn coverage for the fault-tolerance CLI surface:
+//!
+//! - every invalid flag combination exits 2 with a pointed diagnostic
+//!   (never a silent partial run);
+//! - a faulty campaign reports its fault counters;
+//! - `--checkpoint-dir` + kill + `--resume-checkpoint` converges to
+//!   the exact stdout of the uninterrupted run.
+
+use std::process::{Command, Output};
+
+fn necofuzz(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_necofuzz"))
+        .args(args)
+        .output()
+        .expect("spawn necofuzz")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn invalid_fault_tolerance_flags_exit_2() {
+    // (args, needle expected somewhere in stderr)
+    let cases: &[(&[&str], &str)] = &[
+        (&["--watchdog-fuel", "0"], "--watchdog-fuel"),
+        (&["--fault-plan", "3:1.5"], "[0, 1]"),
+        (&["--fault-plan", "3:-0.1"], "[0, 1]"),
+        (&["--fault-plan", "nonsense"], "usage"),
+        (&["--fault-plan", "3:notarate"], "usage"),
+        (&["--checkpoint-interval", "2"], "--checkpoint-dir"),
+        (
+            &["--resume-checkpoint", "/tmp/x", "--runs", "2"],
+            "exactly one campaign",
+        ),
+        (
+            &["--checkpoint-dir", "/tmp/x", "--runs", "3"],
+            "exactly one campaign",
+        ),
+        (
+            &["--resume-checkpoint", "/tmp/x", "--resume-corpus", "/tmp/y"],
+            "--resume-corpus",
+        ),
+        (
+            &["--checkpoint-dir", "/tmp/x", "--sync-interval", "1"],
+            "--sync-interval",
+        ),
+        (
+            &["--checkpoint-dir", "/tmp/x", "--oracle", "differential"],
+            "differential",
+        ),
+        (
+            &["--checkpoint-dir", "/tmp/x", "--bench-out", "/tmp/b.json"],
+            "--bench-out",
+        ),
+        (
+            &["--resume-checkpoint", "/nonexistent/nf-checkpoint"],
+            "--resume-checkpoint",
+        ),
+    ];
+    for (args, needle) in cases {
+        let out = necofuzz(args);
+        let stderr = stderr_of(&out);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "necofuzz {args:?} must exit 2, got {:?}\nstderr: {stderr}",
+            out.status.code()
+        );
+        assert!(
+            stderr.to_lowercase().contains(&needle.to_lowercase()),
+            "necofuzz {args:?} stderr must mention {needle:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn fault_plan_runs_report_their_counters() {
+    let out = necofuzz(&[
+        "--hours",
+        "2",
+        "--execs-per-hour",
+        "60",
+        "--guided",
+        "--seed",
+        "5",
+        "--fault-plan",
+        "9:0.05",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("faults="),
+        "banner must show the armed plan: {stdout}"
+    );
+    assert!(
+        stdout.contains("faults:") && stdout.contains("reaped by the watchdog"),
+        "fault counters must be reported: {stdout}"
+    );
+    // Injected hangs surface as findings, so the run exits 1.
+    assert_eq!(out.status.code(), Some(1), "hung-exec findings exit 1");
+}
+
+#[test]
+fn checkpoint_kill_resume_converges_to_the_uninterrupted_stdout() {
+    let dir = std::env::temp_dir().join(format!("nf-cli-ckpt-{}", std::process::id()));
+    let dir = dir.to_str().expect("utf-8 temp dir");
+    std::fs::remove_dir_all(dir).ok();
+
+    let common = [
+        "--execs-per-hour",
+        "60",
+        "--guided",
+        "--seed",
+        "5",
+        "--fault-plan",
+        "9:0.05",
+    ];
+
+    // "Kill" after 2 of 3 hours: run a 2-hour campaign that checkpoints
+    // every hour — its final checkpoint is exactly what a SIGKILL at
+    // the hour-2 boundary of the 3-hour run would have left behind.
+    let mut partial: Vec<&str> = vec!["--hours", "2", "--checkpoint-dir", dir];
+    partial.extend_from_slice(&common);
+    let out = necofuzz(&partial);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+
+    let mut resumed: Vec<&str> = vec!["--hours", "3", "--resume-checkpoint", dir];
+    resumed.extend_from_slice(&common);
+    let resumed = necofuzz(&resumed);
+
+    let mut straight: Vec<&str> = vec!["--hours", "3"];
+    straight.extend_from_slice(&common);
+    let straight = necofuzz(&straight);
+    std::fs::remove_dir_all(dir).ok();
+
+    assert_eq!(resumed.status.code(), straight.status.code());
+    let tail = |out: &Output| -> String {
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        // Skip each run's banner line (they legitimately differ); all
+        // result reporting after it must match byte for byte.
+        match text.split_once('\n') {
+            Some((_, rest)) => rest.to_string(),
+            None => text,
+        }
+    };
+    assert_eq!(
+        tail(&resumed),
+        tail(&straight),
+        "resumed run must report exactly what the uninterrupted run does"
+    );
+}

@@ -1,0 +1,119 @@
+//! Property suites for the fault-injection and checkpoint layers:
+//!
+//! - a campaign under a fault plan is a pure function of (config,
+//!   plan): the same seed and plan reproduce the whole
+//!   `CampaignResult` — fault counters, alarms, findings — bit for
+//!   bit;
+//! - a zero-rate plan is indistinguishable from no plan at all (the
+//!   injection seam itself costs nothing semantically);
+//! - checkpoint/resume round-trips across the backend × vendor ×
+//!   strategy grid: killing a campaign at an arbitrary hour and
+//!   resuming from its checkpoint converges to the exact result of
+//!   the uninterrupted run.
+
+use necofuzz::campaign::{run_campaign, Campaign, CampaignConfig};
+use nf_fuzz::{Mode, MutationStrategy};
+use nf_hv::{FaultPlan, HvConfig, L0Hypervisor, Vkvm, Vvbox, Vxen};
+use nf_x86::CpuVendor;
+use proptest::prelude::*;
+
+/// The three in-tree backends, indexable by a proptest-drawn pick.
+fn factory(backend: usize) -> Box<dyn Fn(HvConfig) -> Box<dyn L0Hypervisor>> {
+    match backend {
+        0 => Box::new(|c| Box::new(Vkvm::new(c))),
+        1 => Box::new(|c| Box::new(Vxen::new(c))),
+        _ => Box::new(|c| Box::new(Vvbox::new(c))),
+    }
+}
+
+fn temp_dir(tag: &str, case: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("nf-fault-prop-{tag}-{}-{case}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn same_seed_and_plan_reproduce_the_campaign_bit_for_bit(
+        seed in 0u64..1 << 32,
+        plan_seed in 0u64..1 << 32,
+        rate_millis in 0u32..150,
+    ) {
+        let cfg = CampaignConfig::necofuzz(CpuVendor::Intel, 2, seed)
+            .with_execs_per_hour(40)
+            .with_mode(Mode::Guided)
+            .with_fault_plan(FaultPlan::uniform(plan_seed, rate_millis as f64 / 1000.0));
+        let first = run_campaign(factory(0), &cfg);
+        let second = run_campaign(factory(0), &cfg);
+        prop_assert_eq!(first.faults, second.faults);
+        prop_assert_eq!(first.alarms, second.alarms);
+        prop_assert_eq!(
+            first, second,
+            "a faulty campaign must still be a pure function of its config"
+        );
+    }
+
+    #[test]
+    fn zero_rate_plan_is_bit_identical_to_no_plan(
+        seed in 0u64..1 << 32,
+        plan_seed in 0u64..1 << 32,
+    ) {
+        let base = CampaignConfig::necofuzz(CpuVendor::Intel, 2, seed)
+            .with_execs_per_hour(40)
+            .with_mode(Mode::Guided);
+        let armed = base.clone().with_fault_plan(FaultPlan::uniform(plan_seed, 0.0));
+        let bare = run_campaign(factory(0), &base);
+        let zeroed = run_campaign(factory(0), &armed);
+        prop_assert_eq!(zeroed.faults.hangs, 0);
+        prop_assert_eq!(zeroed.faults.deaths, 0);
+        prop_assert_eq!(
+            bare, zeroed,
+            "a zero-rate plan must not perturb the campaign at all"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trip_across_backend_vendor_strategy(
+        seed in 0u64..1 << 32,
+        pick in 0u64..12,
+        split in 1u32..3,
+    ) {
+        let backend = (pick % 3) as usize;
+        // vvbox models VT-x only; the other backends alternate vendors.
+        let vendor = if backend == 2 || (pick / 3) % 2 == 0 {
+            CpuVendor::Intel
+        } else {
+            CpuVendor::Amd
+        };
+        let strategy = if (pick / 6) % 2 == 0 {
+            MutationStrategy::Havoc
+        } else {
+            MutationStrategy::Structured
+        };
+        let cfg = CampaignConfig::necofuzz(vendor, 3, seed)
+            .with_execs_per_hour(40)
+            .with_mode(Mode::Guided)
+            .with_strategy(strategy)
+            .with_fault_plan(FaultPlan::uniform(seed ^ 0xfa17, 0.05));
+
+        let baseline = run_campaign(factory(backend), &cfg);
+
+        let dir = temp_dir("roundtrip", seed ^ pick);
+        let mut partial = Campaign::new(factory(backend), &cfg);
+        partial.set_checkpoint(&dir, 1);
+        partial.run_hours(split);
+        drop(partial); // the "kill": everything not checkpointed is lost
+
+        let resumed = Campaign::resume_from_checkpoint(factory(backend), &cfg, &dir)
+            .expect("resume from checkpoint");
+        prop_assert_eq!(resumed.hours_done(), split);
+        let result = resumed.into_result();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(
+            result, baseline,
+            "kill + resume must converge to the uninterrupted result \
+             (backend {}, vendor {:?}, strategy {:?})",
+            backend, vendor, strategy
+        );
+    }
+}

@@ -542,17 +542,33 @@ impl Corpus {
     /// The format is versioned and dependency-free; `load_from`
     /// round-trips bit-identically (the transient pool cursor is not
     /// persisted — a loaded corpus starts fresh against any pool).
+    ///
+    /// The save is atomic at directory granularity: the whole tree is
+    /// staged into a sibling `<dir>.tmp` and swapped into place with
+    /// renames, so a crash mid-save (or a concurrent reader) never
+    /// observes a torn half-written corpus — `dir` is always either
+    /// the previous complete save or the new one.
     pub fn save_to(&self, dir: impl AsRef<Path>) -> io::Result<()> {
         let dir = dir.as_ref();
+        let tmp = sibling(dir, ".tmp");
+        let old = sibling(dir, ".old");
+        let _ = std::fs::remove_dir_all(&tmp);
+        self.write_tree(&tmp)?;
+        let _ = std::fs::remove_dir_all(&old);
+        if dir.exists() {
+            std::fs::rename(dir, &old)?;
+        }
+        std::fs::rename(&tmp, dir)?;
+        let _ = std::fs::remove_dir_all(&old);
+        Ok(())
+    }
+
+    /// Writes the corpus tree into `dir` directly (no staging) — the
+    /// body of [`Corpus::save_to`], always pointed at a fresh temp
+    /// directory.
+    fn write_tree(&self, dir: &Path) -> io::Result<()> {
         let entries_dir = dir.join("entries");
         std::fs::create_dir_all(&entries_dir)?;
-        // Drop stale records from a previous, larger save.
-        for old in std::fs::read_dir(&entries_dir)? {
-            let old = old?;
-            if old.file_name().to_string_lossy().ends_with(".bin") {
-                std::fs::remove_file(old.path())?;
-            }
-        }
         std::fs::write(
             dir.join("MANIFEST"),
             format!(
@@ -657,6 +673,14 @@ impl Default for Corpus {
     fn default() -> Self {
         Corpus::new()
     }
+}
+
+/// `dir` with `suffix` appended to its final component (`corpus` →
+/// `corpus.tmp`) — the staging/backup siblings of the atomic save.
+fn sibling(dir: &Path, suffix: &str) -> std::path::PathBuf {
+    let mut os = dir.as_os_str().to_os_string();
+    os.push(suffix);
+    std::path::PathBuf::from(os)
 }
 
 /// On-disk format version (bump on layout changes). v2 added the
@@ -1147,6 +1171,42 @@ mod tests {
         let min = c.minimize();
         min.save_to(&dir).expect("re-save");
         assert_eq!(Corpus::load_from(&dir).expect("re-load"), min);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_save_never_tears_the_previous_corpus() {
+        // Regression: `save_to` used to write into the live directory,
+        // so a crash mid-save left a torn mix of old and new records.
+        // The atomic staging swap must leave the previous complete
+        // save untouched by anything short of the final rename — and
+        // clean up the debris on the next save.
+        let dir = std::env::temp_dir().join(format!("nf-corpus-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut first = Corpus::new();
+        first.set_worker(1);
+        first.push_seed(FuzzInput::zeroed());
+        observed(&mut first, 10, 0..4, 1);
+        first.save_to(&dir).expect("first save");
+
+        // Simulate a host death mid-second-save: the staging tree
+        // exists (half-written, even) but the swap never happened.
+        let tmp = sibling(&dir, ".tmp");
+        std::fs::create_dir_all(tmp.join("entries")).expect("stage");
+        std::fs::write(tmp.join("MANIFEST"), "necofuzz-corpus v").expect("torn manifest");
+        assert_eq!(
+            Corpus::load_from(&dir).expect("old save must load"),
+            first,
+            "the live directory is still the previous complete save"
+        );
+
+        // The next save sweeps the debris and lands atomically.
+        let mut second = first.clone();
+        observed(&mut second, 11, 4..8, 2);
+        second.save_to(&dir).expect("second save");
+        assert!(!tmp.exists(), "stale staging debris must be swept");
+        assert!(!sibling(&dir, ".old").exists(), "backup must be swept");
+        assert_eq!(Corpus::load_from(&dir).expect("reload"), second);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 pub use corpus::{Corpus, CorpusDelta, CorpusEntry, Provenance, SharedCorpus};
 pub use scenario::{
     prefix_affinity, prefix_extend, prefix_extend_u64, prefix_root, InputLayout, MutatorProfile,
-    Operator, OperatorStats, Scenario, SectionSpan,
+    Operator, OperatorStats, ProfileState, Scenario, SectionSpan,
 };
 pub use sync::{DeltaBus, GossipNode, SeqDelta, SyncMode, SyncStats, SyncTopology};
 
@@ -176,6 +176,30 @@ impl MutationStats {
     }
 }
 
+/// Persistable snapshot of a [`Fuzzer`]'s mutable state *besides* the
+/// corpus: the RNG position, the lifetime counters, and the adaptive
+/// scheduler. Taken at report boundaries (no input pending a report),
+/// so the in-flight provenance slot is always empty and never
+/// persisted. The corpus travels separately through its own
+/// persistence format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzerState {
+    /// Raw xoshiro256++ state words of the mutation RNG.
+    pub rng: [u64; 4],
+    /// Total executions reported.
+    pub execs: u64,
+    /// Total crashing executions reported.
+    pub crashes: u64,
+    /// Inputs promoted into the queue.
+    pub queue_adds: u64,
+    /// Per-arm execution counts of the classic havoc stack.
+    pub havoc_arms: [u64; HAVOC_ARMS],
+    /// Whether novel inputs are recorded into the corpus.
+    pub recording: bool,
+    /// The adaptive operator scheduler's learned state.
+    pub profile: ProfileState,
+}
+
 /// The fuzzing engine: mutation scheduling and RNG state on top of a
 /// [`Corpus`] (which owns the queue, energy, and virgin bitmap).
 pub struct Fuzzer {
@@ -261,6 +285,50 @@ impl Fuzzer {
             execs: 0,
             crashes: 0,
             queue_adds: 0,
+        }
+    }
+
+    /// Snapshots the engine's non-corpus mutable state for checkpoint
+    /// persistence. Call only at a report boundary (every generated
+    /// input already reported) — the campaign's hour boundaries are.
+    pub fn checkpoint_state(&self) -> FuzzerState {
+        debug_assert!(
+            self.last_op.is_none(),
+            "checkpoint with an unreported input in flight"
+        );
+        FuzzerState {
+            rng: self.rng.state(),
+            execs: self.execs,
+            crashes: self.crashes,
+            queue_adds: self.queue_adds,
+            havoc_arms: self.havoc_arms,
+            recording: self.recording,
+            profile: self.profile.state(),
+        }
+    }
+
+    /// Rebuilds an engine from a persisted corpus plus a
+    /// [`FuzzerState`] snapshot. The result generates exactly the
+    /// input stream the snapshotted engine would have generated next —
+    /// the checkpoint/resume convergence guarantee rests on this.
+    pub fn from_checkpoint(
+        mode: Mode,
+        strategy: MutationStrategy,
+        corpus: Corpus,
+        state: FuzzerState,
+    ) -> Self {
+        Fuzzer {
+            rng: SmallRng::from_state(state.rng),
+            mode,
+            strategy,
+            corpus,
+            profile: MutatorProfile::from_state(state.profile),
+            last_op: None,
+            havoc_arms: state.havoc_arms,
+            recording: state.recording,
+            execs: state.execs,
+            crashes: state.crashes,
+            queue_adds: state.queue_adds,
         }
     }
 

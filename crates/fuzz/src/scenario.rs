@@ -542,6 +542,21 @@ pub struct OperatorStats {
     pub weight: u32,
 }
 
+/// Persistable snapshot of a [`MutatorProfile`]: the learned weights
+/// and lifetime counters. The pending credit stack is deliberately
+/// absent — checkpoints are taken at report boundaries, where the
+/// credit decision for the last child has already landed and the stack
+/// is dead state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileState {
+    /// Current scheduling weight per operator, in table order.
+    pub weights: [u32; Operator::COUNT],
+    /// Children generated per operator.
+    pub generated: [u64; Operator::COUNT],
+    /// Children queued per operator.
+    pub queued: [u64; Operator::COUNT],
+}
+
 /// The weighted, adaptive operator scheduler.
 ///
 /// Selection is a weighted draw over [`Operator::ALL`]; a queued child
@@ -586,6 +601,27 @@ impl MutatorProfile {
                 weight: self.weights[op.index()],
             })
             .collect()
+    }
+
+    /// Snapshots the learned weights and counters for persistence.
+    pub fn state(&self) -> ProfileState {
+        ProfileState {
+            weights: self.weights,
+            generated: self.generated,
+            queued: self.queued,
+        }
+    }
+
+    /// Rebuilds a scheduler from a persisted snapshot (the inverse of
+    /// [`MutatorProfile::state`]); future draws continue exactly as the
+    /// snapshotted scheduler's would.
+    pub fn from_state(state: ProfileState) -> Self {
+        MutatorProfile {
+            weights: state.weights,
+            generated: state.generated,
+            queued: state.queued,
+            last_stack: Vec::new(),
+        }
     }
 
     /// Credits an operator whose child was queued: its scheduling

@@ -15,6 +15,7 @@ use nf_coverage::{CovMap, ExecTrace, FileId};
 use nf_silicon::{GuestInstr, VmInstrError};
 use nf_x86::{CpuVendor, FeatureSet};
 
+use crate::fault::{RestoreFault, SharedFaults};
 use crate::sanitizer::HostHealth;
 
 /// A vCPU/host configuration produced by the vCPU configurator through a
@@ -289,6 +290,28 @@ pub trait L0Hypervisor {
     ///
     /// Panics if `snap` was captured from a different backend.
     fn restore(&mut self, snap: &HvSnapshot);
+
+    /// Installs a deterministic fault-injection handle (see
+    /// [`crate::fault`]): once installed, every guest instruction ticks
+    /// the injector and every [`Self::try_restore`] consults it. The
+    /// default ignores the handle — a backend that opts out simply
+    /// never faults. All four shipped backends opt in.
+    fn install_faults(&mut self, faults: SharedFaults) {
+        let _ = faults;
+    }
+
+    /// Fallible form of [`Self::restore`]: consults the installed
+    /// fault injector (if any) before restoring. The default — and the
+    /// behaviour with no injector installed — is an infallible
+    /// [`Self::restore`]. On `Err` the instance state is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` was captured from a different backend.
+    fn try_restore(&mut self, snap: &HvSnapshot) -> Result<(), RestoreFault> {
+        self.restore(snap);
+        Ok(())
+    }
 
     /// L1 executes `instr`; L0 traps and emulates if it is sensitive.
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result;

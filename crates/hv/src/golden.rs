@@ -39,6 +39,7 @@ use std::sync::Arc;
 use crate::api::{
     GuestObservation, HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result,
 };
+use crate::fault::{RestoreFault, SharedFaults};
 use crate::restore_fields;
 use crate::sanitizer::HostHealth;
 use crate::store::{
@@ -162,6 +163,9 @@ pub struct SiliconGolden {
     // --- SVM state.
     vmcb12_mem: BTreeMap<u64, Vmcb>,
     current_vmcb: Option<u64>,
+
+    // Instrumentation, not VM state: excluded from snapshots.
+    faults: Option<SharedFaults>,
 }
 
 impl SiliconGolden {
@@ -189,6 +193,7 @@ impl SiliconGolden {
             l2_runnable: false,
             vmcb12_mem: BTreeMap::new(),
             current_vmcb: None,
+            faults: None,
             config,
         }
     }
@@ -420,7 +425,23 @@ impl L0Hypervisor for SiliconGolden {
         restore_fields!(shared: self, s, [vmcs12_mem, msr_area_mem, vmcb12_mem]);
     }
 
+    fn install_faults(&mut self, faults: SharedFaults) {
+        self.faults = Some(faults);
+    }
+
+    fn try_restore(&mut self, snap: &HvSnapshot) -> Result<(), RestoreFault> {
+        if let Some(f) = &self.faults {
+            f.borrow_mut().check_restore()?;
+        }
+        self.restore(snap);
+        Ok(())
+    }
+
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result {
+        if self.health.dead {
+            return L1Result::HostDead;
+        }
+        crate::fault::tick(&self.faults, &mut self.health);
         if self.health.dead {
             return L1Result::HostDead;
         }
@@ -630,6 +651,10 @@ impl L0Hypervisor for SiliconGolden {
     }
 
     fn l2_exec(&mut self, instr: GuestInstr) -> L2Result {
+        if self.health.dead {
+            return L2Result::HostDead;
+        }
+        crate::fault::tick(&self.faults, &mut self.health);
         if self.health.dead {
             return L2Result::HostDead;
         }

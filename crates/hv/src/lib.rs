@@ -16,6 +16,7 @@
 //! | [`Vvbox`] | VirtualBox 7.0.12 | `VMXAllTemplate.cpp` (nested part) |
 
 pub mod api;
+pub mod fault;
 pub mod golden;
 pub mod sanitizer;
 pub mod store;
@@ -24,6 +25,7 @@ pub mod vvbox;
 pub mod vxen;
 
 pub use api::{GuestObservation, HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
+pub use fault::{FaultInjector, FaultPlan, RestoreFault, SharedFaults, DEFAULT_WATCHDOG_FUEL};
 pub use golden::{GoldenSnapshot, SiliconGolden};
 pub use sanitizer::{CrashKind, CrashReport, HostHealth, LogLine};
 pub use store::{Digest128, InternStore, SharedRestore, SnapshotStore};

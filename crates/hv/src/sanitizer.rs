@@ -26,6 +26,11 @@ pub enum CrashKind {
     /// scenario (the differential oracle's silent-misvirtualization
     /// class; no sanitizer fires for these).
     Divergence,
+    /// A single execution stopped making progress (a vmexit loop that
+    /// never terminates): the agent's fuel-budget exec watchdog
+    /// classified it. Unlike [`CrashKind::HostHang`] the host itself is
+    /// fine once the runaway exec is torn down.
+    HungExec,
 }
 
 impl fmt::Display for CrashKind {
@@ -38,6 +43,7 @@ impl fmt::Display for CrashKind {
             CrashKind::AssertFail => "assertion failure",
             CrashKind::Warning => "kernel warning",
             CrashKind::Divergence => "divergence",
+            CrashKind::HungExec => "hung exec",
         };
         f.write_str(s)
     }
@@ -155,6 +161,21 @@ impl HostHealth {
         self.printk(0, message.clone());
         self.reports.push(CrashReport {
             kind: CrashKind::HostHang,
+            bug_id,
+            message,
+        });
+        self.dead = true;
+    }
+
+    /// The exec watchdog's fuel budget ran out: the current execution
+    /// is classified as hung and the host is power-cycled to tear the
+    /// runaway exec down (the host comes back healthy — the *input* is
+    /// the finding, deduped and minimized like a crash).
+    pub fn hung_exec(&mut self, bug_id: &'static str, message: impl Into<String>) {
+        let message = message.into();
+        self.printk(0, message.clone());
+        self.reports.push(CrashReport {
+            kind: CrashKind::HungExec,
             bug_id,
             message,
         });

@@ -32,6 +32,7 @@ use nf_vmx::{MsrArea, Vmcb, Vmcs, VmxCapabilities};
 use nf_x86::{CpuVendor, Efer, FeatureSet, Msr};
 
 use crate::api::{HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
+use crate::fault::{RestoreFault, SharedFaults};
 use crate::restore_fields;
 use crate::sanitizer::HostHealth;
 use crate::store::{
@@ -181,6 +182,10 @@ pub struct Vkvm {
 
     // --- Fault injection (tests only): next allocation fails.
     pub(crate) fail_next_alloc: bool,
+
+    // --- Deterministic fault injection (instrumentation, not VM
+    // state: deliberately excluded from snapshots).
+    pub(crate) faults: Option<SharedFaults>,
 }
 
 impl Vkvm {
@@ -218,6 +223,7 @@ impl Vkvm {
             vmcb02: None,
             config,
             fail_next_alloc: false,
+            faults: None,
         }
     }
 
@@ -357,7 +363,23 @@ impl L0Hypervisor for Vkvm {
         ]);
     }
 
+    fn install_faults(&mut self, faults: SharedFaults) {
+        self.faults = Some(faults);
+    }
+
+    fn try_restore(&mut self, snap: &HvSnapshot) -> Result<(), RestoreFault> {
+        if let Some(f) = &self.faults {
+            f.borrow_mut().check_restore()?;
+        }
+        self.restore(snap);
+        Ok(())
+    }
+
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result {
+        if self.health.dead {
+            return L1Result::HostDead;
+        }
+        crate::fault::tick(&self.faults, &mut self.health);
         if self.health.dead {
             return L1Result::HostDead;
         }
@@ -450,6 +472,10 @@ impl L0Hypervisor for Vkvm {
     }
 
     fn l2_exec(&mut self, instr: GuestInstr) -> L2Result {
+        if self.health.dead {
+            return L2Result::HostDead;
+        }
+        crate::fault::tick(&self.faults, &mut self.health);
         if self.health.dead {
             return L2Result::HostDead;
         }

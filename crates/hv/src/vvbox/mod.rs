@@ -25,6 +25,7 @@ use nf_x86::{CpuFeature, CpuVendor, Cr0, Cr4, Efer, FeatureSet, Msr};
 use std::sync::Arc;
 
 use crate::api::{HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
+use crate::fault::{RestoreFault, SharedFaults};
 use crate::restore_fields;
 use crate::sanitizer::HostHealth;
 use crate::store::{
@@ -135,6 +136,10 @@ pub struct Vvbox {
     /// MSR values the (unvalidated) load list queued for the host
     /// context; consumed at the next host-context switch.
     pending_host_msrs: Vec<(u32, u64)>,
+
+    /// Deterministic fault injection (instrumentation, not VM state:
+    /// deliberately excluded from snapshots).
+    faults: Option<SharedFaults>,
 }
 
 impl Vvbox {
@@ -169,6 +174,7 @@ impl Vvbox {
             in_l2: false,
             pending_host_msrs: Vec::new(),
             config,
+            faults: None,
         }
     }
 
@@ -375,7 +381,23 @@ impl L0Hypervisor for Vvbox {
         restore_fields!(shared: self, s, [vmcs12_mem, msr_area_mem, vmcs02]);
     }
 
+    fn install_faults(&mut self, faults: SharedFaults) {
+        self.faults = Some(faults);
+    }
+
+    fn try_restore(&mut self, snap: &HvSnapshot) -> Result<(), RestoreFault> {
+        if let Some(f) = &self.faults {
+            f.borrow_mut().check_restore()?;
+        }
+        self.restore(snap);
+        Ok(())
+    }
+
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result {
+        if self.health.dead {
+            return L1Result::HostDead;
+        }
+        crate::fault::tick(&self.faults, &mut self.health);
         if self.health.dead {
             return L1Result::HostDead;
         }
@@ -500,6 +522,10 @@ impl L0Hypervisor for Vvbox {
     }
 
     fn l2_exec(&mut self, instr: GuestInstr) -> L2Result {
+        if self.health.dead {
+            return L2Result::HostDead;
+        }
+        crate::fault::tick(&self.faults, &mut self.health);
         if self.health.dead {
             return L2Result::HostDead;
         }

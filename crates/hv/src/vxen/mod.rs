@@ -38,6 +38,7 @@ use nf_x86::{CpuFeature, CpuVendor, Cr0, Cr4, Efer, FeatureSet};
 use std::sync::Arc;
 
 use crate::api::{HvConfig, HvSnapshot, IoctlOp, L0Hypervisor, L1Result, L2Result};
+use crate::fault::{RestoreFault, SharedFaults};
 use crate::restore_fields;
 use crate::sanitizer::HostHealth;
 use crate::store::{
@@ -169,6 +170,10 @@ pub struct Vxen {
     vmcb12_mem: BTreeMap<u64, Vmcb>,
     current_vmcb: Option<u64>,
     vmcb02: Option<Vmcb>,
+
+    /// Deterministic fault injection (instrumentation, not VM state:
+    /// deliberately excluded from snapshots).
+    faults: Option<SharedFaults>,
 }
 
 impl Vxen {
@@ -205,6 +210,7 @@ impl Vxen {
             current_vmcb: None,
             vmcb02: None,
             config,
+            faults: None,
         }
     }
 
@@ -639,7 +645,23 @@ impl L0Hypervisor for Vxen {
         ]);
     }
 
+    fn install_faults(&mut self, faults: SharedFaults) {
+        self.faults = Some(faults);
+    }
+
+    fn try_restore(&mut self, snap: &HvSnapshot) -> Result<(), RestoreFault> {
+        if let Some(f) = &self.faults {
+            f.borrow_mut().check_restore()?;
+        }
+        self.restore(snap);
+        Ok(())
+    }
+
     fn l1_exec(&mut self, instr: GuestInstr) -> L1Result {
+        if self.health.dead {
+            return L1Result::HostDead;
+        }
+        crate::fault::tick(&self.faults, &mut self.health);
         if self.health.dead {
             return L1Result::HostDead;
         }
@@ -834,6 +856,10 @@ impl L0Hypervisor for Vxen {
     }
 
     fn l2_exec(&mut self, instr: GuestInstr) -> L2Result {
+        if self.health.dead {
+            return L2Result::HostDead;
+        }
+        crate::fault::tick(&self.faults, &mut self.health);
         if self.health.dead {
             return L2Result::HostDead;
         }

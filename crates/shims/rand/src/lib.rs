@@ -175,6 +175,22 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Exposes the raw xoshiro256++ state words — checkpoint
+        /// persistence. Round-trips through [`SmallRng::from_state`]:
+        /// the restored generator continues the stream exactly where
+        /// this one stands.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from persisted state words (the inverse
+        /// of [`SmallRng::state`]).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
